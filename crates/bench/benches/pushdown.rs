@@ -1,0 +1,119 @@
+//! Pushdown nested word automaton experiments (E9–E11 of `DESIGN.md`):
+//! expressiveness of the equal-count language (Theorem 9), NP-complete
+//! membership via the CNF-SAT reduction (Theorem 10) and emptiness via
+//! summary saturation (Theorem 11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nested_words::generate::{random_nested_word, NestedWordConfig};
+use nested_words::Alphabet;
+use nwa_pushdown::emptiness::is_empty;
+use nwa_pushdown::sat::{sat_via_membership, CnfFormula};
+use nwa_pushdown::separations::{equal_count_member, equal_count_pnwa};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn random_formula(num_vars: usize, num_clauses: usize, seed: u64) -> CnfFormula {
+    let mut rng = StdRng::seed_from_u64(seed);
+    CnfFormula {
+        num_vars,
+        clauses: (0..num_clauses)
+            .map(|_| {
+                (0..3)
+                    .map(|_| (rng.gen_range(0..num_vars), rng.gen_bool(0.5)))
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+fn print_tables() {
+    println!("== E9: Theorem 9 — equal-count language (CF word, not CF tree) ==");
+    let p = equal_count_pnwa();
+    let ab = Alphabet::ab();
+    let cfg = NestedWordConfig {
+        len: 16,
+        allow_pending: true,
+        ..Default::default()
+    };
+    let mut agree = 0usize;
+    let mut members = 0usize;
+    for seed in 0..200u64 {
+        let w = random_nested_word(&ab, cfg, seed);
+        let expected = equal_count_member(&w);
+        if p.accepts(&w) == expected {
+            agree += 1;
+        }
+        if expected {
+            members += 1;
+        }
+    }
+    println!("PNWA vs predicate on 200 random nested words: {agree} agree ({members} members)");
+
+    println!("\n== E10: Theorem 10 — SAT via PNWA membership ==");
+    println!("{:>5} {:>8} {:>8} {:>10}", "vars", "clauses", "sat?", "agrees");
+    for v in [3usize, 4, 5, 6] {
+        let f = random_formula(v, (v as f64 * 2.0) as usize, v as u64);
+        let by_membership = sat_via_membership(&f);
+        let by_brute = f.brute_force_sat();
+        println!(
+            "{:>5} {:>8} {:>8} {:>10}",
+            v,
+            f.clauses.len(),
+            by_membership,
+            by_membership == by_brute
+        );
+    }
+
+    println!("\n== E11: Theorem 11 — emptiness by summary saturation ==");
+    let mut p_nonempty = equal_count_pnwa();
+    println!("equal-count PNWA empty? {}", is_empty(&p_nonempty));
+    // removing the ⊥-pop makes it empty
+    p_nonempty = {
+        let mut q = nwa_pushdown::automaton::Pnwa::new(3, 2, 3);
+        q.add_initial(0);
+        q
+    };
+    println!("transition-free PNWA empty? {}", is_empty(&p_nonempty));
+    println!();
+}
+
+fn bench_pushdown(c: &mut Criterion) {
+    print_tables();
+
+    let mut group = c.benchmark_group("e09_pushdown_expressiveness");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(500));
+    let p = equal_count_pnwa();
+    let ab = Alphabet::ab();
+    for len in [8usize, 16, 24] {
+        let cfg = NestedWordConfig {
+            len,
+            allow_pending: false,
+            ..Default::default()
+        };
+        let w = random_nested_word(&ab, cfg, 7);
+        group.bench_with_input(BenchmarkId::new("membership", len), &w, |b, w| {
+            b.iter(|| p.accepts(w))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e10_pnwa_membership_sat");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(500));
+    for v in [4usize, 6, 8] {
+        let f = random_formula(v, 2 * v, 99);
+        group.bench_with_input(BenchmarkId::new("vars", v), &f, |b, f| {
+            b.iter(|| sat_via_membership(f))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e11_pnwa_emptiness");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(500));
+    let p = equal_count_pnwa();
+    group.bench_function("equal_count", |b| b.iter(|| is_empty(&p)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_pushdown);
+criterion_main!(benches);

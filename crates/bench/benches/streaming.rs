@@ -1,0 +1,85 @@
+//! Membership-scaling and streaming experiments (E12, E15 of `DESIGN.md`):
+//! deterministic NWA membership is linear in the document length with memory
+//! proportional to the depth (§3.2), and document queries run in one pass
+//! over SAX-style event streams.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nested_words::generate::deep_word;
+use nested_words::Alphabet;
+use nwa_xml::generate::{generate_deep_document, generate_document, DocumentConfig};
+use nwa_xml::queries::{contains_tag_nwa, depth_at_most_nwa, run_streaming};
+use std::time::Duration;
+
+fn print_tables() {
+    println!("== E12: membership is linear in length, memory proportional to depth ==");
+    println!("{:>10} {:>8} {:>14}", "events", "depth", "peak stack");
+    for depth in [4usize, 64, 512] {
+        let (ab, doc) = generate_deep_document(depth, 4);
+        let q = depth_at_most_nwa(depth, ab.len());
+        let outcome = run_streaming(&q, &doc);
+        println!("{:>10} {:>8} {:>14}", doc.len(), doc.depth(), outcome.peak_memory);
+    }
+
+    println!("\n== E15: streaming document queries ==");
+    println!("{:>10} {:>10} {:>14} {:>10}", "events", "depth cap", "peak stack", "accepted");
+    for events in [10_000usize, 100_000] {
+        let (ab, doc) = generate_document(
+            DocumentConfig {
+                events,
+                max_depth: 32,
+                ..Default::default()
+            },
+            5,
+        );
+        let q = contains_tag_nwa(ab.lookup("t0").unwrap(), ab.len());
+        let outcome = run_streaming(&q, &doc);
+        println!(
+            "{:>10} {:>10} {:>14} {:>10}",
+            outcome.events, 32, outcome.peak_memory, outcome.accepted
+        );
+    }
+    println!();
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    print_tables();
+
+    let mut group = c.benchmark_group("e12_membership_scaling");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    let ab = Alphabet::with_size(4);
+    // a fixed small query automaton: timing scales with the word length while
+    // the stack grows with the depth
+    let q = contains_tag_nwa(nested_words::Symbol(0), 4);
+    for len in [10_000usize, 100_000, 1_000_000] {
+        // deep_word(depth, width) produces depth*(width+2) positions
+        let depth = len / 12;
+        let word = deep_word(&ab, depth, 10, 1);
+        group.throughput(Throughput::Elements(word.len() as u64));
+        group.bench_with_input(BenchmarkId::new("det_membership", word.len()), &word, |b, w| {
+            b.iter(|| q.accepts(w))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e15_xml_streaming");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    for events in [10_000usize, 100_000] {
+        let (doc_ab, doc) = generate_document(
+            DocumentConfig {
+                events,
+                max_depth: 64,
+                ..Default::default()
+            },
+            11,
+        );
+        let q = contains_tag_nwa(doc_ab.lookup("t1").unwrap(), doc_ab.len());
+        group.throughput(Throughput::Elements(doc.len() as u64));
+        group.bench_with_input(BenchmarkId::new("contains_tag", events), &doc, |b, d| {
+            b.iter(|| run_streaming(&q, d))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

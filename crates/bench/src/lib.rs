@@ -1,0 +1,1 @@
+//! Benchmark harness crate: all logic lives in `benches/`.

@@ -1,0 +1,198 @@
+//! Interned alphabets and symbols.
+//!
+//! Every automaton model in the suite works over a finite alphabet Σ. To keep
+//! transition tables dense and comparisons cheap, symbols are small integer
+//! indices into an [`Alphabet`] that owns the human-readable names.
+
+use std::fmt;
+
+/// A symbol of an alphabet, represented as a dense index.
+///
+/// Symbols are only meaningful relative to the [`Alphabet`] that created
+/// them, but carrying the index alone keeps automata representations compact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u16);
+
+impl Symbol {
+    /// Returns the dense index of this symbol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u16> for Symbol {
+    fn from(v: u16) -> Self {
+        Symbol(v)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A finite alphabet Σ with named symbols.
+///
+/// The alphabet interns symbol names and hands out dense [`Symbol`] indices.
+/// All structures in the suite (nested words, trees, automata) refer to
+/// symbols by index; the alphabet is only needed to render or parse text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alphabet {
+    names: Vec<String>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Alphabet { names: Vec::new() }
+    }
+
+    /// Creates an alphabet from an iterator of symbol names.
+    ///
+    /// Duplicate names are interned once.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut a = Alphabet::new();
+        for n in names {
+            a.intern(&n.into());
+        }
+        a
+    }
+
+    /// Creates the two-letter alphabet `{a, b}` used throughout the paper's
+    /// examples and separation families.
+    pub fn ab() -> Self {
+        Alphabet::from_names(["a", "b"])
+    }
+
+    /// Creates an alphabet of `k` symbols named `a`, `b`, `c`, … (wrapping to
+    /// `x0`, `x1`, … past 26 letters).
+    pub fn with_size(k: usize) -> Self {
+        let mut names = Vec::with_capacity(k);
+        for i in 0..k {
+            if i < 26 {
+                names.push(((b'a' + i as u8) as char).to_string());
+            } else {
+                names.push(format!("x{}", i - 26));
+            }
+        }
+        Alphabet::from_names(names)
+    }
+
+    /// Interns a symbol name, returning its [`Symbol`].
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(s) = self.lookup(name) {
+            return s;
+        }
+        assert!(
+            self.names.len() < u16::MAX as usize,
+            "alphabet exceeds u16::MAX symbols"
+        );
+        let s = Symbol(self.names.len() as u16);
+        self.names.push(name.to_string());
+        s
+    }
+
+    /// Looks up an existing symbol by name.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Symbol(i as u16))
+    }
+
+    /// Returns the name of a symbol, if it belongs to this alphabet.
+    pub fn name(&self, s: Symbol) -> Option<&str> {
+        self.names.get(s.index()).map(String::as_str)
+    }
+
+    /// Returns the number of symbols in the alphabet.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` when the alphabet has no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all symbols of the alphabet in index order.
+    pub fn symbols(&self) -> impl Iterator<Item = Symbol> + '_ {
+        (0..self.names.len()).map(|i| Symbol(i as u16))
+    }
+
+    /// Returns `true` if `s` is a symbol of this alphabet.
+    pub fn contains(&self, s: Symbol) -> bool {
+        s.index() < self.names.len()
+    }
+}
+
+impl Default for Alphabet {
+    fn default() -> Self {
+        Alphabet::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut a = Alphabet::new();
+        let s1 = a.intern("a");
+        let s2 = a.intern("a");
+        assert_eq!(s1, s2);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn lookup_and_name_roundtrip() {
+        let a = Alphabet::from_names(["foo", "bar"]);
+        let s = a.lookup("bar").unwrap();
+        assert_eq!(a.name(s), Some("bar"));
+        assert_eq!(a.lookup("baz"), None);
+    }
+
+    #[test]
+    fn ab_alphabet_has_two_symbols() {
+        let a = Alphabet::ab();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.name(Symbol(0)), Some("a"));
+        assert_eq!(a.name(Symbol(1)), Some("b"));
+    }
+
+    #[test]
+    fn with_size_generates_distinct_names() {
+        let a = Alphabet::with_size(30);
+        assert_eq!(a.len(), 30);
+        assert_eq!(a.name(Symbol(0)), Some("a"));
+        assert_eq!(a.name(Symbol(26)), Some("x0"));
+        // all names distinct
+        let mut names: Vec<_> = a.symbols().map(|s| a.name(s).unwrap().to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 30);
+    }
+
+    #[test]
+    fn symbols_iterates_in_order() {
+        let a = Alphabet::with_size(4);
+        let v: Vec<_> = a.symbols().collect();
+        assert_eq!(v, vec![Symbol(0), Symbol(1), Symbol(2), Symbol(3)]);
+        assert!(a.contains(Symbol(3)));
+        assert!(!a.contains(Symbol(4)));
+    }
+
+    #[test]
+    fn empty_alphabet() {
+        let a = Alphabet::new();
+        assert!(a.is_empty());
+        assert_eq!(a.symbols().count(), 0);
+    }
+}

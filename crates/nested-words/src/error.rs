@@ -1,0 +1,135 @@
+//! Error types for the nested-words data model.
+
+use std::fmt;
+
+/// Errors raised while constructing or parsing nested words, matching
+/// relations, trees and tagged words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NestedWordError {
+    /// A matching edge `i ; j` violates `i < j`.
+    EdgeNotForward {
+        /// Call endpoint of the offending edge.
+        call: usize,
+        /// Return endpoint of the offending edge.
+        ret: usize,
+    },
+    /// A position participates in more than one edge in the same role.
+    DuplicateEndpoint {
+        /// The position that appears twice.
+        position: usize,
+    },
+    /// Two edges cross: `i < i' ≤ j < j'`.
+    CrossingEdges {
+        /// First edge.
+        first: (usize, usize),
+        /// Second edge.
+        second: (usize, usize),
+    },
+    /// An edge endpoint lies outside the word `1..=len`.
+    OutOfRange {
+        /// The offending position.
+        position: usize,
+        /// Length of the word.
+        len: usize,
+    },
+    /// A position would be both a call and a return.
+    CallAndReturn {
+        /// The offending position.
+        position: usize,
+    },
+    /// The symbol sequence and the matching relation have different lengths.
+    LengthMismatch {
+        /// Number of symbols supplied.
+        symbols: usize,
+        /// Length of the matching relation.
+        matching: usize,
+    },
+    /// A parse error in the textual tagged-word syntax.
+    Parse {
+        /// Byte offset at which parsing failed.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The nested word is not a tree word (required by `nw_t`).
+    NotATreeWord {
+        /// Explanation of which tree-word condition failed.
+        reason: String,
+    },
+    /// An operation required a well-matched nested word.
+    NotWellMatched,
+    /// A symbol does not belong to the expected alphabet.
+    UnknownSymbol {
+        /// The offending symbol name.
+        name: String,
+    },
+}
+
+impl fmt::Display for NestedWordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NestedWordError::EdgeNotForward { call, ret } => {
+                write!(f, "matching edge {call} ; {ret} is not forward (needs call < return)")
+            }
+            NestedWordError::DuplicateEndpoint { position } => {
+                write!(f, "position {position} participates in two matching edges in the same role")
+            }
+            NestedWordError::CrossingEdges { first, second } => write!(
+                f,
+                "matching edges {} ; {} and {} ; {} cross",
+                first.0, first.1, second.0, second.1
+            ),
+            NestedWordError::OutOfRange { position, len } => {
+                write!(f, "position {position} is outside the word of length {len}")
+            }
+            NestedWordError::CallAndReturn { position } => {
+                write!(f, "position {position} would be both a call and a return")
+            }
+            NestedWordError::LengthMismatch { symbols, matching } => write!(
+                f,
+                "symbol sequence has length {symbols} but matching relation has length {matching}"
+            ),
+            NestedWordError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            NestedWordError::NotATreeWord { reason } => {
+                write!(f, "nested word is not a tree word: {reason}")
+            }
+            NestedWordError::NotWellMatched => {
+                write!(f, "operation requires a well-matched nested word")
+            }
+            NestedWordError::UnknownSymbol { name } => {
+                write!(f, "symbol `{name}` does not belong to the alphabet")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NestedWordError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = NestedWordError::EdgeNotForward { call: 5, ret: 3 };
+        assert!(e.to_string().contains("5 ; 3"));
+        let e = NestedWordError::CrossingEdges {
+            first: (1, 3),
+            second: (2, 4),
+        };
+        assert!(e.to_string().contains("cross"));
+        let e = NestedWordError::Parse {
+            offset: 7,
+            message: "unexpected '>'".into(),
+        };
+        assert!(e.to_string().contains("byte 7"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<NestedWordError>();
+    }
+}

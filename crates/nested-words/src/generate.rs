@@ -1,0 +1,308 @@
+//! Random generators for nested words, trees and documents.
+//!
+//! The generators produce the synthetic workloads used by the test suite and
+//! the benchmark harness (experiments E1–E15 in `DESIGN.md`): random nested
+//! words with controlled length/depth, random ordered trees, random plain
+//! words, and structured "program trace" words with call/return discipline.
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::tagged::TaggedSymbol;
+use crate::tree::OrderedTree;
+use crate::word::NestedWord;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`random_nested_word`].
+#[derive(Debug, Clone, Copy)]
+pub struct NestedWordConfig {
+    /// Target length (exact).
+    pub len: usize,
+    /// Probability of opening a call at any position (subject to remaining
+    /// budget).
+    pub call_prob: f64,
+    /// Probability of emitting a return when at least one call is open.
+    pub return_prob: f64,
+    /// Whether pending calls/returns are allowed; if `false` the generated
+    /// word is always well-matched.
+    pub allow_pending: bool,
+    /// Maximum nesting depth (`usize::MAX` for unbounded).
+    pub max_depth: usize,
+}
+
+impl Default for NestedWordConfig {
+    fn default() -> Self {
+        NestedWordConfig {
+            len: 64,
+            call_prob: 0.3,
+            return_prob: 0.3,
+            allow_pending: false,
+            max_depth: usize::MAX,
+        }
+    }
+}
+
+/// Generates a random nested word over `alphabet` with the given shape
+/// configuration, deterministically from `seed`.
+pub fn random_nested_word(alphabet: &Alphabet, config: NestedWordConfig, seed: u64) -> NestedWord {
+    assert!(!alphabet.is_empty(), "alphabet must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sigma = alphabet.len() as u16;
+    let mut tagged = Vec::with_capacity(config.len);
+    let mut open = 0usize; // currently open (to-be-matched) calls
+    for i in 0..config.len {
+        let remaining = config.len - i;
+        let sym = Symbol(rng.gen_range(0..sigma));
+        // If we must close all open calls to stay well-matched, do so.
+        let must_close = !config.allow_pending && open >= remaining;
+        let can_open = open < config.max_depth
+            && (config.allow_pending || remaining > open + 1);
+        let t = if must_close && open > 0 {
+            open -= 1;
+            TaggedSymbol::Return(sym)
+        } else if can_open && rng.gen_bool(config.call_prob) {
+            open += 1;
+            TaggedSymbol::Call(sym)
+        } else if open > 0 && rng.gen_bool(config.return_prob) {
+            open -= 1;
+            TaggedSymbol::Return(sym)
+        } else if config.allow_pending && rng.gen_bool(0.05) {
+            TaggedSymbol::Return(sym) // pending return
+        } else {
+            TaggedSymbol::Internal(sym)
+        };
+        tagged.push(t);
+    }
+    NestedWord::from_tagged(&tagged)
+}
+
+/// Generates a random *well-matched* nested word of exactly `len` positions.
+pub fn random_well_matched(alphabet: &Alphabet, len: usize, seed: u64) -> NestedWord {
+    random_nested_word(
+        alphabet,
+        NestedWordConfig {
+            len,
+            allow_pending: false,
+            ..NestedWordConfig::default()
+        },
+        seed,
+    )
+}
+
+/// Generates a random plain (flat) word of length `len` over `alphabet`.
+pub fn random_flat_word(alphabet: &Alphabet, len: usize, seed: u64) -> Vec<Symbol> {
+    assert!(!alphabet.is_empty(), "alphabet must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sigma = alphabet.len() as u16;
+    (0..len).map(|_| Symbol(rng.gen_range(0..sigma))).collect()
+}
+
+/// Generates a random ordered tree with approximately `nodes` nodes and
+/// branching factor at most `max_children`.
+pub fn random_tree(alphabet: &Alphabet, nodes: usize, max_children: usize, seed: u64) -> OrderedTree {
+    assert!(!alphabet.is_empty(), "alphabet must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut budget = nodes.max(1);
+    random_tree_inner(alphabet, &mut budget, max_children.max(1), &mut rng)
+}
+
+fn random_tree_inner(
+    alphabet: &Alphabet,
+    budget: &mut usize,
+    max_children: usize,
+    rng: &mut StdRng,
+) -> OrderedTree {
+    if *budget == 0 {
+        return OrderedTree::Empty;
+    }
+    *budget -= 1;
+    let label = Symbol(rng.gen_range(0..alphabet.len() as u16));
+    let n_children = rng.gen_range(0..=max_children).min(*budget);
+    let mut children = Vec::with_capacity(n_children);
+    for _ in 0..n_children {
+        if *budget == 0 {
+            break;
+        }
+        let c = random_tree_inner(alphabet, budget, max_children, rng);
+        if !c.is_empty() {
+            children.push(c);
+        }
+    }
+    OrderedTree::Node { label, children }
+}
+
+/// Generates a deep, narrow nested word: `depth` nested call/return pairs
+/// with `width` internal positions inside each level. Used to exercise the
+/// space ∝ depth claims of §3.2 (experiment E12).
+pub fn deep_word(alphabet: &Alphabet, depth: usize, width: usize, seed: u64) -> NestedWord {
+    assert!(!alphabet.is_empty(), "alphabet must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sigma = alphabet.len() as u16;
+    let mut tagged = Vec::with_capacity(depth * (width + 2));
+    let mut stack = Vec::with_capacity(depth);
+    for _ in 0..depth {
+        let s = Symbol(rng.gen_range(0..sigma));
+        tagged.push(TaggedSymbol::Call(s));
+        stack.push(s);
+        for _ in 0..width {
+            tagged.push(TaggedSymbol::Internal(Symbol(rng.gen_range(0..sigma))));
+        }
+    }
+    while let Some(s) = stack.pop() {
+        tagged.push(TaggedSymbol::Return(s));
+    }
+    NestedWord::from_tagged(&tagged)
+}
+
+/// Generates a wide, shallow nested word: `blocks` consecutive rooted blocks,
+/// each of depth 1 and containing `width` internals.
+pub fn wide_word(alphabet: &Alphabet, blocks: usize, width: usize, seed: u64) -> NestedWord {
+    assert!(!alphabet.is_empty(), "alphabet must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sigma = alphabet.len() as u16;
+    let mut tagged = Vec::with_capacity(blocks * (width + 2));
+    for _ in 0..blocks {
+        let s = Symbol(rng.gen_range(0..sigma));
+        tagged.push(TaggedSymbol::Call(s));
+        for _ in 0..width {
+            tagged.push(TaggedSymbol::Internal(Symbol(rng.gen_range(0..sigma))));
+        }
+        tagged.push(TaggedSymbol::Return(s));
+    }
+    NestedWord::from_tagged(&tagged)
+}
+
+/// Generates a "program trace" nested word over an alphabet whose first
+/// `procs` symbols are procedure names and remaining symbols are statements:
+/// calls and returns are labelled by procedures, internals by statements.
+/// Models the executions-of-structured-programs workload from §1.
+pub fn program_trace(
+    procs: usize,
+    statements: usize,
+    len: usize,
+    max_depth: usize,
+    seed: u64,
+) -> (Alphabet, NestedWord) {
+    let mut names: Vec<String> = (0..procs).map(|i| format!("p{i}")).collect();
+    names.extend((0..statements).map(|i| format!("s{i}")));
+    let alphabet = Alphabet::from_names(names);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tagged = Vec::with_capacity(len);
+    let mut stack: Vec<Symbol> = Vec::new();
+    for i in 0..len {
+        let remaining = len - i;
+        if stack.len() >= remaining {
+            // must unwind to finish well-matched
+            let s = stack.pop().expect("non-empty stack");
+            tagged.push(TaggedSymbol::Return(s));
+            continue;
+        }
+        let roll: f64 = rng.gen();
+        if roll < 0.25 && stack.len() < max_depth && remaining > stack.len() + 1 {
+            let p = Symbol(rng.gen_range(0..procs as u16));
+            stack.push(p);
+            tagged.push(TaggedSymbol::Call(p));
+        } else if roll < 0.45 && !stack.is_empty() {
+            let s = stack.pop().expect("non-empty stack");
+            tagged.push(TaggedSymbol::Return(s));
+        } else {
+            let s = Symbol((procs + rng.gen_range(0..statements)) as u16);
+            tagged.push(TaggedSymbol::Internal(s));
+        }
+    }
+    while let Some(s) = stack.pop() {
+        tagged.push(TaggedSymbol::Return(s));
+    }
+    (alphabet, NestedWord::from_tagged(&tagged))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_well_matched_is_well_matched() {
+        let ab = Alphabet::with_size(3);
+        for seed in 0..20 {
+            let w = random_well_matched(&ab, 100, seed);
+            assert_eq!(w.len(), 100);
+            assert!(w.is_well_matched(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_nested_word_is_deterministic_in_seed() {
+        let ab = Alphabet::ab();
+        let cfg = NestedWordConfig {
+            len: 50,
+            allow_pending: true,
+            ..Default::default()
+        };
+        assert_eq!(
+            random_nested_word(&ab, cfg, 7),
+            random_nested_word(&ab, cfg, 7)
+        );
+    }
+
+    #[test]
+    fn max_depth_is_respected() {
+        let ab = Alphabet::ab();
+        let cfg = NestedWordConfig {
+            len: 200,
+            call_prob: 0.9,
+            return_prob: 0.05,
+            allow_pending: false,
+            max_depth: 3,
+        };
+        for seed in 0..5 {
+            let w = random_nested_word(&ab, cfg, seed);
+            assert!(w.depth() <= 3, "seed {seed} depth {}", w.depth());
+        }
+    }
+
+    #[test]
+    fn random_tree_has_requested_size() {
+        let ab = Alphabet::with_size(4);
+        let t = random_tree(&ab, 50, 4, 3);
+        assert!(t.node_count() >= 1 && t.node_count() <= 50);
+        let n = t.to_nested_word();
+        assert!(crate::tree::is_tree_word(&n));
+    }
+
+    #[test]
+    fn deep_word_depth_and_length() {
+        let ab = Alphabet::ab();
+        let w = deep_word(&ab, 10, 3, 0);
+        assert_eq!(w.depth(), 10);
+        assert_eq!(w.len(), 10 * 4 + 10);
+        assert!(w.is_well_matched());
+    }
+
+    #[test]
+    fn wide_word_depth_is_one() {
+        let ab = Alphabet::ab();
+        let w = wide_word(&ab, 25, 2, 0);
+        assert_eq!(w.depth(), 1);
+        assert_eq!(w.len(), 25 * 4);
+        assert!(w.is_well_matched());
+    }
+
+    #[test]
+    fn program_trace_is_well_matched_and_calls_are_procs() {
+        let (ab, w) = program_trace(3, 5, 200, 10, 11);
+        assert!(w.is_well_matched());
+        assert_eq!(ab.len(), 8);
+        for i in 0..w.len() {
+            if w.kind(i) != crate::word::PositionKind::Internal {
+                assert!(w.symbol(i).index() < 3, "calls/returns labelled by procedures");
+            }
+        }
+    }
+
+    #[test]
+    fn random_flat_word_length() {
+        let ab = Alphabet::with_size(5);
+        let w = random_flat_word(&ab, 33, 1);
+        assert_eq!(w.len(), 33);
+        assert!(w.iter().all(|s| s.index() < 5));
+    }
+}

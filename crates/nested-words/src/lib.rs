@@ -1,0 +1,49 @@
+//! # nested-words
+//!
+//! The data model of *"Marrying Words and Trees"* (Rajeev Alur, PODS 2007):
+//! **nested words**, a representation for data that carries both a linear
+//! order and a properly nested hierarchical structure.
+//!
+//! A nested word of length `ℓ` is a word `a₁…a_ℓ` over an alphabet together
+//! with a *matching relation* that connects *call* positions to *return*
+//! positions without crossing; edges may be *pending* (a call without a
+//! return, or a return without a call). Words are nested words with an empty
+//! matching relation, and ordered trees embed into nested words via the
+//! call/return traversal of §2.3 of the paper.
+//!
+//! The crate provides:
+//!
+//! * [`Alphabet`] and [`Symbol`] — interned, index-based alphabets shared by
+//!   every automaton model in the suite;
+//! * [`MatchingRelation`] — validated matching relations (§2.1);
+//! * [`NestedWord`] — the nested word itself, with depth, call-parents,
+//!   well-matchedness and rootedness queries (§2.1);
+//! * [`TaggedSymbol`] and the `nw_w` / `w_nw` bijection with tagged words
+//!   (§2.2), including a human-readable text syntax `"<a b a>"`;
+//! * [`OrderedTree`] and the `t_w` / `t_nw` / `nw_t` encodings of ordered
+//!   trees as *tree words* (§2.3), plus `path(w)` encodings of linear words
+//!   as unary trees (§3.6);
+//! * the word and tree operations of §2.4: concatenation, subwords,
+//!   prefixes, suffixes, reversal and insertion;
+//! * random generators for nested words, trees and documents used by the
+//!   test suite and the benchmark harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alphabet;
+pub mod error;
+pub mod generate;
+pub mod matching;
+pub mod ops;
+pub mod path;
+pub mod tagged;
+pub mod tree;
+pub mod word;
+
+pub use alphabet::{Alphabet, Symbol};
+pub use error::NestedWordError;
+pub use matching::MatchingRelation;
+pub use tagged::{TaggedSymbol, TaggedWord};
+pub use tree::OrderedTree;
+pub use word::{NestedWord, PositionKind};

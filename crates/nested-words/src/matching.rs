@@ -1,0 +1,456 @@
+//! Matching relations (§2.1 of the paper).
+//!
+//! A matching relation of length `ℓ` is a set of edges `i ; j` over
+//! positions `{−∞, 1, …, ℓ} × {1, …, ℓ, +∞}` such that edges go forward, no
+//! position is shared by two edges in the same role, no position is both a
+//! call and a return, and no two edges cross. Edges touching `−∞` or `+∞`
+//! are *pending*.
+//!
+//! Positions are 0-based in this API; the paper uses 1-based positions.
+
+use crate::error::NestedWordError;
+use crate::word::PositionKind;
+
+/// A single hierarchical edge of a matching relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Edge {
+    /// A matched edge `call ; ret` with `call < ret` (0-based positions).
+    Matched {
+        /// Call position.
+        call: usize,
+        /// Return position.
+        ret: usize,
+    },
+    /// A pending call `call ; +∞`.
+    PendingCall {
+        /// Call position.
+        call: usize,
+    },
+    /// A pending return `−∞ ; ret`.
+    PendingReturn {
+        /// Return position.
+        ret: usize,
+    },
+}
+
+/// A validated matching relation over positions `0..len`.
+///
+/// The relation records, for every position, whether it is a call, an
+/// internal or a return, and for matched calls/returns the index of the
+/// partner position.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MatchingRelation {
+    kinds: Vec<PositionKind>,
+    /// For a matched call, the return position; for a matched return, the
+    /// call position; `u32::MAX` encodes "no partner" (internal or pending).
+    partner: Vec<u32>,
+}
+
+const NO_PARTNER: u32 = u32::MAX;
+
+impl MatchingRelation {
+    /// The empty matching relation of length `len` (every position internal).
+    pub fn empty(len: usize) -> Self {
+        MatchingRelation {
+            kinds: vec![PositionKind::Internal; len],
+            partner: vec![NO_PARTNER; len],
+        }
+    }
+
+    /// Builds a matching relation of length `len` from an explicit edge set,
+    /// validating all conditions of §2.1.
+    pub fn from_edges(len: usize, edges: &[Edge]) -> Result<Self, NestedWordError> {
+        assert!(len < NO_PARTNER as usize, "matching relation too long");
+        let mut kinds = vec![PositionKind::Internal; len];
+        let mut partner = vec![NO_PARTNER; len];
+
+        let mut mark = |pos: usize,
+                        kind: PositionKind,
+                        kinds: &mut Vec<PositionKind>|
+         -> Result<(), NestedWordError> {
+            if pos >= len {
+                return Err(NestedWordError::OutOfRange { position: pos, len });
+            }
+            match kinds[pos] {
+                PositionKind::Internal => {
+                    kinds[pos] = kind;
+                    Ok(())
+                }
+                existing if existing == kind => Err(NestedWordError::DuplicateEndpoint { position: pos }),
+                _ => Err(NestedWordError::CallAndReturn { position: pos }),
+            }
+        };
+
+        let mut matched: Vec<(usize, usize)> = Vec::new();
+        for e in edges {
+            match *e {
+                Edge::Matched { call, ret } => {
+                    if call >= ret {
+                        return Err(NestedWordError::EdgeNotForward { call, ret });
+                    }
+                    mark(call, PositionKind::Call, &mut kinds)?;
+                    mark(ret, PositionKind::Return, &mut kinds)?;
+                    partner[call] = ret as u32;
+                    partner[ret] = call as u32;
+                    matched.push((call, ret));
+                }
+                Edge::PendingCall { call } => {
+                    mark(call, PositionKind::Call, &mut kinds)?;
+                }
+                Edge::PendingReturn { ret } => {
+                    mark(ret, PositionKind::Return, &mut kinds)?;
+                }
+            }
+        }
+
+        // Crossing check: i < i' ≤ j < j' forbidden. Pending edges cannot
+        // cross anything because their infinite endpoint absorbs the
+        // ordering constraint; for pending calls the paper's condition 3 is
+        // never violated with j = +∞, and symmetrically for pending returns.
+        // But a matched edge enclosing a pending call whose +∞ endpoint lies
+        // beyond its return *is* a crossing: call' < call ≤ ret' < +∞.
+        matched.sort_unstable();
+        for w in 0..matched.len() {
+            let (i, j) = matched[w];
+            for &(i2, j2) in matched.iter().skip(w + 1) {
+                if i2 > j {
+                    break;
+                }
+                // i < i2 ≤ j; crossing iff j < j2
+                if j < j2 {
+                    return Err(NestedWordError::CrossingEdges {
+                        first: (i, j),
+                        second: (i2, j2),
+                    });
+                }
+            }
+        }
+        // Pending call strictly inside a matched edge crosses it
+        // (call < pending ≤ ret < +∞).
+        for (pos, kind) in kinds.iter().enumerate() {
+            if *kind == PositionKind::Call && partner[pos] == NO_PARTNER {
+                for &(i, j) in &matched {
+                    if i < pos && pos <= j {
+                        return Err(NestedWordError::CrossingEdges {
+                            first: (i, j),
+                            second: (pos, usize::MAX),
+                        });
+                    }
+                }
+            }
+            // Pending return strictly inside a matched edge crosses it
+            // (−∞ < i ≤ pos < j with the edge (−∞, pos)): i ≤ pos requires
+            // checking −∞ < i which always holds, so the violation is
+            // i ≤ pos < j ⇒ i < i' is instantiated with i' = −∞; condition 3
+            // reads i' < i ≤ j' < j with (i', j') = (−∞, pos): true whenever
+            // pos < j and pos ≥ i.
+            if *kind == PositionKind::Return && partner[pos] == NO_PARTNER {
+                for &(i, j) in &matched {
+                    if i <= pos && pos < j {
+                        return Err(NestedWordError::CrossingEdges {
+                            first: (i, j),
+                            second: (usize::MIN, pos),
+                        });
+                    }
+                }
+            }
+        }
+
+        Ok(MatchingRelation { kinds, partner })
+    }
+
+    /// Builds the matching relation induced by a sequence of position kinds,
+    /// matching calls and returns like balanced parentheses: a return matches
+    /// the innermost open call, returns with no open call are pending, calls
+    /// never closed are pending. This is the `w_nw` direction of §2.2 and is
+    /// total on all kind sequences.
+    pub fn from_kinds(kinds: &[PositionKind]) -> Self {
+        let len = kinds.len();
+        assert!(len < NO_PARTNER as usize, "matching relation too long");
+        let mut partner = vec![NO_PARTNER; len];
+        let mut stack: Vec<usize> = Vec::new();
+        for (i, k) in kinds.iter().enumerate() {
+            match k {
+                PositionKind::Call => stack.push(i),
+                PositionKind::Internal => {}
+                PositionKind::Return => {
+                    if let Some(c) = stack.pop() {
+                        partner[c] = i as u32;
+                        partner[i] = c as u32;
+                    }
+                }
+            }
+        }
+        MatchingRelation {
+            kinds: kinds.to_vec(),
+            partner,
+        }
+    }
+
+    /// Length of the relation (number of positions).
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Returns `true` if the relation has no positions.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// The kind (call / internal / return) of position `i`.
+    pub fn kind(&self, i: usize) -> PositionKind {
+        self.kinds[i]
+    }
+
+    /// The kinds of all positions, in order.
+    pub fn kinds(&self) -> &[PositionKind] {
+        &self.kinds
+    }
+
+    /// For a matched call `i`, its return-successor; `None` for pending
+    /// calls, internals and returns.
+    pub fn return_successor(&self, i: usize) -> Option<usize> {
+        if self.kinds[i] == PositionKind::Call && self.partner[i] != NO_PARTNER {
+            Some(self.partner[i] as usize)
+        } else {
+            None
+        }
+    }
+
+    /// For a matched return `i`, its call-predecessor; `None` for pending
+    /// returns, internals and calls.
+    pub fn call_predecessor(&self, i: usize) -> Option<usize> {
+        if self.kinds[i] == PositionKind::Return && self.partner[i] != NO_PARTNER {
+            Some(self.partner[i] as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if position `i` is a pending call (`i ; +∞`).
+    pub fn is_pending_call(&self, i: usize) -> bool {
+        self.kinds[i] == PositionKind::Call && self.partner[i] == NO_PARTNER
+    }
+
+    /// Returns `true` if position `i` is a pending return (`−∞ ; i`).
+    pub fn is_pending_return(&self, i: usize) -> bool {
+        self.kinds[i] == PositionKind::Return && self.partner[i] == NO_PARTNER
+    }
+
+    /// Returns `true` if every call has a return-successor and every return
+    /// has a call-predecessor (§2.1, well-matched).
+    pub fn is_well_matched(&self) -> bool {
+        self.kinds
+            .iter()
+            .enumerate()
+            .all(|(i, k)| *k == PositionKind::Internal || self.partner[i] != NO_PARTNER)
+    }
+
+    /// Enumerates all edges of the relation, matched and pending, in order of
+    /// their left endpoint (pending returns first, by position).
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::new();
+        for i in 0..self.len() {
+            match self.kinds[i] {
+                PositionKind::Call => {
+                    if let Some(r) = self.return_successor(i) {
+                        out.push(Edge::Matched { call: i, ret: r });
+                    } else {
+                        out.push(Edge::PendingCall { call: i });
+                    }
+                }
+                PositionKind::Return => {
+                    if self.call_predecessor(i).is_none() {
+                        out.push(Edge::PendingReturn { ret: i });
+                    }
+                }
+                PositionKind::Internal => {}
+            }
+        }
+        out
+    }
+
+    /// The nesting depth: the maximum number of properly nested matched
+    /// edges (§2.1).
+    pub fn depth(&self) -> usize {
+        let mut depth = 0usize;
+        let mut current = 0usize;
+        for i in 0..self.len() {
+            match self.kinds[i] {
+                PositionKind::Call => {
+                    if self.partner[i] != NO_PARTNER {
+                        current += 1;
+                        depth = depth.max(current);
+                    }
+                }
+                PositionKind::Return => {
+                    if self.partner[i] != NO_PARTNER {
+                        current = current.saturating_sub(1);
+                    }
+                }
+                PositionKind::Internal => {}
+            }
+        }
+        depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use PositionKind::{Call, Internal, Return};
+
+    #[test]
+    fn empty_relation_is_well_matched() {
+        let m = MatchingRelation::empty(5);
+        assert_eq!(m.len(), 5);
+        assert!(m.is_well_matched());
+        assert_eq!(m.depth(), 0);
+        assert!(m.edges().is_empty());
+    }
+
+    #[test]
+    fn from_edges_valid_nesting() {
+        // <a <b b> a>  => edges (0,3), (1,2)
+        let m = MatchingRelation::from_edges(
+            4,
+            &[
+                Edge::Matched { call: 0, ret: 3 },
+                Edge::Matched { call: 1, ret: 2 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(m.kind(0), Call);
+        assert_eq!(m.kind(1), Call);
+        assert_eq!(m.kind(2), Return);
+        assert_eq!(m.kind(3), Return);
+        assert_eq!(m.return_successor(0), Some(3));
+        assert_eq!(m.call_predecessor(2), Some(1));
+        assert_eq!(m.depth(), 2);
+        assert!(m.is_well_matched());
+    }
+
+    #[test]
+    fn crossing_edges_rejected() {
+        let err = MatchingRelation::from_edges(
+            4,
+            &[
+                Edge::Matched { call: 0, ret: 2 },
+                Edge::Matched { call: 1, ret: 3 },
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NestedWordError::CrossingEdges { .. }));
+    }
+
+    #[test]
+    fn backward_edge_rejected() {
+        let err =
+            MatchingRelation::from_edges(4, &[Edge::Matched { call: 3, ret: 1 }]).unwrap_err();
+        assert!(matches!(err, NestedWordError::EdgeNotForward { .. }));
+    }
+
+    #[test]
+    fn duplicate_call_rejected() {
+        let err = MatchingRelation::from_edges(
+            5,
+            &[
+                Edge::Matched { call: 0, ret: 2 },
+                Edge::Matched { call: 0, ret: 4 },
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NestedWordError::DuplicateEndpoint { .. }));
+    }
+
+    #[test]
+    fn call_and_return_same_position_rejected() {
+        let err = MatchingRelation::from_edges(
+            5,
+            &[
+                Edge::Matched { call: 0, ret: 2 },
+                Edge::Matched { call: 2, ret: 4 },
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NestedWordError::CallAndReturn { .. }));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let err =
+            MatchingRelation::from_edges(3, &[Edge::Matched { call: 1, ret: 5 }]).unwrap_err();
+        assert!(matches!(err, NestedWordError::OutOfRange { .. }));
+    }
+
+    #[test]
+    fn pending_edges_allowed_outside_matched_edges() {
+        // a> a <a   : pending return at 0, pending call at 2
+        let m = MatchingRelation::from_edges(
+            3,
+            &[Edge::PendingReturn { ret: 0 }, Edge::PendingCall { call: 2 }],
+        )
+        .unwrap();
+        assert!(m.is_pending_return(0));
+        assert_eq!(m.kind(1), Internal);
+        assert!(m.is_pending_call(2));
+        assert!(!m.is_well_matched());
+        assert_eq!(m.depth(), 0);
+    }
+
+    #[test]
+    fn pending_call_inside_matched_edge_crosses() {
+        let err = MatchingRelation::from_edges(
+            4,
+            &[
+                Edge::Matched { call: 0, ret: 3 },
+                Edge::PendingCall { call: 1 },
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NestedWordError::CrossingEdges { .. }));
+    }
+
+    #[test]
+    fn pending_return_inside_matched_edge_crosses() {
+        let err = MatchingRelation::from_edges(
+            4,
+            &[
+                Edge::Matched { call: 0, ret: 3 },
+                Edge::PendingReturn { ret: 2 },
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NestedWordError::CrossingEdges { .. }));
+    }
+
+    #[test]
+    fn from_kinds_matches_like_parentheses() {
+        // a> <a a <a a> a> <a  (paper's n2-like shape)
+        let kinds = [Return, Call, Internal, Call, Return, Return, Call];
+        let m = MatchingRelation::from_kinds(&kinds);
+        assert!(m.is_pending_return(0));
+        assert_eq!(m.return_successor(1), Some(5));
+        assert_eq!(m.return_successor(3), Some(4));
+        assert!(m.is_pending_call(6));
+        assert_eq!(m.depth(), 2);
+    }
+
+    #[test]
+    fn from_kinds_roundtrips_through_edges() {
+        let kinds = [Call, Call, Return, Internal, Return, Call];
+        let m = MatchingRelation::from_kinds(&kinds);
+        let edges = m.edges();
+        let m2 = MatchingRelation::from_edges(kinds.len(), &edges).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn depth_counts_only_matched_nesting() {
+        // <a <a <a : three pending calls, depth 0 per the definition (depth
+        // requires return-successors).
+        let kinds = [Call, Call, Call];
+        let m = MatchingRelation::from_kinds(&kinds);
+        assert_eq!(m.depth(), 0);
+    }
+}

@@ -1,0 +1,323 @@
+//! Word and tree operations on nested words (§2.4 of the paper).
+//!
+//! All operations are defined through the tagged-word encoding: because
+//! `nw_w` is a bijection, any operation on tagged words lifts to nested
+//! words. Concatenation may connect pending calls of the first operand with
+//! pending returns of the second; taking subwords may turn matched edges
+//! into pending ones.
+
+use crate::alphabet::Symbol;
+use crate::error::NestedWordError;
+use crate::tagged::TaggedSymbol;
+use crate::word::{NestedWord, PositionKind};
+
+/// Concatenation of two nested words (§2.4):
+/// `concat(n, n') = w_nw(nw_w(n) · nw_w(n'))`.
+pub fn concat(n: &NestedWord, m: &NestedWord) -> NestedWord {
+    let mut tagged = n.to_tagged();
+    tagged.extend(m.to_tagged());
+    NestedWord::from_tagged(&tagged)
+}
+
+/// Concatenation of arbitrarily many nested words, left to right.
+pub fn concat_all<'a, I>(words: I) -> NestedWord
+where
+    I: IntoIterator<Item = &'a NestedWord>,
+{
+    let mut tagged = Vec::new();
+    for w in words {
+        tagged.extend(w.to_tagged());
+    }
+    NestedWord::from_tagged(&tagged)
+}
+
+/// The subword `n[i, j)` over 0-based, half-open position ranges (§2.4 uses
+/// 1-based closed ranges `n[i, j]`). Out-of-range or empty ranges yield the
+/// empty nested word. Matched edges leaving the range become pending.
+pub fn subword(n: &NestedWord, start: usize, end: usize) -> NestedWord {
+    if start >= end || start >= n.len() {
+        return NestedWord::empty();
+    }
+    let end = end.min(n.len());
+    let tagged: Vec<TaggedSymbol> = (start..end)
+        .map(|i| TaggedSymbol::new(n.kind(i), n.symbol(i)))
+        .collect();
+    NestedWord::from_tagged(&tagged)
+}
+
+/// The prefix `n[0, end)` (§2.4 prefixes are `n[1, j]`).
+pub fn prefix(n: &NestedWord, end: usize) -> NestedWord {
+    subword(n, 0, end)
+}
+
+/// The suffix `n[start, ℓ)` (§2.4 suffixes are `n[i, ℓ]`).
+pub fn suffix(n: &NestedWord, start: usize) -> NestedWord {
+    subword(n, start, n.len())
+}
+
+/// Reverse of a nested word (§2.4): the underlying word is reversed and every
+/// hierarchical edge flips direction, so calls become returns and vice versa.
+pub fn reverse(n: &NestedWord) -> NestedWord {
+    let tagged: Vec<TaggedSymbol> = (0..n.len())
+        .rev()
+        .map(|i| {
+            let s = n.symbol(i);
+            match n.kind(i) {
+                PositionKind::Call => TaggedSymbol::Return(s),
+                PositionKind::Internal => TaggedSymbol::Internal(s),
+                PositionKind::Return => TaggedSymbol::Call(s),
+            }
+        })
+        .collect();
+    NestedWord::from_tagged(&tagged)
+}
+
+/// `Insert(n, a, n')` (§2.4): inserts the well-matched nested word `inserted`
+/// after every `a`-labelled position of `n`.
+///
+/// Fails with [`NestedWordError::NotWellMatched`] when `inserted` is not
+/// well-matched (the paper requires this so that insertion cannot re-wire the
+/// matching of `n`).
+pub fn insert(
+    n: &NestedWord,
+    at: Symbol,
+    inserted: &NestedWord,
+) -> Result<NestedWord, NestedWordError> {
+    if !inserted.is_well_matched() {
+        return Err(NestedWordError::NotWellMatched);
+    }
+    let ins = inserted.to_tagged();
+    let mut tagged = Vec::with_capacity(n.len() + ins.len());
+    for i in 0..n.len() {
+        tagged.push(TaggedSymbol::new(n.kind(i), n.symbol(i)));
+        if n.symbol(i) == at {
+            tagged.extend(ins.iter().copied());
+        }
+    }
+    Ok(NestedWord::from_tagged(&tagged))
+}
+
+/// Deletes every rooted subword whose call is labelled `at` (the subtree
+/// deletion operation mentioned at the end of §2.4). Pending calls labelled
+/// `at` are deleted together with everything after them.
+pub fn delete_subtrees(n: &NestedWord, at: Symbol) -> NestedWord {
+    let mut tagged = Vec::new();
+    let mut i = 0;
+    while i < n.len() {
+        if n.kind(i) == PositionKind::Call && n.symbol(i) == at {
+            match n.return_successor(i) {
+                Some(j) => {
+                    i = j + 1;
+                    continue;
+                }
+                None => break,
+            }
+        }
+        tagged.push(TaggedSymbol::new(n.kind(i), n.symbol(i)));
+        i += 1;
+    }
+    NestedWord::from_tagged(&tagged)
+}
+
+/// Substitutes, for every `a`-labelled *leaf edge* (a matched call
+/// immediately followed by its return, both labelled `a`), the well-matched
+/// word `replacement` (tree substitution lifted to nested words, §2.4).
+pub fn substitute_leaves(
+    n: &NestedWord,
+    at: Symbol,
+    replacement: &NestedWord,
+) -> Result<NestedWord, NestedWordError> {
+    if !replacement.is_well_matched() {
+        return Err(NestedWordError::NotWellMatched);
+    }
+    let rep = replacement.to_tagged();
+    let mut tagged = Vec::new();
+    let mut i = 0;
+    while i < n.len() {
+        if n.kind(i) == PositionKind::Call
+            && n.symbol(i) == at
+            && n.return_successor(i) == Some(i + 1)
+            && n.symbol(i + 1) == at
+        {
+            tagged.extend(rep.iter().copied());
+            i += 2;
+            continue;
+        }
+        tagged.push(TaggedSymbol::new(n.kind(i), n.symbol(i)));
+        i += 1;
+    }
+    Ok(NestedWord::from_tagged(&tagged))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::tagged::{display_nested_word, parse_nested_word};
+
+    fn setup() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    fn parse(ab: &mut Alphabet, s: &str) -> NestedWord {
+        parse_nested_word(s, ab).unwrap()
+    }
+
+    #[test]
+    fn concat_connects_pending_edges() {
+        let mut ab = setup();
+        // first word ends with a pending call, second starts with a pending return
+        let n = parse(&mut ab, "a <a");
+        let m = parse(&mut ab, "b> b");
+        let c = concat(&n, &m);
+        assert_eq!(display_nested_word(&c, &ab), "a <a b> b");
+        assert!(c.is_well_matched());
+        assert_eq!(c.return_successor(1), Some(2));
+    }
+
+    #[test]
+    fn concat_all_associates() {
+        let mut ab = setup();
+        let w1 = parse(&mut ab, "<a");
+        let w2 = parse(&mut ab, "b");
+        let w3 = parse(&mut ab, "a>");
+        let left = concat(&concat(&w1, &w2), &w3);
+        let right = concat(&w1, &concat(&w2, &w3));
+        let all = concat_all([&w1, &w2, &w3]);
+        assert_eq!(left, right);
+        assert_eq!(left, all);
+        assert!(all.is_rooted());
+    }
+
+    #[test]
+    fn concat_with_empty_is_identity() {
+        let mut ab = setup();
+        let n = parse(&mut ab, "<a b a>");
+        assert_eq!(concat(&n, &NestedWord::empty()), n);
+        assert_eq!(concat(&NestedWord::empty(), &n), n);
+    }
+
+    #[test]
+    fn subword_turns_matched_edges_pending() {
+        let mut ab = setup();
+        let n = parse(&mut ab, "<a b b a>");
+        // subword covering only the call
+        let p = prefix(&n, 2);
+        assert!(p.is_pending_call(0));
+        // subword covering only the return
+        let s = suffix(&n, 2);
+        assert!(s.is_pending_return(1));
+    }
+
+    #[test]
+    fn prefix_concat_suffix_recovers_word() {
+        let mut ab = setup();
+        let n = parse(&mut ab, "<a <b a a> <b a b> a> <a b a a>");
+        for i in 0..=n.len() {
+            let rebuilt = concat(&prefix(&n, i), &suffix(&n, i));
+            assert_eq!(rebuilt, n, "split at {i}");
+        }
+    }
+
+    #[test]
+    fn subword_out_of_range_is_empty() {
+        let mut ab = setup();
+        let n = parse(&mut ab, "a b");
+        assert!(subword(&n, 5, 9).is_empty());
+        assert!(subword(&n, 1, 1).is_empty());
+        assert_eq!(subword(&n, 1, 100).len(), 1);
+    }
+
+    #[test]
+    fn reverse_involution() {
+        let mut ab = setup();
+        let n = parse(&mut ab, "a a> <b a a> <a <a");
+        assert_eq!(reverse(&reverse(&n)), n);
+    }
+
+    #[test]
+    fn reverse_swaps_calls_and_returns() {
+        let mut ab = setup();
+        let n = parse(&mut ab, "<a b a>");
+        let r = reverse(&n);
+        assert_eq!(display_nested_word(&r, &ab), "<a b a>");
+        let n = parse(&mut ab, "<a b b>");
+        let r = reverse(&n);
+        assert_eq!(display_nested_word(&r, &ab), "<b b a>");
+    }
+
+    #[test]
+    fn reverse_preserves_depth_and_well_matchedness() {
+        let mut ab = setup();
+        let n = parse(&mut ab, "<a <b a a> <b a b> a>");
+        let r = reverse(&n);
+        assert_eq!(r.depth(), n.depth());
+        assert_eq!(r.is_well_matched(), n.is_well_matched());
+        assert_eq!(r.len(), n.len());
+    }
+
+    #[test]
+    fn insert_after_every_occurrence() {
+        let mut ab = setup();
+        let n = parse(&mut ab, "a b a");
+        let ins = parse(&mut ab, "<b b>");
+        let a = ab.lookup("a").unwrap();
+        let out = insert(&n, a, &ins).unwrap();
+        assert_eq!(display_nested_word(&out, &ab), "a <b b> b a <b b>");
+    }
+
+    #[test]
+    fn insert_requires_well_matched_argument() {
+        let mut ab = setup();
+        let n = parse(&mut ab, "a");
+        let ins = parse(&mut ab, "<b");
+        let a = ab.lookup("a").unwrap();
+        assert!(matches!(
+            insert(&n, a, &ins),
+            Err(NestedWordError::NotWellMatched)
+        ));
+    }
+
+    #[test]
+    fn insert_into_tree_word_is_tree_insertion() {
+        let mut ab = setup();
+        // tree a(b()) ; insert b() after every a-labelled position
+        let n = parse(&mut ab, "<a <b b> a>");
+        let ins = parse(&mut ab, "<b b>");
+        let a = ab.lookup("a").unwrap();
+        let out = insert(&n, a, &ins).unwrap();
+        assert_eq!(display_nested_word(&out, &ab), "<a <b b> <b b> a> <b b>");
+        assert!(out.is_well_matched());
+    }
+
+    #[test]
+    fn delete_subtrees_removes_rooted_blocks() {
+        let mut ab = setup();
+        let n = parse(&mut ab, "<a <b a b> <a a> a>");
+        let b = ab.lookup("b").unwrap();
+        let out = delete_subtrees(&n, b);
+        assert_eq!(display_nested_word(&out, &ab), "<a <a a> a>");
+    }
+
+    #[test]
+    fn delete_subtrees_with_pending_call_truncates() {
+        let mut ab = setup();
+        let n = parse(&mut ab, "a <b a");
+        let b = ab.lookup("b").unwrap();
+        let out = delete_subtrees(&n, b);
+        assert_eq!(display_nested_word(&out, &ab), "a");
+    }
+
+    #[test]
+    fn substitute_leaves_replaces_leaf_edges() {
+        let mut ab = setup();
+        let n = parse(&mut ab, "<a <b b> <a a> a>");
+        let rep = parse(&mut ab, "<b <b b> b>");
+        let b = ab.lookup("b").unwrap();
+        let out = substitute_leaves(&n, b, &rep).unwrap();
+        assert_eq!(
+            display_nested_word(&out, &ab),
+            "<a <b <b b> b> <a a> a>"
+        );
+    }
+}

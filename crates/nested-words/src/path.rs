@@ -1,0 +1,120 @@
+//! Path words: encoding a linear word as a unary tree (§2.2 and §3.6).
+//!
+//! `path(a₁…a_ℓ) = w_nw(⟨a₁ … ⟨a_ℓ a_ℓ⟩ … a₁⟩)` is a rooted nested word of
+//! depth ℓ. Path languages `path(L)` are the lens through which the paper
+//! compares top-down and bottom-up tree automata with nested word automata
+//! (Theorem 8, Lemma 3).
+
+use crate::alphabet::Symbol;
+use crate::tagged::TaggedSymbol;
+use crate::word::{NestedWord, PositionKind};
+
+/// The `path` transformation: encodes a plain word as a unary tree word.
+///
+/// `path(ε)` is the empty nested word; otherwise the result is rooted and has
+/// depth equal to the length of `word`.
+pub fn path(word: &[Symbol]) -> NestedWord {
+    let mut tagged = Vec::with_capacity(2 * word.len());
+    for &s in word {
+        tagged.push(TaggedSymbol::Call(s));
+    }
+    for &s in word.iter().rev() {
+        tagged.push(TaggedSymbol::Return(s));
+    }
+    NestedWord::from_tagged(&tagged)
+}
+
+/// Returns `Some(w)` if `n = path(w)` for some word `w`, i.e. `n` is a path
+/// word: a tree word in which every node has at most one child.
+pub fn unpath(n: &NestedWord) -> Option<Vec<Symbol>> {
+    if n.is_empty() {
+        return Some(Vec::new());
+    }
+    let len = n.len();
+    if len % 2 != 0 {
+        return None;
+    }
+    let half = len / 2;
+    let mut word = Vec::with_capacity(half);
+    for i in 0..half {
+        if n.kind(i) != PositionKind::Call {
+            return None;
+        }
+        // the call at depth i must match the return at the mirrored position
+        if n.return_successor(i) != Some(len - 1 - i) {
+            return None;
+        }
+        if n.symbol(i) != n.symbol(len - 1 - i) {
+            return None;
+        }
+        word.push(n.symbol(i));
+    }
+    Some(word)
+}
+
+/// Returns `true` if `n` is a path word (`n = path(w)` for some `w`).
+pub fn is_path_word(n: &NestedWord) -> bool {
+    unpath(n).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::tagged::{display_nested_word, parse_nested_word};
+    use crate::tree::is_tree_word;
+
+    #[test]
+    fn path_of_empty_word() {
+        let n = path(&[]);
+        assert!(n.is_empty());
+        assert_eq!(unpath(&n), Some(vec![]));
+    }
+
+    #[test]
+    fn path_structure_matches_paper() {
+        let ab = Alphabet::ab();
+        let a = ab.lookup("a").unwrap();
+        let b = ab.lookup("b").unwrap();
+        let n = path(&[a, b, a]);
+        assert_eq!(display_nested_word(&n, &ab), "<a <b <a a> b> a>");
+        assert!(n.is_rooted());
+        assert!(is_tree_word(&n));
+        assert_eq!(n.depth(), 3);
+        assert_eq!(n.len(), 6);
+    }
+
+    #[test]
+    fn unpath_inverts_path() {
+        let ab = Alphabet::with_size(4);
+        let word: Vec<_> = ab.symbols().collect();
+        assert_eq!(unpath(&path(&word)), Some(word));
+    }
+
+    #[test]
+    fn non_path_words_rejected() {
+        let mut ab = Alphabet::ab();
+        // a tree word but not unary
+        let n = parse_nested_word("<a <a a> <b b> a>", &mut ab).unwrap();
+        assert!(!is_path_word(&n));
+        // odd length
+        let n = parse_nested_word("<a a a>", &mut ab).unwrap();
+        assert!(!is_path_word(&n));
+        // mismatched labels in the mirror
+        let n = parse_nested_word("<a <b a> b>", &mut ab).unwrap();
+        assert!(!is_path_word(&n));
+        // flat word
+        let n = parse_nested_word("a a", &mut ab).unwrap();
+        assert!(!is_path_word(&n));
+    }
+
+    #[test]
+    fn path_depth_equals_word_length() {
+        let ab = Alphabet::ab();
+        let a = ab.lookup("a").unwrap();
+        for len in 0..20 {
+            let w = vec![a; len];
+            assert_eq!(path(&w).depth(), len);
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Ordered trees and their encoding as tree words (§2.3 of the paper).
+//!
+//! An ordered tree over Σ is either empty or a root labelled `a ∈ Σ` with an
+//! ordered sequence of non-empty subtrees. The transformation `t_w` encodes a
+//! tree as a word over the tagged alphabet by emitting `⟨a`, the encodings of
+//! the children in order, then `a⟩`; `t_nw = w_nw ∘ t_w` gives the nested
+//! word. A nested word is a *tree word* when it is rooted, has no internal
+//! positions and every matched call/return pair carries the same label;
+//! `nw_t` inverts `t_nw` on tree words.
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::error::NestedWordError;
+use crate::tagged::{TaggedSymbol, TaggedWord};
+use crate::word::{NestedWord, PositionKind};
+
+/// An ordered, unranked tree over Σ (§2.3). The `Empty` variant is the empty
+/// tree ε; children of a `Node` are required (by construction functions) to
+/// be non-empty.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OrderedTree {
+    /// The empty tree ε.
+    Empty,
+    /// A node labelled with a symbol, carrying an ordered list of children.
+    Node {
+        /// Root label.
+        label: Symbol,
+        /// Ordered, non-empty children.
+        children: Vec<OrderedTree>,
+    },
+}
+
+impl OrderedTree {
+    /// A leaf labelled `label` (a node with no children).
+    pub fn leaf(label: Symbol) -> Self {
+        OrderedTree::Node {
+            label,
+            children: Vec::new(),
+        }
+    }
+
+    /// A node labelled `label` with the given children; empty children are
+    /// silently dropped, matching the paper's requirement that every child of
+    /// a node is a non-empty tree.
+    pub fn node(label: Symbol, children: Vec<OrderedTree>) -> Self {
+        OrderedTree::Node {
+            label,
+            children: children
+                .into_iter()
+                .filter(|c| !matches!(c, OrderedTree::Empty))
+                .collect(),
+        }
+    }
+
+    /// Returns `true` for the empty tree ε.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, OrderedTree::Empty)
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        match self {
+            OrderedTree::Empty => 0,
+            OrderedTree::Node { children, .. } => {
+                1 + children.iter().map(OrderedTree::node_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// Height of the tree: 0 for the empty tree, 1 for a leaf.
+    pub fn height(&self) -> usize {
+        match self {
+            OrderedTree::Empty => 0,
+            OrderedTree::Node { children, .. } => {
+                1 + children.iter().map(OrderedTree::height).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Returns `true` if every node has at most two children.
+    pub fn is_binary(&self) -> bool {
+        match self {
+            OrderedTree::Empty => true,
+            OrderedTree::Node { children, .. } => {
+                children.len() <= 2 && children.iter().all(OrderedTree::is_binary)
+            }
+        }
+    }
+
+    /// The `t_w` transformation (§2.3): encodes the tree as a tagged word by
+    /// the combined top-down/bottom-up traversal (call on entry, return on
+    /// exit).
+    pub fn to_tagged(&self) -> TaggedWord {
+        let mut out = Vec::with_capacity(2 * self.node_count());
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut TaggedWord) {
+        match self {
+            OrderedTree::Empty => {}
+            OrderedTree::Node { label, children } => {
+                out.push(TaggedSymbol::Call(*label));
+                for c in children {
+                    c.encode_into(out);
+                }
+                out.push(TaggedSymbol::Return(*label));
+            }
+        }
+    }
+
+    /// The `t_nw` transformation (§2.3): encodes the tree as a nested word.
+    pub fn to_nested_word(&self) -> NestedWord {
+        NestedWord::from_tagged(&self.to_tagged())
+    }
+
+    /// The `nw_t` transformation (§2.3): decodes a tree word back into the
+    /// ordered tree it encodes. Fails if `n` is not a tree word.
+    pub fn from_nested_word(n: &NestedWord) -> Result<OrderedTree, NestedWordError> {
+        if n.is_empty() {
+            return Ok(OrderedTree::Empty);
+        }
+        check_tree_word(n)?;
+        Ok(decode_range(n, 0, n.len()))
+    }
+
+    /// Labels of the frontier (leaves) in left-to-right order.
+    pub fn frontier(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.frontier_into(&mut out);
+        out
+    }
+
+    fn frontier_into(&self, out: &mut Vec<Symbol>) {
+        match self {
+            OrderedTree::Empty => {}
+            OrderedTree::Node { label, children } => {
+                if children.is_empty() {
+                    out.push(*label);
+                } else {
+                    for c in children {
+                        c.frontier_into(out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Renders the tree in the paper's functional syntax `a(b(),c())`.
+    pub fn display(&self, alphabet: &Alphabet) -> String {
+        match self {
+            OrderedTree::Empty => "ε".to_string(),
+            OrderedTree::Node { label, children } => {
+                let name = alphabet.name(*label).unwrap_or("?");
+                let inner = children
+                    .iter()
+                    .map(|c| c.display(alphabet))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!("{name}({inner})")
+            }
+        }
+    }
+}
+
+/// Checks whether a nested word is a *tree word* (§2.3): rooted, without
+/// internal positions, and with matching call/return labels.
+pub fn is_tree_word(n: &NestedWord) -> bool {
+    check_tree_word(n).is_ok()
+}
+
+fn check_tree_word(n: &NestedWord) -> Result<(), NestedWordError> {
+    if n.is_empty() {
+        return Err(NestedWordError::NotATreeWord {
+            reason: "empty word is not rooted".into(),
+        });
+    }
+    if !n.is_rooted() {
+        return Err(NestedWordError::NotATreeWord {
+            reason: "word is not rooted".into(),
+        });
+    }
+    for i in 0..n.len() {
+        match n.kind(i) {
+            PositionKind::Internal => {
+                return Err(NestedWordError::NotATreeWord {
+                    reason: format!("internal position at {i}"),
+                })
+            }
+            PositionKind::Call => {
+                let j = n.return_successor(i).ok_or(NestedWordError::NotATreeWord {
+                    reason: format!("pending call at {i}"),
+                })?;
+                if n.symbol(i) != n.symbol(j) {
+                    return Err(NestedWordError::NotATreeWord {
+                        reason: format!("call at {i} and return at {j} carry different labels"),
+                    });
+                }
+            }
+            PositionKind::Return => {
+                if n.call_predecessor(i).is_none() {
+                    return Err(NestedWordError::NotATreeWord {
+                        reason: format!("pending return at {i}"),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decodes the tree encoded by positions `start..end` of a tree word, where
+/// `start` is a call whose return-successor is `end - 1`.
+fn decode_range(n: &NestedWord, start: usize, end: usize) -> OrderedTree {
+    debug_assert_eq!(n.return_successor(start), Some(end - 1));
+    let label = n.symbol(start);
+    let mut children = Vec::new();
+    let mut i = start + 1;
+    while i < end - 1 {
+        let j = n.return_successor(i).expect("tree word call is matched");
+        children.push(decode_range(n, i, j + 1));
+        i = j + 1;
+    }
+    OrderedTree::Node { label, children }
+}
+
+/// Decodes a sequence of sibling trees (a forest) from a well-matched nested
+/// word that contains no internals and has matching labels on every edge.
+/// Unlike [`OrderedTree::from_nested_word`], the word need not be rooted.
+pub fn forest_from_nested_word(n: &NestedWord) -> Result<Vec<OrderedTree>, NestedWordError> {
+    if !n.is_well_matched() {
+        return Err(NestedWordError::NotWellMatched);
+    }
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n.len() {
+        match n.kind(i) {
+            PositionKind::Call => {
+                let j = n.return_successor(i).expect("well-matched call");
+                if n.symbol(i) != n.symbol(j) {
+                    return Err(NestedWordError::NotATreeWord {
+                        reason: format!("call at {i} and return at {j} carry different labels"),
+                    });
+                }
+                // Validate the subtree recursively by decoding it.
+                let sub_tagged: TaggedWord = (i..=j)
+                    .map(|p| TaggedSymbol::new(n.kind(p), n.symbol(p)))
+                    .collect();
+                let sub = NestedWord::from_tagged(&sub_tagged);
+                out.push(OrderedTree::from_nested_word(&sub)?);
+                i = j + 1;
+            }
+            _ => {
+                return Err(NestedWordError::NotATreeWord {
+                    reason: format!("unexpected {:?} position at {i} at forest top level", n.kind(i)),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::tagged::parse_nested_word;
+
+    fn ab() -> (Alphabet, Symbol, Symbol) {
+        let ab = Alphabet::ab();
+        let a = ab.lookup("a").unwrap();
+        let b = ab.lookup("b").unwrap();
+        (ab, a, b)
+    }
+
+    #[test]
+    fn figure1_tree_roundtrip() {
+        // n3 = <a <a a> <b b> a>  is the tree a(a(), b())
+        let (mut alphabet, a, b) = ab();
+        let tree = OrderedTree::node(a, vec![OrderedTree::leaf(a), OrderedTree::leaf(b)]);
+        let n = tree.to_nested_word();
+        let expected = parse_nested_word("<a <a a> <b b> a>", &mut alphabet).unwrap();
+        assert_eq!(n, expected);
+        let back = OrderedTree::from_nested_word(&n).unwrap();
+        assert_eq!(back, tree);
+        assert_eq!(tree.display(&alphabet), "a(a(),b())");
+    }
+
+    #[test]
+    fn empty_tree_encodes_to_empty_word() {
+        let t = OrderedTree::Empty;
+        assert!(t.to_nested_word().is_empty());
+        assert_eq!(
+            OrderedTree::from_nested_word(&NestedWord::empty()).unwrap(),
+            OrderedTree::Empty
+        );
+    }
+
+    #[test]
+    fn node_count_and_height() {
+        let (_, a, b) = ab();
+        let t = OrderedTree::node(
+            a,
+            vec![
+                OrderedTree::node(b, vec![OrderedTree::leaf(a)]),
+                OrderedTree::leaf(b),
+            ],
+        );
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.height(), 3);
+        assert!(t.is_binary());
+        assert_eq!(t.to_nested_word().len(), 8); // every node visited twice
+        assert_eq!(t.to_nested_word().depth(), t.height());
+    }
+
+    #[test]
+    fn unranked_trees_supported() {
+        let (_, a, b) = ab();
+        let t = OrderedTree::node(a, (0..5).map(|_| OrderedTree::leaf(b)).collect());
+        assert!(!t.is_binary());
+        let n = t.to_nested_word();
+        assert!(is_tree_word(&n));
+        assert_eq!(OrderedTree::from_nested_word(&n).unwrap(), t);
+    }
+
+    #[test]
+    fn tree_word_conditions_enforced() {
+        let mut alphabet = Alphabet::ab();
+        // not rooted
+        let n = parse_nested_word("<a a> <b b>", &mut alphabet).unwrap();
+        assert!(!is_tree_word(&n));
+        // internal position
+        let n = parse_nested_word("<a b a>", &mut alphabet).unwrap();
+        assert!(!is_tree_word(&n));
+        // mismatched labels
+        let n = parse_nested_word("<a b>", &mut alphabet).unwrap();
+        assert!(!is_tree_word(&n));
+        // a genuine tree word
+        let n = parse_nested_word("<a <b b> a>", &mut alphabet).unwrap();
+        assert!(is_tree_word(&n));
+    }
+
+    #[test]
+    fn from_nested_word_rejects_non_tree_words() {
+        let mut alphabet = Alphabet::ab();
+        let n = parse_nested_word("<a b a>", &mut alphabet).unwrap();
+        let err = OrderedTree::from_nested_word(&n).unwrap_err();
+        assert!(matches!(err, NestedWordError::NotATreeWord { .. }));
+    }
+
+    #[test]
+    fn forest_decoding() {
+        let mut alphabet = Alphabet::ab();
+        let n = parse_nested_word("<a a> <b <a a> b>", &mut alphabet).unwrap();
+        let forest = forest_from_nested_word(&n).unwrap();
+        assert_eq!(forest.len(), 2);
+        assert_eq!(forest[0].node_count(), 1);
+        assert_eq!(forest[1].node_count(), 2);
+    }
+
+    #[test]
+    fn forest_rejects_pending_edges() {
+        let mut alphabet = Alphabet::ab();
+        let n = parse_nested_word("<a a> <b", &mut alphabet).unwrap();
+        assert!(forest_from_nested_word(&n).is_err());
+    }
+
+    #[test]
+    fn frontier_in_left_to_right_order() {
+        let (_, a, b) = ab();
+        let t = OrderedTree::node(
+            a,
+            vec![
+                OrderedTree::leaf(a),
+                OrderedTree::node(b, vec![OrderedTree::leaf(b), OrderedTree::leaf(a)]),
+            ],
+        );
+        assert_eq!(t.frontier(), vec![a, b, a]);
+    }
+
+    #[test]
+    fn empty_children_are_dropped() {
+        let (_, a, _) = ab();
+        let t = OrderedTree::node(a, vec![OrderedTree::Empty, OrderedTree::leaf(a)]);
+        assert_eq!(t.node_count(), 2);
+    }
+}

@@ -1,0 +1,381 @@
+//! Nested words (§2.1 of the paper).
+
+use crate::alphabet::Symbol;
+use crate::error::NestedWordError;
+use crate::matching::{Edge, MatchingRelation};
+use crate::tagged::{TaggedSymbol, TaggedWord};
+
+/// The kind of a position in a nested word: call, internal, or return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PositionKind {
+    /// A call position (start of a hierarchical edge).
+    Call,
+    /// An internal position (no hierarchical edge).
+    Internal,
+    /// A return position (end of a hierarchical edge).
+    Return,
+}
+
+/// A nested word: a linear sequence of symbols together with a matching
+/// relation adding non-crossing hierarchical edges (§2.1).
+///
+/// Positions are 0-based. A nested word with an empty matching relation is an
+/// ordinary word; tree words (see [`crate::tree`]) encode ordered trees.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NestedWord {
+    symbols: Vec<Symbol>,
+    matching: MatchingRelation,
+}
+
+impl NestedWord {
+    /// The empty nested word.
+    pub fn empty() -> Self {
+        NestedWord {
+            symbols: Vec::new(),
+            matching: MatchingRelation::empty(0),
+        }
+    }
+
+    /// Creates a nested word from a symbol sequence and a matching relation.
+    ///
+    /// Fails with [`NestedWordError::LengthMismatch`] if the lengths differ.
+    pub fn new(symbols: Vec<Symbol>, matching: MatchingRelation) -> Result<Self, NestedWordError> {
+        if symbols.len() != matching.len() {
+            return Err(NestedWordError::LengthMismatch {
+                symbols: symbols.len(),
+                matching: matching.len(),
+            });
+        }
+        Ok(NestedWord { symbols, matching })
+    }
+
+    /// Creates a nested word from a symbol sequence and an explicit edge set.
+    pub fn from_edges(
+        symbols: Vec<Symbol>,
+        edges: &[Edge],
+    ) -> Result<Self, NestedWordError> {
+        let matching = MatchingRelation::from_edges(symbols.len(), edges)?;
+        Ok(NestedWord { symbols, matching })
+    }
+
+    /// Creates a flat nested word (empty matching relation) from a plain word
+    /// over Σ. This is `w_nw(w)` for an untagged word (§2.2).
+    pub fn flat(symbols: Vec<Symbol>) -> Self {
+        let len = symbols.len();
+        NestedWord {
+            symbols,
+            matching: MatchingRelation::empty(len),
+        }
+    }
+
+    /// Creates a nested word from a tagged word (the `w_nw` bijection, §2.2).
+    ///
+    /// This is total: every tagged word corresponds to exactly one nested
+    /// word, with unmatched calls and returns becoming pending edges.
+    pub fn from_tagged(tagged: &[TaggedSymbol]) -> Self {
+        let mut symbols = Vec::with_capacity(tagged.len());
+        let mut kinds = Vec::with_capacity(tagged.len());
+        for t in tagged {
+            symbols.push(t.symbol());
+            kinds.push(t.kind());
+        }
+        NestedWord {
+            symbols,
+            matching: MatchingRelation::from_kinds(&kinds),
+        }
+    }
+
+    /// Converts the nested word to its tagged-word encoding (the `nw_w`
+    /// bijection, §2.2).
+    pub fn to_tagged(&self) -> TaggedWord {
+        (0..self.len())
+            .map(|i| TaggedSymbol::new(self.kind(i), self.symbol(i)))
+            .collect()
+    }
+
+    /// Length of the nested word (number of linear positions).
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Returns `true` for the empty nested word.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// The symbol labelling position `i`.
+    pub fn symbol(&self, i: usize) -> Symbol {
+        self.symbols[i]
+    }
+
+    /// All symbols in linear order.
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.symbols
+    }
+
+    /// The kind of position `i` (call, internal, return).
+    pub fn kind(&self, i: usize) -> PositionKind {
+        self.matching.kind(i)
+    }
+
+    /// The underlying matching relation.
+    pub fn matching(&self) -> &MatchingRelation {
+        &self.matching
+    }
+
+    /// For a matched call `i`, its return-successor.
+    pub fn return_successor(&self, i: usize) -> Option<usize> {
+        self.matching.return_successor(i)
+    }
+
+    /// For a matched return `i`, its call-predecessor.
+    pub fn call_predecessor(&self, i: usize) -> Option<usize> {
+        self.matching.call_predecessor(i)
+    }
+
+    /// Returns `true` if position `i` is a pending call (`i ; +∞`).
+    pub fn is_pending_call(&self, i: usize) -> bool {
+        self.matching.is_pending_call(i)
+    }
+
+    /// Returns `true` if position `i` is a pending return (`−∞ ; i`).
+    pub fn is_pending_return(&self, i: usize) -> bool {
+        self.matching.is_pending_return(i)
+    }
+
+    /// Returns `true` if the nested word is well-matched: no pending calls
+    /// and no pending returns (§2.1).
+    pub fn is_well_matched(&self) -> bool {
+        self.matching.is_well_matched()
+    }
+
+    /// Returns `true` if the nested word is rooted: its first position is a
+    /// call matched to its last position (`1 ; ℓ` in the paper's 1-based
+    /// notation). Rooted words are always well-matched.
+    pub fn is_rooted(&self) -> bool {
+        !self.is_empty() && self.return_successor(0) == Some(self.len() - 1)
+    }
+
+    /// The nesting depth of the word (§2.1).
+    pub fn depth(&self) -> usize {
+        self.matching.depth()
+    }
+
+    /// The call-parent of position `i` (§2.1): `None` if `i` is at top
+    /// level, otherwise the smallest call position whose return-successor is
+    /// after `i`. (The paper assigns top-level positions the call-parent 0
+    /// with 1-based positions; here top level is `None`.)
+    pub fn call_parent(&self, i: usize) -> Option<usize> {
+        // Walk the paper's inductive definition: the call-parent of position
+        // 0 is top-level; moving right, a call pushes, a matched return pops
+        // to the call-parent of its call-predecessor, a pending return resets
+        // to top level.
+        let mut parent: Option<usize> = None;
+        for j in 0..=i {
+            if j == 0 {
+                parent = None;
+                continue;
+            }
+            let prev = j - 1;
+            match self.kind(prev) {
+                PositionKind::Call => parent = Some(prev),
+                PositionKind::Internal => {}
+                PositionKind::Return => match self.call_predecessor(prev) {
+                    None => parent = None,
+                    Some(c) => parent = self.call_parent_fast(c),
+                },
+            }
+        }
+        parent
+    }
+
+    /// Computes call-parents for every position in a single left-to-right
+    /// pass, returning a vector indexed by position.
+    pub fn call_parents(&self) -> Vec<Option<usize>> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut stack: Vec<usize> = Vec::new();
+        for i in 0..self.len() {
+            out.push(stack.last().copied());
+            match self.kind(i) {
+                PositionKind::Call => stack.push(i),
+                PositionKind::Internal => {}
+                PositionKind::Return => {
+                    if self.call_predecessor(i).is_some() {
+                        stack.pop();
+                    } else {
+                        stack.clear();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn call_parent_fast(&self, i: usize) -> Option<usize> {
+        self.call_parents().get(i).copied().flatten()
+    }
+
+    /// Iterates over positions as `(kind, symbol)` pairs.
+    pub fn positions(&self) -> impl Iterator<Item = (PositionKind, Symbol)> + '_ {
+        (0..self.len()).map(|i| (self.kind(i), self.symbol(i)))
+    }
+
+    /// Counts the occurrences of `s` among the labels of the word.
+    pub fn count_symbol(&self, s: Symbol) -> usize {
+        self.symbols.iter().filter(|&&x| x == s).count()
+    }
+
+    /// Returns the number of call, internal and return positions.
+    pub fn kind_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for i in 0..self.len() {
+            match self.kind(i) {
+                PositionKind::Call => c.0 += 1,
+                PositionKind::Internal => c.1 += 1,
+                PositionKind::Return => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+impl Default for NestedWord {
+    fn default() -> Self {
+        NestedWord::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::tagged::parse_tagged;
+
+    fn nw(text: &str) -> (NestedWord, Alphabet) {
+        let mut ab = Alphabet::ab();
+        let t = parse_tagged(text, &mut ab).unwrap();
+        (NestedWord::from_tagged(&t), ab)
+    }
+
+    #[test]
+    fn empty_word() {
+        let w = NestedWord::empty();
+        assert!(w.is_empty());
+        assert!(w.is_well_matched());
+        assert!(!w.is_rooted());
+        assert_eq!(w.depth(), 0);
+    }
+
+    #[test]
+    fn paper_figure1_n1() {
+        // n1 = <a <b a a> <b a b> a> <a b a a>   (length 12, depth 2, well-matched)
+        let (w, _) = nw("<a <b a a> <b a b> a> <a b a a>");
+        assert_eq!(w.len(), 12);
+        assert_eq!(w.depth(), 2);
+        assert!(w.is_well_matched());
+        assert!(!w.is_rooted());
+    }
+
+    #[test]
+    fn paper_figure1_n2() {
+        // n2 = a a> <b a a> <a <a : one unmatched return, two unmatched calls
+        let (w, _) = nw("a a> <b a a> <a <a");
+        assert!(!w.is_well_matched());
+        assert!(w.is_pending_return(1));
+        assert!(w.is_pending_call(5));
+        assert!(w.is_pending_call(6));
+        assert_eq!(w.return_successor(2), Some(4));
+    }
+
+    #[test]
+    fn paper_figure1_n3_is_rooted() {
+        // n3 = <a <a a> <b b> a>  — the tree a(a(), b())
+        let (w, _) = nw("<a <a a> <b b> a>");
+        assert!(w.is_rooted());
+        assert!(w.is_well_matched());
+        assert_eq!(w.depth(), 2);
+    }
+
+    #[test]
+    fn rooted_implies_well_matched() {
+        let (w, _) = nw("<a <b b> a>");
+        assert!(w.is_rooted());
+        assert!(w.is_well_matched());
+    }
+
+    #[test]
+    fn flat_word_has_no_hierarchy() {
+        let w = NestedWord::flat(vec![Symbol(0), Symbol(1), Symbol(0)]);
+        assert_eq!(w.len(), 3);
+        assert!(w.is_well_matched());
+        assert_eq!(w.depth(), 0);
+        assert_eq!(w.kind(1), PositionKind::Internal);
+    }
+
+    #[test]
+    fn tagged_roundtrip() {
+        let (w, _) = nw("<a a a> <b <a a> b> a");
+        let t = w.to_tagged();
+        let w2 = NestedWord::from_tagged(&t);
+        assert_eq!(w, w2);
+    }
+
+    #[test]
+    fn call_parents_single_pass_matches_definition() {
+        let (w, _) = nw("<a <b a a> <b a b> a> <a b a a>");
+        let parents = w.call_parents();
+        for i in 0..w.len() {
+            assert_eq!(parents[i], w.call_parent(i), "position {i}");
+        }
+        // position 2 ('a' inside <b ...) has call-parent 1
+        assert_eq!(parents[2], Some(1));
+        // position 0 is top level
+        assert_eq!(parents[0], None);
+        // position 9 (first position after a>) is top level... position 9 is
+        // inside the second top-level block <a b a a>, whose call is at 8.
+        assert_eq!(parents[9], Some(8));
+    }
+
+    #[test]
+    fn call_parent_after_pending_return_is_top_level() {
+        let (w, _) = nw("<a a> b> a");
+        // position 2 is a pending return; position 3 is top level
+        assert!(w.is_pending_return(2));
+        assert_eq!(w.call_parent(3), None);
+    }
+
+    #[test]
+    fn kind_counts_and_symbol_counts() {
+        let (w, ab) = nw("<a b a> <b b>");
+        let (c, i, r) = w.kind_counts();
+        assert_eq!((c, i, r), (2, 1, 2));
+        let a = ab.lookup("a").unwrap();
+        let b = ab.lookup("b").unwrap();
+        assert_eq!(w.count_symbol(a), 2);
+        assert_eq!(w.count_symbol(b), 3);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let m = MatchingRelation::empty(2);
+        let err = NestedWord::new(vec![Symbol(0)], m).unwrap_err();
+        assert!(matches!(err, NestedWordError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn number_of_matching_relations_is_three_per_position() {
+        // §2.2: there are exactly 3^ℓ distinct matching relations of length ℓ.
+        // Check exhaustively for ℓ = 3 by enumerating kind sequences.
+        use PositionKind::*;
+        let kinds = [Call, Internal, Return];
+        let mut distinct = std::collections::HashSet::new();
+        for a in kinds {
+            for b in kinds {
+                for c in kinds {
+                    distinct.insert(MatchingRelation::from_kinds(&[a, b, c]));
+                }
+            }
+        }
+        assert_eq!(distinct.len(), 27);
+    }
+}

@@ -1,0 +1,437 @@
+//! Pushdown nested word automata: model and membership (§4.1, §4.3).
+
+use nested_words::{NestedWord, PositionKind, Symbol};
+use std::collections::BTreeSet;
+
+/// Mode of a PNWA state: linear (word-automaton-like) or hierarchical
+/// (top-down-tree-automaton-like). See §4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PnwaMode {
+    /// A linear state (Ql).
+    Linear,
+    /// A hierarchical state (Qh).
+    Hierarchical,
+}
+
+/// A configuration: a state together with a stack (top first). The bottom
+/// symbol ⊥ is stack symbol `0`.
+pub type Config = (usize, Vec<usize>);
+
+/// A pushdown nested word automaton (§4.1): a nondeterministic joinless NWA
+/// whose ε-moves push and pop a stack; acceptance is by empty stack in the
+/// end configuration and in every leaf configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Pnwa {
+    num_states: usize,
+    sigma: usize,
+    num_stack_symbols: usize,
+    linear: Vec<bool>,
+    initial: BTreeSet<usize>,
+    /// Call transitions `(q, a, q_linear, q_hier)`.
+    calls: Vec<(usize, Symbol, usize, usize)>,
+    /// Internal transitions `(q, a, q')`.
+    internals: Vec<(usize, Symbol, usize)>,
+    /// Return transitions `(q, a, q')` (joinless: a single source state).
+    returns: Vec<(usize, Symbol, usize)>,
+    /// Push transitions `(q, q', γ)` with `γ ≠ ⊥`.
+    pushes: Vec<(usize, usize, usize)>,
+    /// Pop transitions `(q, γ, q')`.
+    pops: Vec<(usize, usize, usize)>,
+}
+
+/// The bottom-of-stack symbol ⊥.
+pub const BOTTOM: usize = 0;
+
+impl Pnwa {
+    /// Creates a PNWA with `num_states` states (all linear by default), an
+    /// alphabet of `sigma` symbols and `num_stack_symbols` stack symbols
+    /// (symbol 0 is ⊥).
+    pub fn new(num_states: usize, sigma: usize, num_stack_symbols: usize) -> Self {
+        assert!(num_stack_symbols >= 1, "need at least the bottom symbol");
+        Pnwa {
+            num_states,
+            sigma,
+            num_stack_symbols,
+            linear: vec![true; num_states],
+            ..Default::default()
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Alphabet size.
+    pub fn sigma(&self) -> usize {
+        self.sigma
+    }
+
+    /// Number of stack symbols (including ⊥).
+    pub fn num_stack_symbols(&self) -> usize {
+        self.num_stack_symbols
+    }
+
+    /// Sets the mode of a state.
+    pub fn set_mode(&mut self, q: usize, mode: PnwaMode) {
+        self.linear[q] = mode == PnwaMode::Linear;
+    }
+
+    /// Returns `true` if `q` is a linear state.
+    pub fn is_linear(&self, q: usize) -> bool {
+        self.linear[q]
+    }
+
+    /// Marks a state as initial.
+    pub fn add_initial(&mut self, q: usize) {
+        self.initial.insert(q);
+    }
+
+    /// The initial states.
+    pub fn initial_states(&self) -> impl Iterator<Item = usize> + '_ {
+        self.initial.iter().copied()
+    }
+
+    /// Adds a call transition.
+    pub fn add_call(&mut self, q: usize, a: Symbol, linear_succ: usize, hier: usize) {
+        self.calls.push((q, a, linear_succ, hier));
+    }
+
+    /// Adds an internal transition.
+    pub fn add_internal(&mut self, q: usize, a: Symbol, target: usize) {
+        self.internals.push((q, a, target));
+    }
+
+    /// Adds a return transition.
+    pub fn add_return(&mut self, q: usize, a: Symbol, target: usize) {
+        self.returns.push((q, a, target));
+    }
+
+    /// Adds a push ε-transition `q → q'` pushing `γ` (`γ ≠ ⊥`).
+    pub fn add_push(&mut self, q: usize, target: usize, gamma: usize) {
+        assert_ne!(gamma, BOTTOM, "⊥ cannot be pushed");
+        assert!(gamma < self.num_stack_symbols);
+        self.pushes.push((q, target, gamma));
+    }
+
+    /// Adds a pop ε-transition `q → q'` popping `γ`.
+    pub fn add_pop(&mut self, q: usize, gamma: usize, target: usize) {
+        assert!(gamma < self.num_stack_symbols);
+        self.pops.push((q, gamma, target));
+    }
+
+    /// Read access to the transition relations (used by the emptiness
+    /// procedure).
+    pub fn calls(&self) -> &[(usize, Symbol, usize, usize)] {
+        &self.calls
+    }
+    /// Internal transitions.
+    pub fn internals(&self) -> &[(usize, Symbol, usize)] {
+        &self.internals
+    }
+    /// Return transitions.
+    pub fn returns(&self) -> &[(usize, Symbol, usize)] {
+        &self.returns
+    }
+    /// Push transitions.
+    pub fn pushes(&self) -> &[(usize, usize, usize)] {
+        &self.pushes
+    }
+    /// Pop transitions.
+    pub fn pops(&self) -> &[(usize, usize, usize)] {
+        &self.pops
+    }
+
+    /// ε-closure of a set of configurations under push/pop moves, bounded by
+    /// `max_stack` stack symbols.
+    fn closure(&self, configs: &BTreeSet<Config>, max_stack: usize) -> BTreeSet<Config> {
+        let mut out = configs.clone();
+        let mut frontier: Vec<Config> = configs.iter().cloned().collect();
+        while let Some((q, stack)) = frontier.pop() {
+            for &(p, t, gamma) in &self.pushes {
+                if p == q && stack.len() < max_stack {
+                    let mut s2 = Vec::with_capacity(stack.len() + 1);
+                    s2.push(gamma);
+                    s2.extend_from_slice(&stack);
+                    let c = (t, s2);
+                    if out.insert(c.clone()) {
+                        frontier.push(c);
+                    }
+                }
+            }
+            if let Some((&top, rest)) = stack.split_first() {
+                for &(p, gamma, t) in &self.pops {
+                    if p == q && gamma == top {
+                        let c = (t, rest.to_vec());
+                        if out.insert(c.clone()) {
+                            frontier.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Membership test: does the automaton accept `word`?
+    ///
+    /// The search explores all runs whose stacks stay below `max_stack`
+    /// symbols; membership is NP-complete (Theorem 10), so the procedure is
+    /// worst-case exponential in the automaton, but the certificate bound of
+    /// the theorem means `max_stack = |word| + |Q| + 1` suffices for the
+    /// languages built in this crate.
+    pub fn accepts_bounded(&self, word: &NestedWord, max_stack: usize) -> bool {
+        let init: BTreeSet<Config> = self
+            .initial
+            .iter()
+            .map(|&q| (q, vec![BOTTOM]))
+            .collect();
+        let finals = self.eval(word, 0, word.len(), &self.closure(&init, max_stack), max_stack);
+        finals.iter().any(|(_, stack)| stack.is_empty())
+    }
+
+    /// Membership with the default stack bound `|word| + |Q| + 2`.
+    pub fn accepts(&self, word: &NestedWord) -> bool {
+        self.accepts_bounded(word, word.len() + self.num_states + 2)
+    }
+
+    /// Evaluates the segment `[lo, hi)` of the word from a set of (already
+    /// ε-closed) configurations, returning the ε-closed configurations at
+    /// `hi`. Leaf-configuration emptiness is enforced along the way.
+    fn eval(
+        &self,
+        word: &NestedWord,
+        lo: usize,
+        hi: usize,
+        start: &BTreeSet<Config>,
+        max_stack: usize,
+    ) -> BTreeSet<Config> {
+        let mut configs = start.clone();
+        let mut i = lo;
+        while i < hi {
+            if configs.is_empty() {
+                return configs;
+            }
+            let a = word.symbol(i);
+            let mut next: BTreeSet<Config> = BTreeSet::new();
+            match word.kind(i) {
+                PositionKind::Internal => {
+                    for (q, stack) in &configs {
+                        for &(p, sym, t) in &self.internals {
+                            if p == *q && sym == a {
+                                next.insert((t, stack.clone()));
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+                PositionKind::Call => match word.return_successor(i) {
+                    Some(r) if r < hi => {
+                        let ret_sym = word.symbol(r);
+                        for (q, stack) in &configs {
+                            for &(p, sym, ql, qh) in &self.calls {
+                                if p != *q || sym != a {
+                                    continue;
+                                }
+                                let body_start: BTreeSet<Config> = self.closure(
+                                    &BTreeSet::from([(ql, stack.clone())]),
+                                    max_stack,
+                                );
+                                let body_end = self.eval(word, i + 1, r, &body_start, max_stack);
+                                for (e, beta) in &body_end {
+                                    if self.linear[*e] {
+                                        // case (a): the hierarchical edge must
+                                        // carry an initial state and the run
+                                        // follows the linear configuration
+                                        if self.initial.contains(&qh) {
+                                            for &(rq, rsym, t) in &self.returns {
+                                                if rq == *e && rsym == ret_sym {
+                                                    next.insert((t, beta.clone()));
+                                                }
+                                            }
+                                        }
+                                    } else {
+                                        // case (b): the body end is a leaf
+                                        // configuration and must have an empty
+                                        // stack; the run continues from the
+                                        // hierarchical configuration (qh, stack)
+                                        if beta.is_empty() {
+                                            for &(rq, rsym, t) in &self.returns {
+                                                if rq == qh && rsym == ret_sym {
+                                                    next.insert((t, stack.clone()));
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        i = r + 1;
+                    }
+                    _ => {
+                        // pending call: only the linear successor continues
+                        for (q, stack) in &configs {
+                            for &(p, sym, ql, _qh) in &self.calls {
+                                if p == *q && sym == a {
+                                    next.insert((ql, stack.clone()));
+                                }
+                            }
+                        }
+                        i += 1;
+                    }
+                },
+                PositionKind::Return => {
+                    // pending return: the hierarchical edge carries the default
+                    // configuration (an initial state with ⊥)
+                    for (q, stack) in &configs {
+                        if self.linear[*q] {
+                            for &(rq, rsym, t) in &self.returns {
+                                if rq == *q && rsym == a {
+                                    next.insert((t, stack.clone()));
+                                }
+                            }
+                        } else if stack.is_empty() {
+                            // leaf configuration; continue from the default
+                            for &q0 in &self.initial {
+                                for &(rq, rsym, t) in &self.returns {
+                                    if rq == q0 && rsym == a {
+                                        next.insert((t, vec![BOTTOM]));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            configs = self.closure(&next, max_stack);
+        }
+        configs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nested_words::tagged::parse_nested_word;
+    use nested_words::Alphabet;
+
+    fn parse(ab: &mut Alphabet, s: &str) -> NestedWord {
+        parse_nested_word(s, ab).unwrap()
+    }
+
+    /// A PNWA accepting all nested words over {a,b} (one linear state that
+    /// pops ⊥ at will).
+    fn universal() -> Pnwa {
+        let mut p = Pnwa::new(1, 2, 1);
+        p.add_initial(0);
+        for s in [Symbol(0), Symbol(1)] {
+            p.add_internal(0, s, 0);
+            p.add_call(0, s, 0, 0);
+            p.add_return(0, s, 0);
+        }
+        p.add_pop(0, BOTTOM, 0);
+        p
+    }
+
+    #[test]
+    fn universal_automaton_accepts_everything() {
+        let mut ab = Alphabet::ab();
+        let p = universal();
+        for s in ["", "a b", "<a a>", "<a <b b> a>", "<a", "b>", "<a b> a"] {
+            let w = parse(&mut ab, s);
+            assert!(p.accepts(&w), "word `{s}`");
+        }
+    }
+
+    #[test]
+    fn empty_stack_acceptance_is_required() {
+        // same as universal but without the ⊥ pop: nothing is accepted
+        let mut p = Pnwa::new(1, 2, 1);
+        p.add_initial(0);
+        for s in [Symbol(0), Symbol(1)] {
+            p.add_internal(0, s, 0);
+        }
+        let mut ab = Alphabet::ab();
+        assert!(!p.accepts(&parse(&mut ab, "a")));
+        assert!(!p.accepts(&NestedWord::empty()));
+    }
+
+    /// A PNWA for the context-free word language { aⁿ bⁿ : n ≥ 0 } read as
+    /// internal positions (all states linear) — Lemma 4 in miniature.
+    fn anbn() -> Pnwa {
+        let a = Symbol(0);
+        let b = Symbol(1);
+        // states: 0 = reading a's, 1 = push pending, 2 = pop pending,
+        // 3 = reading b's, 4 = finished (no outgoing input transitions, so
+        // popping ⊥ prematurely cannot be followed by more input)
+        // stack: 1 = counter
+        let mut p = Pnwa::new(5, 2, 2);
+        p.add_initial(0);
+        // read a, then push a counter (ε), back to state 0
+        p.add_internal(0, a, 1);
+        p.add_push(1, 0, 1);
+        // switch to b's: read b, then pop a counter
+        p.add_internal(0, b, 2);
+        p.add_internal(3, b, 2);
+        p.add_pop(2, 1, 3);
+        // finish: pop ⊥ from states 0 (n = 0) or 3 into the final state
+        p.add_pop(0, BOTTOM, 4);
+        p.add_pop(3, BOTTOM, 4);
+        p
+    }
+
+    #[test]
+    fn context_free_word_language_anbn() {
+        let p = anbn();
+        let a = Symbol(0);
+        let b = Symbol(1);
+        for n in 0..6usize {
+            let mut syms = vec![a; n];
+            syms.extend(vec![b; n]);
+            let w = NestedWord::flat(syms);
+            assert!(p.accepts(&w), "n = {n}");
+        }
+        for (na, nb) in [(1usize, 0usize), (0, 1), (2, 3), (3, 2), (1, 2)] {
+            let mut syms = vec![a; na];
+            syms.extend(vec![b; nb]);
+            let w = NestedWord::flat(syms);
+            assert!(!p.accepts(&w), "a^{na} b^{nb}");
+        }
+        // out-of-order word rejected
+        let w = NestedWord::flat(vec![b, a]);
+        assert!(!p.accepts(&w));
+    }
+
+    #[test]
+    fn hierarchical_fork_duplicates_the_stack() {
+        let a = Symbol(0);
+        // Language: <a body a> where the body and the continuation are both
+        // empty; uses a hierarchical body state that must pop ⊥... simpler:
+        // the call forks the stack to the body (which must empty it) and to
+        // the continuation (which must also empty it) — demonstrating that
+        // one push can be consumed twice, the root cause of NP-hardness.
+        let mut p = Pnwa::new(3, 1, 2);
+        // state 0: linear start; state 1: hierarchical body; state 2: linear end
+        p.set_mode(1, PnwaMode::Hierarchical);
+        p.add_initial(0);
+        // push a token, then call: body must pop token and ⊥; continuation
+        // (state 2) must also pop token and ⊥.
+        p.add_push(0, 0, 1);
+        p.add_call(0, a, 1, 2);
+        p.add_pop(1, 1, 1);
+        p.add_pop(1, BOTTOM, 1);
+        p.add_return(2, a, 2);
+        p.add_pop(2, 1, 2);
+        p.add_pop(2, BOTTOM, 2);
+        let mut ab = Alphabet::from_names(["a"]);
+        // <a a>: body empty — the body-leaf configuration is (1, stack) and
+        // must be emptied by the body's ε-pops before the return.
+        let w = parse(&mut ab, "<a a>");
+        assert!(p.accepts(&w));
+        // without the body pops the word is rejected
+        let mut p2 = p.clone();
+        p2.pops.retain(|&(q, _, _)| q != 1);
+        assert!(!p2.accepts(&w));
+    }
+}

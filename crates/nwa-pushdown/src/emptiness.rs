@@ -1,0 +1,244 @@
+//! Emptiness for pushdown nested word automata (§4.4, Theorem 11).
+//!
+//! The procedure saturates summaries `R(q, U, q')`: there is a nested word
+//! and a run over it whose start configuration is `(q, ε)`, whose end
+//! configuration is `(q', ε)`, and whose leaf configurations carry states
+//! from `U` (with empty stacks). The rules below are exactly the paper's:
+//! internal / linear-call / linear-return base cases, hierarchical
+//! call-returns, the push–pop rule that matches a push with pops at the end
+//! and at every leaf, and linear / hierarchical concatenation. The language
+//! is non-empty iff `R(q₀, U, q_f)` holds for an initial `q₀`, some
+//! `U ⊆ F` and `q_f ∈ F`, where `F` is the set of states that can pop ⊥.
+
+use crate::automaton::{Pnwa, BOTTOM};
+use std::collections::BTreeSet;
+
+type Summary = (usize, BTreeSet<usize>, usize);
+
+/// Computes the full summary relation `R ⊆ Q × 2^{Qh} × Q` by saturation.
+/// Worst-case exponential in the number of hierarchical states, as Theorem
+/// 11 predicts (emptiness is EXPTIME-complete).
+pub fn summaries(a: &Pnwa) -> BTreeSet<Summary> {
+    let mut r: BTreeSet<Summary> = BTreeSet::new();
+
+    // Base rules.
+    for &(q, _sym, t) in a.internals() {
+        r.insert((q, BTreeSet::new(), t));
+    }
+    for &(q, _sym, ql, qh) in a.calls() {
+        if a.is_linear(q) {
+            // linear call: as a summary over a pending call only the linear
+            // successor matters (matched calls in linear mode arise from this
+            // rule concatenated with a linear return)
+            r.insert((q, BTreeSet::new(), ql));
+        }
+        if !a.is_linear(ql) {
+            // hierarchical call-return: the body becomes a leaf obligation
+            for &(rq, _rsym, t) in a.returns() {
+                if rq == qh {
+                    r.insert((q, BTreeSet::from([ql]), t));
+                }
+            }
+        }
+    }
+    for &(q, _sym, t) in a.returns() {
+        if a.is_linear(q) {
+            r.insert((q, BTreeSet::new(), t));
+        }
+    }
+
+    // Saturation.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let snapshot: Vec<Summary> = r.iter().cloned().collect();
+
+        // Push–pop rule.
+        for (q, u, q2) in &snapshot {
+            for &(q1, qpush, gamma) in a.pushes() {
+                if qpush != *q {
+                    continue;
+                }
+                for &(qpop, g2, q3) in a.pops() {
+                    if g2 != gamma || qpop != *q2 {
+                        continue;
+                    }
+                    // every leaf state must pop gamma; enumerate the possible
+                    // successor sets (exact but exponential in |U|)
+                    let options: Vec<Vec<usize>> = u
+                        .iter()
+                        .map(|&leaf| {
+                            a.pops()
+                                .iter()
+                                .filter(|&&(p, g, _)| p == leaf && g == gamma)
+                                .map(|&(_, _, t)| t)
+                                .collect::<Vec<usize>>()
+                        })
+                        .collect();
+                    if options.iter().any(|o| o.is_empty()) {
+                        continue;
+                    }
+                    for combo in cartesian(&options) {
+                        let u2: BTreeSet<usize> = combo.into_iter().collect();
+                        if r.insert((q1, u2, q3)) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Linear concatenation.
+        let snapshot: Vec<Summary> = r.iter().cloned().collect();
+        for (q, u, q1) in &snapshot {
+            for (q2, u2, q3) in &snapshot {
+                if q1 == q2 {
+                    let mut u3 = u.clone();
+                    u3.extend(u2.iter().copied());
+                    if r.insert((*q, u3, *q3)) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Hierarchical concatenation.
+        let snapshot: Vec<Summary> = r.iter().cloned().collect();
+        for (q, u, q1) in &snapshot {
+            for leaf in u.iter().copied().collect::<Vec<_>>() {
+                for (q2, u2, v) in &snapshot {
+                    if *q2 != leaf {
+                        continue;
+                    }
+                    let mut u3: BTreeSet<usize> = u.iter().copied().filter(|&x| x != leaf).collect();
+                    u3.extend(u2.iter().copied());
+                    u3.insert(*v);
+                    if r.insert((*q, u3, *q1)) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    r
+}
+
+fn cartesian(options: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut out: Vec<Vec<usize>> = vec![Vec::new()];
+    for opts in options {
+        let mut next = Vec::new();
+        for prefix in &out {
+            for &o in opts {
+                let mut p = prefix.clone();
+                p.push(o);
+                next.push(p);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// Emptiness check for pushdown nested word automata (Theorem 11).
+pub fn is_empty(a: &Pnwa) -> bool {
+    // F = states from which ⊥ can be popped
+    let final_states: BTreeSet<usize> = a
+        .pops()
+        .iter()
+        .filter(|&&(_, gamma, _)| gamma == BOTTOM)
+        .map(|&(q, _, _)| q)
+        .collect();
+    let r = summaries(a);
+    // also allow the trivial run over the empty word: R(q0, ∅, q0) implicitly
+    for q0 in a.initial_states() {
+        if final_states.contains(&q0) {
+            return false;
+        }
+    }
+    !r.iter().any(|(q, u, qf)| {
+        a.initial_states().any(|i| i == *q)
+            && final_states.contains(qf)
+            && u.iter().all(|x| final_states.contains(x))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::PnwaMode;
+    use nested_words::Symbol;
+
+    #[test]
+    fn automaton_without_bottom_pop_is_empty() {
+        let mut p = Pnwa::new(1, 1, 1);
+        p.add_initial(0);
+        p.add_internal(0, Symbol(0), 0);
+        assert!(is_empty(&p));
+    }
+
+    #[test]
+    fn automaton_accepting_empty_word_is_nonempty() {
+        let mut p = Pnwa::new(1, 1, 1);
+        p.add_initial(0);
+        p.add_pop(0, BOTTOM, 0);
+        assert!(!is_empty(&p));
+    }
+
+    #[test]
+    fn word_language_anbn_is_nonempty() {
+        let a = Symbol(0);
+        let b = Symbol(1);
+        let mut p = Pnwa::new(4, 2, 2);
+        p.add_initial(0);
+        p.add_internal(0, a, 1);
+        p.add_push(1, 0, 1);
+        p.add_internal(0, b, 2);
+        p.add_internal(3, b, 2);
+        p.add_pop(2, 1, 3);
+        p.add_pop(0, BOTTOM, 0);
+        p.add_pop(3, BOTTOM, 3);
+        assert!(!is_empty(&p));
+    }
+
+    #[test]
+    fn unmatchable_push_makes_language_empty() {
+        // the only way to reach the ⊥-popping state requires popping a
+        // symbol that is never pushed
+        let a = Symbol(0);
+        let mut p = Pnwa::new(3, 1, 3);
+        p.add_initial(0);
+        p.add_internal(0, a, 1);
+        p.add_pop(1, 2, 2); // stack symbol 2 is never pushed
+        p.add_pop(2, BOTTOM, 2);
+        assert!(is_empty(&p));
+        // pushing it first makes the language non-empty
+        p.add_push(0, 0, 2);
+        assert!(!is_empty(&p));
+    }
+
+    #[test]
+    fn hierarchical_leaf_obligations_are_checked() {
+        let a = Symbol(0);
+        // <a a> with a hierarchical body state that cannot pop ⊥: empty.
+        let mut p = Pnwa::new(3, 1, 2);
+        p.set_mode(1, PnwaMode::Hierarchical);
+        p.add_initial(0);
+        p.add_call(0, a, 1, 2);
+        p.add_return(2, a, 2);
+        p.add_pop(2, BOTTOM, 2);
+        assert!(is_empty(&p));
+        // allowing the body to pop ⊥ makes it non-empty
+        p.add_pop(1, BOTTOM, 1);
+        assert!(!is_empty(&p));
+    }
+
+    #[test]
+    fn summaries_contain_base_cases() {
+        let a = Symbol(0);
+        let mut p = Pnwa::new(2, 1, 1);
+        p.add_initial(0);
+        p.add_internal(0, a, 1);
+        let r = summaries(&p);
+        assert!(r.contains(&(0, BTreeSet::new(), 1)));
+    }
+}

@@ -1,0 +1,30 @@
+//! # nwa-pushdown
+//!
+//! Pushdown nested word automata (§4 of "Marrying Words and Trees",
+//! PODS 2007): nondeterministic joinless nested word automata extended with
+//! a stack, accepting by empty stack at the end of the word and at every
+//! leaf configuration.
+//!
+//! The crate provides
+//!
+//! * the automaton model and its run semantics ([`automaton`]),
+//! * membership checking (NP-complete, Theorem 10) including the reduction
+//!   from CNF satisfiability used in the hardness proof ([`membership`],
+//!   [`sat`]),
+//! * emptiness checking by saturation of summaries `R(q, U, q')`
+//!   (EXPTIME-complete, Theorem 11) ([`emptiness`]),
+//! * the expressiveness embeddings and separations of §4.2: context-free
+//!   word languages (Lemma 4), context-free tree languages (Lemma 5) and the
+//!   equal-count language of Theorem 9 that is a pushdown nested word
+//!   language but not a context-free tree language ([`separations`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod automaton;
+pub mod emptiness;
+pub mod sat;
+pub mod separations;
+
+pub use automaton::{Pnwa, PnwaMode};
+pub use emptiness::is_empty;

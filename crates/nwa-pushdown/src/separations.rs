@@ -1,0 +1,98 @@
+//! Expressiveness results of §4.2: pushdown nested word automata subsume
+//! both context-free word languages (Lemma 4) and context-free tree
+//! languages (Lemma 5), and are strictly more expressive than both
+//! (Theorem 9, Figure 2).
+
+use crate::automaton::{Pnwa, BOTTOM};
+use nested_words::{NestedWord, Symbol};
+
+const A: Symbol = Symbol(0);
+const B: Symbol = Symbol(1);
+
+/// The Theorem 9 separation language: nested words over {a, b} with equally
+/// many `a`-labelled and `b`-labelled positions (counting calls, internals
+/// and returns alike). A context-free *word* requirement that is **not** a
+/// context-free tree language — the paper's Figure 2 pumping argument.
+pub fn equal_count_member(n: &NestedWord) -> bool {
+    n.count_symbol(A) == n.count_symbol(B)
+}
+
+/// A pushdown NWA (all states linear, i.e. essentially a classical pushdown
+/// word automaton — Lemma 4) accepting the equal-count language of
+/// Theorem 9.
+pub fn equal_count_pnwa() -> Pnwa {
+    // stack symbols: 0 = ⊥, 1 = surplus of a, 2 = surplus of b
+    // states: 0 = ready to read, 1 = "just read a", 2 = "just read b",
+    // 3 = finished (popping ⊥ moves here; no input transitions leave it, so
+    // the stack cannot be emptied prematurely)
+    let mut p = Pnwa::new(4, 2, 3);
+    p.add_initial(0);
+    for (sym, state) in [(A, 1usize), (B, 2usize)] {
+        p.add_internal(0, sym, state);
+        p.add_call(0, sym, state, 0);
+        p.add_return(0, sym, state);
+    }
+    // after reading an a: either cancel a surplus b or push a surplus a
+    p.add_pop(1, 2, 0);
+    p.add_push(1, 0, 1);
+    // ...but pushing onto ⊥ must also be possible when no surplus exists;
+    // the push transition above is unconditional, which is exactly that.
+    // after reading a b: symmetrically
+    p.add_pop(2, 1, 0);
+    p.add_push(2, 0, 2);
+    // accept: balanced means only ⊥ remains
+    p.add_pop(0, BOTTOM, 3);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nested_words::generate::{random_nested_word, NestedWordConfig};
+    use nested_words::Alphabet;
+
+    #[test]
+    fn equal_count_pnwa_matches_predicate() {
+        let p = equal_count_pnwa();
+        let ab = Alphabet::ab();
+        let cfg = NestedWordConfig {
+            len: 12,
+            allow_pending: true,
+            ..Default::default()
+        };
+        for seed in 0..60 {
+            let w = random_nested_word(&ab, cfg, seed);
+            assert_eq!(
+                p.accepts(&w),
+                equal_count_member(&w),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn equal_count_pnwa_hand_picked() {
+        let p = equal_count_pnwa();
+        let mut ab = Alphabet::ab();
+        for (text, expect) in [
+            ("", true),
+            ("a b", true),
+            ("<a b>", true),
+            ("a a b", false),
+            ("<a <b a> b>", true),
+            ("<a <a a> a>", false),
+            ("b a a b b a", true),
+        ] {
+            let w = nested_words::tagged::parse_nested_word(text, &mut ab).unwrap();
+            assert_eq!(p.accepts(&w), expect, "word `{text}`");
+        }
+    }
+
+    #[test]
+    fn equal_count_is_not_count_of_positions() {
+        // sanity for the predicate itself
+        let mut ab = Alphabet::ab();
+        let w = nested_words::tagged::parse_nested_word("<a a> <b b>", &mut ab).unwrap();
+        assert!(equal_count_member(&w));
+    }
+}

@@ -1,0 +1,113 @@
+//! Synthetic document generator for the streaming experiments (E14, E15).
+
+use nested_words::{Alphabet, NestedWord, Symbol, TaggedSymbol};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the synthetic document generator.
+#[derive(Debug, Clone, Copy)]
+pub struct DocumentConfig {
+    /// Approximate number of SAX events (positions in the nested word).
+    pub events: usize,
+    /// Maximum element nesting depth.
+    pub max_depth: usize,
+    /// Number of distinct element tags.
+    pub tags: usize,
+    /// Number of distinct text tokens.
+    pub words: usize,
+}
+
+impl Default for DocumentConfig {
+    fn default() -> Self {
+        DocumentConfig {
+            events: 1_000,
+            max_depth: 16,
+            tags: 8,
+            words: 16,
+        }
+    }
+}
+
+/// Generates a well-formed synthetic document as `(alphabet, nested word)`:
+/// tags come first in the alphabet (`t0`, `t1`, …), then text tokens
+/// (`w0`, `w1`, …).
+pub fn generate_document(config: DocumentConfig, seed: u64) -> (Alphabet, NestedWord) {
+    let mut names: Vec<String> = (0..config.tags).map(|i| format!("t{i}")).collect();
+    names.extend((0..config.words).map(|i| format!("w{i}")));
+    let alphabet = Alphabet::from_names(names);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tagged = Vec::with_capacity(config.events + config.max_depth);
+    let mut stack: Vec<Symbol> = Vec::new();
+    for i in 0..config.events {
+        let remaining = config.events - i;
+        if stack.len() >= remaining {
+            let t = stack.pop().expect("non-empty stack");
+            tagged.push(TaggedSymbol::Return(t));
+            continue;
+        }
+        let roll: f64 = rng.gen();
+        if roll < 0.3 && stack.len() < config.max_depth && remaining > stack.len() + 1 {
+            let t = Symbol(rng.gen_range(0..config.tags as u16));
+            stack.push(t);
+            tagged.push(TaggedSymbol::Call(t));
+        } else if roll < 0.5 && !stack.is_empty() {
+            let t = stack.pop().expect("non-empty stack");
+            tagged.push(TaggedSymbol::Return(t));
+        } else {
+            let w = Symbol((config.tags + rng.gen_range(0..config.words)) as u16);
+            tagged.push(TaggedSymbol::Internal(w));
+        }
+    }
+    while let Some(t) = stack.pop() {
+        tagged.push(TaggedSymbol::Return(t));
+    }
+    (alphabet, NestedWord::from_tagged(&tagged))
+}
+
+/// Generates a deliberately deep document: a single chain of nested elements
+/// of the given depth with one text token inside each element.
+pub fn generate_deep_document(depth: usize, tags: usize) -> (Alphabet, NestedWord) {
+    let mut names: Vec<String> = (0..tags).map(|i| format!("t{i}")).collect();
+    names.push("text".to_string());
+    let alphabet = Alphabet::from_names(names);
+    let text = Symbol(tags as u16);
+    let mut tagged = Vec::with_capacity(3 * depth);
+    for d in 0..depth {
+        tagged.push(TaggedSymbol::Call(Symbol((d % tags) as u16)));
+        tagged.push(TaggedSymbol::Internal(text));
+    }
+    for d in (0..depth).rev() {
+        tagged.push(TaggedSymbol::Return(Symbol((d % tags) as u16)));
+    }
+    (alphabet, NestedWord::from_tagged(&tagged))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_documents_are_well_formed() {
+        for seed in 0..10 {
+            let (ab, doc) = generate_document(DocumentConfig::default(), seed);
+            assert!(doc.is_well_matched(), "seed {seed}");
+            assert!(doc.depth() <= 16);
+            assert!(doc.len() >= 1_000);
+            assert_eq!(ab.len(), 8 + 16);
+        }
+    }
+
+    #[test]
+    fn deep_documents_have_requested_depth() {
+        let (_, doc) = generate_deep_document(100, 4);
+        assert_eq!(doc.depth(), 100);
+        assert!(doc.is_rooted());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (_, d1) = generate_document(DocumentConfig::default(), 3);
+        let (_, d2) = generate_document(DocumentConfig::default(), 3);
+        assert_eq!(d1, d2);
+    }
+}

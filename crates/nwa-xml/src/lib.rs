@@ -1,0 +1,25 @@
+//! # nwa-xml
+//!
+//! The document-processing application layer of the reproduction of
+//! "Marrying Words and Trees" (PODS 2007). The paper's motivating example is
+//! SAX processing of XML: the document is already a linear stream of
+//! open-tags, text and close-tags, i.e. a tagged word, and can therefore be
+//! interpreted as a nested word *without any preprocessing* (§1).
+//!
+//! The crate provides
+//!
+//! * a SAX-style tokenizer from a lightweight XML-ish syntax to nested words
+//!   ([`sax`]),
+//! * a synthetic document generator with controllable size and depth
+//!   ([`generate`]),
+//! * document queries (patterns in document order, tag containment, depth
+//!   bounds) compiled to deterministic nested word automata and evaluated in
+//!   a streaming fashion with memory proportional to the document depth
+//!   ([`queries`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod queries;
+pub mod sax;

@@ -1,0 +1,176 @@
+//! Document queries compiled to deterministic nested word automata and
+//! evaluated in a streaming fashion.
+//!
+//! Two query families from the paper's motivation (§1):
+//!
+//! * **patterns in document order** — `Σ* p₁ Σ* … pₙ Σ*` over the linear
+//!   order of the document; the query that word automata handle with
+//!   linearly many states while bottom-up tree automata need exponentially
+//!   many (experiment E14);
+//! * **structural queries** — "some element with tag `t` occurs at depth
+//!   ≤ d" / "the document nests deeper than d", which genuinely use the
+//!   hierarchical structure.
+
+use nested_words::{NestedWord, Symbol, TaggedSymbol};
+use nwa::automaton::{Nwa, StreamingRun};
+use nwa::flat::from_tagged_dfa;
+use word_automata::{Dfa, Regex};
+
+/// Compiles the "patterns appear in this order" query (over document symbol
+/// labels, ignoring position kinds) into a flat deterministic NWA via the
+/// tagged-alphabet regex Σ̂*...; `sigma` is the document alphabet size.
+pub fn patterns_in_order_nwa(patterns: &[Symbol], sigma: usize) -> Nwa {
+    // Over Σ̂ a document label `s` can occur as a call, internal or return, so
+    // each pattern symbol becomes an alternation of its three tagged copies.
+    let tagged_choice = |s: Symbol| {
+        Regex::Symbol(TaggedSymbol::Call(s).tagged_index(sigma))
+            .union(Regex::Symbol(TaggedSymbol::Internal(s).tagged_index(sigma)))
+            .union(Regex::Symbol(TaggedSymbol::Return(s).tagged_index(sigma)))
+    };
+    let mut r = Regex::any_star();
+    for &p in patterns {
+        r = r.concat(tagged_choice(p)).concat(Regex::any_star());
+    }
+    let dfa: Dfa = r.to_min_dfa(3 * sigma);
+    from_tagged_dfa(&dfa, sigma)
+}
+
+/// Builds a deterministic NWA accepting documents whose nesting depth is at
+/// most `d` (checked on matched calls; pending calls count as open depth).
+pub fn depth_at_most_nwa(d: usize, sigma: usize) -> Nwa {
+    // states 0..=d = current depth, d+1 = dead
+    let dead = d + 1;
+    let mut m = Nwa::new(d + 2, sigma, 0);
+    for q in 0..=d {
+        m.set_accepting(q, true);
+    }
+    m.set_all_transitions_to(dead, dead);
+    for a in 0..sigma {
+        let a = Symbol(a as u16);
+        for q in 0..=d {
+            m.set_internal(q, a, q);
+            m.set_call(q, a, if q + 1 <= d { q + 1 } else { dead }, q);
+            for h in 0..d + 2 {
+                // a matched return pops back to the depth recorded on the
+                // hierarchical edge; a pending return keeps the depth
+                let target = if h <= d { h } else { dead };
+                m.set_return(q, h, a, target);
+            }
+        }
+    }
+    m
+}
+
+/// Builds a deterministic NWA accepting documents that contain at least one
+/// element with tag `tag` (as a call position).
+pub fn contains_tag_nwa(tag: Symbol, sigma: usize) -> Nwa {
+    let mut m = Nwa::new(2, sigma, 0);
+    m.set_accepting(1, true);
+    for a in 0..sigma {
+        let a_sym = Symbol(a as u16);
+        for q in 0..2usize {
+            let hit = q == 1 || a_sym == tag;
+            m.set_internal(q, a_sym, q);
+            m.set_call(q, a_sym, usize::from(hit), 0);
+            for h in 0..2 {
+                m.set_return(q, h, a_sym, q);
+            }
+        }
+    }
+    m
+}
+
+/// Result of a streaming evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamingOutcome {
+    /// Whether the automaton accepted the document.
+    pub accepted: bool,
+    /// Number of SAX events processed.
+    pub events: usize,
+    /// Maximum stack height used (equals the document depth reached).
+    pub peak_memory: usize,
+}
+
+/// Runs a deterministic NWA over a document in streaming fashion (one pass,
+/// memory proportional to depth) and reports the outcome.
+pub fn run_streaming(nwa: &Nwa, document: &NestedWord) -> StreamingOutcome {
+    let mut run = StreamingRun::new(nwa);
+    for i in 0..document.len() {
+        run.step(TaggedSymbol::new(document.kind(i), document.symbol(i)));
+    }
+    StreamingOutcome {
+        accepted: run.is_accepting(),
+        events: run.steps(),
+        peak_memory: run.max_stack_height(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_deep_document, generate_document, DocumentConfig};
+    use crate::sax::parse_document;
+    use nested_words::Alphabet;
+
+    #[test]
+    fn patterns_in_order_on_documents() {
+        let mut ab = Alphabet::new();
+        let doc = parse_document("<doc><a>x</a><b>y</b></doc>", &mut ab).unwrap();
+        let x = ab.lookup("x").unwrap();
+        let y = ab.lookup("y").unwrap();
+        let sigma = ab.len();
+        let q_xy = patterns_in_order_nwa(&[x, y], sigma);
+        let q_yx = patterns_in_order_nwa(&[y, x], sigma);
+        assert!(q_xy.accepts(&doc));
+        assert!(!q_yx.accepts(&doc));
+        assert!(q_xy.is_flat());
+    }
+
+    #[test]
+    fn depth_query() {
+        let mut ab = Alphabet::new();
+        let shallow = parse_document("<a><b>t</b></a>", &mut ab).unwrap();
+        let deep = parse_document("<a><b><a><b>t</b></a></b></a>", &mut ab).unwrap();
+        let sigma = ab.len();
+        let q = depth_at_most_nwa(2, sigma);
+        assert!(q.accepts(&shallow));
+        assert!(!q.accepts(&deep));
+    }
+
+    #[test]
+    fn contains_tag_query() {
+        let mut ab = Alphabet::new();
+        let doc = parse_document("<doc><sec>t</sec></doc>", &mut ab).unwrap();
+        let sec = ab.lookup("sec").unwrap();
+        let doc_tag = ab.lookup("doc").unwrap();
+        let t = ab.lookup("t").unwrap();
+        let sigma = ab.len();
+        assert!(contains_tag_nwa(sec, sigma).accepts(&doc));
+        assert!(contains_tag_nwa(doc_tag, sigma).accepts(&doc));
+        // `t` occurs only as text, not as an element tag
+        assert!(!contains_tag_nwa(t, sigma).accepts(&doc));
+    }
+
+    #[test]
+    fn streaming_memory_tracks_depth_not_length() {
+        let (ab, doc) = generate_document(
+            DocumentConfig {
+                events: 5_000,
+                max_depth: 8,
+                ..Default::default()
+            },
+            1,
+        );
+        let q = depth_at_most_nwa(8, ab.len());
+        let outcome = run_streaming(&q, &doc);
+        assert!(outcome.accepted);
+        assert!(outcome.events >= 5_000);
+        assert!(outcome.peak_memory <= 8);
+
+        let (ab2, deep) = generate_deep_document(200, 4);
+        let q2 = contains_tag_nwa(Symbol(2), ab2.len());
+        let outcome2 = run_streaming(&q2, &deep);
+        assert_eq!(outcome2.peak_memory, 200);
+        assert!(outcome2.accepted);
+    }
+}

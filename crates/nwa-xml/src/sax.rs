@@ -1,0 +1,130 @@
+//! SAX-style tokenization of a lightweight XML syntax into nested words.
+//!
+//! Supported syntax: `<tag>` (open), `</tag>` (close), `<tag/>` (empty
+//! element), and bare text tokens (split on whitespace), e.g.
+//! `"<doc><sec>hello world</sec><sec/></doc>"`. Unmatched open and close
+//! tags are allowed — they become pending calls and returns, exactly the
+//! situation §1 highlights as awkward for tree-based models.
+
+use nested_words::{Alphabet, NestedWord, NestedWordError, TaggedSymbol, TaggedWord};
+
+/// Parses a lightweight XML string into a stream of tagged symbols,
+/// interning tag names and text tokens into `alphabet`.
+pub fn tokenize(text: &str, alphabet: &mut Alphabet) -> Result<TaggedWord, NestedWordError> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'<' {
+            let end = text[i..].find('>').map(|p| i + p).ok_or(NestedWordError::Parse {
+                offset: i,
+                message: "unterminated tag".into(),
+            })?;
+            let inner = &text[i + 1..end];
+            if let Some(name) = inner.strip_prefix('/') {
+                let sym = alphabet.intern(name.trim());
+                out.push(TaggedSymbol::Return(sym));
+            } else if let Some(name) = inner.strip_suffix('/') {
+                let sym = alphabet.intern(name.trim());
+                out.push(TaggedSymbol::Call(sym));
+                out.push(TaggedSymbol::Return(sym));
+            } else {
+                let sym = alphabet.intern(inner.trim());
+                out.push(TaggedSymbol::Call(sym));
+            }
+            i = end + 1;
+        } else {
+            let end = text[i..].find('<').map(|p| i + p).unwrap_or(text.len());
+            for token in text[i..end].split_whitespace() {
+                let sym = alphabet.intern(token);
+                out.push(TaggedSymbol::Internal(sym));
+            }
+            i = end;
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a lightweight XML string directly into a nested word.
+pub fn parse_document(text: &str, alphabet: &mut Alphabet) -> Result<NestedWord, NestedWordError> {
+    Ok(NestedWord::from_tagged(&tokenize(text, alphabet)?))
+}
+
+/// Serializes a nested word back into the lightweight XML syntax.
+pub fn to_xml(word: &NestedWord, alphabet: &Alphabet) -> String {
+    let mut out = String::new();
+    for t in word.to_tagged() {
+        let name = alphabet.name(t.symbol()).unwrap_or("?");
+        match t {
+            TaggedSymbol::Call(_) => {
+                out.push('<');
+                out.push_str(name);
+                out.push('>');
+            }
+            TaggedSymbol::Return(_) => {
+                out.push_str("</");
+                out.push_str(name);
+                out.push('>');
+            }
+            TaggedSymbol::Internal(_) => {
+                if !out.is_empty() && !out.ends_with('>') {
+                    out.push(' ');
+                }
+                out.push_str(name);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nested_words::tree::is_tree_word;
+
+    #[test]
+    fn well_formed_document_roundtrip() {
+        let mut ab = Alphabet::new();
+        let doc = parse_document("<doc><sec>hello world</sec><sec/></doc>", &mut ab).unwrap();
+        assert!(doc.is_rooted());
+        assert!(doc.is_well_matched());
+        assert_eq!(doc.depth(), 2);
+        assert_eq!(
+            to_xml(&doc, &ab),
+            "<doc><sec>hello world</sec><sec/></doc>".replace("<sec/>", "<sec></sec>")
+        );
+    }
+
+    #[test]
+    fn text_only_document_is_flat() {
+        let mut ab = Alphabet::new();
+        let doc = parse_document("just some words", &mut ab).unwrap();
+        assert_eq!(doc.len(), 3);
+        assert_eq!(doc.depth(), 0);
+        assert!(doc.is_well_matched());
+    }
+
+    #[test]
+    fn unmatched_tags_become_pending_edges() {
+        let mut ab = Alphabet::new();
+        // a document fragment: close without open, open without close (§1's
+        // "data that may not parse correctly")
+        let doc = parse_document("</a> text <b>", &mut ab).unwrap();
+        assert!(!doc.is_well_matched());
+        assert!(doc.is_pending_return(0));
+        assert!(doc.is_pending_call(2));
+    }
+
+    #[test]
+    fn element_only_documents_are_tree_words() {
+        let mut ab = Alphabet::new();
+        let doc = parse_document("<a><b></b><b></b></a>", &mut ab).unwrap();
+        assert!(is_tree_word(&doc));
+    }
+
+    #[test]
+    fn unterminated_tag_is_an_error() {
+        let mut ab = Alphabet::new();
+        assert!(parse_document("<doc", &mut ab).is_err());
+    }
+}

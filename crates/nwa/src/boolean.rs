@@ -1,0 +1,334 @@
+//! Boolean and word/tree closure operations on regular languages of nested
+//! words (§3.2 of the paper).
+//!
+//! * complement — flip acceptance of a deterministic NWA (determinize first
+//!   for nondeterministic input);
+//! * intersection / union — product constructions, both deterministic and
+//!   nondeterministic;
+//! * reversal — transition reversal, valid over well-matched nested words
+//!   (pending edges flip direction under reversal; the general construction
+//!   needs extra bookkeeping and is documented as out of scope).
+
+use crate::automaton::Nwa;
+use crate::nondet::Nnwa;
+use nested_words::Symbol;
+
+/// Complement of a deterministic NWA: the same automaton with acceptance
+/// flipped (deterministic NWAs have exactly one run per word, §3.1).
+pub fn complement(nwa: &Nwa) -> Nwa {
+    let mut out = nwa.clone();
+    for q in 0..out.num_states() {
+        let acc = out.is_accepting(q);
+        out.set_accepting(q, !acc);
+    }
+    out
+}
+
+/// Product of two deterministic NWAs; `combine` decides acceptance of a pair
+/// of states.
+pub fn product(a: &Nwa, b: &Nwa, combine: impl Fn(bool, bool) -> bool) -> Nwa {
+    assert_eq!(a.sigma(), b.sigma(), "product requires equal alphabets");
+    let nb = b.num_states();
+    let pair = |qa: usize, qb: usize| qa * nb + qb;
+    let mut out = Nwa::new(a.num_states() * nb, a.sigma(), pair(a.initial(), b.initial()));
+    for qa in 0..a.num_states() {
+        for qb in 0..nb {
+            let q = pair(qa, qb);
+            out.set_accepting(q, combine(a.is_accepting(qa), b.is_accepting(qb)));
+            for s in 0..a.sigma() {
+                let s = Symbol(s as u16);
+                out.set_internal(q, s, pair(a.internal(qa, s), b.internal(qb, s)));
+                out.set_call(
+                    q,
+                    s,
+                    pair(a.call_linear(qa, s), b.call_linear(qb, s)),
+                    pair(a.call_hier(qa, s), b.call_hier(qb, s)),
+                );
+            }
+        }
+    }
+    for la in 0..a.num_states() {
+        for lb in 0..nb {
+            for ha in 0..a.num_states() {
+                for hb in 0..nb {
+                    for s in 0..a.sigma() {
+                        let s = Symbol(s as u16);
+                        out.set_return(
+                            pair(la, lb),
+                            pair(ha, hb),
+                            s,
+                            pair(a.ret(la, ha, s), b.ret(lb, hb, s)),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Intersection of two deterministic NWAs.
+pub fn intersect(a: &Nwa, b: &Nwa) -> Nwa {
+    product(a, b, |x, y| x && y)
+}
+
+/// Union of two deterministic NWAs.
+pub fn union(a: &Nwa, b: &Nwa) -> Nwa {
+    product(a, b, |x, y| x || y)
+}
+
+/// Union of two nondeterministic NWAs by disjoint union of their state
+/// spaces.
+pub fn union_nondet(a: &Nnwa, b: &Nnwa) -> Nnwa {
+    assert_eq!(a.sigma(), b.sigma(), "union requires equal alphabets");
+    let offset = a.num_states();
+    let mut out = Nnwa::new(a.num_states() + b.num_states(), a.sigma());
+    for q in a.initial_states() {
+        out.add_initial(q);
+    }
+    for q in b.initial_states() {
+        out.add_initial(q + offset);
+    }
+    for q in 0..a.num_states() {
+        if a.is_accepting(q) {
+            out.add_accepting(q);
+        }
+    }
+    for q in 0..b.num_states() {
+        if b.is_accepting(q) {
+            out.add_accepting(q + offset);
+        }
+    }
+    for &(q, s, l, h) in a.calls() {
+        out.add_call(q, s, l, h);
+    }
+    for &(q, s, t) in a.internals() {
+        out.add_internal(q, s, t);
+    }
+    for &(l, h, s, t) in a.returns() {
+        out.add_return(l, h, s, t);
+    }
+    for &(q, s, l, h) in b.calls() {
+        out.add_call(q + offset, s, l + offset, h + offset);
+    }
+    for &(q, s, t) in b.internals() {
+        out.add_internal(q + offset, s, t + offset);
+    }
+    for &(l, h, s, t) in b.returns() {
+        out.add_return(l + offset, h + offset, s, t + offset);
+    }
+    out
+}
+
+/// Intersection of two nondeterministic NWAs by the pairing construction.
+pub fn intersect_nondet(a: &Nnwa, b: &Nnwa) -> Nnwa {
+    assert_eq!(a.sigma(), b.sigma(), "intersection requires equal alphabets");
+    let nb = b.num_states();
+    let pair = |qa: usize, qb: usize| qa * nb + qb;
+    let mut out = Nnwa::new(a.num_states() * nb, a.sigma());
+    for qa in a.initial_states() {
+        for qb in b.initial_states() {
+            out.add_initial(pair(qa, qb));
+        }
+    }
+    for qa in 0..a.num_states() {
+        for qb in 0..nb {
+            if a.is_accepting(qa) && b.is_accepting(qb) {
+                out.add_accepting(pair(qa, qb));
+            }
+        }
+    }
+    for &(qa, s, la, ha) in a.calls() {
+        for &(qb, s2, lb, hb) in b.calls() {
+            if s == s2 {
+                out.add_call(pair(qa, qb), s, pair(la, lb), pair(ha, hb));
+            }
+        }
+    }
+    for &(qa, s, ta) in a.internals() {
+        for &(qb, s2, tb) in b.internals() {
+            if s == s2 {
+                out.add_internal(pair(qa, qb), s, pair(ta, tb));
+            }
+        }
+    }
+    for &(la, ha, s, ta) in a.returns() {
+        for &(lb, hb, s2, tb) in b.returns() {
+            if s == s2 {
+                out.add_return(pair(la, lb), pair(ha, hb), s, pair(ta, tb));
+            }
+        }
+    }
+    out
+}
+
+/// Reversal of a nondeterministic NWA.
+///
+/// Over **well-matched** nested words this accepts exactly the reverses of
+/// the words accepted by `a` (calls and returns swap roles, initial and
+/// accepting states swap). Words with pending edges are outside the contract
+/// of this construction; the general closure (stated in §3.2 / \[4\]) needs
+/// additional tracking of the pending boundary.
+pub fn reverse_nondet(a: &Nnwa) -> Nnwa {
+    let mut out = Nnwa::new(a.num_states(), a.sigma());
+    for q in 0..a.num_states() {
+        if a.is_accepting(q) {
+            out.add_initial(q);
+        }
+    }
+    for q in a.initial_states() {
+        out.add_accepting(q);
+    }
+    // old internal (q, a, q') → new internal (q', a, q)
+    for &(q, s, t) in a.internals() {
+        out.add_internal(t, s, q);
+    }
+    // old call (q, a, ql, qh) → new return (ql, qh, a, q)
+    for &(q, s, ql, qh) in a.calls() {
+        out.add_return(ql, qh, s, q);
+    }
+    // old return (ql, qh, a, q') → new call (q', a, ql, qh)
+    for &(ql, qh, s, t) in a.returns() {
+        out.add_call(t, s, ql, qh);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nested_words::ops::reverse as reverse_word;
+    use nested_words::tagged::parse_nested_word;
+    use nested_words::{Alphabet, NestedWord};
+
+    fn parse(ab: &mut Alphabet, s: &str) -> NestedWord {
+        parse_nested_word(s, ab).unwrap()
+    }
+
+    /// Deterministic NWA accepting words whose depth never exceeds 1
+    /// (and that contain no pending returns beneath an open call — depth
+    /// tracking only).
+    fn depth_at_most_one() -> Nwa {
+        let a = Symbol(0);
+        let b = Symbol(1);
+        // states: 0 = depth 0, 1 = depth 1, 2 = dead
+        let mut m = Nwa::new(3, 2, 0);
+        m.set_accepting(0, true);
+        m.set_accepting(1, true);
+        m.set_all_transitions_to(2, 2);
+        for s in [a, b] {
+            m.set_internal(0, s, 0);
+            m.set_internal(1, s, 1);
+            m.set_call(0, s, 1, 0);
+            m.set_call(1, s, 2, 0);
+            for h in 0..3 {
+                m.set_return(1, h, s, 0);
+                m.set_return(0, h, s, 0); // pending return at top level: fine
+            }
+        }
+        m
+    }
+
+    /// Deterministic NWA accepting words with an even number of b-labelled
+    /// positions (a purely linear property).
+    fn even_bs() -> Nwa {
+        let a = Symbol(0);
+        let b = Symbol(1);
+        let mut m = Nwa::new(2, 2, 0);
+        m.set_accepting(0, true);
+        for q in 0..2usize {
+            m.set_internal(q, a, q);
+            m.set_internal(q, b, 1 - q);
+            m.set_call(q, a, q, 0);
+            m.set_call(q, b, 1 - q, 0);
+            for h in 0..2 {
+                m.set_return(q, h, a, q);
+                m.set_return(q, h, b, 1 - q);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let mut ab = Alphabet::ab();
+        let m = depth_at_most_one();
+        let c = complement(&m);
+        for s in ["", "a b", "<a a>", "<a <b b> a>", "<a <a <a a> a> a>"] {
+            let w = parse(&mut ab, s);
+            assert_ne!(m.accepts(&w), c.accepts(&w), "word `{s}`");
+        }
+    }
+
+    #[test]
+    fn intersection_and_union_of_deterministic() {
+        let mut ab = Alphabet::ab();
+        let d1 = depth_at_most_one();
+        let d2 = even_bs();
+        let both = intersect(&d1, &d2);
+        let either = union(&d1, &d2);
+        for s in ["", "b", "b b", "<a b a>", "<a <b b> a>", "<b b> b"] {
+            let w = parse(&mut ab, s);
+            assert_eq!(both.accepts(&w), d1.accepts(&w) && d2.accepts(&w), "∩ `{s}`");
+            assert_eq!(either.accepts(&w), d1.accepts(&w) || d2.accepts(&w), "∪ `{s}`");
+        }
+    }
+
+    #[test]
+    fn nondet_union_and_intersection() {
+        let mut ab = Alphabet::ab();
+        let n1 = Nnwa::from_deterministic(&depth_at_most_one());
+        let n2 = Nnwa::from_deterministic(&even_bs());
+        let u = union_nondet(&n1, &n2);
+        let i = intersect_nondet(&n1, &n2);
+        for s in ["", "b", "b b", "<a b a>", "<a <b b> a>", "<b b> b"] {
+            let w = parse(&mut ab, s);
+            assert_eq!(u.accepts(&w), n1.accepts(&w) || n2.accepts(&w), "∪ `{s}`");
+            assert_eq!(i.accepts(&w), n1.accepts(&w) && n2.accepts(&w), "∩ `{s}`");
+        }
+    }
+
+    #[test]
+    fn reversal_on_well_matched_words() {
+        let mut ab = Alphabet::ab();
+        // language: well-matched words where the *first* position is a
+        // b-labelled call (so the reverse has a b-labelled return last).
+        let a = Symbol(0);
+        let b = Symbol(1);
+        let mut n = Nnwa::new(3, 2);
+        n.add_initial(0);
+        n.add_accepting(2);
+        // first symbol must be a b-call
+        n.add_call(0, b, 2, 1);
+        // afterwards anything goes (state 2 loops)
+        for s in [a, b] {
+            n.add_internal(2, s, 2);
+            n.add_call(2, s, 2, 0);
+            for h in 0..3 {
+                n.add_return(2, h, s, 2);
+            }
+        }
+        let r = reverse_nondet(&n);
+        for s in ["<b b>", "<b a b>", "<b <a a> b>", "<a b a>", "a <b b>"] {
+            let w = parse(&mut ab, s);
+            if !w.is_well_matched() {
+                continue;
+            }
+            let rw = reverse_word(&w);
+            assert_eq!(n.accepts(&w), r.accepts(&rw), "word `{s}`");
+        }
+    }
+
+    #[test]
+    fn de_morgan_on_deterministic_nwas() {
+        let mut ab = Alphabet::ab();
+        let d1 = depth_at_most_one();
+        let d2 = even_bs();
+        let lhs = complement(&intersect(&d1, &d2));
+        let rhs = union(&complement(&d1), &complement(&d2));
+        for s in ["", "b", "<a b a>", "<a <a a> a>", "b b b"] {
+            let w = parse(&mut ab, s);
+            assert_eq!(lhs.accepts(&w), rhs.accepts(&w), "word `{s}`");
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Bottom-up nested word automata and the construction of Theorem 4.
+//!
+//! An NWA is *bottom-up* when the linear component of its call transition
+//! does not depend on the current state: the automaton processes every rooted
+//! subword without knowledge of its left context, exactly like a bottom-up
+//! tree automaton (§3.4). Theorem 4: every NWA with `s` states has an
+//! equivalent (on well-matched words) weak bottom-up NWA with `s^s·|Σ|`
+//! states, whose states are *functions* `f : Q → Q` recording, for the
+//! current rooted segment, which end state each possible start state leads
+//! to. Lemma 1 embeds stepwise bottom-up tree automata into bottom-up NWAs.
+
+use crate::automaton::Nwa;
+use nested_words::Symbol;
+use std::collections::HashMap;
+use tree_automata::DetStepwiseTA;
+
+/// Applies the Theorem 4 construction to a **weak** NWA `a`: returns a weak
+/// bottom-up NWA whose language agrees with `L(a)` on well-matched nested
+/// words.
+///
+/// States of the result are functions `f : Q → Q`; only functions reachable
+/// from the identity are materialized, so the size is bounded by `s^s` but is
+/// usually far smaller. Combine with [`crate::weak::to_weak`] to start from
+/// an arbitrary NWA (adding the `|Σ|` factor of the theorem statement).
+pub fn to_bottom_up(a: &Nwa) -> Nwa {
+    assert!(a.is_weak(), "Theorem 4 construction expects a weak NWA (apply to_weak first)");
+    let s = a.num_states();
+    let sigma = a.sigma();
+
+    // Function states, interned as vectors `f[q] = a-state`.
+    let mut index: HashMap<Vec<usize>, usize> = HashMap::new();
+    let mut funcs: Vec<Vec<usize>> = Vec::new();
+    let mut intern = |f: Vec<usize>, funcs: &mut Vec<Vec<usize>>, index: &mut HashMap<Vec<usize>, usize>| -> usize {
+        if let Some(&i) = index.get(&f) {
+            return i;
+        }
+        let i = funcs.len();
+        index.insert(f.clone(), i);
+        funcs.push(f);
+        i
+    };
+
+    let identity: Vec<usize> = (0..s).collect();
+    let init_idx = intern(identity, &mut funcs, &mut index);
+
+    // After reading an a-labelled call, the new segment's function is
+    // q ↦ δc^l(q, a) (independent of q for a bottom-up automaton; here we use
+    // the weak automaton's linear component, which may depend on q — that
+    // dependence is precisely what the function state absorbs).
+    // Internal: f'(q) = δi(f(q), a).
+    // Return with hierarchical function g: f'(q) = δr(f(g(q)), g(q), a).
+    // (g(q) is also the state the weak automaton pushed, because it is weak.)
+
+    // Explore reachable function states. Call transitions restart segments,
+    // so the set of "call entry" functions is one per symbol; internals and
+    // returns compose from there.
+    let mut internal_tab: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut call_tab: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut return_tab: HashMap<(usize, usize, usize), usize> = HashMap::new();
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let count = funcs.len();
+        for fi in 0..count {
+            for asym in 0..sigma {
+                let sym = Symbol(asym as u16);
+                if !call_tab.contains_key(&(fi, asym)) {
+                    let f: Vec<usize> = (0..s).map(|q| a.call_linear(q, sym)).collect();
+                    let t = intern(f, &mut funcs, &mut index);
+                    call_tab.insert((fi, asym), t);
+                    changed = true;
+                }
+                if !internal_tab.contains_key(&(fi, asym)) {
+                    let f: Vec<usize> = (0..s).map(|q| a.internal(funcs[fi][q], sym)).collect();
+                    let t = intern(f, &mut funcs, &mut index);
+                    internal_tab.insert((fi, asym), t);
+                    changed = true;
+                }
+            }
+        }
+        let count = funcs.len();
+        for fi in 0..count {
+            for gi in 0..count {
+                for asym in 0..sigma {
+                    if return_tab.contains_key(&(fi, gi, asym)) {
+                        continue;
+                    }
+                    let sym = Symbol(asym as u16);
+                    let f: Vec<usize> = (0..s)
+                        .map(|q| {
+                            let gq = funcs[gi][q];
+                            a.ret(funcs[fi][gq], gq, sym)
+                        })
+                        .collect();
+                    let t = intern(f, &mut funcs, &mut index);
+                    return_tab.insert((fi, gi, asym), t);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    let mut out = Nwa::new(funcs.len(), sigma, init_idx);
+    for (i, f) in funcs.iter().enumerate() {
+        out.set_accepting(i, a.is_accepting(f[a.initial()]));
+    }
+    for (&(fi, asym), &t) in &call_tab {
+        // weak: hierarchical component propagates the current state
+        out.set_call(fi, Symbol(asym as u16), t, fi);
+    }
+    for (&(fi, asym), &t) in &internal_tab {
+        out.set_internal(fi, Symbol(asym as u16), t);
+    }
+    for (&(fi, gi, asym), &t) in &return_tab {
+        out.set_return(fi, gi, Symbol(asym as u16), t);
+    }
+    out
+}
+
+/// Lemma 1: embeds a deterministic stepwise bottom-up tree automaton into a
+/// bottom-up NWA over tree words: `nw_t(L(result)) = L(ta)` when the input is
+/// restricted to tree words.
+///
+/// The stepwise automaton's state after a node's children is the NWA's state
+/// before the node's return; the NWA's return transition ignores its symbol,
+/// exactly as the paper describes.
+pub fn from_stepwise(ta: &DetStepwiseTA) -> Nwa {
+    let s = ta.num_states();
+    let sigma = ta.sigma();
+    // NWA states: 0..s mirror the stepwise states; state s is the fresh
+    // "top-level" state used before the root and as the accepting carrier.
+    // At an a-labelled call the linear state (independent of the current
+    // state: bottom-up) becomes init(a); at a return the hierarchical state
+    // (the state of the parent before this child) is combined with the
+    // finished child's state.
+    let top = s;
+    let dead = s + 1;
+    let accept = s + 2;
+    let mut out = Nwa::new(s + 3, sigma, top);
+    out.set_accepting(accept, true);
+    out.set_all_transitions_to(dead, dead);
+    for a in 0..sigma {
+        let sym = Symbol(a as u16);
+        // calls: from any state, linear goes to init(a); hierarchical carries
+        // the current state (weak).
+        for q in 0..s + 3 {
+            let hier = q;
+            out.set_call(q, sym, ta.init(sym), hier);
+        }
+        // internals never occur in tree words
+        for q in 0..s + 3 {
+            out.set_internal(q, sym, dead);
+        }
+        // returns: combine hierarchical (parent-so-far) with linear (child),
+        // ignoring the return symbol (stepwise restriction).
+        for child in 0..s {
+            for parent in 0..s {
+                out.set_return(child, parent, sym, ta.combine(parent, child));
+            }
+            // returning to top level: the root has just been completed
+            out.set_return(child, top, sym, if ta.is_accepting(child) { accept } else { dead });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weak::to_weak;
+    use nested_words::generate::{random_tree, random_well_matched};
+    use nested_words::tagged::parse_nested_word;
+    use nested_words::{Alphabet, NestedWord, OrderedTree};
+
+    fn parse(ab: &mut Alphabet, s: &str) -> NestedWord {
+        parse_nested_word(s, ab).unwrap()
+    }
+
+    /// Weak NWA over {a,b}: accepts well-matched words with an even number of
+    /// b-labelled positions (linear property, stated weakly).
+    fn weak_even_bs() -> Nwa {
+        let a = Symbol(0);
+        let b = Symbol(1);
+        let mut m = Nwa::new(2, 2, 0);
+        m.set_accepting(0, true);
+        for q in 0..2usize {
+            m.set_internal(q, a, q);
+            m.set_internal(q, b, 1 - q);
+            m.set_call(q, a, q, q);
+            m.set_call(q, b, 1 - q, q);
+            for h in 0..2 {
+                m.set_return(q, h, a, q);
+                m.set_return(q, h, b, 1 - q);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn theorem4_construction_is_bottom_up_and_weak() {
+        let m = weak_even_bs();
+        let bu = to_bottom_up(&m);
+        assert!(bu.is_bottom_up());
+        assert!(bu.is_weak());
+        // bounded by s^s with s = 2, plus nothing else
+        assert!(bu.num_states() <= 4);
+    }
+
+    #[test]
+    fn theorem4_preserves_language_on_well_matched_words() {
+        let m = weak_even_bs();
+        let bu = to_bottom_up(&m);
+        let ab = Alphabet::ab();
+        for seed in 0..50 {
+            let w = random_well_matched(&ab, 40, seed);
+            assert_eq!(m.accepts(&w), bu.accepts(&w), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn theorem4_from_arbitrary_nwa_via_weak() {
+        // matching-labels automaton (not weak) → weak → bottom-up
+        let a = Symbol(0);
+        let b = Symbol(1);
+        let mut m = Nwa::new(4, 2, 0);
+        m.set_accepting(0, true);
+        m.set_all_transitions_to(3, 3);
+        m.set_internal(0, a, 0);
+        m.set_internal(0, b, 0);
+        m.set_call(0, a, 0, 1);
+        m.set_call(0, b, 0, 2);
+        for q in [1usize, 2] {
+            m.set_all_transitions_to(q, 3);
+        }
+        for h in 0..4usize {
+            for (sym, want) in [(a, 1usize), (b, 2usize)] {
+                m.set_return(0, h, sym, if h == want { 0 } else { 3 });
+            }
+        }
+        let bu = to_bottom_up(&to_weak(&m));
+        assert!(bu.is_bottom_up());
+        let mut ab = Alphabet::ab();
+        for s in ["", "<a a>", "<a b>", "<a <b b> a>", "<a <b a> b>", "a b"] {
+            let w = parse(&mut ab, s);
+            assert!(w.is_well_matched());
+            assert_eq!(m.accepts(&w), bu.accepts(&w), "word `{s}`");
+        }
+        let alphabet = Alphabet::ab();
+        for seed in 0..30 {
+            let w = random_well_matched(&alphabet, 30, seed);
+            assert_eq!(m.accepts(&w), bu.accepts(&w), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stepwise_embedding_agrees_with_tree_automaton() {
+        // stepwise automaton: "the tree contains a b-labelled node"
+        let a = Symbol(0);
+        let b = Symbol(1);
+        let mut ta = DetStepwiseTA::new(2, 2);
+        ta.set_init(a, 0);
+        ta.set_init(b, 1);
+        for q in 0..2 {
+            for r in 0..2 {
+                ta.set_combine(q, r, usize::from(q == 1 || r == 1));
+            }
+        }
+        ta.set_accepting(1, true);
+        let nwa = from_stepwise(&ta);
+        assert!(nwa.is_bottom_up());
+        let alphabet = Alphabet::ab();
+        for seed in 0..40 {
+            let tree = random_tree(&alphabet, 12, 3, seed);
+            let word = tree.to_nested_word();
+            assert_eq!(ta.accepts(&tree), nwa.accepts(&word), "seed {seed}");
+        }
+        // hand-picked cases
+        let t1 = OrderedTree::leaf(b);
+        let t2 = OrderedTree::node(a, vec![OrderedTree::leaf(a), OrderedTree::leaf(a)]);
+        assert!(nwa.accepts(&t1.to_nested_word()));
+        assert!(!nwa.accepts(&t2.to_nested_word()));
+    }
+}

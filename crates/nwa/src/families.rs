@@ -1,0 +1,572 @@
+//! The language families used in the paper's succinctness theorems, together
+//! with the automata and baselines the experiments compare.
+//!
+//! * Theorem 3: `L_s = { path(w) : w ∈ Σ^s }` — an NWA with `O(s)` states,
+//!   while every word automaton over Σ̂ needs `2^s` states.
+//! * Theorem 5: the tree-word family `〈a 〈b〉^m 〈a L^{i−1} 〈a〉 L^{s−i} a〉 a〉`
+//!   with `i = (m mod s) + 1` — a flat NWA with `O(s²)` states, while every
+//!   bottom-up NWA needs `2^s` states.
+//! * Theorem 8: the path language `path(Σ^s a Σ^* a Σ^s)` — an NWA with
+//!   `O(s)` states, while deterministic top-down and bottom-up automata need
+//!   `2^s` states.
+//!
+//! Everything is over the two-letter alphabet Σ = {a, b} used in the paper.
+
+use crate::automaton::Nwa;
+use nested_words::{NestedWord, PositionKind, Symbol, TaggedSymbol};
+use word_automata::{Dfa, Regex};
+
+const A: Symbol = Symbol(0);
+const B: Symbol = Symbol(1);
+
+// --------------------------------------------------------------------------
+// Theorem 3: L_s = { path(w) : w ∈ Σ^s }
+// --------------------------------------------------------------------------
+
+/// Membership predicate for the Theorem 3 family: `n ∈ L_s` iff
+/// `n = path(w)` for some `w ∈ {a,b}^s`.
+pub fn path_family_contains(n: &NestedWord, s: usize) -> bool {
+    match nested_words::path::unpath(n) {
+        Some(w) => w.len() == s,
+        None => false,
+    }
+}
+
+/// A deterministic NWA with `O(s)` states accepting `L_s` (Theorem 3): a
+/// depth counter for the descent, the call symbol passed along the
+/// hierarchical edge, and a check at every return that the symbol matches.
+pub fn path_family_nwa(s: usize) -> Nwa {
+    // state layout
+    let d = |i: usize| i; // descent counters 0..=s
+    let up = s + 1;
+    let done = s + 2;
+    let sym_a = s + 3;
+    let sym_b = s + 4;
+    let root_a = s + 5;
+    let root_b = s + 6;
+    let dead = s + 7;
+    let total = s + 8;
+    let mut m = Nwa::new(total, 2, d(0));
+    for q in 0..total {
+        m.set_all_transitions_to(q, dead);
+    }
+    if s == 0 {
+        m.set_accepting(d(0), true);
+        return m;
+    }
+    m.set_accepting(done, true);
+    for (sym, marker, root) in [(A, sym_a, root_a), (B, sym_b, root_b)] {
+        // descent
+        for i in 0..s {
+            let hier = if i == 0 { root } else { marker };
+            m.set_call(d(i), sym, d(i + 1), hier);
+        }
+        // first return happens at depth exactly s
+        m.set_return(d(s), marker, sym, up);
+        if s == 1 {
+            // with depth 1 the first return is also the root return
+        }
+        m.set_return(d(s), root, sym, if s == 1 { done } else { dead });
+        // subsequent returns on the way up
+        m.set_return(up, marker, sym, up);
+        m.set_return(up, root, sym, done);
+    }
+    m
+}
+
+/// A (not necessarily minimal) complete DFA over the tagged alphabet Σ̂
+/// accepting `nw_w(L_s)`; minimize it to measure the `2^s` lower bound of
+/// Theorem 3. States are the descent/ascent stacks of call symbols.
+pub fn path_family_tagged_dfa(s: usize) -> Dfa {
+    let sigma = 2usize;
+    // state encoding: phase ∈ {descent, ascent}, stack = word over {a,b} of
+    // length ≤ s. descent stacks have length = number of calls read; ascent
+    // stacks are the symbols still to be matched.
+    // index(stack) over all words of length ≤ s: standard binary-tree index.
+    let num_stacks: usize = (0..=s).map(|l| 1usize << l).sum();
+    let stack_index = |st: &[usize]| -> usize {
+        // offset of length block + binary value
+        let mut idx = 0usize;
+        for l in 0..st.len() {
+            idx += 1usize << l;
+        }
+        let mut v = 0usize;
+        for &b in st {
+            v = v * 2 + b;
+        }
+        idx + v
+    };
+    let dead = 2 * num_stacks;
+    let total = 2 * num_stacks + 1;
+    let mut dfa = Dfa::new(total, 3 * sigma, stack_index(&[]));
+    for sy in 0..3 * sigma {
+        dfa.set_transition(dead, sy, dead);
+    }
+    // enumerate all stacks of length ≤ s
+    let mut all_stacks: Vec<Vec<usize>> = vec![vec![]];
+    let mut frontier: Vec<Vec<usize>> = vec![vec![]];
+    for _ in 0..s {
+        let mut next = Vec::new();
+        for st in &frontier {
+            for b in 0..2usize {
+                let mut st2 = st.clone();
+                st2.push(b);
+                next.push(st2);
+            }
+        }
+        all_stacks.extend(next.iter().cloned());
+        frontier = next;
+    }
+
+    let descent = |st: &[usize]| stack_index(st);
+    let ascent = |st: &[usize]| num_stacks + stack_index(st);
+
+    // the accepting state: ascent with empty stack
+    dfa.set_accepting(ascent(&[]), true);
+    for st in &all_stacks {
+        let d_state = descent(st);
+        let a_state = ascent(st);
+        // default everything to dead, then overwrite the legal moves
+        for sy in 0..3 * sigma {
+            dfa.set_transition(d_state, sy, dead);
+            dfa.set_transition(a_state, sy, dead);
+        }
+        for (b, sym) in [(0usize, A), (1usize, B)] {
+            // descent: calls push while below depth s
+            if st.len() < s {
+                let mut st2 = st.to_vec();
+                st2.push(b);
+                dfa.set_transition(
+                    d_state,
+                    TaggedSymbol::Call(sym).tagged_index(sigma),
+                    descent(&st2),
+                );
+            }
+            // at depth s, the matching return of the deepest call flips to ascent
+            if st.len() == s && !st.is_empty() && st[st.len() - 1] == b {
+                let st2 = &st[..st.len() - 1];
+                dfa.set_transition(
+                    d_state,
+                    TaggedSymbol::Return(sym).tagged_index(sigma),
+                    ascent(st2),
+                );
+            }
+            // ascent: returns must match the top of the remaining stack
+            if !st.is_empty() && st[st.len() - 1] == b {
+                let st2 = &st[..st.len() - 1];
+                dfa.set_transition(
+                    a_state,
+                    TaggedSymbol::Return(sym).tagged_index(sigma),
+                    ascent(st2),
+                );
+            }
+        }
+    }
+    if s == 0 {
+        // path(ε) is the empty word: the initial descent state accepts
+        let mut d0 = dfa;
+        d0.set_accepting(descent(&[]), true);
+        return d0;
+    }
+    dfa
+}
+
+// --------------------------------------------------------------------------
+// Theorem 8: path(Σ^s a Σ^* a Σ^s)
+// --------------------------------------------------------------------------
+
+/// The word-language regex `Σ^s a Σ^* a Σ^s` over symbol indices {0 = a,
+/// 1 = b}; its minimal DFA (and that of its reverse) needs `2^s` states.
+pub fn theorem8_regex(s: usize) -> Regex {
+    let any = Regex::Symbol(0).union(Regex::Symbol(1));
+    let mut r = Regex::Epsilon;
+    for _ in 0..s {
+        r = r.concat(any.clone());
+    }
+    r = r.concat(Regex::Symbol(0)).concat(any.clone().star()).concat(Regex::Symbol(0));
+    for _ in 0..s {
+        r = r.concat(any.clone());
+    }
+    r
+}
+
+/// Membership predicate for the Theorem 8 path-language family:
+/// `n = path(w)` with `w ∈ Σ^s a Σ^* a Σ^s`.
+pub fn theorem8_contains(n: &NestedWord, s: usize) -> bool {
+    match nested_words::path::unpath(n) {
+        Some(w) => {
+            w.len() >= 2 * s + 2 && w[s] == A && w[w.len() - 1 - s] == A
+        }
+        None => false,
+    }
+}
+
+/// A deterministic NWA with `O(s)` states accepting the Theorem 8 path
+/// language: count `s` calls going down and check the `(s+1)`-th symbol is
+/// `a`; count `s` returns coming up and check the `(s+1)`-th return is `a`;
+/// verify the path shape by passing the call symbol along the hierarchical
+/// edge.
+pub fn theorem8_nwa(s: usize) -> Nwa {
+    // states
+    let c = |i: usize| i; // 0..=s descent counter
+    let mid = s + 1;
+    let u = |i: usize| s + 2 + i; // 1..=s ascent counter (u(0) unused)
+    let up_rest = 2 * s + 3;
+    let done = 2 * s + 4;
+    let sym_a = 2 * s + 5;
+    let sym_b = 2 * s + 6;
+    let root_a = 2 * s + 7;
+    let root_b = 2 * s + 8;
+    // distinguished marker pushed by the (s+1)-th call: popping it before the
+    // ascent check means the word is shorter than 2s+2 and must be rejected
+    let chk = 2 * s + 9;
+    let dead = 2 * s + 10;
+    let total = 2 * s + 11;
+    let mut m = Nwa::new(total, 2, c(0));
+    for q in 0..total {
+        m.set_all_transitions_to(q, dead);
+    }
+    m.set_accepting(done, true);
+    for (sym, marker, root) in [(A, sym_a, root_a), (B, sym_b, root_b)] {
+        // descent: the first s symbols are unconstrained
+        for i in 0..s {
+            let hier = if i == 0 { root } else { marker };
+            m.set_call(c(i), sym, c(i + 1), hier);
+        }
+        // the (s+1)-th symbol must be a
+        if sym == A {
+            let hier = if s == 0 { root } else { chk };
+            m.set_call(c(s), sym, mid, hier);
+        }
+        // the rest of the descent is unconstrained
+        m.set_call(mid, sym, mid, marker);
+        // ascent: the first s returns are unconstrained, then the (s+1)-th
+        // return (counted from the end of the word) must be a
+        if s >= 1 {
+            m.set_return(mid, marker, sym, u(1));
+            for i in 1..s {
+                m.set_return(u(i), marker, sym, u(i + 1));
+            }
+            if sym == A {
+                m.set_return(u(s), marker, sym, up_rest);
+            }
+        } else if sym == A {
+            m.set_return(mid, marker, sym, up_rest);
+        }
+        // the rest of the ascent is unconstrained; the root return finishes
+        m.set_return(up_rest, marker, sym, up_rest);
+        if sym == A {
+            m.set_return(up_rest, chk, sym, up_rest);
+        }
+        m.set_return(up_rest, root, sym, done);
+    }
+    m
+}
+
+// --------------------------------------------------------------------------
+// Theorem 5: 〈a 〈b〉^m 〈a L^{i−1} 〈a〉 L^{s−i} a〉 a〉 with i = (m mod s) + 1
+// --------------------------------------------------------------------------
+
+/// Builds the inner block of the Theorem 5 family: a rooted `<a … a>` word
+/// whose children are `s` leaves, the `j`-th leaf labelled `a` when
+/// `j ∈ a_positions` (1-based) and `b` otherwise.
+pub fn theorem5_inner_block(s: usize, a_positions: &[usize]) -> NestedWord {
+    let mut tagged = vec![TaggedSymbol::Call(A)];
+    for j in 1..=s {
+        let sym = if a_positions.contains(&j) { A } else { B };
+        tagged.push(TaggedSymbol::Call(sym));
+        tagged.push(TaggedSymbol::Return(sym));
+    }
+    tagged.push(TaggedSymbol::Return(A));
+    NestedWord::from_tagged(&tagged)
+}
+
+/// Builds a full word of the Theorem 5 family shape with `m` `〈b〉` leaves
+/// followed by the given inner block: `〈a 〈b〉^m  inner  a〉`.
+pub fn theorem5_full_word(m: usize, inner: &NestedWord) -> NestedWord {
+    let mut tagged = vec![TaggedSymbol::Call(A)];
+    for _ in 0..m {
+        tagged.push(TaggedSymbol::Call(B));
+        tagged.push(TaggedSymbol::Return(B));
+    }
+    tagged.extend(inner.to_tagged());
+    tagged.push(TaggedSymbol::Return(A));
+    NestedWord::from_tagged(&tagged)
+}
+
+/// Membership predicate for the Theorem 5 family `L_s`.
+pub fn theorem5_member(n: &NestedWord, s: usize) -> bool {
+    if s == 0 || !n.is_rooted() || n.symbol(0) != A {
+        return false;
+    }
+    // children of the root: a sequence of 〈b〉 leaves, then one inner block
+    let mut i = 1;
+    let end = n.len() - 1;
+    let mut m = 0usize;
+    while i + 1 < end
+        && n.kind(i) == PositionKind::Call
+        && n.symbol(i) == B
+        && n.return_successor(i) == Some(i + 1)
+    {
+        m += 1;
+        i += 2;
+    }
+    // the inner block
+    if i >= end || n.kind(i) != PositionKind::Call || n.symbol(i) != A {
+        return false;
+    }
+    let close = match n.return_successor(i) {
+        Some(c) if c == end - 1 && n.symbol(c) == A => c,
+        _ => return false,
+    };
+    // children of the inner block: exactly s leaves
+    let mut j = i + 1;
+    let mut leaves: Vec<Symbol> = Vec::new();
+    while j < close {
+        if n.kind(j) != PositionKind::Call
+            || n.return_successor(j) != Some(j + 1)
+            || n.symbol(j) != n.symbol(j + 1)
+        {
+            return false;
+        }
+        leaves.push(n.symbol(j));
+        j += 2;
+    }
+    if leaves.len() != s {
+        return false;
+    }
+    let i_req = (m % s) + 1;
+    leaves[i_req - 1] == A
+}
+
+/// A complete DFA over Σ̂ accepting `nw_w(L_s)` of the Theorem 5 family with
+/// `O(s²)` states (the flat-NWA upper bound of Theorem 5); minimize to get
+/// the exact flat size.
+pub fn theorem5_tagged_dfa(s: usize) -> Dfa {
+    assert!(s >= 1);
+    let sigma = 2usize;
+    // phases:
+    //  0: expect root <a
+    //  1 + r (r in 0..s): reading 〈b〉 leaves, m ≡ r (mod s); expect <b or <a
+    //  after <b in phase r: expect b>  → state group "bopen"
+    //  inner block for residue r: expecting child j (1..=s+1); within a child
+    //  expecting the closing leaf tag; then closing a>, then root a>, then end
+    // state encoding below; everything else goes to `dead`.
+    let p_root = 0usize;
+    let p_count = |r: usize| 1 + r; // expect <b or <a
+    let p_bopen = |r: usize| 1 + s + r; // expect b>
+    // inner(r, j, open): j in 1..=s ; open: 0 = expecting child j's call,
+    //                    1 = expecting a-leaf close, 2 = expecting b-leaf close
+    let p_inner = |r: usize, j: usize, open: usize| 1 + 2 * s + ((r * (s + 1) + (j - 1)) * 3 + open);
+    let p_close_inner = |r: usize| 1 + 2 * s + (s * (s + 1) * 3) + r; // expect inner a> ... folded below
+    let p_root_close = 1 + 2 * s + s * (s + 1) * 3 + s;
+    let p_accept = p_root_close + 1;
+    let dead = p_accept + 1;
+    let total = dead + 1;
+
+    let call = |sym: Symbol| TaggedSymbol::Call(sym).tagged_index(sigma);
+    let ret = |sym: Symbol| TaggedSymbol::Return(sym).tagged_index(sigma);
+
+    let mut dfa = Dfa::new(total, 3 * sigma, p_root);
+    for q in 0..total {
+        for sy in 0..3 * sigma {
+            dfa.set_transition(q, sy, dead);
+        }
+    }
+    dfa.set_accepting(p_accept, true);
+    // root call
+    dfa.set_transition(p_root, call(A), p_count(0));
+    for r in 0..s {
+        // 〈b〉 leaves
+        dfa.set_transition(p_count(r), call(B), p_bopen(r));
+        dfa.set_transition(p_bopen(r), ret(B), p_count((r + 1) % s));
+        // start of the inner block
+        dfa.set_transition(p_count(r), call(A), p_inner(r, 1, 0));
+        let i_req = r + 1;
+        for j in 1..=s {
+            // child j: an a-leaf always allowed; a b-leaf only if j ≠ i_req
+            dfa.set_transition(p_inner(r, j, 0), call(A), p_inner(r, j, 1));
+            if j != i_req {
+                dfa.set_transition(p_inner(r, j, 0), call(B), p_inner(r, j, 2));
+            }
+            let next = if j == s {
+                p_close_inner(r)
+            } else {
+                p_inner(r, j + 1, 0)
+            };
+            dfa.set_transition(p_inner(r, j, 1), ret(A), next);
+            dfa.set_transition(p_inner(r, j, 2), ret(B), next);
+        }
+        // close the inner block, then the root
+        dfa.set_transition(p_close_inner(r), ret(A), p_root_close);
+    }
+    dfa.set_transition(p_root_close, ret(A), p_accept);
+    dfa
+}
+
+/// All `2^s` inner blocks that contain the required `a` at position `i` are
+/// pairwise distinguishable by outer contexts (the heart of the Theorem 5
+/// lower-bound argument). Returns the number of equivalence classes found by
+/// testing every pair with every context `m ∈ 0..s`, using
+/// [`theorem5_member`] as the oracle. The result should equal `2^s`.
+pub fn theorem5_distinguishable_blocks(s: usize) -> usize {
+    let subsets: Vec<Vec<usize>> = (0..(1usize << s))
+        .map(|mask| (1..=s).filter(|j| mask & (1 << (j - 1)) != 0).collect())
+        .collect();
+    let blocks: Vec<NestedWord> = subsets
+        .iter()
+        .map(|t| theorem5_inner_block(s, t))
+        .collect();
+    // signature of a block = acceptance vector over all contexts m ∈ 0..s
+    let mut signatures: Vec<Vec<bool>> = Vec::new();
+    for block in &blocks {
+        let sig: Vec<bool> = (0..s)
+            .map(|m| theorem5_member(&theorem5_full_word(m, block), s))
+            .collect();
+        signatures.push(sig);
+    }
+    signatures.sort();
+    signatures.dedup();
+    signatures.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nested_words::path::path;
+    use nested_words::Alphabet;
+
+    #[test]
+    fn path_family_nwa_accepts_exactly_ls() {
+        for s in 0..6usize {
+            let nwa = path_family_nwa(s);
+            // all words w of length ≤ s+1 over {a,b}
+            for len in 0..=s + 1 {
+                for bits in 0..(1u32 << len) {
+                    let w: Vec<Symbol> = (0..len)
+                        .map(|i| if (bits >> i) & 1 == 0 { A } else { B })
+                        .collect();
+                    let p = path(&w);
+                    let expected = len == s;
+                    assert_eq!(nwa.accepts(&p), expected, "s={s} w={w:?}");
+                    assert_eq!(path_family_contains(&p, s), expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_family_nwa_rejects_non_path_words() {
+        let mut ab = Alphabet::ab();
+        let nwa = path_family_nwa(2);
+        for text in ["<a <b a> b>", "<a <a a> <b b> a>", "a a", "<a <a a>", "<a a> b>"] {
+            let w = nested_words::tagged::parse_nested_word(text, &mut ab).unwrap();
+            assert!(!nwa.accepts(&w), "word `{text}`");
+        }
+    }
+
+    #[test]
+    fn path_family_dfa_matches_nwa_and_needs_exponentially_many_states() {
+        for s in 1..6usize {
+            let nwa = path_family_nwa(s);
+            let dfa = path_family_tagged_dfa(s);
+            // agreement on all path(w) with |w| ≤ s+1
+            for len in 0..=s + 1 {
+                for bits in 0..(1u32 << len) {
+                    let w: Vec<Symbol> = (0..len)
+                        .map(|i| if (bits >> i) & 1 == 0 { A } else { B })
+                        .collect();
+                    let p = path(&w);
+                    let tagged: Vec<usize> =
+                        p.to_tagged().iter().map(|t| t.tagged_index(2)).collect();
+                    assert_eq!(nwa.accepts(&p), dfa.accepts(&tagged), "s={s} w={w:?}");
+                }
+            }
+            let minimal = dfa.minimize();
+            assert!(
+                minimal.num_states() >= (1 << s),
+                "s={s}: minimal DFA has {} states, expected ≥ {}",
+                minimal.num_states(),
+                1 << s
+            );
+            assert!(nwa.num_states() <= s + 8);
+        }
+    }
+
+    #[test]
+    fn theorem8_nwa_and_predicate_agree() {
+        for s in 0..4usize {
+            let nwa = theorem8_nwa(s);
+            for len in 0..=2 * s + 4 {
+                // sample a few words of each length rather than all 2^len
+                for bits in [0u32, 1, (1 << len.min(31)) - 1, 0b1010_1010 & ((1 << len.min(31)) - 1)] {
+                    let w: Vec<Symbol> = (0..len)
+                        .map(|i| if (bits >> (i % 31)) & 1 == 0 { A } else { B })
+                        .collect();
+                    let p = path(&w);
+                    assert_eq!(
+                        nwa.accepts(&p),
+                        theorem8_contains(&p, s),
+                        "s={s} len={len} bits={bits:b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem8_dfa_is_exponential_and_nwa_is_linear() {
+        for s in 1..7usize {
+            let dfa = theorem8_regex(s).to_min_dfa(2);
+            assert!(dfa.num_states() >= (1 << s), "s={s}: {}", dfa.num_states());
+            assert!(theorem8_nwa(s).num_states() <= 2 * s + 11);
+        }
+    }
+
+    #[test]
+    fn theorem5_membership_and_builders() {
+        let s = 3;
+        // m = 1 → i = 2: the second leaf of the inner block must be a
+        let good = theorem5_full_word(1, &theorem5_inner_block(s, &[2]));
+        let bad = theorem5_full_word(1, &theorem5_inner_block(s, &[1, 3]));
+        assert!(theorem5_member(&good, s));
+        assert!(!theorem5_member(&bad, s));
+        // wrong number of children
+        let short = theorem5_full_word(1, &theorem5_inner_block(2, &[2]));
+        assert!(!theorem5_member(&short, s));
+        // the inner block alone (without the outer context) is not a member
+        assert!(!theorem5_member(&theorem5_inner_block(s, &[1]), s));
+    }
+
+    #[test]
+    fn theorem5_dfa_agrees_with_predicate() {
+        let s = 3;
+        let dfa = theorem5_tagged_dfa(s);
+        for m in 0..2 * s {
+            for mask in 0..(1usize << s) {
+                let subset: Vec<usize> = (1..=s).filter(|j| mask & (1 << (j - 1)) != 0).collect();
+                let w = theorem5_full_word(m, &theorem5_inner_block(s, &subset));
+                let tagged: Vec<usize> =
+                    w.to_tagged().iter().map(|t| t.tagged_index(2)).collect();
+                assert_eq!(
+                    dfa.accepts(&tagged),
+                    theorem5_member(&w, s),
+                    "m={m} mask={mask:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem5_flat_size_is_quadratic_and_blocks_are_exponential() {
+        for s in 1..6usize {
+            let minimal = theorem5_tagged_dfa(s).minimize();
+            assert!(
+                minimal.num_states() <= 4 * s * s + 8 * s + 10,
+                "s={s}: flat size {}",
+                minimal.num_states()
+            );
+            assert_eq!(theorem5_distinguishable_blocks(s), 1 << s, "s={s}");
+        }
+    }
+}

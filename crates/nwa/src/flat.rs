@@ -1,0 +1,184 @@
+//! Flat nested word automata and their correspondence with word automata
+//! over the tagged alphabet Σ̂ (Theorem 2, §3.3).
+//!
+//! A flat NWA never sends information across hierarchical edges
+//! (`δc^h(q, a) = q₀`), and is therefore nothing more than a DFA reading the
+//! tagged word `nw_w(n)`: calls, internals and returns are just three
+//! disjoint copies of the alphabet. The two conversions here are exact and
+//! preserve the number of states in both directions, which is the content of
+//! Theorem 2 and the basis of the succinctness experiments.
+
+use crate::automaton::Nwa;
+use nested_words::{NestedWord, Symbol, TaggedSymbol};
+use word_automata::Dfa;
+
+/// Converts a DFA over the tagged alphabet Σ̂ (indexed as in
+/// [`TaggedSymbol::tagged_index`]: calls `0..σ`, internals `σ..2σ`, returns
+/// `2σ..3σ`) into an equivalent flat NWA with the same number of states.
+pub fn from_tagged_dfa(dfa: &Dfa, sigma: usize) -> Nwa {
+    assert_eq!(
+        dfa.num_symbols(),
+        3 * sigma,
+        "tagged DFA must have 3·|Σ| symbols"
+    );
+    let mut out = Nwa::new(dfa.num_states(), sigma, dfa.initial());
+    for q in 0..dfa.num_states() {
+        out.set_accepting(q, dfa.is_accepting(q));
+        for a in 0..sigma {
+            let sym = Symbol(a as u16);
+            let call_t = dfa.next(q, TaggedSymbol::Call(sym).tagged_index(sigma));
+            let int_t = dfa.next(q, TaggedSymbol::Internal(sym).tagged_index(sigma));
+            out.set_call(q, sym, call_t, dfa.initial());
+            out.set_internal(q, sym, int_t);
+        }
+    }
+    for q in 0..dfa.num_states() {
+        for h in 0..dfa.num_states() {
+            for a in 0..sigma {
+                let sym = Symbol(a as u16);
+                let ret_t = dfa.next(q, TaggedSymbol::Return(sym).tagged_index(sigma));
+                out.set_return(q, h, sym, ret_t);
+            }
+        }
+    }
+    out
+}
+
+/// Converts a flat NWA into a DFA over the tagged alphabet Σ̂ with the same
+/// number of states. Panics if the automaton is not flat.
+pub fn to_tagged_dfa(nwa: &Nwa) -> Dfa {
+    assert!(nwa.is_flat(), "to_tagged_dfa requires a flat NWA");
+    let sigma = nwa.sigma();
+    let mut dfa = Dfa::new(nwa.num_states(), 3 * sigma, nwa.initial());
+    for q in 0..nwa.num_states() {
+        dfa.set_accepting(q, nwa.is_accepting(q));
+        for a in 0..sigma {
+            let sym = Symbol(a as u16);
+            dfa.set_transition(
+                q,
+                TaggedSymbol::Call(sym).tagged_index(sigma),
+                nwa.call_linear(q, sym),
+            );
+            dfa.set_transition(
+                q,
+                TaggedSymbol::Internal(sym).tagged_index(sigma),
+                nwa.internal(q, sym),
+            );
+            // In a flat automaton every hierarchical edge carries the initial
+            // state, so the return target does not depend on it.
+            dfa.set_transition(
+                q,
+                TaggedSymbol::Return(sym).tagged_index(sigma),
+                nwa.ret(q, nwa.initial(), sym),
+            );
+        }
+    }
+    dfa
+}
+
+/// Encodes a nested word as the word over Σ̂ (a sequence of
+/// [`TaggedSymbol::tagged_index`] values) a tagged DFA reads.
+pub fn tagged_indices(word: &NestedWord, sigma: usize) -> Vec<usize> {
+    word.to_tagged()
+        .iter()
+        .map(|t| t.tagged_index(sigma))
+        .collect()
+}
+
+/// The minimal flat NWA for the language of a flat NWA, obtained through DFA
+/// minimization over Σ̂ (as described in §3.3: "using the classical
+/// algorithms for minimizing deterministic word automata, one can construct a
+/// minimal flat NWA").
+pub fn minimize_flat(nwa: &Nwa) -> Nwa {
+    let sigma = nwa.sigma();
+    from_tagged_dfa(&to_tagged_dfa(nwa).minimize(), sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nested_words::generate::{random_nested_word, NestedWordConfig};
+    use nested_words::Alphabet;
+    use word_automata::Regex;
+
+    /// DFA over Σ̂ for {a,b} accepting tagged words containing a b-labelled
+    /// call somewhere (a purely linear property over the tagged encoding).
+    fn dfa_has_b_call() -> Dfa {
+        let sigma = 2;
+        let b_call = TaggedSymbol::Call(Symbol(1)).tagged_index(sigma);
+        let mut d = Dfa::new(2, 3 * sigma, 0);
+        d.set_accepting(1, true);
+        for q in 0..2 {
+            for s in 0..3 * sigma {
+                let t = if q == 1 || s == b_call { 1 } else { 0 };
+                d.set_transition(q, s, t);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn tagged_dfa_to_flat_nwa_and_back() {
+        let d = dfa_has_b_call();
+        let flat = from_tagged_dfa(&d, 2);
+        assert!(flat.is_flat());
+        assert_eq!(flat.num_states(), d.num_states());
+        let d2 = to_tagged_dfa(&flat);
+        assert!(d.equivalent(&d2));
+    }
+
+    #[test]
+    fn flat_nwa_agrees_with_dfa_on_random_words() {
+        let d = dfa_has_b_call();
+        let flat = from_tagged_dfa(&d, 2);
+        let ab = Alphabet::ab();
+        let cfg = NestedWordConfig {
+            len: 30,
+            allow_pending: true,
+            ..Default::default()
+        };
+        for seed in 0..60 {
+            let w = random_nested_word(&ab, cfg, seed);
+            let tagged = tagged_indices(&w, 2);
+            assert_eq!(flat.accepts(&w), d.accepts(&tagged), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn minimize_flat_reduces_states_and_preserves_language() {
+        // Build a redundant DFA via a regex (Thompson + subset construction
+        // without minimization), convert to a flat NWA, minimize.
+        let sigma = 2usize;
+        let b_call = TaggedSymbol::Call(Symbol(1)).tagged_index(sigma);
+        let r = Regex::any_star()
+            .concat(Regex::Symbol(b_call))
+            .concat(Regex::any_star());
+        let unminimized = r.to_nfa(3 * sigma).determinize();
+        let flat = from_tagged_dfa(&unminimized, sigma);
+        let minimal = minimize_flat(&flat);
+        assert!(minimal.num_states() <= flat.num_states());
+        assert_eq!(minimal.num_states(), 2);
+        let ab = Alphabet::ab();
+        let cfg = NestedWordConfig {
+            len: 20,
+            allow_pending: true,
+            ..Default::default()
+        };
+        for seed in 0..30 {
+            let w = random_nested_word(&ab, cfg, seed);
+            assert_eq!(flat.accepts(&w), minimal.accepts(&w), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn flat_nwa_cannot_use_hierarchy() {
+        let d = dfa_has_b_call();
+        let flat = from_tagged_dfa(&d, 2);
+        // the hierarchical component always points at the initial state
+        for q in 0..flat.num_states() {
+            for a in 0..flat.sigma() {
+                assert_eq!(flat.call_hier(q, Symbol(a as u16)), flat.initial());
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # nwa — nested word automata
+//!
+//! The primary contribution of *"Marrying Words and Trees"* (Rajeev Alur,
+//! PODS 2007): finite-state acceptors over nested words that process both the
+//! linear and the hierarchical structure of the input.
+//!
+//! A (deterministic) nested word automaton has three transition functions: a
+//! call transition `δc : Q × Σ → Q × Q` that propagates one state along the
+//! linear edge and one along the hierarchical edge, an internal transition
+//! `δi : Q × Σ → Q`, and a return transition `δr : Q × Q × Σ → Q` that joins
+//! the states arriving on the linear and hierarchical edges (§3.1).
+//!
+//! The crate provides:
+//!
+//! * [`Nwa`] — deterministic automata, linear-time membership and a
+//!   streaming runner whose memory is proportional to the nesting depth;
+//! * [`Nnwa`] — nondeterministic automata, polynomial membership via
+//!   on-the-fly summaries and determinization with the `2^{s²}` summary-set
+//!   construction (§3.2);
+//! * boolean operations, emptiness, inclusion and equivalence ([`boolean`],
+//!   [`decision`]);
+//! * the restricted classes of §3.3–§3.6 and the constructions of
+//!   Theorems 1, 4 and 7: [`weak`], [`flat`], [`bottom_up`], [`joinless`];
+//! * the language families used in the succinctness theorems ([`families`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod automaton;
+pub mod boolean;
+pub mod bottom_up;
+pub mod decision;
+pub mod families;
+pub mod flat;
+pub mod joinless;
+pub mod nondet;
+pub mod weak;
+
+pub use automaton::{Nwa, StreamingRun};
+pub use joinless::JoinlessNwa;
+pub use nondet::Nnwa;

@@ -1,0 +1,174 @@
+//! Weak nested word automata and the construction of Theorem 1.
+//!
+//! A weak NWA propagates the *current state* along the hierarchical edge at
+//! every call (`δc^h(q, a) = q`). Theorem 1: every NWA with `s` states over Σ
+//! has an equivalent weak NWA with `s·|Σ|` states — the weak automaton
+//! additionally remembers the symbol labelling the call-parent of the current
+//! position, so that the original hierarchical component can be re-applied at
+//! the return.
+//!
+//! Implementation note: the paper's `s·|Σ|` construction does not spell out
+//! the treatment of *pending returns* (hierarchical edge from −∞, which must
+//! use the original initial state, not a re-derived hierarchical component).
+//! We therefore track one extra component value `⊤` meaning "the current
+//! position is at top level", giving `s·(|Σ|+1)` states; the asymptotics of
+//! Theorem 1 are unchanged.
+
+use crate::automaton::Nwa;
+use nested_words::Symbol;
+
+/// Applies the Theorem 1 construction: returns a weak NWA with
+/// `s·(|Σ|+1)` states accepting the same language as `a`.
+///
+/// States of the result are pairs `(q, b)` encoded as `q·(|Σ|+1) + b`, where
+/// `b < |Σ|` is the symbol labelling the call-parent of the current position
+/// and `b = |Σ|` (written ⊤) means the position is at top level.
+pub fn to_weak(a: &Nwa) -> Nwa {
+    let s = a.num_states();
+    let sigma = a.sigma();
+    assert!(sigma > 0, "weak construction needs a non-empty alphabet");
+    let comps = sigma + 1;
+    let top = sigma;
+    let pair = |q: usize, b: usize| q * comps + b;
+    let mut out = Nwa::new(s * comps, sigma, pair(a.initial(), top));
+    for q in 0..s {
+        for b in 0..comps {
+            let state = pair(q, b);
+            out.set_accepting(state, a.is_accepting(q));
+            for c in 0..sigma {
+                let c_sym = Symbol(c as u16);
+                // internal: δ'i((q,b), c) = (δi(q,c), b)
+                out.set_internal(state, c_sym, pair(a.internal(q, c_sym), b));
+                // call: δ'c((q,b), c) = ((δc^l(q,c), c), (q,b))  — weak
+                out.set_call(state, c_sym, pair(a.call_linear(q, c_sym), c), state);
+            }
+        }
+    }
+    // return transitions
+    for q in 0..s {
+        for x in 0..comps {
+            for qp in 0..s {
+                for b in 0..comps {
+                    for c in 0..sigma {
+                        let c_sym = Symbol(c as u16);
+                        let target = if x == top {
+                            // Pending return: the current position is at top
+                            // level; the hierarchical edge carries the initial
+                            // state of the original automaton (§3.1).
+                            pair(a.ret(q, a.initial(), c_sym), top)
+                        } else {
+                            // Matched return: re-derive the hierarchical
+                            // component the original automaton would have
+                            // propagated at the call (whose symbol is `x`).
+                            let hier = a.call_hier(qp, Symbol(x as u16));
+                            pair(a.ret(q, hier, c_sym), b)
+                        };
+                        out.set_return(pair(q, x), pair(qp, b), c_sym, target);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nested_words::generate::{random_nested_word, NestedWordConfig};
+    use nested_words::tagged::parse_nested_word;
+    use nested_words::{Alphabet, NestedWord, Symbol};
+
+    fn parse(ab: &mut Alphabet, s: &str) -> NestedWord {
+        parse_nested_word(s, ab).unwrap()
+    }
+
+    /// An NWA that genuinely uses its hierarchical component: it accepts
+    /// nested words where matched call/return pairs carry equal labels and
+    /// pending returns are forbidden.
+    fn matching_labels_nwa() -> Nwa {
+        let a = Symbol(0);
+        let b = Symbol(1);
+        let mut m = Nwa::new(4, 2, 0);
+        m.set_accepting(0, true);
+        m.set_all_transitions_to(3, 3);
+        m.set_internal(0, a, 0);
+        m.set_internal(0, b, 0);
+        m.set_call(0, a, 0, 1);
+        m.set_call(0, b, 0, 2);
+        for q in [1usize, 2] {
+            m.set_all_transitions_to(q, 3);
+        }
+        for h in 0..4usize {
+            for (sym, want) in [(a, 1usize), (b, 2usize)] {
+                let target = if h == want { 0 } else { 3 };
+                m.set_return(0, h, sym, target);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn weak_construction_state_count() {
+        let m = matching_labels_nwa();
+        let w = to_weak(&m);
+        assert_eq!(w.num_states(), m.num_states() * (m.sigma() + 1));
+        assert!(w.is_weak());
+        assert!(!m.is_weak());
+    }
+
+    #[test]
+    fn weak_construction_preserves_language_on_samples() {
+        let mut ab = Alphabet::ab();
+        let m = matching_labels_nwa();
+        let w = to_weak(&m);
+        for s in [
+            "",
+            "a b a",
+            "<a a>",
+            "<a b>",
+            "<a <b b> a>",
+            "<a <b a> b>",
+            "<b <a a> <b b> b>",
+            "a>",
+            "b>",
+            "<a",
+            "<a a> b>",
+            "<a a> a>",
+        ] {
+            let word = parse(&mut ab, s);
+            assert_eq!(m.accepts(&word), w.accepts(&word), "word `{s}`");
+        }
+    }
+
+    #[test]
+    fn weak_construction_preserves_language_on_random_words() {
+        let m = matching_labels_nwa();
+        let w = to_weak(&m);
+        let ab = Alphabet::ab();
+        for (allow_pending, seeds) in [(false, 0..40u64), (true, 100..140u64)] {
+            for seed in seeds {
+                let cfg = NestedWordConfig {
+                    len: 60,
+                    allow_pending,
+                    ..Default::default()
+                };
+                let word = random_nested_word(&ab, cfg, seed);
+                assert_eq!(m.accepts(&word), w.accepts(&word), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn weak_of_weak_is_still_weak_and_equivalent() {
+        let m = matching_labels_nwa();
+        let w1 = to_weak(&m);
+        let w2 = to_weak(&w1);
+        assert!(w2.is_weak());
+        let mut ab = Alphabet::ab();
+        for s in ["<a a>", "<a b>", "<b <a a> b>", "a>"] {
+            let word = parse(&mut ab, s);
+            assert_eq!(w1.accepts(&word), w2.accepts(&word), "word `{s}`");
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Context-free grammars and CYK membership.
+//!
+//! Context-free word languages are one of the two incomparable classes that
+//! pushdown nested word automata subsume (Lemma 4 / Theorem 9). The grammar
+//! representation here is the baseline used to cross-validate the pushdown
+//! NWA implementation on classical languages (Dyck words, equal counts).
+
+use std::collections::{HashMap, HashSet};
+
+/// A context-free grammar over terminal indices `0..num_terminals` with
+/// nonterminal indices `0..num_nonterminals`; nonterminal 0 is the start
+/// symbol.
+#[derive(Debug, Clone, Default)]
+pub struct Cfg {
+    num_terminals: usize,
+    num_nonterminals: usize,
+    /// Productions `A → α` where α mixes terminals and nonterminals.
+    productions: Vec<(usize, Vec<GrammarSymbol>)>,
+}
+
+/// One symbol on the right-hand side of a production.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GrammarSymbol {
+    /// A terminal symbol index.
+    Terminal(usize),
+    /// A nonterminal index.
+    Nonterminal(usize),
+}
+
+impl Cfg {
+    /// Creates a grammar with the given number of terminals and
+    /// nonterminals and no productions.
+    pub fn new(num_terminals: usize, num_nonterminals: usize) -> Self {
+        Cfg {
+            num_terminals,
+            num_nonterminals,
+            productions: Vec::new(),
+        }
+    }
+
+    /// Number of terminal symbols.
+    pub fn num_terminals(&self) -> usize {
+        self.num_terminals
+    }
+
+    /// Number of nonterminal symbols.
+    pub fn num_nonterminals(&self) -> usize {
+        self.num_nonterminals
+    }
+
+    /// Adds the production `lhs → rhs`.
+    pub fn add_production(&mut self, lhs: usize, rhs: Vec<GrammarSymbol>) {
+        assert!(lhs < self.num_nonterminals);
+        for s in &rhs {
+            match s {
+                GrammarSymbol::Terminal(t) => assert!(*t < self.num_terminals),
+                GrammarSymbol::Nonterminal(n) => assert!(*n < self.num_nonterminals),
+            }
+        }
+        self.productions.push((lhs, rhs));
+    }
+
+    /// Converts the grammar into Chomsky normal form, returning
+    /// `(unit-free binary rules, terminal rules, nullable_start)`:
+    /// `binary[(B, C)]` is the set of `A` with `A → B C`, `terminal[t]` is
+    /// the set of `A` with `A → t`, and `nullable_start` says whether the
+    /// start symbol derives ε.
+    fn to_cnf(&self) -> CnfGrammar {
+        // Step 1: introduce fresh nonterminals for terminals inside long rules
+        // and break long rules into binary chains. We work over an extended
+        // nonterminal space.
+        let mut next = self.num_nonterminals;
+        let mut term_proxy: HashMap<usize, usize> = HashMap::new();
+        let mut rules: Vec<(usize, Vec<usize>)> = Vec::new(); // all-nonterminal RHS
+        let mut term_rules: Vec<(usize, usize)> = Vec::new(); // A → t
+        let mut eps_rules: HashSet<usize> = HashSet::new(); // A → ε
+
+        for (lhs, rhs) in &self.productions {
+            if rhs.is_empty() {
+                eps_rules.insert(*lhs);
+                continue;
+            }
+            if rhs.len() == 1 {
+                match rhs[0] {
+                    GrammarSymbol::Terminal(t) => term_rules.push((*lhs, t)),
+                    GrammarSymbol::Nonterminal(n) => rules.push((*lhs, vec![n])),
+                }
+                continue;
+            }
+            let mut nts: Vec<usize> = Vec::with_capacity(rhs.len());
+            for s in rhs {
+                match s {
+                    GrammarSymbol::Nonterminal(n) => nts.push(*n),
+                    GrammarSymbol::Terminal(t) => {
+                        let proxy = *term_proxy.entry(*t).or_insert_with(|| {
+                            let p = next;
+                            next += 1;
+                            p
+                        });
+                        nts.push(proxy);
+                    }
+                }
+            }
+            rules.push((*lhs, nts));
+        }
+        for (&t, &proxy) in &term_proxy {
+            term_rules.push((proxy, t));
+        }
+        // Step 2: binarize
+        let mut binary: Vec<(usize, usize, usize)> = Vec::new();
+        let mut unit: Vec<(usize, usize)> = Vec::new();
+        for (lhs, rhs) in rules {
+            match rhs.len() {
+                1 => unit.push((lhs, rhs[0])),
+                2 => binary.push((lhs, rhs[0], rhs[1])),
+                _ => {
+                    let mut current = lhs;
+                    for i in 0..rhs.len() - 2 {
+                        let fresh = next;
+                        next += 1;
+                        binary.push((current, rhs[i], fresh));
+                        current = fresh;
+                    }
+                    binary.push((current, rhs[rhs.len() - 2], rhs[rhs.len() - 1]));
+                }
+            }
+        }
+        // Step 3: nullable elimination (compute nullable set, expand binary
+        // rules, and track whether the start symbol is nullable).
+        let mut nullable: HashSet<usize> = eps_rules.clone();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &(a, b, c) in &binary {
+                if nullable.contains(&b) && nullable.contains(&c) && nullable.insert(a) {
+                    changed = true;
+                }
+            }
+            for &(a, b) in &unit {
+                if nullable.contains(&b) && nullable.insert(a) {
+                    changed = true;
+                }
+            }
+        }
+        let mut extra_units: Vec<(usize, usize)> = Vec::new();
+        for &(a, b, c) in &binary {
+            if nullable.contains(&c) {
+                extra_units.push((a, b));
+            }
+            if nullable.contains(&b) {
+                extra_units.push((a, c));
+            }
+        }
+        let mut all_units: Vec<(usize, usize)> = unit;
+        all_units.extend(extra_units);
+        // Step 4: unit closure (A ⇒* B through unit rules)
+        let total = next;
+        let mut unit_reach: Vec<HashSet<usize>> = (0..total)
+            .map(|a| {
+                let mut s = HashSet::new();
+                s.insert(a);
+                s
+            })
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &(a, b) in &all_units {
+                let to_add: Vec<usize> = unit_reach[b].iter().copied().collect();
+                for x in to_add {
+                    if unit_reach[a].insert(x) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // Final rule tables, folding unit closure into binary/terminal rules.
+        let mut binary_map: HashMap<(usize, usize), HashSet<usize>> = HashMap::new();
+        for a in 0..total {
+            for b in unit_reach[a].iter().copied().collect::<Vec<_>>() {
+                for &(x, y, z) in &binary {
+                    if x == b {
+                        binary_map.entry((y, z)).or_default().insert(a);
+                    }
+                }
+            }
+        }
+        let mut terminal_map: Vec<HashSet<usize>> = vec![HashSet::new(); self.num_terminals];
+        for a in 0..total {
+            for b in unit_reach[a].iter().copied().collect::<Vec<_>>() {
+                for &(x, t) in &term_rules {
+                    if x == b {
+                        terminal_map[t].insert(a);
+                    }
+                }
+            }
+        }
+        CnfGrammar {
+            binary: binary_map,
+            terminal: terminal_map,
+            start_nullable: nullable.contains(&0),
+        }
+    }
+
+    /// CYK membership: `true` iff the start symbol derives `word`.
+    /// `O(|word|³)` after a one-off CNF conversion.
+    pub fn derives(&self, word: &[usize]) -> bool {
+        let cnf = self.to_cnf();
+        cnf.derives(word)
+    }
+
+    /// A grammar for the Dyck language of balanced brackets over one bracket
+    /// pair, encoded with terminal 0 = open and terminal 1 = close.
+    pub fn dyck_one_pair() -> Cfg {
+        use GrammarSymbol::{Nonterminal as N, Terminal as T};
+        let mut g = Cfg::new(2, 1);
+        g.add_production(0, vec![]);
+        g.add_production(0, vec![T(0), N(0), T(1), N(0)]);
+        g
+    }
+
+    /// A grammar for words with equally many 0s and 1s.
+    pub fn equal_counts() -> Cfg {
+        use GrammarSymbol::{Nonterminal as N, Terminal as T};
+        let mut g = Cfg::new(2, 1);
+        g.add_production(0, vec![]);
+        g.add_production(0, vec![T(0), N(0), T(1), N(0)]);
+        g.add_production(0, vec![T(1), N(0), T(0), N(0)]);
+        g
+    }
+}
+
+/// A grammar in (weak) Chomsky normal form with unit and ε elimination
+/// folded in.
+struct CnfGrammar {
+    binary: HashMap<(usize, usize), HashSet<usize>>,
+    terminal: Vec<HashSet<usize>>,
+    start_nullable: bool,
+}
+
+impl CnfGrammar {
+    fn derives(&self, word: &[usize]) -> bool {
+        let n = word.len();
+        if n == 0 {
+            return self.start_nullable;
+        }
+        // table[i][l] = set of nonterminals deriving word[i..i+l]
+        let mut table: Vec<Vec<HashSet<usize>>> = vec![vec![HashSet::new(); n + 1]; n];
+        for i in 0..n {
+            table[i][1] = self.terminal[word[i]].clone();
+        }
+        for l in 2..=n {
+            for i in 0..=n - l {
+                let mut cell = HashSet::new();
+                for split in 1..l {
+                    let left = table[i][split].clone();
+                    let right = table[i + split][l - split].clone();
+                    for &b in &left {
+                        for &c in &right {
+                            if let Some(heads) = self.binary.get(&(b, c)) {
+                                cell.extend(heads.iter().copied());
+                            }
+                        }
+                    }
+                }
+                table[i][l] = cell;
+            }
+        }
+        table[0][n].contains(&0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dyck_membership() {
+        let g = Cfg::dyck_one_pair();
+        assert!(g.derives(&[]));
+        assert!(g.derives(&[0, 1]));
+        assert!(g.derives(&[0, 0, 1, 1, 0, 1]));
+        assert!(!g.derives(&[0]));
+        assert!(!g.derives(&[1, 0]));
+        assert!(!g.derives(&[0, 1, 1]));
+    }
+
+    #[test]
+    fn equal_counts_membership() {
+        let g = Cfg::equal_counts();
+        assert!(g.derives(&[]));
+        assert!(g.derives(&[1, 0]));
+        assert!(g.derives(&[1, 0, 0, 1]));
+        assert!(g.derives(&[0, 0, 1, 1]));
+        assert!(!g.derives(&[0, 0, 1]));
+        assert!(!g.derives(&[1]));
+    }
+
+    #[test]
+    fn anbn_grammar() {
+        use GrammarSymbol::{Nonterminal as N, Terminal as T};
+        let mut g = Cfg::new(2, 1);
+        g.add_production(0, vec![]);
+        g.add_production(0, vec![T(0), N(0), T(1)]);
+        for n in 0..6 {
+            let mut w = vec![0; n];
+            w.extend(vec![1; n]);
+            assert!(g.derives(&w), "a^{n} b^{n}");
+        }
+        assert!(!g.derives(&[0, 1, 0, 1]));
+        assert!(!g.derives(&[0, 0, 1]));
+    }
+
+    #[test]
+    fn unit_and_long_rules_are_handled() {
+        use GrammarSymbol::{Nonterminal as N, Terminal as T};
+        // S → A ; A → B ; B → a b a b (long rule with terminals)
+        let mut g = Cfg::new(2, 3);
+        g.add_production(0, vec![N(1)]);
+        g.add_production(1, vec![N(2)]);
+        g.add_production(2, vec![T(0), T(1), T(0), T(1)]);
+        assert!(g.derives(&[0, 1, 0, 1]));
+        assert!(!g.derives(&[0, 1]));
+        assert!(!g.derives(&[]));
+    }
+
+    #[test]
+    fn nullable_nonterminals_inside_rules() {
+        use GrammarSymbol::{Nonterminal as N, Terminal as T};
+        // S → A a A ; A → ε | a
+        let mut g = Cfg::new(1, 2);
+        g.add_production(0, vec![N(1), T(0), N(1)]);
+        g.add_production(1, vec![]);
+        g.add_production(1, vec![T(0)]);
+        assert!(g.derives(&[0]));
+        assert!(g.derives(&[0, 0]));
+        assert!(g.derives(&[0, 0, 0]));
+        assert!(!g.derives(&[]));
+        assert!(!g.derives(&[0, 0, 0, 0]));
+    }
+}

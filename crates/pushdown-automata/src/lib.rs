@@ -1,0 +1,16 @@
+//! # pushdown-automata
+//!
+//! The context-free substrate of the reproduction of "Marrying Words and
+//! Trees" (PODS 2007): context-free grammars with CYK parsing (the classical
+//! representation of context-free *word* languages, Lemma 4's baseline) and
+//! top-down pushdown *tree* automata (Guessarian; Lemma 5's baseline and the
+//! model whose emptiness procedure §4.4 generalizes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grammar;
+pub mod tree_pda;
+
+pub use grammar::Cfg;
+pub use tree_pda::PushdownTreeAutomaton;

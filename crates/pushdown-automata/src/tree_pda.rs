@@ -1,0 +1,267 @@
+//! Top-down pushdown tree automata over binary trees (Guessarian 1983),
+//! the tree baseline of §4 of the paper.
+//!
+//! A configuration is a state plus a stack. A rule fires at a node: it reads
+//! the node label and the top stack symbol and sends one configuration to
+//! each child, replacing the popped symbol by a (possibly empty) string in
+//! each child's copy of the stack — the same stack content can thus be
+//! consumed along multiple branches, which is what makes membership
+//! NP-complete and emptiness EXPTIME-complete for these machines (§4.3,
+//! §4.4). Acceptance is by empty stack at every leaf.
+
+use nested_words::{OrderedTree, Symbol};
+
+/// A rule of a pushdown tree automaton: at a node labelled `label`, in state
+/// `state`, with `pop` on top of the stack, send `children[i]` (a state and
+/// a replacement string pushed in place of `pop`) to the `i`-th child. The
+/// rule only applies to nodes whose arity equals `children.len()`.
+#[derive(Debug, Clone)]
+pub struct TreeRule {
+    /// Current state.
+    pub state: usize,
+    /// Node label the rule reads.
+    pub label: Symbol,
+    /// Stack symbol popped by the rule.
+    pub pop: usize,
+    /// One `(state, pushed string)` pair per child; empty for leaves.
+    pub children: Vec<(usize, Vec<usize>)>,
+}
+
+/// A nondeterministic top-down pushdown tree automaton over binary trees.
+#[derive(Debug, Clone, Default)]
+pub struct PushdownTreeAutomaton {
+    num_states: usize,
+    num_stack_symbols: usize,
+    initial_state: usize,
+    /// The initial stack content (bottom last).
+    initial_stack: Vec<usize>,
+    rules: Vec<TreeRule>,
+}
+
+impl PushdownTreeAutomaton {
+    /// Creates an automaton with the given state and stack-symbol counts,
+    /// starting in `initial_state` with `initial_stack` (top first).
+    pub fn new(
+        num_states: usize,
+        num_stack_symbols: usize,
+        initial_state: usize,
+        initial_stack: Vec<usize>,
+    ) -> Self {
+        PushdownTreeAutomaton {
+            num_states,
+            num_stack_symbols,
+            initial_state,
+            initial_stack,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of stack symbols.
+    pub fn num_stack_symbols(&self) -> usize {
+        self.num_stack_symbols
+    }
+
+    /// Adds a rule.
+    pub fn add_rule(&mut self, rule: TreeRule) {
+        assert!(rule.state < self.num_states);
+        assert!(rule.pop < self.num_stack_symbols);
+        self.rules.push(rule);
+    }
+
+    /// Returns `true` if the automaton accepts `tree` (empty stack at every
+    /// leaf).
+    pub fn accepts(&self, tree: &OrderedTree) -> bool {
+        self.accepts_from(self.initial_state, &self.initial_stack, tree)
+    }
+
+    fn accepts_from(&self, state: usize, stack: &[usize], tree: &OrderedTree) -> bool {
+        let OrderedTree::Node { label, children } = tree else {
+            return false;
+        };
+        let Some((&top, rest)) = stack.split_first() else {
+            return false;
+        };
+        for rule in &self.rules {
+            if rule.state != state
+                || rule.label != *label
+                || rule.pop != top
+                || rule.children.len() != children.len()
+            {
+                continue;
+            }
+            if children.is_empty() {
+                // leaf: accept this branch iff the remaining stack is empty
+                if rest.is_empty() {
+                    return true;
+                }
+                continue;
+            }
+            let ok = rule.children.iter().zip(children).all(|((q, push), child)| {
+                let mut new_stack = push.clone();
+                new_stack.extend_from_slice(rest);
+                self.accepts_from(*q, &new_stack, child)
+            });
+            if ok {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// A pushdown tree automaton for a context-free (and non-regular) tree
+    /// language of *chains*: a unary chain of `n` `a`-nodes followed by a
+    /// unary chain of `n + 1` `b`-nodes — the tree analogue of `aⁿbⁿ⁺¹`.
+    ///
+    /// Used by the expressiveness tests and by experiment E9.
+    pub fn comb_language(a: Symbol, b: Symbol) -> PushdownTreeAutomaton {
+        // stack symbols: 0 = ⊥ (bottom), 1 = counter
+        // states: 0 = reading a-chain, 1 = reading b-chain
+        let mut pda = PushdownTreeAutomaton::new(2, 2, 0, vec![0]);
+        // a-node with one child: push a counter
+        pda.add_rule(TreeRule {
+            state: 0,
+            label: a,
+            pop: 0,
+            children: vec![(0, vec![1, 0])],
+        });
+        pda.add_rule(TreeRule {
+            state: 0,
+            label: a,
+            pop: 1,
+            children: vec![(0, vec![1, 1])],
+        });
+        // switch to the b-chain: the first b consumes one counter
+        pda.add_rule(TreeRule {
+            state: 0,
+            label: b,
+            pop: 1,
+            children: vec![(1, vec![])],
+        });
+        pda.add_rule(TreeRule {
+            state: 1,
+            label: b,
+            pop: 1,
+            children: vec![(1, vec![])],
+        });
+        // the last b pops the bottom marker at a leaf
+        pda.add_rule(TreeRule {
+            state: 1,
+            label: b,
+            pop: 0,
+            children: vec![],
+        });
+        pda.add_rule(TreeRule {
+            state: 0,
+            label: b,
+            pop: 0,
+            children: vec![],
+        });
+        pda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nested_words::Alphabet;
+
+    fn syms() -> (Symbol, Symbol) {
+        let ab = Alphabet::ab();
+        (ab.lookup("a").unwrap(), ab.lookup("b").unwrap())
+    }
+
+    /// Builds the chain tree a^n(b^m leafwards): n `a`-nodes then m `b`-nodes,
+    /// all unary, ending in a `b`-leaf (m ≥ 1).
+    fn chain(a: Symbol, b: Symbol, n: usize, m: usize) -> OrderedTree {
+        assert!(m >= 1);
+        let mut t = OrderedTree::leaf(b);
+        for _ in 0..m - 1 {
+            t = OrderedTree::node(b, vec![t]);
+        }
+        for _ in 0..n {
+            t = OrderedTree::node(a, vec![t]);
+        }
+        t
+    }
+
+    #[test]
+    fn comb_language_accepts_matching_lengths() {
+        let (a, b) = syms();
+        let pda = PushdownTreeAutomaton::comb_language(a, b);
+        for n in 0..6 {
+            assert!(pda.accepts(&chain(a, b, n, n + 1)), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn comb_language_rejects_mismatched_lengths() {
+        let (a, b) = syms();
+        let pda = PushdownTreeAutomaton::comb_language(a, b);
+        for (n, m) in [(1usize, 1usize), (2, 1), (3, 5), (4, 3), (0, 2), (2, 4)] {
+            assert!(!pda.accepts(&chain(a, b, n, m)), "n = {n}, m = {m}");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_shapes() {
+        let (a, b) = syms();
+        let pda = PushdownTreeAutomaton::comb_language(a, b);
+        // a binary node has no rule
+        let t = OrderedTree::node(a, vec![OrderedTree::leaf(b), OrderedTree::leaf(b)]);
+        assert!(!pda.accepts(&t));
+        // an a-leaf has no accepting rule
+        assert!(!pda.accepts(&OrderedTree::leaf(a)));
+        assert!(!pda.accepts(&OrderedTree::Empty));
+    }
+
+    #[test]
+    fn branching_rules_copy_the_stack() {
+        let (a, b) = syms();
+        // language: a-root whose two children are both b-chains of length
+        // equal to 1 + number of ... simply: a(bⁿ, bⁿ) where the same counter
+        // stack is sent to both children — demonstrates stack duplication.
+        let mut pda = PushdownTreeAutomaton::new(1, 2, 0, vec![1, 1, 0]);
+        pda.add_rule(TreeRule {
+            state: 0,
+            label: a,
+            pop: 1,
+            children: vec![(0, vec![]), (0, vec![])],
+        });
+        pda.add_rule(TreeRule {
+            state: 0,
+            label: b,
+            pop: 1,
+            children: vec![(0, vec![])],
+        });
+        pda.add_rule(TreeRule {
+            state: 0,
+            label: b,
+            pop: 0,
+            children: vec![],
+        });
+        // initial stack has two counters: root a consumes one, each child
+        // must then be a b-chain consuming one counter and the bottom marker:
+        // b(b(leaf)) on both sides
+        let good = OrderedTree::node(
+            a,
+            vec![
+                OrderedTree::node(b, vec![OrderedTree::leaf(b)]),
+                OrderedTree::node(b, vec![OrderedTree::leaf(b)]),
+            ],
+        );
+        let bad = OrderedTree::node(
+            a,
+            vec![
+                OrderedTree::node(b, vec![OrderedTree::leaf(b)]),
+                OrderedTree::leaf(b),
+            ],
+        );
+        assert!(pda.accepts(&good));
+        assert!(!pda.accepts(&bad));
+    }
+}

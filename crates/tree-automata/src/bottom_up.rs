@@ -1,0 +1,260 @@
+//! Nondeterministic bottom-up tree automata over binary trees.
+//!
+//! A bottom-up automaton assigns states to nodes from the leaves upward:
+//! leaf rules `δ₀ ⊆ Σ × Q`, unary rules `δ₁ ⊆ Q × Σ × Q` and binary rules
+//! `δ₂ ⊆ Q × Q × Σ × Q`; a tree is accepted when its root can be labelled
+//! with a final state. These are the classical acceptors of regular binary
+//! tree languages that §3.4 of the paper generalizes.
+
+use nested_words::{OrderedTree, Symbol};
+use std::collections::{BTreeSet, HashSet};
+
+/// A nondeterministic bottom-up tree automaton over binary trees (nodes with
+/// at most two children).
+#[derive(Debug, Clone, Default)]
+pub struct BottomUpBinaryTA {
+    num_states: usize,
+    /// Leaf rules: (label, state).
+    leaf_rules: Vec<(Symbol, usize)>,
+    /// Unary rules: (child state, label, state).
+    unary_rules: Vec<(usize, Symbol, usize)>,
+    /// Binary rules: (left state, right state, label, state).
+    binary_rules: Vec<(usize, usize, Symbol, usize)>,
+    accepting: HashSet<usize>,
+}
+
+impl BottomUpBinaryTA {
+    /// Creates an automaton with `num_states` states and no rules.
+    pub fn new(num_states: usize) -> Self {
+        BottomUpBinaryTA {
+            num_states,
+            ..Default::default()
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Adds a fresh state and returns its index.
+    pub fn add_state(&mut self) -> usize {
+        self.num_states += 1;
+        self.num_states - 1
+    }
+
+    /// Adds the leaf rule `a → q`.
+    pub fn add_leaf_rule(&mut self, label: Symbol, q: usize) {
+        self.leaf_rules.push((label, q));
+    }
+
+    /// Adds the unary rule `a(q₁) → q`.
+    pub fn add_unary_rule(&mut self, child: usize, label: Symbol, q: usize) {
+        self.unary_rules.push((child, label, q));
+    }
+
+    /// Adds the binary rule `a(q₁, q₂) → q`.
+    pub fn add_binary_rule(&mut self, left: usize, right: usize, label: Symbol, q: usize) {
+        self.binary_rules.push((left, right, label, q));
+    }
+
+    /// Marks `q` as accepting.
+    pub fn add_accepting(&mut self, q: usize) {
+        self.accepting.insert(q);
+    }
+
+    /// Returns `true` if `q` is accepting.
+    pub fn is_accepting(&self, q: usize) -> bool {
+        self.accepting.contains(&q)
+    }
+
+    /// The set of states assignable to the root of `tree`.
+    pub fn states_of(&self, tree: &OrderedTree) -> BTreeSet<usize> {
+        match tree {
+            OrderedTree::Empty => BTreeSet::new(),
+            OrderedTree::Node { label, children } => match children.len() {
+                0 => self
+                    .leaf_rules
+                    .iter()
+                    .filter(|(a, _)| a == label)
+                    .map(|&(_, q)| q)
+                    .collect(),
+                1 => {
+                    let c = self.states_of(&children[0]);
+                    self.unary_rules
+                        .iter()
+                        .filter(|(c1, a, _)| a == label && c.contains(c1))
+                        .map(|&(_, _, q)| q)
+                        .collect()
+                }
+                2 => {
+                    let l = self.states_of(&children[0]);
+                    let r = self.states_of(&children[1]);
+                    self.binary_rules
+                        .iter()
+                        .filter(|(l1, r1, a, _)| a == label && l.contains(l1) && r.contains(r1))
+                        .map(|&(_, _, _, q)| q)
+                        .collect()
+                }
+                _ => BTreeSet::new(), // not a binary tree: reject
+            },
+        }
+    }
+
+    /// Returns `true` if the automaton accepts `tree`.
+    pub fn accepts(&self, tree: &OrderedTree) -> bool {
+        self.states_of(tree)
+            .iter()
+            .any(|q| self.accepting.contains(q))
+    }
+
+    /// Emptiness check: computes the set of reachable (inhabited) states by
+    /// saturation and tests whether it meets the accepting set.
+    pub fn is_empty(&self) -> bool {
+        let mut inhabited: HashSet<usize> = HashSet::new();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &(_, q) in &self.leaf_rules {
+                changed |= inhabited.insert(q);
+            }
+            for &(c, _, q) in &self.unary_rules {
+                if inhabited.contains(&c) {
+                    changed |= inhabited.insert(q);
+                }
+            }
+            for &(l, r, _, q) in &self.binary_rules {
+                if inhabited.contains(&l) && inhabited.contains(&r) {
+                    changed |= inhabited.insert(q);
+                }
+            }
+        }
+        !inhabited.iter().any(|q| self.accepting.contains(q))
+    }
+
+    /// Builds the automaton accepting all binary trees over an alphabet of
+    /// size `sigma` (a single universal state).
+    pub fn universal(sigma: usize) -> Self {
+        let mut ta = BottomUpBinaryTA::new(1);
+        for s in 0..sigma {
+            let a = Symbol(s as u16);
+            ta.add_leaf_rule(a, 0);
+            ta.add_unary_rule(0, a, 0);
+            ta.add_binary_rule(0, 0, a, 0);
+        }
+        ta.add_accepting(0);
+        ta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nested_words::Alphabet;
+
+    fn syms() -> (Symbol, Symbol) {
+        let ab = Alphabet::ab();
+        (ab.lookup("a").unwrap(), ab.lookup("b").unwrap())
+    }
+
+    /// Automaton accepting binary trees containing at least one b-labelled node.
+    fn contains_b() -> BottomUpBinaryTA {
+        let (a, b) = syms();
+        // state 0 = no b seen, state 1 = b seen
+        let mut ta = BottomUpBinaryTA::new(2);
+        ta.add_leaf_rule(a, 0);
+        ta.add_leaf_rule(b, 1);
+        for label in [a, b] {
+            let hit = label == b;
+            for c in 0..2usize {
+                let target = usize::from(hit || c == 1);
+                ta.add_unary_rule(c, label, target);
+            }
+            for l in 0..2usize {
+                for r in 0..2usize {
+                    let target = usize::from(hit || l == 1 || r == 1);
+                    ta.add_binary_rule(l, r, label, target);
+                }
+            }
+        }
+        ta.add_accepting(1);
+        ta
+    }
+
+    #[test]
+    fn accepts_trees_with_b() {
+        let (a, b) = syms();
+        let ta = contains_b();
+        let t1 = OrderedTree::node(a, vec![OrderedTree::leaf(a), OrderedTree::leaf(b)]);
+        let t2 = OrderedTree::node(a, vec![OrderedTree::leaf(a)]);
+        let t3 = OrderedTree::leaf(b);
+        assert!(ta.accepts(&t1));
+        assert!(!ta.accepts(&t2));
+        assert!(ta.accepts(&t3));
+        assert!(!ta.accepts(&OrderedTree::leaf(a)));
+    }
+
+    #[test]
+    fn rejects_non_binary_trees() {
+        let (a, b) = syms();
+        let ta = contains_b();
+        let wide = OrderedTree::node(
+            b,
+            vec![
+                OrderedTree::leaf(a),
+                OrderedTree::leaf(a),
+                OrderedTree::leaf(a),
+            ],
+        );
+        assert!(!ta.accepts(&wide));
+    }
+
+    #[test]
+    fn empty_tree_is_rejected() {
+        let ta = contains_b();
+        assert!(!ta.accepts(&OrderedTree::Empty));
+    }
+
+    #[test]
+    fn emptiness_detection() {
+        let (a, _) = syms();
+        let ta = contains_b();
+        assert!(!ta.is_empty());
+        // automaton with unreachable accepting state
+        let mut dead = BottomUpBinaryTA::new(2);
+        dead.add_leaf_rule(a, 0);
+        dead.add_accepting(1);
+        assert!(dead.is_empty());
+        // no accepting states at all
+        let mut none = BottomUpBinaryTA::new(1);
+        none.add_leaf_rule(a, 0);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn universal_automaton_accepts_everything_binary() {
+        let (a, b) = syms();
+        let ta = BottomUpBinaryTA::universal(2);
+        let t = OrderedTree::node(
+            a,
+            vec![
+                OrderedTree::node(b, vec![OrderedTree::leaf(a), OrderedTree::leaf(b)]),
+                OrderedTree::leaf(a),
+            ],
+        );
+        assert!(ta.accepts(&t));
+        assert!(!ta.is_empty());
+    }
+
+    #[test]
+    fn nondeterminism_unions_rules() {
+        let (a, _) = syms();
+        // two leaf rules for the same label, only one leads to acceptance
+        let mut ta = BottomUpBinaryTA::new(2);
+        ta.add_leaf_rule(a, 0);
+        ta.add_leaf_rule(a, 1);
+        ta.add_accepting(1);
+        assert!(ta.accepts(&OrderedTree::leaf(a)));
+        assert_eq!(ta.states_of(&OrderedTree::leaf(a)).len(), 2);
+    }
+}

@@ -1,0 +1,476 @@
+//! Stepwise bottom-up tree automata over unranked ordered trees
+//! (Brüggemann-Klein–Murata–Wood [5], Martens–Niehren [15]).
+//!
+//! A stepwise automaton evaluates a node by first applying an initial
+//! assignment to the node label and then folding in the values of the
+//! children one at a time with a binary `combine` operation:
+//!
+//! ```text
+//! eval(a(t₁,…,tₙ)) = combine(…combine(combine(init(a), eval(t₁)), eval(t₂))…, eval(tₙ))
+//! ```
+//!
+//! Lemma 1 of the paper identifies stepwise automata with weak bottom-up
+//! nested word automata whose return transition ignores its symbol, and the
+//! succinctness experiments (E5, E14) report the size of the *minimal
+//! deterministic* stepwise automaton computed here.
+
+use nested_words::{OrderedTree, Symbol};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// A deterministic stepwise bottom-up tree automaton.
+///
+/// `init` and `combine` are total: missing entries go to an implicit sink
+/// that is added by [`DetStepwiseTA::new`].
+#[derive(Debug, Clone)]
+pub struct DetStepwiseTA {
+    num_states: usize,
+    sigma: usize,
+    /// `init[a]` — state assigned to an `a`-labelled node before children.
+    init: Vec<usize>,
+    /// `combine[q * num_states + r]` — state after folding child value `r`
+    /// into partial value `q`.
+    combine: Vec<usize>,
+    accepting: Vec<bool>,
+}
+
+impl DetStepwiseTA {
+    /// Creates a deterministic stepwise automaton with `num_states` states
+    /// over an alphabet of `sigma` symbols. All entries initially point at
+    /// state 0; callers overwrite them with [`DetStepwiseTA::set_init`] and
+    /// [`DetStepwiseTA::set_combine`].
+    pub fn new(num_states: usize, sigma: usize) -> Self {
+        assert!(num_states > 0, "need at least one state");
+        DetStepwiseTA {
+            num_states,
+            sigma,
+            init: vec![0; sigma],
+            combine: vec![0; num_states * num_states],
+            accepting: vec![false; num_states],
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Alphabet size.
+    pub fn sigma(&self) -> usize {
+        self.sigma
+    }
+
+    /// Sets `init(label) = q`.
+    pub fn set_init(&mut self, label: Symbol, q: usize) {
+        self.init[label.index()] = q;
+    }
+
+    /// Returns `init(label)`.
+    pub fn init(&self, label: Symbol) -> usize {
+        self.init[label.index()]
+    }
+
+    /// Sets `combine(q, child) = target`.
+    pub fn set_combine(&mut self, q: usize, child: usize, target: usize) {
+        self.combine[q * self.num_states + child] = target;
+    }
+
+    /// Returns `combine(q, child)`.
+    pub fn combine(&self, q: usize, child: usize) -> usize {
+        self.combine[q * self.num_states + child]
+    }
+
+    /// Marks a state as accepting.
+    pub fn set_accepting(&mut self, q: usize, accepting: bool) {
+        self.accepting[q] = accepting;
+    }
+
+    /// Returns `true` if `q` is accepting.
+    pub fn is_accepting(&self, q: usize) -> bool {
+        self.accepting[q]
+    }
+
+    /// Evaluates a tree to its state. Returns `None` on the empty tree.
+    pub fn eval(&self, tree: &OrderedTree) -> Option<usize> {
+        match tree {
+            OrderedTree::Empty => None,
+            OrderedTree::Node { label, children } => {
+                let mut q = self.init(*label);
+                for c in children {
+                    let r = self.eval(c)?;
+                    q = self.combine(q, r);
+                }
+                Some(q)
+            }
+        }
+    }
+
+    /// Returns `true` if the automaton accepts `tree`.
+    pub fn accepts(&self, tree: &OrderedTree) -> bool {
+        self.eval(tree).map(|q| self.accepting[q]).unwrap_or(false)
+    }
+
+    /// States reachable as values of partial or complete evaluations.
+    pub fn reachable_states(&self) -> BTreeSet<usize> {
+        let mut reach: BTreeSet<usize> = self.init.iter().copied().collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            let snapshot: Vec<usize> = reach.iter().copied().collect();
+            for &q in &snapshot {
+                for &r in &snapshot {
+                    if reach.insert(self.combine(q, r)) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        reach
+    }
+
+    /// Emptiness test.
+    pub fn is_empty(&self) -> bool {
+        !self.reachable_states().iter().any(|&q| self.accepting[q])
+    }
+
+    /// Minimizes the automaton: restricts to reachable states and merges
+    /// congruent states (same acceptance and pointwise-congruent `combine`
+    /// behaviour on both sides). Returns the minimal deterministic stepwise
+    /// automaton for the same tree language.
+    pub fn minimize(&self) -> DetStepwiseTA {
+        let reach: Vec<usize> = self.reachable_states().into_iter().collect();
+        let index_of: HashMap<usize, usize> = reach.iter().enumerate().map(|(i, &q)| (q, i)).collect();
+        let n = reach.len();
+        if n == 0 {
+            return DetStepwiseTA::new(1, self.sigma);
+        }
+
+        // Moore-style refinement over the reachable states.
+        let mut block_of: Vec<usize> = reach
+            .iter()
+            .map(|&q| usize::from(self.accepting[q]))
+            .collect();
+        let mut num_blocks = 1 + block_of.iter().copied().max().unwrap_or(0);
+        loop {
+            let mut sig_to_block: HashMap<(usize, Vec<(usize, usize)>), usize> = HashMap::new();
+            let mut new_block_of = vec![0usize; n];
+            for (i, &q) in reach.iter().enumerate() {
+                let mut sig = Vec::with_capacity(2 * n);
+                for (j, &r) in reach.iter().enumerate() {
+                    let left = block_of[index_of[&self.combine(q, r)]];
+                    let right = block_of[index_of[&self.combine(r, q)]];
+                    sig.push((left, right));
+                    let _ = j;
+                }
+                let key = (block_of[i], sig);
+                let next = sig_to_block.len();
+                new_block_of[i] = *sig_to_block.entry(key).or_insert(next);
+            }
+            let new_num = sig_to_block.len();
+            let stable = new_num == num_blocks;
+            block_of = new_block_of;
+            num_blocks = new_num;
+            if stable {
+                break;
+            }
+        }
+
+        let mut out = DetStepwiseTA::new(num_blocks, self.sigma);
+        for (i, &q) in reach.iter().enumerate() {
+            let b = block_of[i];
+            out.accepting[b] = self.accepting[q];
+            for (j, &r) in reach.iter().enumerate() {
+                let t = block_of[index_of[&self.combine(q, r)]];
+                out.set_combine(b, block_of[j], t);
+            }
+        }
+        for a in 0..self.sigma {
+            let q = self.init[a];
+            out.init[a] = block_of[index_of[&q]];
+        }
+        out
+    }
+}
+
+/// A nondeterministic stepwise bottom-up tree automaton.
+#[derive(Debug, Clone, Default)]
+pub struct StepwiseTA {
+    num_states: usize,
+    sigma: usize,
+    init: Vec<(Symbol, usize)>,
+    combine: Vec<(usize, usize, usize)>,
+    accepting: HashSet<usize>,
+}
+
+impl StepwiseTA {
+    /// Creates a nondeterministic stepwise automaton with `num_states`
+    /// states over an alphabet of `sigma` symbols.
+    pub fn new(num_states: usize, sigma: usize) -> Self {
+        StepwiseTA {
+            num_states,
+            sigma,
+            ..Default::default()
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Adds `q ∈ init(label)`.
+    pub fn add_init(&mut self, label: Symbol, q: usize) {
+        self.init.push((label, q));
+    }
+
+    /// Adds `(q, child) → target` to the combine relation.
+    pub fn add_combine(&mut self, q: usize, child: usize, target: usize) {
+        self.combine.push((q, child, target));
+    }
+
+    /// Marks a state as accepting.
+    pub fn add_accepting(&mut self, q: usize) {
+        self.accepting.insert(q);
+    }
+
+    /// The set of states a tree can evaluate to.
+    pub fn eval(&self, tree: &OrderedTree) -> BTreeSet<usize> {
+        match tree {
+            OrderedTree::Empty => BTreeSet::new(),
+            OrderedTree::Node { label, children } => {
+                let mut current: BTreeSet<usize> = self
+                    .init
+                    .iter()
+                    .filter(|(a, _)| a == label)
+                    .map(|&(_, q)| q)
+                    .collect();
+                for c in children {
+                    let child_states = self.eval(c);
+                    let mut next = BTreeSet::new();
+                    for &(q, r, t) in &self.combine {
+                        if current.contains(&q) && child_states.contains(&r) {
+                            next.insert(t);
+                        }
+                    }
+                    current = next;
+                }
+                current
+            }
+        }
+    }
+
+    /// Returns `true` if the automaton accepts `tree`.
+    pub fn accepts(&self, tree: &OrderedTree) -> bool {
+        self.eval(tree).iter().any(|q| self.accepting.contains(q))
+    }
+
+    /// Determinizes via the subset construction; the result's states are
+    /// reachable subsets (plus an implicit empty subset acting as sink).
+    pub fn determinize(&self) -> DetStepwiseTA {
+        // Collect init subsets per label.
+        let mut init_sets: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); self.sigma];
+        for &(a, q) in &self.init {
+            init_sets[a.index()].insert(q);
+        }
+        let mut subset_index: HashMap<BTreeSet<usize>, usize> = HashMap::new();
+        let mut subsets: Vec<BTreeSet<usize>> = Vec::new();
+        let mut intern = |s: BTreeSet<usize>,
+                          subsets: &mut Vec<BTreeSet<usize>>,
+                          queue: &mut VecDeque<usize>,
+                          subset_index: &mut HashMap<BTreeSet<usize>, usize>|
+         -> usize {
+            if let Some(&i) = subset_index.get(&s) {
+                return i;
+            }
+            let i = subsets.len();
+            subset_index.insert(s.clone(), i);
+            subsets.push(s);
+            queue.push_back(i);
+            i
+        };
+
+        let mut queue = VecDeque::new();
+        // The empty subset is the sink and must be state 0 so DetStepwiseTA's
+        // defaults (everything points at 0) stay consistent.
+        intern(BTreeSet::new(), &mut subsets, &mut queue, &mut subset_index);
+        let init_idx: Vec<usize> = init_sets
+            .iter()
+            .map(|s| intern(s.clone(), &mut subsets, &mut queue, &mut subset_index))
+            .collect();
+
+        // Explore the combine table over discovered subsets.
+        let mut table: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut processed = 0usize;
+        while processed < subsets.len() {
+            // (re)process all pairs among subsets seen so far
+            let count = subsets.len();
+            for qi in 0..count {
+                for ri in 0..count {
+                    if table.contains_key(&(qi, ri)) {
+                        continue;
+                    }
+                    let mut next = BTreeSet::new();
+                    for &(q, r, t) in &self.combine {
+                        if subsets[qi].contains(&q) && subsets[ri].contains(&r) {
+                            next.insert(t);
+                        }
+                    }
+                    let ti = intern(next, &mut subsets, &mut queue, &mut subset_index);
+                    table.insert((qi, ri), ti);
+                }
+            }
+            processed = count;
+        }
+
+        let mut det = DetStepwiseTA::new(subsets.len(), self.sigma);
+        for (a, &idx) in init_idx.iter().enumerate() {
+            det.set_init(Symbol(a as u16), idx);
+        }
+        for (&(q, r), &t) in &table {
+            det.set_combine(q, r, t);
+        }
+        for (i, s) in subsets.iter().enumerate() {
+            det.set_accepting(i, s.iter().any(|q| self.accepting.contains(q)));
+        }
+        det
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nested_words::Alphabet;
+
+    fn syms() -> (Symbol, Symbol) {
+        let ab = Alphabet::ab();
+        (ab.lookup("a").unwrap(), ab.lookup("b").unwrap())
+    }
+
+    /// Deterministic stepwise automaton for "the tree contains a b-labelled
+    /// node" over unranked {a,b}-trees. State 1 = seen, 0 = not seen.
+    fn det_contains_b() -> DetStepwiseTA {
+        let (a, b) = syms();
+        let mut ta = DetStepwiseTA::new(2, 2);
+        ta.set_init(a, 0);
+        ta.set_init(b, 1);
+        for q in 0..2 {
+            for r in 0..2 {
+                ta.set_combine(q, r, usize::from(q == 1 || r == 1));
+            }
+        }
+        ta.set_accepting(1, true);
+        ta
+    }
+
+    #[test]
+    fn det_stepwise_membership() {
+        let (a, b) = syms();
+        let ta = det_contains_b();
+        let wide_with_b = OrderedTree::node(
+            a,
+            vec![
+                OrderedTree::leaf(a),
+                OrderedTree::leaf(a),
+                OrderedTree::node(a, vec![OrderedTree::leaf(b)]),
+                OrderedTree::leaf(a),
+            ],
+        );
+        let wide_without = OrderedTree::node(
+            a,
+            (0..5).map(|_| OrderedTree::leaf(a)).collect(),
+        );
+        assert!(ta.accepts(&wide_with_b));
+        assert!(!ta.accepts(&wide_without));
+        assert!(ta.accepts(&OrderedTree::leaf(b)));
+        assert!(!ta.accepts(&OrderedTree::Empty));
+    }
+
+    #[test]
+    fn reachability_and_emptiness() {
+        let ta = det_contains_b();
+        assert_eq!(ta.reachable_states().len(), 2);
+        assert!(!ta.is_empty());
+        let mut dead = DetStepwiseTA::new(3, 2);
+        // accepting state 2 is never reachable
+        dead.set_accepting(2, true);
+        assert!(dead.is_empty());
+    }
+
+    #[test]
+    fn minimize_merges_redundant_states() {
+        let (a, b) = syms();
+        // 4-state automaton where states 2,3 duplicate 0,1
+        let mut ta = DetStepwiseTA::new(4, 2);
+        ta.set_init(a, 2);
+        ta.set_init(b, 3);
+        for (q, r, t) in [
+            (2, 2, 0),
+            (2, 3, 1),
+            (3, 2, 1),
+            (3, 3, 1),
+            (0, 0, 0),
+            (0, 1, 1),
+            (1, 0, 1),
+            (1, 1, 1),
+            (2, 0, 0),
+            (0, 2, 0),
+            (2, 1, 1),
+            (1, 2, 1),
+            (3, 0, 1),
+            (0, 3, 1),
+            (3, 1, 1),
+            (1, 3, 1),
+        ] {
+            ta.set_combine(q, r, t);
+        }
+        ta.set_accepting(1, true);
+        ta.set_accepting(3, true);
+        let min = ta.minimize();
+        assert_eq!(min.num_states(), 2);
+        // language preserved on samples
+        let trees = [
+            OrderedTree::leaf(a),
+            OrderedTree::leaf(b),
+            OrderedTree::node(a, vec![OrderedTree::leaf(a), OrderedTree::leaf(b)]),
+            OrderedTree::node(a, vec![OrderedTree::leaf(a)]),
+        ];
+        for t in &trees {
+            assert_eq!(ta.accepts(t), min.accepts(t));
+        }
+    }
+
+    #[test]
+    fn nondeterministic_stepwise_and_determinization() {
+        let (a, b) = syms();
+        // Nondeterministic automaton for "some leaf is b": guess where.
+        let mut ta = StepwiseTA::new(2, 2);
+        ta.add_init(a, 0);
+        ta.add_init(b, 0);
+        ta.add_init(b, 1);
+        for q in 0..2 {
+            for r in 0..2 {
+                let t = usize::from(q == 1 || r == 1);
+                ta.add_combine(q, r, t);
+            }
+        }
+        ta.add_accepting(1);
+        let with_b = OrderedTree::node(a, vec![OrderedTree::leaf(a), OrderedTree::leaf(b)]);
+        let without = OrderedTree::node(a, vec![OrderedTree::leaf(a)]);
+        assert!(ta.accepts(&with_b));
+        assert!(!ta.accepts(&without));
+        let det = ta.determinize();
+        assert!(det.accepts(&with_b));
+        assert!(!det.accepts(&without));
+        let min = det.minimize();
+        assert!(min.num_states() <= det.num_states());
+        assert!(min.accepts(&with_b));
+        assert!(!min.accepts(&without));
+    }
+
+    #[test]
+    fn minimize_empty_language_is_one_state() {
+        let ta = DetStepwiseTA::new(5, 2);
+        let min = ta.minimize();
+        assert_eq!(min.num_states(), 1);
+        assert!(min.is_empty());
+    }
+}

@@ -1,0 +1,409 @@
+//! Deterministic finite word automata.
+
+use std::collections::VecDeque;
+
+/// A complete deterministic finite automaton over the dense symbol space
+/// `0..num_symbols`.
+///
+/// The transition function is total: every state has a successor on every
+/// symbol. Construction helpers add an explicit sink state where needed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dfa {
+    num_symbols: usize,
+    initial: usize,
+    accepting: Vec<bool>,
+    /// `delta[state * num_symbols + symbol]`
+    delta: Vec<usize>,
+}
+
+impl Dfa {
+    /// Creates a DFA with `num_states` states over `num_symbols` symbols,
+    /// with all transitions initially looping on state 0.
+    pub fn new(num_states: usize, num_symbols: usize, initial: usize) -> Self {
+        assert!(num_states > 0, "a DFA needs at least one state");
+        assert!(initial < num_states, "initial state out of range");
+        Dfa {
+            num_symbols,
+            initial,
+            accepting: vec![false; num_states],
+            delta: vec![0; num_states * num_symbols],
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// Number of symbols.
+    pub fn num_symbols(&self) -> usize {
+        self.num_symbols
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> usize {
+        self.initial
+    }
+
+    /// Returns `true` if `state` is accepting.
+    pub fn is_accepting(&self, state: usize) -> bool {
+        self.accepting[state]
+    }
+
+    /// Marks `state` as accepting or rejecting.
+    pub fn set_accepting(&mut self, state: usize, accepting: bool) {
+        self.accepting[state] = accepting;
+    }
+
+    /// Sets the transition `delta(state, symbol) = target`.
+    pub fn set_transition(&mut self, state: usize, symbol: usize, target: usize) {
+        assert!(symbol < self.num_symbols, "symbol out of range");
+        assert!(target < self.num_states(), "target out of range");
+        self.delta[state * self.num_symbols + symbol] = target;
+    }
+
+    /// The successor of `state` on `symbol`.
+    pub fn next(&self, state: usize, symbol: usize) -> usize {
+        self.delta[state * self.num_symbols + symbol]
+    }
+
+    /// Runs the DFA on a word (sequence of symbol indices) and returns the
+    /// final state.
+    pub fn run(&self, word: &[usize]) -> usize {
+        word.iter().fold(self.initial, |q, &a| self.next(q, a))
+    }
+
+    /// Returns `true` if the DFA accepts the word.
+    pub fn accepts(&self, word: &[usize]) -> bool {
+        self.accepting[self.run(word)]
+    }
+
+    /// Complements the language by flipping acceptance of every state.
+    pub fn complement(&self) -> Dfa {
+        let mut out = self.clone();
+        for b in &mut out.accepting {
+            *b = !*b;
+        }
+        out
+    }
+
+    /// Product construction. `combine(a, b)` decides acceptance of the pair.
+    pub fn product(&self, other: &Dfa, combine: impl Fn(bool, bool) -> bool) -> Dfa {
+        assert_eq!(
+            self.num_symbols, other.num_symbols,
+            "product requires equal alphabets"
+        );
+        let n2 = other.num_states();
+        let mut out = Dfa::new(self.num_states() * n2, self.num_symbols, self.initial * n2 + other.initial);
+        for q1 in 0..self.num_states() {
+            for q2 in 0..n2 {
+                let s = q1 * n2 + q2;
+                out.set_accepting(s, combine(self.accepting[q1], other.accepting[q2]));
+                for a in 0..self.num_symbols {
+                    out.set_transition(s, a, self.next(q1, a) * n2 + other.next(q2, a));
+                }
+            }
+        }
+        out
+    }
+
+    /// Intersection of two DFAs.
+    pub fn intersect(&self, other: &Dfa) -> Dfa {
+        self.product(other, |x, y| x && y)
+    }
+
+    /// Union of two DFAs.
+    pub fn union(&self, other: &Dfa) -> Dfa {
+        self.product(other, |x, y| x || y)
+    }
+
+    /// Returns `true` if the language of the DFA is empty (no accepting state
+    /// is reachable from the initial state).
+    pub fn is_empty(&self) -> bool {
+        self.find_accepted_word().is_none()
+    }
+
+    /// Finds a shortest accepted word, if any.
+    pub fn find_accepted_word(&self) -> Option<Vec<usize>> {
+        let n = self.num_states();
+        let mut pred: Vec<Option<(usize, usize)>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut queue = VecDeque::new();
+        visited[self.initial] = true;
+        queue.push_back(self.initial);
+        let mut hit = None;
+        if self.accepting[self.initial] {
+            hit = Some(self.initial);
+        }
+        'bfs: while let Some(q) = queue.pop_front() {
+            for a in 0..self.num_symbols {
+                let t = self.next(q, a);
+                if !visited[t] {
+                    visited[t] = true;
+                    pred[t] = Some((q, a));
+                    if self.accepting[t] {
+                        hit = Some(t);
+                        break 'bfs;
+                    }
+                    queue.push_back(t);
+                }
+            }
+        }
+        let mut state = hit?;
+        let mut word = Vec::new();
+        while let Some((p, a)) = pred[state] {
+            word.push(a);
+            state = p;
+        }
+        word.reverse();
+        Some(word)
+    }
+
+    /// Removes states unreachable from the initial state, renumbering the
+    /// remainder. The language is unchanged.
+    pub fn trim(&self) -> Dfa {
+        let n = self.num_states();
+        let mut map = vec![usize::MAX; n];
+        let mut order = Vec::new();
+        let mut queue = VecDeque::new();
+        map[self.initial] = 0;
+        order.push(self.initial);
+        queue.push_back(self.initial);
+        while let Some(q) = queue.pop_front() {
+            for a in 0..self.num_symbols {
+                let t = self.next(q, a);
+                if map[t] == usize::MAX {
+                    map[t] = order.len();
+                    order.push(t);
+                    queue.push_back(t);
+                }
+            }
+        }
+        let mut out = Dfa::new(order.len(), self.num_symbols, 0);
+        for (new_q, &old_q) in order.iter().enumerate() {
+            out.set_accepting(new_q, self.accepting[old_q]);
+            for a in 0..self.num_symbols {
+                out.set_transition(new_q, a, map[self.next(old_q, a)]);
+            }
+        }
+        out
+    }
+
+    /// Minimizes the DFA (reachable part) with Hopcroft's algorithm; see
+    /// [`crate::minimize::minimize`].
+    pub fn minimize(&self) -> Dfa {
+        crate::minimize::minimize(self)
+    }
+
+    /// Language equivalence test via product + emptiness of the symmetric
+    /// difference.
+    pub fn equivalent(&self, other: &Dfa) -> bool {
+        let diff1 = self.intersect(&other.complement());
+        let diff2 = other.intersect(&self.complement());
+        diff1.is_empty() && diff2.is_empty()
+    }
+
+    /// Language inclusion `L(self) ⊆ L(other)`.
+    pub fn included_in(&self, other: &Dfa) -> bool {
+        self.intersect(&other.complement()).is_empty()
+    }
+
+    /// Builds the DFA accepting exactly the words in `words` (a finite
+    /// language), using a trie plus a sink state.
+    pub fn from_finite_language(num_symbols: usize, words: &[Vec<usize>]) -> Dfa {
+        // Build a trie; state 0 = root, last state = sink.
+        #[derive(Default)]
+        struct Node {
+            children: Vec<Option<usize>>,
+            accepting: bool,
+        }
+        let mut nodes: Vec<Node> = vec![Node {
+            children: vec![None; num_symbols],
+            accepting: false,
+        }];
+        for w in words {
+            let mut cur = 0usize;
+            for &a in w {
+                assert!(a < num_symbols, "symbol out of range");
+                cur = match nodes[cur].children[a] {
+                    Some(t) => t,
+                    None => {
+                        nodes.push(Node {
+                            children: vec![None; num_symbols],
+                            accepting: false,
+                        });
+                        let t = nodes.len() - 1;
+                        nodes[cur].children[a] = Some(t);
+                        t
+                    }
+                };
+            }
+            nodes[cur].accepting = true;
+        }
+        let sink = nodes.len();
+        let mut dfa = Dfa::new(nodes.len() + 1, num_symbols, 0);
+        for (i, node) in nodes.iter().enumerate() {
+            dfa.set_accepting(i, node.accepting);
+            for a in 0..num_symbols {
+                dfa.set_transition(i, a, node.children[a].unwrap_or(sink));
+            }
+        }
+        for a in 0..num_symbols {
+            dfa.set_transition(sink, a, sink);
+        }
+        dfa
+    }
+
+    /// Enumerates all accepted words of length at most `max_len`
+    /// (for testing; exponential in `max_len`).
+    pub fn accepted_words_up_to(&self, max_len: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut frontier: Vec<(usize, Vec<usize>)> = vec![(self.initial, Vec::new())];
+        if self.accepting[self.initial] {
+            out.push(Vec::new());
+        }
+        for _ in 0..max_len {
+            let mut next = Vec::new();
+            for (q, w) in &frontier {
+                for a in 0..self.num_symbols {
+                    let t = self.next(*q, a);
+                    let mut w2 = w.clone();
+                    w2.push(a);
+                    if self.accepting[t] {
+                        out.push(w2.clone());
+                    }
+                    next.push((t, w2));
+                }
+            }
+            frontier = next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// DFA over {0,1} accepting words with an even number of 1s.
+    fn even_ones() -> Dfa {
+        let mut d = Dfa::new(2, 2, 0);
+        d.set_accepting(0, true);
+        d.set_transition(0, 0, 0);
+        d.set_transition(0, 1, 1);
+        d.set_transition(1, 0, 1);
+        d.set_transition(1, 1, 0);
+        d
+    }
+
+    /// DFA over {0,1} accepting words ending in 1.
+    fn ends_in_one() -> Dfa {
+        let mut d = Dfa::new(2, 2, 0);
+        d.set_accepting(1, true);
+        d.set_transition(0, 0, 0);
+        d.set_transition(0, 1, 1);
+        d.set_transition(1, 0, 0);
+        d.set_transition(1, 1, 1);
+        d
+    }
+
+    #[test]
+    fn run_and_accept() {
+        let d = even_ones();
+        assert!(d.accepts(&[]));
+        assert!(d.accepts(&[1, 1]));
+        assert!(!d.accepts(&[1, 0]));
+        assert!(d.accepts(&[0, 1, 0, 1]));
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let d = even_ones();
+        let c = d.complement();
+        for w in [vec![], vec![1], vec![1, 1], vec![0, 1, 1, 1]] {
+            assert_ne!(d.accepts(&w), c.accepts(&w));
+        }
+    }
+
+    #[test]
+    fn product_intersection_and_union() {
+        let a = even_ones();
+        let b = ends_in_one();
+        let both = a.intersect(&b);
+        let either = a.union(&b);
+        for w in [vec![], vec![1], vec![1, 1], vec![1, 0, 1], vec![0]] {
+            assert_eq!(both.accepts(&w), a.accepts(&w) && b.accepts(&w));
+            assert_eq!(either.accepts(&w), a.accepts(&w) || b.accepts(&w));
+        }
+    }
+
+    #[test]
+    fn emptiness_and_witness() {
+        let mut d = Dfa::new(3, 2, 0);
+        d.set_transition(0, 0, 1);
+        d.set_transition(0, 1, 0);
+        d.set_transition(1, 0, 1);
+        d.set_transition(1, 1, 2);
+        d.set_transition(2, 0, 2);
+        d.set_transition(2, 1, 2);
+        assert!(d.is_empty());
+        d.set_accepting(2, true);
+        assert!(!d.is_empty());
+        let w = d.find_accepted_word().unwrap();
+        assert_eq!(w, vec![0, 1]);
+        assert!(d.accepts(&w));
+    }
+
+    #[test]
+    fn trim_removes_unreachable_states() {
+        let mut d = Dfa::new(4, 1, 0);
+        d.set_transition(0, 0, 1);
+        d.set_transition(1, 0, 0);
+        d.set_transition(2, 0, 3); // unreachable
+        d.set_transition(3, 0, 3);
+        d.set_accepting(1, true);
+        let t = d.trim();
+        assert_eq!(t.num_states(), 2);
+        assert!(t.accepts(&[0]));
+        assert!(!t.accepts(&[0, 0]));
+    }
+
+    #[test]
+    fn equivalence_and_inclusion() {
+        let a = even_ones();
+        let b = even_ones().trim();
+        assert!(a.equivalent(&b));
+        let ends = ends_in_one();
+        assert!(!a.equivalent(&ends));
+        // even number of ones AND ends in one ⊆ ends in one
+        assert!(a.intersect(&ends).included_in(&ends));
+        assert!(!ends.included_in(&a));
+    }
+
+    #[test]
+    fn finite_language_dfa() {
+        let words = vec![vec![0, 1], vec![1], vec![0, 1, 1]];
+        let d = Dfa::from_finite_language(2, &words);
+        for w in &words {
+            assert!(d.accepts(w));
+        }
+        assert!(!d.accepts(&[]));
+        assert!(!d.accepts(&[0]));
+        assert!(!d.accepts(&[1, 1]));
+        let mut all = d.accepted_words_up_to(3);
+        all.sort();
+        let mut expect = words.clone();
+        expect.sort();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn accepted_words_enumeration_respects_length_bound() {
+        let d = ends_in_one();
+        let words = d.accepted_words_up_to(2);
+        assert!(words.contains(&vec![1]));
+        assert!(words.contains(&vec![0, 1]));
+        assert!(words.contains(&vec![1, 1]));
+        assert_eq!(words.len(), 3);
+    }
+}

@@ -1,0 +1,28 @@
+//! # word-automata
+//!
+//! Classical finite-state word automata: deterministic (DFA) and
+//! nondeterministic (NFA) automata, regular expressions, the subset
+//! construction, Hopcroft minimization and the usual language operations.
+//!
+//! This crate is the *word baseline* of the reproduction of "Marrying Words
+//! and Trees" (PODS 2007): Theorem 2 identifies flat nested word automata
+//! with word automata over the tagged alphabet Σ̂, and Theorems 3, 5 and 8
+//! measure succinctness gaps against minimal DFAs produced here. The
+//! motivating query Σ\*p₁Σ\*…pₙΣ\* of §1 is compiled via [`regex`].
+//!
+//! Automata here operate over a dense symbol space `0..num_symbols`; callers
+//! map their alphabets (plain Σ or tagged Σ̂) onto these indices. See
+//! `nested_words::TaggedSymbol::tagged_index` for the canonical tagged
+//! indexing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dfa;
+pub mod minimize;
+pub mod nfa;
+pub mod regex;
+
+pub use dfa::Dfa;
+pub use nfa::Nfa;
+pub use regex::Regex;

@@ -1,0 +1,209 @@
+//! DFA minimization by partition refinement (Moore's algorithm).
+//!
+//! Minimal DFAs are the measuring stick of the paper's succinctness results:
+//! the number of states of the minimal DFA for a language equals the index of
+//! its right-congruence (§3.4), and Theorems 3, 5 and 8 compare this index
+//! against nested-word-automaton sizes. Minimality must be exact for those
+//! experiments, so this module uses the straightforward Moore refinement
+//! (iterate signature-based splitting to a fixpoint), whose result is the
+//! Myhill–Nerode quotient.
+
+use crate::dfa::Dfa;
+use std::collections::HashMap;
+
+/// Minimizes a DFA: trims unreachable states, then merges
+/// Myhill–Nerode-equivalent states by partition refinement. The result is the
+/// unique (up to isomorphism) minimal complete DFA for the language.
+pub fn minimize(dfa: &Dfa) -> Dfa {
+    let dfa = dfa.trim();
+    let n = dfa.num_states();
+    let k = dfa.num_symbols();
+    if n == 0 {
+        return dfa;
+    }
+
+    // Initial partition: accepting vs non-accepting.
+    let mut block_of: Vec<usize> = (0..n).map(|q| usize::from(dfa.is_accepting(q))).collect();
+    let mut num_blocks = if block_of.iter().any(|&b| b == 1) && block_of.iter().any(|&b| b == 0) {
+        2
+    } else {
+        1
+    };
+    if num_blocks == 1 {
+        // normalize block ids to 0
+        for b in &mut block_of {
+            *b = 0;
+        }
+    }
+
+    // Refine until stable: two states stay together iff they agree on
+    // acceptance and their successors lie in the same blocks.
+    loop {
+        let mut signature_to_block: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
+        let mut new_block_of = vec![0usize; n];
+        for q in 0..n {
+            let succ_blocks: Vec<usize> = (0..k).map(|a| block_of[dfa.next(q, a)]).collect();
+            let sig = (block_of[q], succ_blocks);
+            let next_id = signature_to_block.len();
+            let id = *signature_to_block.entry(sig).or_insert(next_id);
+            new_block_of[q] = id;
+        }
+        let new_num_blocks = signature_to_block.len();
+        let stable = new_num_blocks == num_blocks;
+        block_of = new_block_of;
+        num_blocks = new_num_blocks;
+        if stable {
+            break;
+        }
+    }
+
+    // Build the quotient automaton; make the initial state's block state 0
+    // for a canonical-ish numbering.
+    let mut remap = vec![usize::MAX; num_blocks];
+    let mut next = 0usize;
+    remap[block_of[dfa.initial()]] = 0;
+    next += 1;
+    for q in 0..n {
+        let b = block_of[q];
+        if remap[b] == usize::MAX {
+            remap[b] = next;
+            next += 1;
+        }
+    }
+    let mut out = Dfa::new(num_blocks, k, 0);
+    for q in 0..n {
+        let b = remap[block_of[q]];
+        out.set_accepting(b, dfa.is_accepting(q));
+        for a in 0..k {
+            out.set_transition(b, a, remap[block_of[dfa.next(q, a)]]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately redundant DFA for "ends in 1" with duplicated states.
+    fn redundant_ends_in_one() -> Dfa {
+        let mut d = Dfa::new(4, 2, 0);
+        // states 0 and 2 behave identically (last symbol not 1)
+        // states 1 and 3 behave identically (last symbol 1)
+        d.set_accepting(1, true);
+        d.set_accepting(3, true);
+        d.set_transition(0, 0, 2);
+        d.set_transition(0, 1, 1);
+        d.set_transition(2, 0, 0);
+        d.set_transition(2, 1, 3);
+        d.set_transition(1, 0, 2);
+        d.set_transition(1, 1, 3);
+        d.set_transition(3, 0, 0);
+        d.set_transition(3, 1, 1);
+        d
+    }
+
+    #[test]
+    fn minimization_merges_equivalent_states() {
+        let d = redundant_ends_in_one();
+        let m = minimize(&d);
+        assert_eq!(m.num_states(), 2);
+        assert!(m.equivalent(&d));
+    }
+
+    #[test]
+    fn minimization_is_idempotent() {
+        let d = redundant_ends_in_one();
+        let m1 = minimize(&d);
+        let m2 = minimize(&m1);
+        assert_eq!(m1.num_states(), m2.num_states());
+        assert!(m1.equivalent(&m2));
+    }
+
+    #[test]
+    fn minimal_dfa_for_kth_symbol_from_end_is_exponential() {
+        // The language "the k-th symbol from the end is 1" needs 2^k states
+        // deterministically: build the canonical 2^k DFA tracking the last k
+        // symbols and check minimization does not shrink it.
+        let k = 4;
+        let num_states = 1 << k;
+        let mut d = Dfa::new(num_states, 2, 0);
+        for q in 0..num_states {
+            for a in 0..2usize {
+                let t = ((q << 1) | a) & (num_states - 1);
+                d.set_transition(q, a, t);
+            }
+            d.set_accepting(q, q & (1 << (k - 1)) != 0);
+        }
+        let m = minimize(&d);
+        assert_eq!(m.num_states(), num_states);
+    }
+
+    #[test]
+    fn minimize_empty_language() {
+        let mut d = Dfa::new(3, 2, 0);
+        d.set_transition(0, 0, 1);
+        d.set_transition(0, 1, 2);
+        d.set_transition(1, 0, 1);
+        d.set_transition(1, 1, 1);
+        d.set_transition(2, 0, 2);
+        d.set_transition(2, 1, 2);
+        let m = minimize(&d);
+        assert_eq!(m.num_states(), 1);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn minimize_universal_language() {
+        let mut d = Dfa::new(2, 2, 0);
+        for q in 0..2 {
+            d.set_accepting(q, true);
+            d.set_transition(q, 0, 1 - q);
+            d.set_transition(q, 1, q);
+        }
+        let m = minimize(&d);
+        assert_eq!(m.num_states(), 1);
+        assert!(m.accepts(&[0, 1, 0]));
+    }
+
+    #[test]
+    fn minimize_finite_language() {
+        let d = Dfa::from_finite_language(2, &[vec![0, 1], vec![1, 1]]);
+        let m = minimize(&d);
+        assert!(m.equivalent(&d));
+        assert!(m.num_states() <= d.num_states());
+        assert!(m.accepts(&[0, 1]));
+        assert!(m.accepts(&[1, 1]));
+        assert!(!m.accepts(&[0, 0]));
+    }
+
+    #[test]
+    fn minimize_preserves_language_on_random_like_dfa() {
+        // A hand-rolled 6-state DFA over 3 symbols; check behavioural
+        // equivalence on all words up to length 4.
+        let mut d = Dfa::new(6, 3, 0);
+        let delta = [
+            [1, 2, 3],
+            [4, 4, 0],
+            [5, 1, 1],
+            [3, 3, 3],
+            [2, 0, 5],
+            [5, 4, 2],
+        ];
+        for (q, row) in delta.iter().enumerate() {
+            for (a, &t) in row.iter().enumerate() {
+                d.set_transition(q, a, t);
+            }
+        }
+        d.set_accepting(3, true);
+        d.set_accepting(5, true);
+        let m = minimize(&d);
+        assert!(m.equivalent(&d));
+        for w in d.accepted_words_up_to(4) {
+            assert!(m.accepts(&w));
+        }
+        for w in m.accepted_words_up_to(4) {
+            assert!(d.accepts(&w));
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Nondeterministic finite word automata with ε-transitions, and the subset
+//! construction to DFAs.
+
+use crate::dfa::Dfa;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// A nondeterministic finite automaton over the dense symbol space
+/// `0..num_symbols`, with optional ε-transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nfa {
+    num_symbols: usize,
+    initial: Vec<usize>,
+    accepting: Vec<bool>,
+    /// `transitions[state][symbol]` = successor states
+    transitions: Vec<Vec<Vec<usize>>>,
+    /// `epsilon[state]` = ε-successor states
+    epsilon: Vec<Vec<usize>>,
+}
+
+impl Nfa {
+    /// Creates an NFA with `num_states` states and no transitions.
+    pub fn new(num_states: usize, num_symbols: usize) -> Self {
+        Nfa {
+            num_symbols,
+            initial: Vec::new(),
+            accepting: vec![false; num_states],
+            transitions: vec![vec![Vec::new(); num_symbols]; num_states],
+            epsilon: vec![Vec::new(); num_states],
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// Number of symbols.
+    pub fn num_symbols(&self) -> usize {
+        self.num_symbols
+    }
+
+    /// Adds a fresh state and returns its index.
+    pub fn add_state(&mut self) -> usize {
+        self.accepting.push(false);
+        self.transitions.push(vec![Vec::new(); self.num_symbols]);
+        self.epsilon.push(Vec::new());
+        self.accepting.len() - 1
+    }
+
+    /// Marks a state as initial.
+    pub fn add_initial(&mut self, state: usize) {
+        if !self.initial.contains(&state) {
+            self.initial.push(state);
+        }
+    }
+
+    /// Marks a state as accepting.
+    pub fn set_accepting(&mut self, state: usize, accepting: bool) {
+        self.accepting[state] = accepting;
+    }
+
+    /// Returns `true` if `state` is accepting.
+    pub fn is_accepting(&self, state: usize) -> bool {
+        self.accepting[state]
+    }
+
+    /// The initial states.
+    pub fn initial_states(&self) -> &[usize] {
+        &self.initial
+    }
+
+    /// Adds the transition `state --symbol--> target`.
+    pub fn add_transition(&mut self, state: usize, symbol: usize, target: usize) {
+        assert!(symbol < self.num_symbols, "symbol out of range");
+        let succ = &mut self.transitions[state][symbol];
+        if !succ.contains(&target) {
+            succ.push(target);
+        }
+    }
+
+    /// Adds the ε-transition `state --ε--> target`.
+    pub fn add_epsilon(&mut self, state: usize, target: usize) {
+        let succ = &mut self.epsilon[state];
+        if !succ.contains(&target) {
+            succ.push(target);
+        }
+    }
+
+    /// ε-closure of a set of states.
+    pub fn epsilon_closure(&self, states: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut out = states.clone();
+        let mut queue: VecDeque<usize> = states.iter().copied().collect();
+        while let Some(q) = queue.pop_front() {
+            for &t in &self.epsilon[q] {
+                if out.insert(t) {
+                    queue.push_back(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs the NFA on a word and returns `true` if some run accepts.
+    pub fn accepts(&self, word: &[usize]) -> bool {
+        let mut current = self.epsilon_closure(&self.initial.iter().copied().collect());
+        for &a in word {
+            let mut next = BTreeSet::new();
+            for &q in &current {
+                for &t in &self.transitions[q][a] {
+                    next.insert(t);
+                }
+            }
+            current = self.epsilon_closure(&next);
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.iter().any(|&q| self.accepting[q])
+    }
+
+    /// Determinizes the NFA via the subset construction, producing a complete
+    /// DFA (with an implicit sink for the empty subset).
+    pub fn determinize(&self) -> Dfa {
+        let initial_set = self.epsilon_closure(&self.initial.iter().copied().collect());
+        let mut subset_index: HashMap<BTreeSet<usize>, usize> = HashMap::new();
+        let mut subsets: Vec<BTreeSet<usize>> = Vec::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+
+        subset_index.insert(initial_set.clone(), 0);
+        subsets.push(initial_set);
+        queue.push_back(0);
+
+        // transitions[state][symbol] collected as we explore
+        let mut table: Vec<Vec<usize>> = Vec::new();
+
+        while let Some(idx) = queue.pop_front() {
+            let current = subsets[idx].clone();
+            let mut row = vec![0usize; self.num_symbols];
+            for a in 0..self.num_symbols {
+                let mut next = BTreeSet::new();
+                for &q in &current {
+                    for &t in &self.transitions[q][a] {
+                        next.insert(t);
+                    }
+                }
+                let next = self.epsilon_closure(&next);
+                let next_idx = match subset_index.get(&next) {
+                    Some(&i) => i,
+                    None => {
+                        let i = subsets.len();
+                        subset_index.insert(next.clone(), i);
+                        subsets.push(next);
+                        queue.push_back(i);
+                        i
+                    }
+                };
+                row[a] = next_idx;
+            }
+            if table.len() <= idx {
+                table.resize(idx + 1, Vec::new());
+            }
+            table[idx] = row;
+        }
+
+        let mut dfa = Dfa::new(subsets.len(), self.num_symbols, 0);
+        for (i, subset) in subsets.iter().enumerate() {
+            dfa.set_accepting(i, subset.iter().any(|&q| self.accepting[q]));
+            for a in 0..self.num_symbols {
+                dfa.set_transition(i, a, table[i][a]);
+            }
+        }
+        dfa
+    }
+
+    /// Builds an NFA accepting the reverse of this NFA's language
+    /// (used for the path-language experiments of §3.6).
+    pub fn reverse(&self) -> Nfa {
+        let n = self.num_states();
+        let mut out = Nfa::new(n, self.num_symbols);
+        for q in 0..n {
+            if self.accepting[q] {
+                out.add_initial(q);
+            }
+            for a in 0..self.num_symbols {
+                for &t in &self.transitions[q][a] {
+                    out.add_transition(t, a, q);
+                }
+            }
+            for &t in &self.epsilon[q] {
+                out.add_epsilon(t, q);
+            }
+        }
+        for &q in &self.initial {
+            out.set_accepting(q, true);
+        }
+        out
+    }
+
+    /// Converts a DFA into an equivalent NFA.
+    pub fn from_dfa(dfa: &Dfa) -> Nfa {
+        let mut out = Nfa::new(dfa.num_states(), dfa.num_symbols());
+        out.add_initial(dfa.initial());
+        for q in 0..dfa.num_states() {
+            out.set_accepting(q, dfa.is_accepting(q));
+            for a in 0..dfa.num_symbols() {
+                out.add_transition(q, a, dfa.next(q, a));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// NFA for "the 3rd symbol from the end is 1" over {0,1}.
+    fn third_from_end_is_one() -> Nfa {
+        let mut n = Nfa::new(4, 2);
+        n.add_initial(0);
+        n.add_transition(0, 0, 0);
+        n.add_transition(0, 1, 0);
+        n.add_transition(0, 1, 1);
+        n.add_transition(1, 0, 2);
+        n.add_transition(1, 1, 2);
+        n.add_transition(2, 0, 3);
+        n.add_transition(2, 1, 3);
+        n.set_accepting(3, true);
+        n
+    }
+
+    #[test]
+    fn nfa_acceptance() {
+        let n = third_from_end_is_one();
+        assert!(n.accepts(&[1, 0, 0]));
+        assert!(n.accepts(&[0, 1, 1, 1, 0]));
+        assert!(!n.accepts(&[0, 0, 0]));
+        assert!(!n.accepts(&[1, 0]));
+    }
+
+    #[test]
+    fn subset_construction_preserves_language() {
+        let n = third_from_end_is_one();
+        let d = n.determinize();
+        for len in 0..7usize {
+            for bits in 0..(1u32 << len) {
+                let w: Vec<usize> = (0..len).map(|i| ((bits >> i) & 1) as usize).collect();
+                assert_eq!(n.accepts(&w), d.accepts(&w), "word {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn subset_construction_blowup_is_exponential_after_minimization() {
+        // k-th from the end = 1 needs 2^k DFA states but k+1 NFA states.
+        let n = third_from_end_is_one();
+        let d = n.determinize().minimize();
+        assert_eq!(d.num_states(), 8);
+        assert_eq!(n.num_states(), 4);
+    }
+
+    #[test]
+    fn epsilon_transitions_are_followed() {
+        // language {a} ∪ {b} via ε-branching
+        let mut n = Nfa::new(5, 2);
+        n.add_initial(0);
+        n.add_epsilon(0, 1);
+        n.add_epsilon(0, 2);
+        n.add_transition(1, 0, 3);
+        n.add_transition(2, 1, 4);
+        n.set_accepting(3, true);
+        n.set_accepting(4, true);
+        assert!(n.accepts(&[0]));
+        assert!(n.accepts(&[1]));
+        assert!(!n.accepts(&[]));
+        assert!(!n.accepts(&[0, 1]));
+        let d = n.determinize();
+        assert!(d.accepts(&[0]));
+        assert!(d.accepts(&[1]));
+        assert!(!d.accepts(&[0, 0]));
+    }
+
+    #[test]
+    fn reverse_reverses_language() {
+        let mut n = Nfa::new(3, 2);
+        // language: 0 then 1 (exactly "01")
+        n.add_initial(0);
+        n.add_transition(0, 0, 1);
+        n.add_transition(1, 1, 2);
+        n.set_accepting(2, true);
+        let r = n.reverse();
+        assert!(r.accepts(&[1, 0]));
+        assert!(!r.accepts(&[0, 1]));
+    }
+
+    #[test]
+    fn from_dfa_roundtrip() {
+        let n = third_from_end_is_one();
+        let d = n.determinize();
+        let n2 = Nfa::from_dfa(&d);
+        for w in [vec![1, 0, 0], vec![0, 0, 0], vec![1, 1, 1, 0, 0]] {
+            assert_eq!(n2.accepts(&w), d.accepts(&w));
+        }
+    }
+
+    #[test]
+    fn empty_nfa_accepts_nothing() {
+        let n = Nfa::new(0, 2);
+        assert!(!n.accepts(&[]));
+        assert!(!n.accepts(&[0]));
+        let d = n.determinize();
+        assert!(d.is_empty());
+    }
+}

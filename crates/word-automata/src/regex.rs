@@ -1,0 +1,225 @@
+//! Regular expressions and the Thompson construction.
+//!
+//! The motivating query of §1 of the paper — "patterns p₁, …, pₙ appear in
+//! the document in that order", i.e. the regular expression
+//! Σ\*p₁Σ\*…pₙΣ\* over the linear order — is built with
+//! [`Regex::patterns_in_order`] and compiled to automata here.
+
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+
+/// A regular expression over the dense symbol space `0..num_symbols`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Regex {
+    /// The empty language ∅.
+    Empty,
+    /// The language {ε}.
+    Epsilon,
+    /// A single symbol.
+    Symbol(usize),
+    /// Any single symbol out of `0..num_symbols` (Σ); expanded at compile
+    /// time against the target alphabet size.
+    Any,
+    /// Concatenation.
+    Concat(Box<Regex>, Box<Regex>),
+    /// Union (alternation).
+    Union(Box<Regex>, Box<Regex>),
+    /// Kleene star.
+    Star(Box<Regex>),
+}
+
+impl Regex {
+    /// `r1 · r2`
+    pub fn concat(self, other: Regex) -> Regex {
+        Regex::Concat(Box::new(self), Box::new(other))
+    }
+
+    /// `r1 | r2`
+    pub fn union(self, other: Regex) -> Regex {
+        Regex::Union(Box::new(self), Box::new(other))
+    }
+
+    /// `r*`
+    pub fn star(self) -> Regex {
+        Regex::Star(Box::new(self))
+    }
+
+    /// `r+ = r · r*`
+    pub fn plus(self) -> Regex {
+        self.clone().concat(self.star())
+    }
+
+    /// `r? = r | ε`
+    pub fn optional(self) -> Regex {
+        self.union(Regex::Epsilon)
+    }
+
+    /// The literal word `w` as a regex.
+    pub fn literal(word: &[usize]) -> Regex {
+        word.iter()
+            .fold(Regex::Epsilon, |acc, &a| acc.concat(Regex::Symbol(a)))
+    }
+
+    /// Σ\*
+    pub fn any_star() -> Regex {
+        Regex::Any.star()
+    }
+
+    /// The paper's motivating query Σ\*p₁Σ\*…pₙΣ\* ("the patterns occur in
+    /// the document in this order").
+    pub fn patterns_in_order(patterns: &[Vec<usize>]) -> Regex {
+        let mut r = Regex::any_star();
+        for p in patterns {
+            r = r.concat(Regex::literal(p)).concat(Regex::any_star());
+        }
+        r
+    }
+
+    /// Compiles the regex to an NFA with ε-transitions over an alphabet of
+    /// `num_symbols` symbols (Thompson construction).
+    pub fn to_nfa(&self, num_symbols: usize) -> Nfa {
+        let mut nfa = Nfa::new(0, num_symbols);
+        let (start, end) = self.build(&mut nfa, num_symbols);
+        nfa.add_initial(start);
+        nfa.set_accepting(end, true);
+        nfa
+    }
+
+    /// Compiles the regex to a minimal DFA over `num_symbols` symbols.
+    pub fn to_min_dfa(&self, num_symbols: usize) -> Dfa {
+        self.to_nfa(num_symbols).determinize().minimize()
+    }
+
+    fn build(&self, nfa: &mut Nfa, num_symbols: usize) -> (usize, usize) {
+        match self {
+            Regex::Empty => {
+                let s = nfa.add_state();
+                let e = nfa.add_state();
+                (s, e)
+            }
+            Regex::Epsilon => {
+                let s = nfa.add_state();
+                let e = nfa.add_state();
+                nfa.add_epsilon(s, e);
+                (s, e)
+            }
+            Regex::Symbol(a) => {
+                assert!(*a < num_symbols, "regex symbol out of range");
+                let s = nfa.add_state();
+                let e = nfa.add_state();
+                nfa.add_transition(s, *a, e);
+                (s, e)
+            }
+            Regex::Any => {
+                let s = nfa.add_state();
+                let e = nfa.add_state();
+                for a in 0..num_symbols {
+                    nfa.add_transition(s, a, e);
+                }
+                (s, e)
+            }
+            Regex::Concat(r1, r2) => {
+                let (s1, e1) = r1.build(nfa, num_symbols);
+                let (s2, e2) = r2.build(nfa, num_symbols);
+                nfa.add_epsilon(e1, s2);
+                (s1, e2)
+            }
+            Regex::Union(r1, r2) => {
+                let s = nfa.add_state();
+                let e = nfa.add_state();
+                let (s1, e1) = r1.build(nfa, num_symbols);
+                let (s2, e2) = r2.build(nfa, num_symbols);
+                nfa.add_epsilon(s, s1);
+                nfa.add_epsilon(s, s2);
+                nfa.add_epsilon(e1, e);
+                nfa.add_epsilon(e2, e);
+                (s, e)
+            }
+            Regex::Star(r) => {
+                let s = nfa.add_state();
+                let e = nfa.add_state();
+                let (s1, e1) = r.build(nfa, num_symbols);
+                nfa.add_epsilon(s, s1);
+                nfa.add_epsilon(s, e);
+                nfa.add_epsilon(e1, s1);
+                nfa.add_epsilon(e1, e);
+                (s, e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_and_star() {
+        let r = Regex::literal(&[0, 1]).star();
+        let d = r.to_min_dfa(2);
+        assert!(d.accepts(&[]));
+        assert!(d.accepts(&[0, 1]));
+        assert!(d.accepts(&[0, 1, 0, 1]));
+        assert!(!d.accepts(&[0]));
+        assert!(!d.accepts(&[1, 0]));
+    }
+
+    #[test]
+    fn union_and_optional() {
+        let r = Regex::Symbol(0).union(Regex::Symbol(1)).optional();
+        let d = r.to_min_dfa(3);
+        assert!(d.accepts(&[]));
+        assert!(d.accepts(&[0]));
+        assert!(d.accepts(&[1]));
+        assert!(!d.accepts(&[2]));
+        assert!(!d.accepts(&[0, 0]));
+    }
+
+    #[test]
+    fn empty_regex_accepts_nothing() {
+        let d = Regex::Empty.to_min_dfa(2);
+        assert!(d.is_empty());
+        assert_eq!(d.num_states(), 1);
+    }
+
+    #[test]
+    fn plus_requires_at_least_one() {
+        let d = Regex::Symbol(0).plus().to_min_dfa(2);
+        assert!(!d.accepts(&[]));
+        assert!(d.accepts(&[0]));
+        assert!(d.accepts(&[0, 0, 0]));
+        assert!(!d.accepts(&[0, 1]));
+    }
+
+    #[test]
+    fn patterns_in_order_query() {
+        // patterns "01" then "1" must appear in that order
+        let r = Regex::patterns_in_order(&[vec![0, 1], vec![1]]);
+        let d = r.to_min_dfa(2);
+        assert!(d.accepts(&[0, 1, 1]));
+        assert!(d.accepts(&[1, 0, 1, 0, 1, 0]));
+        assert!(!d.accepts(&[0, 1]));
+        assert!(!d.accepts(&[1, 1, 0]));
+        assert!(!d.accepts(&[]));
+    }
+
+    #[test]
+    fn patterns_in_order_dfa_is_linear_in_n() {
+        // §1: the query Σ*p1Σ*...pnΣ* compiles into a DFA of linear size.
+        // With single-symbol patterns p_i = a over {a,b}, the minimal DFA has
+        // exactly n+1 states.
+        for n in 1..8 {
+            let patterns: Vec<Vec<usize>> = (0..n).map(|_| vec![0]).collect();
+            let d = Regex::patterns_in_order(&patterns).to_min_dfa(2);
+            assert_eq!(d.num_states(), n + 1, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn any_star_is_universal() {
+        let d = Regex::any_star().to_min_dfa(4);
+        assert_eq!(d.num_states(), 1);
+        assert!(d.accepts(&[0, 1, 2, 3, 3, 2]));
+        assert!(d.accepts(&[]));
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: build the nested words of Figure 1, inspect their structure,
+//! and run a deterministic nested word automaton over them.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use nested_words::tagged::{display_nested_word, parse_nested_word};
+use nested_words::{Alphabet, OrderedTree};
+use nwa::families::path_family_nwa;
+use nwa::nondet::Nnwa;
+
+fn main() {
+    let mut ab = Alphabet::ab();
+
+    // The three nested words of Figure 1 of the paper.
+    let n1 = parse_nested_word("<a <b a a> <b a b> a> <a b a a>", &mut ab).unwrap();
+    let n2 = parse_nested_word("a a> <b a a> <a <a", &mut ab).unwrap();
+    let n3 = parse_nested_word("<a <a a> <b b> a>", &mut ab).unwrap();
+
+    for (name, word) in [("n1", &n1), ("n2", &n2), ("n3", &n3)] {
+        println!(
+            "{name}: {:<40} length {:>2}  depth {}  well-matched {:<5} rooted {}",
+            display_nested_word(word, &ab),
+            word.len(),
+            word.depth(),
+            word.is_well_matched(),
+            word.is_rooted()
+        );
+    }
+
+    // n3 is a tree word and decodes to the ordered tree a(a(), b()).
+    let tree = OrderedTree::from_nested_word(&n3).unwrap();
+    println!("n3 as a tree: {}", tree.display(&ab));
+
+    // A deterministic NWA for the Theorem 3 language L_3 = { path(w) : |w| = 3 }.
+    let nwa = path_family_nwa(3);
+    let inside = parse_nested_word("<a <b <a a> b> a>", &mut ab).unwrap();
+    let outside = parse_nested_word("<a <b b> a>", &mut ab).unwrap();
+    println!(
+        "L_3 automaton ({} states): accepts path(aba)? {}  accepts path(ab)? {}",
+        nwa.num_states(),
+        nwa.accepts(&inside),
+        nwa.accepts(&outside)
+    );
+
+    // Nondeterministic automata determinize via the summary-set construction.
+    let nondet = Nnwa::from_deterministic(&nwa);
+    let det = nondet.determinize();
+    println!(
+        "re-determinized automaton has {} states and still accepts path(aba): {}",
+        det.num_states(),
+        det.accepts(&inside)
+    );
+}

@@ -1,0 +1,42 @@
+//! Succinctness in action: reproduces the state-count comparisons behind
+//! Theorems 3, 5 and 8 of the paper for small parameters and prints them as
+//! a table (the full sweeps live in the benchmark harness).
+//!
+//! Run with `cargo run --release --example succinctness`.
+
+use nwa::families::{
+    path_family_nwa, path_family_tagged_dfa, theorem5_distinguishable_blocks, theorem5_tagged_dfa,
+    theorem8_nwa, theorem8_regex,
+};
+
+fn main() {
+    println!("Theorem 3 — L_s = {{ path(w) : |w| = s }}");
+    println!("{:>3} {:>12} {:>18}", "s", "NWA states", "minimal DFA states");
+    for s in 1..=10usize {
+        let nwa = path_family_nwa(s);
+        let dfa = path_family_tagged_dfa(s).minimize();
+        println!("{:>3} {:>12} {:>18}", s, nwa.num_states(), dfa.num_states());
+    }
+
+    println!("\nTheorem 5 — flat NWA vs bottom-up congruence classes");
+    println!(
+        "{:>3} {:>18} {:>26}",
+        "s", "flat NWA states", "distinguishable blocks (≥ bottom-up states)"
+    );
+    for s in 1..=8usize {
+        let flat = theorem5_tagged_dfa(s).minimize();
+        let blocks = theorem5_distinguishable_blocks(s);
+        println!("{:>3} {:>18} {:>26}", s, flat.num_states(), blocks);
+    }
+
+    println!("\nTheorem 8 — path(Σ^s a Σ* a Σ^s)");
+    println!(
+        "{:>3} {:>12} {:>28}",
+        "s", "NWA states", "minimal word DFA states (= det top-down/bottom-up)"
+    );
+    for s in 1..=8usize {
+        let nwa = theorem8_nwa(s);
+        let dfa = theorem8_regex(s).to_min_dfa(2);
+        println!("{:>3} {:>12} {:>28}", s, nwa.num_states(), dfa.num_states());
+    }
+}

@@ -1,0 +1,58 @@
+//! Streaming document processing: parse an XML-ish document into a nested
+//! word, compile queries to deterministic NWAs, and evaluate them in a
+//! single pass with memory proportional to the nesting depth (§1 of the
+//! paper and experiments E14/E15).
+//!
+//! Run with `cargo run --example xml_streaming`.
+
+use nested_words::Alphabet;
+use nwa_xml::generate::{generate_document, DocumentConfig};
+use nwa_xml::queries::{contains_tag_nwa, depth_at_most_nwa, patterns_in_order_nwa, run_streaming};
+use nwa_xml::sax::parse_document;
+
+fn main() {
+    // A small hand-written document.
+    let mut ab = Alphabet::new();
+    let doc = parse_document(
+        "<library><book>moby dick</book><book>nested words</book><shelf/></library>",
+        &mut ab,
+    )
+    .unwrap();
+    println!(
+        "document: {} events, depth {}, well-matched: {}",
+        doc.len(),
+        doc.depth(),
+        doc.is_well_matched()
+    );
+
+    let book = ab.lookup("book").unwrap();
+    let moby = ab.lookup("moby").unwrap();
+    let nested = ab.lookup("nested").unwrap();
+    let sigma = ab.len();
+
+    let q1 = contains_tag_nwa(book, sigma);
+    let q2 = patterns_in_order_nwa(&[moby, nested], sigma);
+    let q3 = patterns_in_order_nwa(&[nested, moby], sigma);
+    let q4 = depth_at_most_nwa(1, sigma);
+    println!("contains <book>?                 {}", run_streaming(&q1, &doc).accepted);
+    println!("'moby' before 'nested'?          {}", run_streaming(&q2, &doc).accepted);
+    println!("'nested' before 'moby'?          {}", run_streaming(&q3, &doc).accepted);
+    println!("nesting depth at most 1?         {}", run_streaming(&q4, &doc).accepted);
+
+    // A large synthetic document, processed in one pass.
+    let (gen_ab, big) = generate_document(
+        DocumentConfig {
+            events: 200_000,
+            max_depth: 32,
+            ..Default::default()
+        },
+        42,
+    );
+    let tag = gen_ab.lookup("t3").unwrap();
+    let q = contains_tag_nwa(tag, gen_ab.len());
+    let outcome = run_streaming(&q, &big);
+    println!(
+        "synthetic document: {} events processed, peak stack {} entries, query result {}",
+        outcome.events, outcome.peak_memory, outcome.accepted
+    );
+}

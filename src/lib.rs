@@ -1,0 +1,12 @@
+//! Umbrella crate for the nested-words suite.
+//!
+//! Re-exports every crate of the workspace so that examples and integration
+//! tests can use a single dependency.
+
+pub use nested_words;
+pub use nwa;
+pub use nwa_pushdown;
+pub use nwa_xml;
+pub use pushdown_automata;
+pub use tree_automata;
+pub use word_automata;

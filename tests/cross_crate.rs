@@ -1,0 +1,127 @@
+//! Cross-crate integration tests: the paper's correspondences between
+//! automaton models, exercised end to end.
+
+use nested_words::generate::{random_tree, random_well_matched};
+use nested_words::{Alphabet, Symbol};
+use nwa::bottom_up::from_stepwise;
+use nwa::decision::{equivalent_nondet, is_empty};
+use nwa::flat::{from_tagged_dfa, tagged_indices, to_tagged_dfa};
+use nwa::nondet::Nnwa;
+use tree_automata::DetStepwiseTA;
+use word_automata::Regex;
+
+/// Theorem 2 end to end: a regular property of the tagged encoding, compiled
+/// through regex → DFA → flat NWA → DFA, agrees everywhere.
+#[test]
+fn theorem2_flat_nwa_word_automaton_correspondence() {
+    let sigma = 2usize;
+    // property: the document contains a b-labelled call followed later by an
+    // a-labelled return (over the tagged alphabet)
+    let b_call = nested_words::TaggedSymbol::Call(Symbol(1)).tagged_index(sigma);
+    let a_ret = nested_words::TaggedSymbol::Return(Symbol(0)).tagged_index(sigma);
+    let regex = Regex::any_star()
+        .concat(Regex::Symbol(b_call))
+        .concat(Regex::any_star())
+        .concat(Regex::Symbol(a_ret))
+        .concat(Regex::any_star());
+    let dfa = regex.to_min_dfa(3 * sigma);
+    let flat = from_tagged_dfa(&dfa, sigma);
+    assert_eq!(flat.num_states(), dfa.num_states());
+    let back = to_tagged_dfa(&flat);
+    assert!(dfa.equivalent(&back));
+
+    let ab = Alphabet::ab();
+    for seed in 0..40 {
+        let w = random_well_matched(&ab, 40, seed);
+        assert_eq!(
+            flat.accepts(&w),
+            dfa.accepts(&tagged_indices(&w, sigma)),
+            "seed {seed}"
+        );
+    }
+}
+
+/// Lemma 1 end to end: a stepwise bottom-up tree automaton, its embedding as
+/// a bottom-up NWA, and the original tree semantics agree on random trees.
+#[test]
+fn lemma1_stepwise_and_bottom_up_nwa_agree() {
+    let a = Symbol(0);
+    let b = Symbol(1);
+    // stepwise automaton: the number of b-labelled nodes is even
+    let mut ta = DetStepwiseTA::new(2, 2);
+    ta.set_init(a, 0);
+    ta.set_init(b, 1);
+    for q in 0..2 {
+        for r in 0..2 {
+            ta.set_combine(q, r, q ^ r);
+        }
+    }
+    ta.set_accepting(0, true);
+    let nwa = from_stepwise(&ta);
+    assert!(nwa.is_bottom_up());
+    let alphabet = Alphabet::ab();
+    for seed in 0..40 {
+        let tree = random_tree(&alphabet, 15, 3, seed);
+        assert_eq!(
+            ta.accepts(&tree),
+            nwa.accepts(&tree.to_nested_word()),
+            "seed {seed}"
+        );
+    }
+}
+
+/// The decision-procedure stack: determinization, boolean operations and
+/// emptiness compose into an equivalence check that agrees with itself.
+#[test]
+fn decision_procedures_compose() {
+    let a = Symbol(0);
+    let b = Symbol(1);
+    // nondeterministic NWA: some matched call/return pair carries label b
+    let mut n = Nnwa::new(3, 2);
+    n.add_initial(0);
+    n.add_accepting(2);
+    for sym in [a, b] {
+        n.add_internal(0, sym, 0);
+        n.add_internal(2, sym, 2);
+        n.add_call(0, sym, 0, 0);
+        n.add_call(2, sym, 2, 0);
+        for h in [0usize, 1] {
+            n.add_return(0, h, sym, 0);
+            n.add_return(2, h, sym, 2);
+        }
+    }
+    n.add_call(0, b, 0, 1);
+    n.add_return(0, 1, b, 2);
+
+    assert!(!is_empty(&n));
+    let det = n.determinize();
+    let roundtrip = Nnwa::from_deterministic(&det);
+    assert!(equivalent_nondet(&n, &roundtrip));
+
+    // intersection with the complement is empty
+    let complement = Nnwa::from_deterministic(&nwa::boolean::complement(&det));
+    let inter = nwa::boolean::intersect_nondet(&n, &complement);
+    assert!(is_empty(&inter));
+}
+
+/// Lemma 4 in miniature: the equal-count pushdown NWA agrees with the CFG
+/// baseline on flat words.
+#[test]
+fn lemma4_pnwa_matches_cfg_on_flat_words() {
+    use nested_words::NestedWord;
+    use nwa_pushdown::separations::equal_count_pnwa;
+    use pushdown_automata::Cfg;
+    let grammar = Cfg::equal_counts();
+    let pnwa = equal_count_pnwa();
+    for len in 0..=6usize {
+        for bits in 0..(1u32 << len) {
+            let word: Vec<usize> = (0..len).map(|i| ((bits >> i) & 1) as usize).collect();
+            let nested = NestedWord::flat(word.iter().map(|&x| Symbol(x as u16)).collect());
+            assert_eq!(
+                grammar.derives(&word),
+                pnwa.accepts(&nested),
+                "word {word:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Integration test reproducing Figure 1 of the paper: the three sample
+//! nested words, their tagged encodings, and the tree view of n3.
+
+use nested_words::tagged::{display_nested_word, parse_nested_word};
+use nested_words::{Alphabet, OrderedTree};
+
+#[test]
+fn figure1_nested_words() {
+    let mut ab = Alphabet::ab();
+    let n1 = parse_nested_word("<a <b a a> <b a b> a> <a b a a>", &mut ab).unwrap();
+    let n2 = parse_nested_word("a a> <b a a> <a <a", &mut ab).unwrap();
+    let n3 = parse_nested_word("<a <a a> <b b> a>", &mut ab).unwrap();
+
+    // n1: well-matched, length 12, depth 2
+    assert_eq!(n1.len(), 12);
+    assert_eq!(n1.depth(), 2);
+    assert!(n1.is_well_matched());
+    assert!(!n1.is_rooted());
+
+    // n2: one unmatched return, two unmatched calls
+    assert!(!n2.is_well_matched());
+    assert_eq!(
+        (0..n2.len()).filter(|&i| n2.is_pending_return(i)).count(),
+        1
+    );
+    assert_eq!(
+        (0..n2.len()).filter(|&i| n2.is_pending_call(i)).count(),
+        2
+    );
+
+    // n3: rooted, and a tree word encoding a(a(), b())
+    assert!(n3.is_rooted());
+    let tree = OrderedTree::from_nested_word(&n3).unwrap();
+    assert_eq!(tree.display(&ab), "a(a(),b())");
+
+    // the tagged encodings round-trip through the text syntax
+    for (text, word) in [
+        ("<a <b a a> <b a b> a> <a b a a>", &n1),
+        ("a a> <b a a> <a <a", &n2),
+        ("<a <a a> <b b> a>", &n3),
+    ] {
+        assert_eq!(display_nested_word(word, &ab), text);
+    }
+}
+
+#[test]
+fn figure1_counts_of_matching_relations() {
+    // §2.2: there are exactly 3^ℓ matching relations and 3^ℓ·|Σ|^ℓ nested
+    // words of length ℓ. Verify by enumeration for ℓ = 4 over {a, b}.
+    use nested_words::{NestedWord, TaggedSymbol};
+    use std::collections::HashSet;
+    let sigma = 2usize;
+    let len = 4usize;
+    let mut words = HashSet::new();
+    let mut matchings = HashSet::new();
+    let total = (3 * sigma).pow(len as u32);
+    for code in 0..total {
+        let mut c = code;
+        let mut tagged = Vec::new();
+        for _ in 0..len {
+            tagged.push(TaggedSymbol::from_tagged_index(c % (3 * sigma), sigma));
+            c /= 3 * sigma;
+        }
+        let w = NestedWord::from_tagged(&tagged);
+        matchings.insert(w.matching().clone());
+        words.insert(w);
+    }
+    assert_eq!(matchings.len(), 3usize.pow(len as u32));
+    assert_eq!(words.len(), 3usize.pow(len as u32) * sigma.pow(len as u32));
+}

@@ -1,0 +1,93 @@
+//! Property-based tests (proptest) for the core data model and the key
+//! automaton constructions.
+
+use nested_words::ops::{concat, prefix, reverse, suffix};
+use nested_words::{NestedWord, Symbol, TaggedSymbol};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary tagged words over {a, b}.
+fn tagged_word(max_len: usize) -> impl Strategy<Value = Vec<TaggedSymbol>> {
+    prop::collection::vec((0..3usize, 0..2u16), 0..max_len).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(kind, sym)| match kind {
+                0 => TaggedSymbol::Call(Symbol(sym)),
+                1 => TaggedSymbol::Internal(Symbol(sym)),
+                _ => TaggedSymbol::Return(Symbol(sym)),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// w_nw and nw_w are mutually inverse (§2.2): the tagged encoding is a
+    /// bijection.
+    #[test]
+    fn tagged_encoding_roundtrips(tagged in tagged_word(60)) {
+        let word = NestedWord::from_tagged(&tagged);
+        prop_assert_eq!(word.to_tagged(), tagged);
+    }
+
+    /// Reversal is an involution (§2.4).
+    #[test]
+    fn reverse_is_an_involution(tagged in tagged_word(60)) {
+        let word = NestedWord::from_tagged(&tagged);
+        prop_assert_eq!(reverse(&reverse(&word)), word);
+    }
+
+    /// Splitting at any position and concatenating recovers the word (§2.4).
+    #[test]
+    fn prefix_suffix_concat_roundtrips(tagged in tagged_word(40), split in 0usize..41) {
+        let word = NestedWord::from_tagged(&tagged);
+        let split = split.min(word.len());
+        let rebuilt = concat(&prefix(&word, split), &suffix(&word, split));
+        prop_assert_eq!(rebuilt, word);
+    }
+
+    /// Depth never exceeds half the length, and reversal preserves it.
+    #[test]
+    fn depth_bounds_and_reverse_invariance(tagged in tagged_word(60)) {
+        let word = NestedWord::from_tagged(&tagged);
+        prop_assert!(word.depth() <= word.len() / 2);
+        prop_assert_eq!(reverse(&word).depth(), word.depth());
+        prop_assert_eq!(reverse(&word).is_well_matched(), word.is_well_matched());
+    }
+
+    /// The Theorem 1 weak construction preserves the language of the
+    /// matching-labels automaton on arbitrary nested words.
+    #[test]
+    fn weak_construction_language_preservation(tagged in tagged_word(30)) {
+        let a = Symbol(0);
+        let b = Symbol(1);
+        let mut m = nwa::automaton::Nwa::new(4, 2, 0);
+        m.set_accepting(0, true);
+        m.set_all_transitions_to(3, 3);
+        m.set_internal(0, a, 0);
+        m.set_internal(0, b, 0);
+        m.set_call(0, a, 0, 1);
+        m.set_call(0, b, 0, 2);
+        for q in [1usize, 2] {
+            m.set_all_transitions_to(q, 3);
+        }
+        for h in 0..4usize {
+            for (sym, want) in [(a, 1usize), (b, 2usize)] {
+                m.set_return(0, h, sym, if h == want { 0 } else { 3 });
+            }
+        }
+        let weak = nwa::weak::to_weak(&m);
+        let word = NestedWord::from_tagged(&tagged);
+        prop_assert_eq!(m.accepts(&word), weak.accepts(&word));
+    }
+
+    /// Tree encoding round-trips: every randomly generated tree satisfies
+    /// nw_t(t_nw(t)) = t.
+    #[test]
+    fn tree_encoding_roundtrips(seed in 0u64..10_000, size in 1usize..40) {
+        let ab = nested_words::Alphabet::with_size(3);
+        let tree = nested_words::generate::random_tree(&ab, size, 4, seed);
+        let word = tree.to_nested_word();
+        prop_assert!(nested_words::tree::is_tree_word(&word) || tree.is_empty());
+        let back = nested_words::OrderedTree::from_nested_word(&word).unwrap();
+        prop_assert_eq!(back, tree);
+    }
+}
