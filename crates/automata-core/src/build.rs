@@ -1,0 +1,18 @@
+//! The fluent-builder idiom.
+//!
+//! Every model crate exposes a builder (`NwaBuilder`, `NnwaBuilder`,
+//! `DfaBuilder`, …) replacing the older `new` + imperative `set_*`/`add_*`
+//! construction sequences. Builders are plain structs with chainable
+//! methods; this trait is the common final step so generic code (and tests)
+//! can finish any builder the same way.
+
+/// A fluent automaton builder: chain configuration calls, then [`build`].
+///
+/// [`build`]: Builder::build
+pub trait Builder {
+    /// The automaton type this builder produces.
+    type Output;
+
+    /// Consumes the builder and produces the automaton.
+    fn build(self) -> Self::Output;
+}

@@ -1,0 +1,84 @@
+//! Typed state indices.
+//!
+//! Automata in the suite store their transition tables densely and refer to
+//! states by small integers. Passing those integers around as bare `usize`
+//! makes call sites like `set_return(0, 1, a, 2)` easy to get wrong — which
+//! argument was the hierarchical state again? [`StateId`] is a zero-cost
+//! newtype used by the fluent builders so that states are distinguishable
+//! from symbols and counts at the type level, while converting freely from
+//! integer literals at call sites.
+
+use std::fmt;
+
+/// A typed index of an automaton state.
+///
+/// `StateId` is only meaningful relative to the automaton that allocated it.
+/// It converts from and to `usize` so existing dense-table code interoperates
+/// without friction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// Creates a state id from a dense index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        StateId(index as u32)
+    }
+
+    /// Returns the dense index of this state.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for StateId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        StateId::new(v)
+    }
+}
+
+impl From<u32> for StateId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        StateId(v)
+    }
+}
+
+impl From<i32> for StateId {
+    /// Lets untyped integer literals (which default to `i32`) flow into
+    /// builder call sites. Panics on negative values.
+    #[inline]
+    fn from(v: i32) -> Self {
+        assert!(v >= 0, "state index must be non-negative");
+        StateId(v as u32)
+    }
+}
+
+impl From<StateId> for usize {
+    #[inline]
+    fn from(s: StateId) -> usize {
+        s.index()
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let q: StateId = 7usize.into();
+        assert_eq!(q.index(), 7);
+        assert_eq!(usize::from(q), 7);
+        assert_eq!(StateId::new(7), q);
+        assert_eq!(q.to_string(), "q7");
+    }
+}

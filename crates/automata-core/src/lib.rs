@@ -1,0 +1,41 @@
+//! # automata-core
+//!
+//! The shared vocabulary of the nested-words suite: every automaton model —
+//! nested word automata, word automata, tree automata and the pushdown
+//! variants — implements the same small set of traits, so that callers can
+//! test membership, combine languages and decide inclusion or equivalence
+//! without knowing which machine model they hold.
+//!
+//! The design follows the query layer of WALi-OpenNWA (`languageContains`,
+//! `languageSubsetEq`, `languageIsEmpty`, `languageEquals`): a handful of
+//! verbs, uniform across models, with inclusion and equivalence derived from
+//! boolean operations plus emptiness.
+//!
+//! * [`Acceptor`] — membership: `a.accepts(&input)` for whatever input type
+//!   the model reads (nested words, ordered trees, flat symbol slices);
+//! * [`BooleanOps`] — intersection, union, complement;
+//! * [`Emptiness`] — the language-emptiness decision;
+//! * [`Decide`] — inclusion and equivalence, with default implementations
+//!   via `intersect` + `complement` + `is_empty`;
+//! * [`Builder`] — the fluent-construction idiom shared by `NwaBuilder`,
+//!   `NnwaBuilder`, `DfaBuilder` and friends in the model crates;
+//! * [`StateId`] — a typed state index, so builder call sites cannot confuse
+//!   states with symbols or stack entries;
+//! * [`query`] — free-function spellings of the decision verbs
+//!   ([`query::contains`], [`query::is_empty`], [`query::subset_eq`],
+//!   [`query::equals`]).
+//!
+//! This crate depends only on `nested-words` (for the input types); the
+//! model crates depend on it and implement the traits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod ids;
+pub mod query;
+pub mod traits;
+
+pub use build::Builder;
+pub use ids::StateId;
+pub use traits::{Acceptor, BooleanOps, Decide, Emptiness};

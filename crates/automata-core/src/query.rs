@@ -1,0 +1,122 @@
+//! Free-function spellings of the decision verbs, mirroring the
+//! WALi-OpenNWA query layer (`languageContains`, `languageIsEmpty`,
+//! `languageSubsetEq`, `languageEquals`).
+//!
+//! These are thin generic wrappers over the [`Acceptor`], [`Emptiness`] and
+//! [`Decide`] traits, so one vocabulary covers every automaton model in the
+//! suite. The umbrella crate re-exports this module as `query`, which is the
+//! spelling examples and tests use: `query::equals(&a, &b)`.
+
+use crate::traits::{Acceptor, Decide, Emptiness};
+
+/// Returns `true` if automaton `a` accepts `input`
+/// (WALi's `languageContains`).
+///
+/// ```
+/// use automata_core::query;
+/// use nested_words::{Alphabet, Symbol, tagged::parse_nested_word};
+/// use nwa::NwaBuilder;
+///
+/// // Deterministic NWA over {a} accepting nested words of even length:
+/// // every position flips the parity state, whatever its kind.
+/// let a = Symbol(0);
+/// let mut builder = NwaBuilder::new(2, 1, 0).accepting(0);
+/// for q in 0..2usize {
+///     builder = builder
+///         .internal(q, a, 1 - q)
+///         .call(q, a, 1 - q, 0)
+///         .ret(q, 0, a, 1 - q)
+///         .ret(q, 1, a, 1 - q);
+/// }
+/// let even = builder.build();
+///
+/// let mut ab = Alphabet::from_names(["a"]);
+/// let w2 = parse_nested_word("<a a>", &mut ab).unwrap();
+/// let w3 = parse_nested_word("<a a a>", &mut ab).unwrap();
+/// assert!(query::contains(&even, &w2));
+/// assert!(!query::contains(&even, &w3));
+/// ```
+pub fn contains<I: ?Sized, A: Acceptor<I>>(a: &A, input: &I) -> bool {
+    a.accepts(input)
+}
+
+/// Returns `true` if automaton `a` accepts no input at all
+/// (WALi's `languageIsEmpty`).
+///
+/// ```
+/// use automata_core::query;
+/// use nested_words::Symbol;
+/// use nwa::NnwaBuilder;
+///
+/// // The accepting state is unreachable until a transition is added.
+/// let a = Symbol(0);
+/// let dead = NnwaBuilder::new(2, 1).initial(0).accepting(1).build();
+/// assert!(query::is_empty(&dead));
+///
+/// let alive = NnwaBuilder::new(2, 1)
+///     .initial(0)
+///     .accepting(1)
+///     .internal(0, a, 1)
+///     .build();
+/// assert!(!query::is_empty(&alive));
+/// ```
+pub fn is_empty<A: Emptiness>(a: &A) -> bool {
+    a.is_empty()
+}
+
+/// Returns `true` if `L(a) ⊆ L(b)` (WALi's `languageSubsetEq`).
+///
+/// ```
+/// use automata_core::{query, BooleanOps};
+/// use word_automata::DfaBuilder;
+///
+/// // Over {0,1}: "even number of 1s" and "ends in 1".
+/// let even_ones = DfaBuilder::new(2, 2, 0)
+///     .accepting(0)
+///     .transition(0, 0, 0)
+///     .transition(0, 1, 1)
+///     .transition(1, 0, 1)
+///     .transition(1, 1, 0)
+///     .build();
+/// let ends_in_one = DfaBuilder::new(2, 2, 0)
+///     .accepting(1)
+///     .transition(0, 0, 0)
+///     .transition(0, 1, 1)
+///     .transition(1, 0, 0)
+///     .transition(1, 1, 1)
+///     .build();
+///
+/// let both = even_ones.intersect(&ends_in_one);
+/// assert!(query::subset_eq(&both, &ends_in_one));
+/// assert!(!query::subset_eq(&ends_in_one, &even_ones));
+/// ```
+pub fn subset_eq<A: Decide>(a: &A, b: &A) -> bool {
+    a.subset_eq(b)
+}
+
+/// Returns `true` if `L(a) = L(b)` (WALi's `languageEquals`).
+///
+/// ```
+/// use automata_core::{query, BooleanOps};
+/// use nested_words::Symbol;
+/// use tree_automata::DetStepwiseTA;
+///
+/// // Stepwise tree automaton: "the tree contains a b-labelled node".
+/// let (a, b) = (Symbol(0), Symbol(1));
+/// let mut ta = DetStepwiseTA::new(2, 2);
+/// ta.set_init(a, 0);
+/// ta.set_init(b, 1);
+/// for q in 0..2 {
+///     for r in 0..2 {
+///         ta.set_combine(q, r, usize::from(q == 1 || r == 1));
+///     }
+/// }
+/// ta.set_accepting(1, true);
+///
+/// // Double complement is a no-op on the language.
+/// assert!(query::equals(&ta, &ta.complement().complement()));
+/// assert!(!query::equals(&ta, &ta.complement()));
+/// ```
+pub fn equals<A: Decide>(a: &A, b: &A) -> bool {
+    a.equals(b)
+}

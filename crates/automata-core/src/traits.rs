@@ -1,0 +1,61 @@
+//! The acceptor/boolean/decision traits shared by every automaton model.
+
+/// Membership: the model reads an input of type `Input` and accepts or
+/// rejects it.
+///
+/// `Input` is a generic parameter rather than an associated type because one
+/// model can accept several input encodings (a nested word automaton reads
+/// [`nested_words::NestedWord`]s, a word automaton reads flat `[usize]`
+/// slices, tree automata read [`nested_words::OrderedTree`]s), and a caller
+/// holding any `Acceptor<I>` can test membership without knowing the model.
+pub trait Acceptor<Input: ?Sized> {
+    /// Returns `true` if the automaton accepts `input`.
+    fn accepts(&self, input: &Input) -> bool;
+}
+
+/// Boolean language operations.
+///
+/// Implementations must satisfy, for the accepted languages,
+/// `L(a.intersect(b)) = L(a) ∩ L(b)`, `L(a.union(b)) = L(a) ∪ L(b)` and
+/// `L(a.complement()) = Dᵃ \ L(a)` where `Dᵃ` is the model's input domain
+/// (all nested words over Σ, all flat words, all non-empty trees, …).
+pub trait BooleanOps: Sized {
+    /// The automaton accepting `L(self) ∩ L(other)`.
+    ///
+    /// Panics if the two automata are over different alphabets.
+    fn intersect(&self, other: &Self) -> Self;
+
+    /// The automaton accepting `L(self) ∪ L(other)`.
+    ///
+    /// Panics if the two automata are over different alphabets.
+    fn union(&self, other: &Self) -> Self;
+
+    /// The automaton accepting the complement of `L(self)` relative to the
+    /// model's input domain. Nondeterministic models determinize first, so
+    /// this can be exponential.
+    fn complement(&self) -> Self;
+}
+
+/// The language-emptiness decision.
+pub trait Emptiness {
+    /// Returns `true` if the automaton accepts no input at all.
+    fn is_empty(&self) -> bool;
+}
+
+/// The WALi-style decision verbs: inclusion and equivalence.
+///
+/// Both have default implementations by reduction to [`BooleanOps`] +
+/// [`Emptiness`]: `L(a) ⊆ L(b)` iff `L(a) ∩ L(b)ᶜ = ∅`. Models with a
+/// cheaper specialised procedure (e.g. deterministic automata that avoid
+/// re-determinizing) override the defaults.
+pub trait Decide: BooleanOps + Emptiness {
+    /// Returns `true` if `L(self) ⊆ L(other)`.
+    fn subset_eq(&self, other: &Self) -> bool {
+        self.intersect(&other.complement()).is_empty()
+    }
+
+    /// Returns `true` if `L(self) = L(other)`.
+    fn equals(&self, other: &Self) -> bool {
+        self.subset_eq(other) && other.subset_eq(self)
+    }
+}

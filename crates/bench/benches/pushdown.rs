@@ -4,23 +4,22 @@
 //! summary saturation (Theorem 11).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nested_words::generate::{random_nested_word, NestedWordConfig};
-use nested_words::Alphabet;
-use nwa_pushdown::emptiness::is_empty;
-use nwa_pushdown::sat::{sat_via_membership, CnfFormula};
-use nwa_pushdown::separations::{equal_count_member, equal_count_pnwa};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nested_words_suite::nested_words::generate::{random_nested_word, NestedWordConfig};
+use nested_words_suite::nested_words::rng::Prng;
+use nested_words_suite::nwa_pushdown::sat::{sat_via_membership, CnfFormula};
+use nested_words_suite::nwa_pushdown::separations::{equal_count_member, equal_count_pnwa};
+use nested_words_suite::prelude::*;
+use nested_words_suite::query;
 use std::time::Duration;
 
 fn random_formula(num_vars: usize, num_clauses: usize, seed: u64) -> CnfFormula {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::new(seed);
     CnfFormula {
         num_vars,
         clauses: (0..num_clauses)
             .map(|_| {
                 (0..3)
-                    .map(|_| (rng.gen_range(0..num_vars), rng.gen_bool(0.5)))
+                    .map(|_| (rng.below(num_vars), rng.bool(0.5)))
                     .collect()
             })
             .collect(),
@@ -41,7 +40,7 @@ fn print_tables() {
     for seed in 0..200u64 {
         let w = random_nested_word(&ab, cfg, seed);
         let expected = equal_count_member(&w);
-        if p.accepts(&w) == expected {
+        if query::contains(&p, &w) == expected {
             agree += 1;
         }
         if expected {
@@ -51,7 +50,10 @@ fn print_tables() {
     println!("PNWA vs predicate on 200 random nested words: {agree} agree ({members} members)");
 
     println!("\n== E10: Theorem 10 — SAT via PNWA membership ==");
-    println!("{:>5} {:>8} {:>8} {:>10}", "vars", "clauses", "sat?", "agrees");
+    println!(
+        "{:>5} {:>8} {:>8} {:>10}",
+        "vars", "clauses", "sat?", "agrees"
+    );
     for v in [3usize, 4, 5, 6] {
         let f = random_formula(v, (v as f64 * 2.0) as usize, v as u64);
         let by_membership = sat_via_membership(&f);
@@ -66,15 +68,10 @@ fn print_tables() {
     }
 
     println!("\n== E11: Theorem 11 — emptiness by summary saturation ==");
-    let mut p_nonempty = equal_count_pnwa();
-    println!("equal-count PNWA empty? {}", is_empty(&p_nonempty));
-    // removing the ⊥-pop makes it empty
-    p_nonempty = {
-        let mut q = nwa_pushdown::automaton::Pnwa::new(3, 2, 3);
-        q.add_initial(0);
-        q
-    };
-    println!("transition-free PNWA empty? {}", is_empty(&p_nonempty));
+    let full = equal_count_pnwa();
+    println!("equal-count PNWA empty? {}", query::is_empty(&full));
+    let bare = Pnwa::new(3, 2, 3);
+    println!("transition-free PNWA empty? {}", query::is_empty(&bare));
     println!();
 }
 
@@ -82,7 +79,10 @@ fn bench_pushdown(c: &mut Criterion) {
     print_tables();
 
     let mut group = c.benchmark_group("e09_pushdown_expressiveness");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
     let p = equal_count_pnwa();
     let ab = Alphabet::ab();
     for len in [8usize, 16, 24] {
@@ -93,13 +93,16 @@ fn bench_pushdown(c: &mut Criterion) {
         };
         let w = random_nested_word(&ab, cfg, 7);
         group.bench_with_input(BenchmarkId::new("membership", len), &w, |b, w| {
-            b.iter(|| p.accepts(w))
+            b.iter(|| query::contains(&p, w))
         });
     }
     group.finish();
 
     let mut group = c.benchmark_group("e10_pnwa_membership_sat");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
     for v in [4usize, 6, 8] {
         let f = random_formula(v, 2 * v, 99);
         group.bench_with_input(BenchmarkId::new("vars", v), &f, |b, f| {
@@ -109,9 +112,12 @@ fn bench_pushdown(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("e11_pnwa_emptiness");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
     let p = equal_count_pnwa();
-    group.bench_function("equal_count", |b| b.iter(|| is_empty(&p)));
+    group.bench_function("equal_count", |b| b.iter(|| query::is_empty(&p)));
     group.finish();
 }
 

@@ -4,10 +4,13 @@
 //! over SAX-style event streams.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use nested_words::generate::deep_word;
-use nested_words::Alphabet;
-use nwa_xml::generate::{generate_deep_document, generate_document, DocumentConfig};
-use nwa_xml::queries::{contains_tag_nwa, depth_at_most_nwa, run_streaming};
+use nested_words_suite::nested_words::generate::deep_word;
+use nested_words_suite::nwa_xml::generate::{
+    generate_deep_document, generate_document, DocumentConfig,
+};
+use nested_words_suite::nwa_xml::queries::{contains_tag_nwa, depth_at_most_nwa, run_streaming};
+use nested_words_suite::prelude::*;
+use nested_words_suite::query;
 use std::time::Duration;
 
 fn print_tables() {
@@ -17,11 +20,19 @@ fn print_tables() {
         let (ab, doc) = generate_deep_document(depth, 4);
         let q = depth_at_most_nwa(depth, ab.len());
         let outcome = run_streaming(&q, &doc);
-        println!("{:>10} {:>8} {:>14}", doc.len(), doc.depth(), outcome.peak_memory);
+        println!(
+            "{:>10} {:>8} {:>14}",
+            doc.len(),
+            doc.depth(),
+            outcome.peak_memory
+        );
     }
 
     println!("\n== E15: streaming document queries ==");
-    println!("{:>10} {:>10} {:>14} {:>10}", "events", "depth cap", "peak stack", "accepted");
+    println!(
+        "{:>10} {:>10} {:>14} {:>10}",
+        "events", "depth cap", "peak stack", "accepted"
+    );
     for events in [10_000usize, 100_000] {
         let (ab, doc) = generate_document(
             DocumentConfig {
@@ -45,24 +56,32 @@ fn bench_streaming(c: &mut Criterion) {
     print_tables();
 
     let mut group = c.benchmark_group("e12_membership_scaling");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
     let ab = Alphabet::with_size(4);
     // a fixed small query automaton: timing scales with the word length while
     // the stack grows with the depth
-    let q = contains_tag_nwa(nested_words::Symbol(0), 4);
+    let q = contains_tag_nwa(Symbol(0), 4);
     for len in [10_000usize, 100_000, 1_000_000] {
         // deep_word(depth, width) produces depth*(width+2) positions
         let depth = len / 12;
         let word = deep_word(&ab, depth, 10, 1);
         group.throughput(Throughput::Elements(word.len() as u64));
-        group.bench_with_input(BenchmarkId::new("det_membership", word.len()), &word, |b, w| {
-            b.iter(|| q.accepts(w))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("det_membership", word.len()),
+            &word,
+            |b, w| b.iter(|| query::contains(&q, w)),
+        );
     }
     group.finish();
 
     let mut group = c.benchmark_group("e15_xml_streaming");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
     for events in [10_000usize, 100_000] {
         let (doc_ab, doc) = generate_document(
             DocumentConfig {

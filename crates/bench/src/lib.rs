@@ -1,1 +1,6 @@
 //! Benchmark harness crate: all logic lives in `benches/`.
+//!
+//! The three bench targets (`succinctness`, `streaming`, `pushdown`) cover
+//! experiments E1–E15 and speak only the umbrella crate's `prelude`/`query`
+//! facade. Run them with `cargo bench` (compile-check with
+//! `cargo bench --no-run`).

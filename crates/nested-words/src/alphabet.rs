@@ -174,7 +174,10 @@ mod tests {
         assert_eq!(a.name(Symbol(0)), Some("a"));
         assert_eq!(a.name(Symbol(26)), Some("x0"));
         // all names distinct
-        let mut names: Vec<_> = a.symbols().map(|s| a.name(s).unwrap().to_string()).collect();
+        let mut names: Vec<_> = a
+            .symbols()
+            .map(|s| a.name(s).unwrap().to_string())
+            .collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 30);

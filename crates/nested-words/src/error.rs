@@ -69,10 +69,16 @@ impl fmt::Display for NestedWordError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NestedWordError::EdgeNotForward { call, ret } => {
-                write!(f, "matching edge {call} ; {ret} is not forward (needs call < return)")
+                write!(
+                    f,
+                    "matching edge {call} ; {ret} is not forward (needs call < return)"
+                )
             }
             NestedWordError::DuplicateEndpoint { position } => {
-                write!(f, "position {position} participates in two matching edges in the same role")
+                write!(
+                    f,
+                    "position {position} participates in two matching edges in the same role"
+                )
             }
             NestedWordError::CrossingEdges { first, second } => write!(
                 f,

@@ -6,11 +6,10 @@
 //! words, and structured "program trace" words with call/return discipline.
 
 use crate::alphabet::{Alphabet, Symbol};
+use crate::rng::Prng;
 use crate::tagged::TaggedSymbol;
 use crate::tree::OrderedTree;
 use crate::word::NestedWord;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration for [`random_nested_word`].
 #[derive(Debug, Clone, Copy)]
@@ -45,27 +44,26 @@ impl Default for NestedWordConfig {
 /// configuration, deterministically from `seed`.
 pub fn random_nested_word(alphabet: &Alphabet, config: NestedWordConfig, seed: u64) -> NestedWord {
     assert!(!alphabet.is_empty(), "alphabet must be non-empty");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let sigma = alphabet.len() as u16;
+    let mut rng = Prng::new(seed);
+    let sigma = alphabet.len();
     let mut tagged = Vec::with_capacity(config.len);
     let mut open = 0usize; // currently open (to-be-matched) calls
     for i in 0..config.len {
         let remaining = config.len - i;
-        let sym = Symbol(rng.gen_range(0..sigma));
+        let sym = Symbol(rng.below(sigma) as u16);
         // If we must close all open calls to stay well-matched, do so.
         let must_close = !config.allow_pending && open >= remaining;
-        let can_open = open < config.max_depth
-            && (config.allow_pending || remaining > open + 1);
+        let can_open = open < config.max_depth && (config.allow_pending || remaining > open + 1);
         let t = if must_close && open > 0 {
             open -= 1;
             TaggedSymbol::Return(sym)
-        } else if can_open && rng.gen_bool(config.call_prob) {
+        } else if can_open && rng.bool(config.call_prob) {
             open += 1;
             TaggedSymbol::Call(sym)
-        } else if open > 0 && rng.gen_bool(config.return_prob) {
+        } else if open > 0 && rng.bool(config.return_prob) {
             open -= 1;
             TaggedSymbol::Return(sym)
-        } else if config.allow_pending && rng.gen_bool(0.05) {
+        } else if config.allow_pending && rng.bool(0.05) {
             TaggedSymbol::Return(sym) // pending return
         } else {
             TaggedSymbol::Internal(sym)
@@ -91,16 +89,21 @@ pub fn random_well_matched(alphabet: &Alphabet, len: usize, seed: u64) -> Nested
 /// Generates a random plain (flat) word of length `len` over `alphabet`.
 pub fn random_flat_word(alphabet: &Alphabet, len: usize, seed: u64) -> Vec<Symbol> {
     assert!(!alphabet.is_empty(), "alphabet must be non-empty");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let sigma = alphabet.len() as u16;
-    (0..len).map(|_| Symbol(rng.gen_range(0..sigma))).collect()
+    let mut rng = Prng::new(seed);
+    let sigma = alphabet.len();
+    (0..len).map(|_| Symbol(rng.below(sigma) as u16)).collect()
 }
 
 /// Generates a random ordered tree with approximately `nodes` nodes and
 /// branching factor at most `max_children`.
-pub fn random_tree(alphabet: &Alphabet, nodes: usize, max_children: usize, seed: u64) -> OrderedTree {
+pub fn random_tree(
+    alphabet: &Alphabet,
+    nodes: usize,
+    max_children: usize,
+    seed: u64,
+) -> OrderedTree {
     assert!(!alphabet.is_empty(), "alphabet must be non-empty");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::new(seed);
     let mut budget = nodes.max(1);
     random_tree_inner(alphabet, &mut budget, max_children.max(1), &mut rng)
 }
@@ -109,14 +112,14 @@ fn random_tree_inner(
     alphabet: &Alphabet,
     budget: &mut usize,
     max_children: usize,
-    rng: &mut StdRng,
+    rng: &mut Prng,
 ) -> OrderedTree {
     if *budget == 0 {
         return OrderedTree::Empty;
     }
     *budget -= 1;
-    let label = Symbol(rng.gen_range(0..alphabet.len() as u16));
-    let n_children = rng.gen_range(0..=max_children).min(*budget);
+    let label = Symbol(rng.below(alphabet.len()) as u16);
+    let n_children = rng.below(max_children + 1).min(*budget);
     let mut children = Vec::with_capacity(n_children);
     for _ in 0..n_children {
         if *budget == 0 {
@@ -135,16 +138,16 @@ fn random_tree_inner(
 /// space ∝ depth claims of §3.2 (experiment E12).
 pub fn deep_word(alphabet: &Alphabet, depth: usize, width: usize, seed: u64) -> NestedWord {
     assert!(!alphabet.is_empty(), "alphabet must be non-empty");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let sigma = alphabet.len() as u16;
+    let mut rng = Prng::new(seed);
+    let sigma = alphabet.len();
     let mut tagged = Vec::with_capacity(depth * (width + 2));
     let mut stack = Vec::with_capacity(depth);
     for _ in 0..depth {
-        let s = Symbol(rng.gen_range(0..sigma));
+        let s = Symbol(rng.below(sigma) as u16);
         tagged.push(TaggedSymbol::Call(s));
         stack.push(s);
         for _ in 0..width {
-            tagged.push(TaggedSymbol::Internal(Symbol(rng.gen_range(0..sigma))));
+            tagged.push(TaggedSymbol::Internal(Symbol(rng.below(sigma) as u16)));
         }
     }
     while let Some(s) = stack.pop() {
@@ -157,14 +160,14 @@ pub fn deep_word(alphabet: &Alphabet, depth: usize, width: usize, seed: u64) -> 
 /// each of depth 1 and containing `width` internals.
 pub fn wide_word(alphabet: &Alphabet, blocks: usize, width: usize, seed: u64) -> NestedWord {
     assert!(!alphabet.is_empty(), "alphabet must be non-empty");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let sigma = alphabet.len() as u16;
+    let mut rng = Prng::new(seed);
+    let sigma = alphabet.len();
     let mut tagged = Vec::with_capacity(blocks * (width + 2));
     for _ in 0..blocks {
-        let s = Symbol(rng.gen_range(0..sigma));
+        let s = Symbol(rng.below(sigma) as u16);
         tagged.push(TaggedSymbol::Call(s));
         for _ in 0..width {
-            tagged.push(TaggedSymbol::Internal(Symbol(rng.gen_range(0..sigma))));
+            tagged.push(TaggedSymbol::Internal(Symbol(rng.below(sigma) as u16)));
         }
         tagged.push(TaggedSymbol::Return(s));
     }
@@ -185,7 +188,7 @@ pub fn program_trace(
     let mut names: Vec<String> = (0..procs).map(|i| format!("p{i}")).collect();
     names.extend((0..statements).map(|i| format!("s{i}")));
     let alphabet = Alphabet::from_names(names);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::new(seed);
     let mut tagged = Vec::with_capacity(len);
     let mut stack: Vec<Symbol> = Vec::new();
     for i in 0..len {
@@ -196,16 +199,16 @@ pub fn program_trace(
             tagged.push(TaggedSymbol::Return(s));
             continue;
         }
-        let roll: f64 = rng.gen();
+        let roll: f64 = rng.f64();
         if roll < 0.25 && stack.len() < max_depth && remaining > stack.len() + 1 {
-            let p = Symbol(rng.gen_range(0..procs as u16));
+            let p = Symbol(rng.below(procs) as u16);
             stack.push(p);
             tagged.push(TaggedSymbol::Call(p));
         } else if roll < 0.45 && !stack.is_empty() {
             let s = stack.pop().expect("non-empty stack");
             tagged.push(TaggedSymbol::Return(s));
         } else {
-            let s = Symbol((procs + rng.gen_range(0..statements)) as u16);
+            let s = Symbol((procs + rng.below(statements)) as u16);
             tagged.push(TaggedSymbol::Internal(s));
         }
     }
@@ -293,7 +296,10 @@ mod tests {
         assert_eq!(ab.len(), 8);
         for i in 0..w.len() {
             if w.kind(i) != crate::word::PositionKind::Internal {
-                assert!(w.symbol(i).index() < 3, "calls/returns labelled by procedures");
+                assert!(
+                    w.symbol(i).index() < 3,
+                    "calls/returns labelled by procedures"
+                );
             }
         }
     }

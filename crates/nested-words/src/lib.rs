@@ -37,6 +37,7 @@ pub mod generate;
 pub mod matching;
 pub mod ops;
 pub mod path;
+pub mod rng;
 pub mod tagged;
 pub mod tree;
 pub mod word;

@@ -64,9 +64,9 @@ impl MatchingRelation {
         let mut kinds = vec![PositionKind::Internal; len];
         let mut partner = vec![NO_PARTNER; len];
 
-        let mut mark = |pos: usize,
-                        kind: PositionKind,
-                        kinds: &mut Vec<PositionKind>|
+        let mark = |pos: usize,
+                    kind: PositionKind,
+                    kinds: &mut Vec<PositionKind>|
          -> Result<(), NestedWordError> {
             if pos >= len {
                 return Err(NestedWordError::OutOfRange { position: pos, len });
@@ -76,7 +76,9 @@ impl MatchingRelation {
                     kinds[pos] = kind;
                     Ok(())
                 }
-                existing if existing == kind => Err(NestedWordError::DuplicateEndpoint { position: pos }),
+                existing if existing == kind => {
+                    Err(NestedWordError::DuplicateEndpoint { position: pos })
+                }
                 _ => Err(NestedWordError::CallAndReturn { position: pos }),
             }
         };
@@ -388,7 +390,10 @@ mod tests {
         // a> a <a   : pending return at 0, pending call at 2
         let m = MatchingRelation::from_edges(
             3,
-            &[Edge::PendingReturn { ret: 0 }, Edge::PendingCall { call: 2 }],
+            &[
+                Edge::PendingReturn { ret: 0 },
+                Edge::PendingCall { call: 2 },
+            ],
         )
         .unwrap();
         assert!(m.is_pending_return(0));

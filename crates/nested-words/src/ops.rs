@@ -315,9 +315,6 @@ mod tests {
         let rep = parse(&mut ab, "<b <b b> b>");
         let b = ab.lookup("b").unwrap();
         let out = substitute_leaves(&n, b, &rep).unwrap();
-        assert_eq!(
-            display_nested_word(&out, &ab),
-            "<a <b <b b> b> <a a> a>"
-        );
+        assert_eq!(display_nested_word(&out, &ab), "<a <b <b b> b> <a a> a>");
     }
 }

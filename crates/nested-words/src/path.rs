@@ -31,7 +31,7 @@ pub fn unpath(n: &NestedWord) -> Option<Vec<Symbol>> {
         return Some(Vec::new());
     }
     let len = n.len();
-    if len % 2 != 0 {
+    if !len.is_multiple_of(2) {
         return None;
     }
     let half = len / 2;

@@ -1,0 +1,80 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The build environment has no access to crates.io, so the suite cannot
+//! depend on the `rand` crate. The generators in [`crate::generate`], the
+//! property tests and the benchmark harness only need reproducible,
+//! reasonably well-mixed streams — not cryptographic quality — which
+//! SplitMix64 (Steele–Lea–Flood 2014) provides in a dozen lines.
+
+/// A SplitMix64 generator. Identical seeds yield identical streams.
+#[derive(Debug, Clone)]
+pub struct Prng(u64);
+
+impl Prng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Prng(seed)
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniformly distributed index in `0..bound`. Panics if `bound == 0`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below(0) is meaningless");
+        // Modulo bias is ≤ bound/2^64, irrelevant for test workloads.
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// A uniformly distributed float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        // 53 significant bits, the standard conversion.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = Prng::new(42);
+        let mut b = Prng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_stays_in_range_and_hits_all_values() {
+        let mut rng = Prng::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = rng.below(5);
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Prng::new(3);
+        for _ in 0..1000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -53,10 +53,7 @@ impl TaggedSymbol {
 
     /// Renders the tag in the text syntax (`<a`, `a`, `a>`).
     pub fn display(self, alphabet: &Alphabet) -> String {
-        let name = alphabet
-            .name(self.symbol())
-            .unwrap_or("?")
-            .to_string();
+        let name = alphabet.name(self.symbol()).unwrap_or("?").to_string();
         match self {
             TaggedSymbol::Call(_) => format!("<{name}"),
             TaggedSymbol::Internal(_) => name,

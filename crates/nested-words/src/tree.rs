@@ -251,7 +251,10 @@ pub fn forest_from_nested_word(n: &NestedWord) -> Result<Vec<OrderedTree>, Neste
             }
             _ => {
                 return Err(NestedWordError::NotATreeWord {
-                    reason: format!("unexpected {:?} position at {i} at forest top level", n.kind(i)),
+                    reason: format!(
+                        "unexpected {:?} position at {i} at forest top level",
+                        n.kind(i)
+                    ),
                 })
             }
         }

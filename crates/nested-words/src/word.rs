@@ -50,10 +50,7 @@ impl NestedWord {
     }
 
     /// Creates a nested word from a symbol sequence and an explicit edge set.
-    pub fn from_edges(
-        symbols: Vec<Symbol>,
-        edges: &[Edge],
-    ) -> Result<Self, NestedWordError> {
+    pub fn from_edges(symbols: Vec<Symbol>, edges: &[Edge]) -> Result<Self, NestedWordError> {
         let matching = MatchingRelation::from_edges(symbols.len(), edges)?;
         Ok(NestedWord { symbols, matching })
     }

@@ -1,0 +1,50 @@
+//! Implementations of the [`automata_core`] trait vocabulary for pushdown
+//! nested word automata.
+//!
+//! Only membership and emptiness are implemented: pushdown nested word
+//! languages are not closed under intersection or complement (like their
+//! context-free cousins), so [`automata_core::BooleanOps`] and
+//! [`automata_core::Decide`] have no sound instance for [`Pnwa`].
+
+use crate::automaton::Pnwa;
+use crate::emptiness;
+use automata_core::{Acceptor, Emptiness};
+use nested_words::NestedWord;
+
+impl Acceptor<NestedWord> for Pnwa {
+    fn accepts(&self, input: &NestedWord) -> bool {
+        Pnwa::accepts(self, input)
+    }
+}
+
+impl Emptiness for Pnwa {
+    /// Emptiness by saturation of summaries `R(q, U, q')`
+    /// (EXPTIME-complete, Theorem 11).
+    fn is_empty(&self) -> bool {
+        emptiness::is_empty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use automata_core::query;
+    use nested_words::{NestedWord, Symbol};
+
+    #[test]
+    fn query_verbs_work_on_pnwas() {
+        let p = crate::separations::equal_count_pnwa();
+        assert!(!query::is_empty(&p));
+        let a = Symbol(0);
+        let b = Symbol(1);
+        let member = NestedWord::flat(vec![a, b]);
+        let nonmember = NestedWord::flat(vec![a, a, b]);
+        assert_eq!(
+            query::contains(&p, &member),
+            crate::separations::equal_count_member(&member)
+        );
+        assert_eq!(
+            query::contains(&p, &nonmember),
+            crate::separations::equal_count_member(&nonmember)
+        );
+    }
+}

@@ -181,12 +181,14 @@ impl Pnwa {
     /// the theorem means `max_stack = |word| + |Q| + 1` suffices for the
     /// languages built in this crate.
     pub fn accepts_bounded(&self, word: &NestedWord, max_stack: usize) -> bool {
-        let init: BTreeSet<Config> = self
-            .initial
-            .iter()
-            .map(|&q| (q, vec![BOTTOM]))
-            .collect();
-        let finals = self.eval(word, 0, word.len(), &self.closure(&init, max_stack), max_stack);
+        let init: BTreeSet<Config> = self.initial.iter().map(|&q| (q, vec![BOTTOM])).collect();
+        let finals = self.eval(
+            word,
+            0,
+            word.len(),
+            &self.closure(&init, max_stack),
+            max_stack,
+        );
         finals.iter().any(|(_, stack)| stack.is_empty())
     }
 
@@ -233,10 +235,8 @@ impl Pnwa {
                                 if p != *q || sym != a {
                                     continue;
                                 }
-                                let body_start: BTreeSet<Config> = self.closure(
-                                    &BTreeSet::from([(ql, stack.clone())]),
-                                    max_stack,
-                                );
+                                let body_start: BTreeSet<Config> =
+                                    self.closure(&BTreeSet::from([(ql, stack.clone())]), max_stack);
                                 let body_end = self.eval(word, i + 1, r, &body_start, max_stack);
                                 for (e, beta) in &body_end {
                                     if self.linear[*e] {

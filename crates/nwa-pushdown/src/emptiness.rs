@@ -110,7 +110,8 @@ pub fn summaries(a: &Pnwa) -> BTreeSet<Summary> {
                     if *q2 != leaf {
                         continue;
                     }
-                    let mut u3: BTreeSet<usize> = u.iter().copied().filter(|&x| x != leaf).collect();
+                    let mut u3: BTreeSet<usize> =
+                        u.iter().copied().filter(|&x| x != leaf).collect();
                     u3.extend(u2.iter().copied());
                     u3.insert(*v);
                     if r.insert((*q, u3, *q1)) {

@@ -9,7 +9,7 @@
 //!
 //! * the automaton model and its run semantics ([`automaton`]),
 //! * membership checking (NP-complete, Theorem 10) including the reduction
-//!   from CNF satisfiability used in the hardness proof ([`membership`],
+//!   from CNF satisfiability used in the hardness proof ([`automaton`],
 //!   [`sat`]),
 //! * emptiness checking by saturation of summaries `R(q, U, q')`
 //!   (EXPTIME-complete, Theorem 11) ([`emptiness`]),
@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod automaton;
 pub mod emptiness;
 pub mod sat;

@@ -26,19 +26,16 @@ impl CnfFormula {
     /// Evaluates the formula under an assignment (`assignment[i]` = value of
     /// variable `i`).
     pub fn eval(&self, assignment: &[bool]) -> bool {
-        self.clauses.iter().all(|clause| {
-            clause
-                .iter()
-                .any(|&(var, pol)| assignment[var] == pol)
-        })
+        self.clauses
+            .iter()
+            .all(|clause| clause.iter().any(|&(var, pol)| assignment[var] == pol))
     }
 
     /// Brute-force satisfiability (for cross-validation in tests and
     /// benches; exponential in the number of variables).
     pub fn brute_force_sat(&self) -> bool {
         (0..(1u64 << self.num_vars)).any(|mask| {
-            let assignment: Vec<bool> =
-                (0..self.num_vars).map(|i| mask & (1 << i) != 0).collect();
+            let assignment: Vec<bool> = (0..self.num_vars).map(|i| mask & (1 << i) != 0).collect();
             self.eval(&assignment)
         })
     }
@@ -112,18 +109,24 @@ pub fn reduction_automaton(formula: &CnfFormula) -> Pnwa {
         for k in 0..v {
             for sat in 0..2 {
                 // value false (symbol 1) satisfies a negative literal
-                let sat_after_false =
-                    sat == 1 || cl.iter().any(|&(var, pol)| var == k && !pol);
-                let sat_after_true =
-                    sat == 1 || cl.iter().any(|&(var, pol)| var == k && pol);
+                let sat_after_false = sat == 1 || cl.iter().any(|&(var, pol)| var == k && !pol);
+                let sat_after_true = sat == 1 || cl.iter().any(|&(var, pol)| var == k && pol);
                 // pop then read: model as read first into an intermediate?
                 // Simpler: pop before reading is not possible (pops are
                 // ε-moves), so pop *after* reading the internal position:
                 // state body(i,k,sat) reads `a` into a "pending pop" encoded
                 // by reusing body(i,k+1,·) reached through a pop transition.
                 // We instead pop first (ε), then read:
-                p.add_pop(body(i, k, sat), 1, body_read(i, k, usize::from(sat_after_false), v, s));
-                p.add_pop(body(i, k, sat), 2, body_read(i, k, usize::from(sat_after_true), v, s));
+                p.add_pop(
+                    body(i, k, sat),
+                    1,
+                    body_read(i, k, usize::from(sat_after_false), v, s),
+                );
+                p.add_pop(
+                    body(i, k, sat),
+                    2,
+                    body_read(i, k, usize::from(sat_after_true), v, s),
+                );
             }
         }
         // after v variable positions the block's body ends; if the clause is
@@ -210,25 +213,20 @@ mod tests {
 
     #[test]
     fn reduction_matches_brute_force_on_random_formulas() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(7);
+        use nested_words::rng::Prng;
+        let mut rng = Prng::new(7);
         for _ in 0..12 {
-            let num_vars = rng.gen_range(2..5);
-            let num_clauses = rng.gen_range(1..5);
+            let num_vars = 2 + rng.below(3);
+            let num_clauses = 1 + rng.below(4);
             let clauses: Vec<Vec<(usize, bool)>> = (0..num_clauses)
                 .map(|_| {
                     (0..3)
-                        .map(|_| (rng.gen_range(0..num_vars), rng.gen_bool(0.5)))
+                        .map(|_| (rng.below(num_vars), rng.bool(0.5)))
                         .collect()
                 })
                 .collect();
             let f = CnfFormula { num_vars, clauses };
-            assert_eq!(
-                sat_via_membership(&f),
-                f.brute_force_sat(),
-                "formula {f:?}"
-            );
+            assert_eq!(sat_via_membership(&f), f.brute_force_sat(), "formula {f:?}");
         }
     }
 

@@ -62,11 +62,7 @@ mod tests {
         };
         for seed in 0..60 {
             let w = random_nested_word(&ab, cfg, seed);
-            assert_eq!(
-                p.accepts(&w),
-                equal_count_member(&w),
-                "seed {seed}"
-            );
+            assert_eq!(p.accepts(&w), equal_count_member(&w), "seed {seed}");
         }
     }
 

@@ -1,8 +1,7 @@
 //! Synthetic document generator for the streaming experiments (E14, E15).
 
+use nested_words::rng::Prng;
 use nested_words::{Alphabet, NestedWord, Symbol, TaggedSymbol};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration of the synthetic document generator.
 #[derive(Debug, Clone, Copy)]
@@ -35,7 +34,7 @@ pub fn generate_document(config: DocumentConfig, seed: u64) -> (Alphabet, Nested
     let mut names: Vec<String> = (0..config.tags).map(|i| format!("t{i}")).collect();
     names.extend((0..config.words).map(|i| format!("w{i}")));
     let alphabet = Alphabet::from_names(names);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::new(seed);
     let mut tagged = Vec::with_capacity(config.events + config.max_depth);
     let mut stack: Vec<Symbol> = Vec::new();
     for i in 0..config.events {
@@ -45,16 +44,16 @@ pub fn generate_document(config: DocumentConfig, seed: u64) -> (Alphabet, Nested
             tagged.push(TaggedSymbol::Return(t));
             continue;
         }
-        let roll: f64 = rng.gen();
+        let roll: f64 = rng.f64();
         if roll < 0.3 && stack.len() < config.max_depth && remaining > stack.len() + 1 {
-            let t = Symbol(rng.gen_range(0..config.tags as u16));
+            let t = Symbol(rng.below(config.tags) as u16);
             stack.push(t);
             tagged.push(TaggedSymbol::Call(t));
         } else if roll < 0.5 && !stack.is_empty() {
             let t = stack.pop().expect("non-empty stack");
             tagged.push(TaggedSymbol::Return(t));
         } else {
-            let w = Symbol((config.tags + rng.gen_range(0..config.words)) as u16);
+            let w = Symbol((config.tags + rng.below(config.words)) as u16);
             tagged.push(TaggedSymbol::Internal(w));
         }
     }

@@ -49,7 +49,7 @@ pub fn depth_at_most_nwa(d: usize, sigma: usize) -> Nwa {
         let a = Symbol(a as u16);
         for q in 0..=d {
             m.set_internal(q, a, q);
-            m.set_call(q, a, if q + 1 <= d { q + 1 } else { dead }, q);
+            m.set_call(q, a, if q < d { q + 1 } else { dead }, q);
             for h in 0..d + 2 {
                 // a matched return pops back to the depth recorded on the
                 // hierarchical edge; a pending return keeps the depth

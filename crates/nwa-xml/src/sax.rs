@@ -16,10 +16,13 @@ pub fn tokenize(text: &str, alphabet: &mut Alphabet) -> Result<TaggedWord, Neste
     let mut i = 0usize;
     while i < bytes.len() {
         if bytes[i] == b'<' {
-            let end = text[i..].find('>').map(|p| i + p).ok_or(NestedWordError::Parse {
-                offset: i,
-                message: "unterminated tag".into(),
-            })?;
+            let end = text[i..]
+                .find('>')
+                .map(|p| i + p)
+                .ok_or(NestedWordError::Parse {
+                    offset: i,
+                    message: "unterminated tag".into(),
+                })?;
             let inner = &text[i + 1..end];
             if let Some(name) = inner.strip_prefix('/') {
                 let sym = alphabet.intern(name.trim());

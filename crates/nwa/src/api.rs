@@ -1,0 +1,168 @@
+//! Implementations of the [`automata_core`] trait vocabulary for the nested
+//! word automaton models: membership, boolean operations and the WALi-style
+//! decision verbs, uniform with every other model in the suite.
+
+use crate::automaton::Nwa;
+use crate::joinless::JoinlessNwa;
+use crate::nondet::Nnwa;
+use crate::{boolean, decision};
+use automata_core::{Acceptor, BooleanOps, Decide, Emptiness};
+use nested_words::NestedWord;
+
+// --- deterministic NWAs ---------------------------------------------------
+
+impl Acceptor<NestedWord> for Nwa {
+    fn accepts(&self, input: &NestedWord) -> bool {
+        Nwa::accepts(self, input)
+    }
+}
+
+impl BooleanOps for Nwa {
+    fn intersect(&self, other: &Self) -> Self {
+        boolean::intersect(self, other)
+    }
+
+    fn union(&self, other: &Self) -> Self {
+        boolean::union(self, other)
+    }
+
+    fn complement(&self) -> Self {
+        boolean::complement(self)
+    }
+}
+
+impl Emptiness for Nwa {
+    fn is_empty(&self) -> bool {
+        decision::is_empty_det(self)
+    }
+}
+
+impl Decide for Nwa {
+    fn subset_eq(&self, other: &Self) -> bool {
+        decision::included_in(self, other)
+    }
+
+    fn equals(&self, other: &Self) -> bool {
+        decision::equivalent(self, other)
+    }
+}
+
+// --- nondeterministic NWAs ------------------------------------------------
+
+impl Acceptor<NestedWord> for Nnwa {
+    fn accepts(&self, input: &NestedWord) -> bool {
+        Nnwa::accepts(self, input)
+    }
+}
+
+impl BooleanOps for Nnwa {
+    fn intersect(&self, other: &Self) -> Self {
+        boolean::intersect_nondet(self, other)
+    }
+
+    fn union(&self, other: &Self) -> Self {
+        boolean::union_nondet(self, other)
+    }
+
+    /// Determinizes first (the `2^{s²}` summary-set construction of §3.2),
+    /// so this is worst-case exponential.
+    fn complement(&self) -> Self {
+        Nnwa::from_deterministic(&boolean::complement(&self.determinize()))
+    }
+}
+
+impl Emptiness for Nnwa {
+    fn is_empty(&self) -> bool {
+        decision::is_empty(self)
+    }
+}
+
+impl Decide for Nnwa {
+    /// Overrides the default to determinize only the right-hand side
+    /// (EXPTIME in the worst case, as stated in §3.2).
+    fn subset_eq(&self, other: &Self) -> bool {
+        decision::included_in_nondet(self, other)
+    }
+
+    fn equals(&self, other: &Self) -> bool {
+        decision::equivalent_nondet(self, other)
+    }
+}
+
+// --- joinless NWAs --------------------------------------------------------
+
+impl Acceptor<NestedWord> for JoinlessNwa {
+    fn accepts(&self, input: &NestedWord) -> bool {
+        JoinlessNwa::accepts(self, input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automata_core::query;
+    use nested_words::tagged::parse_nested_word;
+    use nested_words::{Alphabet, Symbol};
+
+    /// Deterministic NWA over {a,b} accepting words with an even number of
+    /// b-labelled positions.
+    fn even_bs() -> Nwa {
+        let a = Symbol(0);
+        let b = Symbol(1);
+        let mut m = Nwa::new(2, 2, 0);
+        m.set_accepting(0, true);
+        for q in 0..2usize {
+            m.set_internal(q, a, q);
+            m.set_internal(q, b, 1 - q);
+            m.set_call(q, a, q, 0);
+            m.set_call(q, b, 1 - q, 0);
+            for h in 0..2 {
+                m.set_return(q, h, a, q);
+                m.set_return(q, h, b, 1 - q);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn trait_accepts_agrees_with_inherent() {
+        let mut ab = Alphabet::ab();
+        let m = even_bs();
+        let n = Nnwa::from_deterministic(&m);
+        for s in ["", "b", "b b", "<a b a>", "<b b>"] {
+            let w = parse_nested_word(s, &mut ab).unwrap();
+            assert_eq!(query::contains(&m, &w), m.accepts(&w), "det `{s}`");
+            assert_eq!(query::contains(&n, &w), n.accepts(&w), "nondet `{s}`");
+        }
+    }
+
+    #[test]
+    fn decide_laws_for_deterministic_nwas() {
+        let m = even_bs();
+        assert!(query::equals(&m, &m.complement().complement()));
+        assert!(!query::equals(&m, &m.complement()));
+        let inter = m.intersect(&m.complement());
+        assert!(query::is_empty(&inter));
+        assert!(query::subset_eq(&inter, &m));
+    }
+
+    #[test]
+    fn decide_laws_for_nondeterministic_nwas() {
+        // One symbol keeps the determinizations inside `complement` small.
+        let a = Symbol(0);
+        let mut m = Nwa::new(2, 1, 0);
+        m.set_accepting(0, true);
+        for q in 0..2usize {
+            m.set_internal(q, a, 1 - q);
+            m.set_call(q, a, 1 - q, 0);
+            for h in 0..2 {
+                m.set_return(q, h, a, 1 - q);
+            }
+        }
+        let n = Nnwa::from_deterministic(&m);
+        assert!(query::equals(&n, &n.complement().complement()));
+        assert!(!query::is_empty(&n));
+        assert!(query::subset_eq(&n.intersect(&n.complement()), &n));
+        assert!(query::is_empty(&n.intersect(&n.complement())));
+    }
+}

@@ -137,18 +137,16 @@ impl Nwa {
     /// Returns `true` if the automaton is *weak* (§3.2): the hierarchical
     /// component of every call transition propagates the current state.
     pub fn is_weak(&self) -> bool {
-        (0..self.num_states).all(|q| {
-            (0..self.sigma).all(|a| self.call_hier(q, Symbol(a as u16)) == q)
-        })
+        (0..self.num_states)
+            .all(|q| (0..self.sigma).all(|a| self.call_hier(q, Symbol(a as u16)) == q))
     }
 
     /// Returns `true` if the automaton is *flat* (§3.3): the hierarchical
     /// component of every call transition is the initial state, so no
     /// information flows across hierarchical edges.
     pub fn is_flat(&self) -> bool {
-        (0..self.num_states).all(|q| {
-            (0..self.sigma).all(|a| self.call_hier(q, Symbol(a as u16)) == self.initial)
-        })
+        (0..self.num_states)
+            .all(|q| (0..self.sigma).all(|a| self.call_hier(q, Symbol(a as u16)) == self.initial))
     }
 
     /// Returns `true` if the automaton is *bottom-up* (§3.4): the linear

@@ -30,7 +30,11 @@ pub fn product(a: &Nwa, b: &Nwa, combine: impl Fn(bool, bool) -> bool) -> Nwa {
     assert_eq!(a.sigma(), b.sigma(), "product requires equal alphabets");
     let nb = b.num_states();
     let pair = |qa: usize, qb: usize| qa * nb + qb;
-    let mut out = Nwa::new(a.num_states() * nb, a.sigma(), pair(a.initial(), b.initial()));
+    let mut out = Nwa::new(
+        a.num_states() * nb,
+        a.sigma(),
+        pair(a.initial(), b.initial()),
+    );
     for qa in 0..a.num_states() {
         for qb in 0..nb {
             let q = pair(qa, qb);
@@ -122,7 +126,11 @@ pub fn union_nondet(a: &Nnwa, b: &Nnwa) -> Nnwa {
 
 /// Intersection of two nondeterministic NWAs by the pairing construction.
 pub fn intersect_nondet(a: &Nnwa, b: &Nnwa) -> Nnwa {
-    assert_eq!(a.sigma(), b.sigma(), "intersection requires equal alphabets");
+    assert_eq!(
+        a.sigma(),
+        b.sigma(),
+        "intersection requires equal alphabets"
+    );
     let nb = b.num_states();
     let pair = |qa: usize, qb: usize| qa * nb + qb;
     let mut out = Nnwa::new(a.num_states() * nb, a.sigma());
@@ -269,8 +277,16 @@ mod tests {
         let either = union(&d1, &d2);
         for s in ["", "b", "b b", "<a b a>", "<a <b b> a>", "<b b> b"] {
             let w = parse(&mut ab, s);
-            assert_eq!(both.accepts(&w), d1.accepts(&w) && d2.accepts(&w), "∩ `{s}`");
-            assert_eq!(either.accepts(&w), d1.accepts(&w) || d2.accepts(&w), "∪ `{s}`");
+            assert_eq!(
+                both.accepts(&w),
+                d1.accepts(&w) && d2.accepts(&w),
+                "∩ `{s}`"
+            );
+            assert_eq!(
+                either.accepts(&w),
+                d1.accepts(&w) || d2.accepts(&w),
+                "∪ `{s}`"
+            );
         }
     }
 

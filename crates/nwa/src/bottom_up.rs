@@ -23,14 +23,20 @@ use tree_automata::DetStepwiseTA;
 /// usually far smaller. Combine with [`crate::weak::to_weak`] to start from
 /// an arbitrary NWA (adding the `|Σ|` factor of the theorem statement).
 pub fn to_bottom_up(a: &Nwa) -> Nwa {
-    assert!(a.is_weak(), "Theorem 4 construction expects a weak NWA (apply to_weak first)");
+    assert!(
+        a.is_weak(),
+        "Theorem 4 construction expects a weak NWA (apply to_weak first)"
+    );
     let s = a.num_states();
     let sigma = a.sigma();
 
     // Function states, interned as vectors `f[q] = a-state`.
     let mut index: HashMap<Vec<usize>, usize> = HashMap::new();
     let mut funcs: Vec<Vec<usize>> = Vec::new();
-    let mut intern = |f: Vec<usize>, funcs: &mut Vec<Vec<usize>>, index: &mut HashMap<Vec<usize>, usize>| -> usize {
+    let intern = |f: Vec<usize>,
+                  funcs: &mut Vec<Vec<usize>>,
+                  index: &mut HashMap<Vec<usize>, usize>|
+     -> usize {
         if let Some(&i) = index.get(&f) {
             return i;
         }
@@ -65,16 +71,17 @@ pub fn to_bottom_up(a: &Nwa) -> Nwa {
         for fi in 0..count {
             for asym in 0..sigma {
                 let sym = Symbol(asym as u16);
-                if !call_tab.contains_key(&(fi, asym)) {
+                if let std::collections::hash_map::Entry::Vacant(e) = call_tab.entry((fi, asym)) {
                     let f: Vec<usize> = (0..s).map(|q| a.call_linear(q, sym)).collect();
                     let t = intern(f, &mut funcs, &mut index);
-                    call_tab.insert((fi, asym), t);
+                    e.insert(t);
                     changed = true;
                 }
-                if !internal_tab.contains_key(&(fi, asym)) {
+                if let std::collections::hash_map::Entry::Vacant(e) = internal_tab.entry((fi, asym))
+                {
                     let f: Vec<usize> = (0..s).map(|q| a.internal(funcs[fi][q], sym)).collect();
                     let t = intern(f, &mut funcs, &mut index);
-                    internal_tab.insert((fi, asym), t);
+                    e.insert(t);
                     changed = true;
                 }
             }
@@ -159,7 +166,12 @@ pub fn from_stepwise(ta: &DetStepwiseTA) -> Nwa {
                 out.set_return(child, parent, sym, ta.combine(parent, child));
             }
             // returning to top level: the root has just been completed
-            out.set_return(child, top, sym, if ta.is_accepting(child) { accept } else { dead });
+            out.set_return(
+                child,
+                top,
+                sym,
+                if ta.is_accepting(child) { accept } else { dead },
+            );
         }
     }
     out

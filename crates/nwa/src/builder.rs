@@ -1,0 +1,290 @@
+//! Fluent builders for nested word automata.
+//!
+//! [`NwaBuilder`] and [`NnwaBuilder`] replace the older `new` + imperative
+//! `set_*`/`add_*` sequences: construction reads as one expression, states
+//! are typed [`StateId`]s at the call sites, and the finished automaton is
+//! produced by [`build`](automata_core::Builder::build).
+//!
+//! ```
+//! use automata_core::Acceptor;
+//! use nested_words::{Alphabet, Symbol, tagged::parse_nested_word};
+//! use nwa::NwaBuilder;
+//!
+//! let a = Symbol(0);
+//! // One state, all transitions looping: accepts every nested word over {a}.
+//! let all = NwaBuilder::new(1, 1, 0)
+//!     .accepting(0)
+//!     .internal(0, a, 0)
+//!     .call(0, a, 0, 0)
+//!     .ret(0, 0, a, 0)
+//!     .build();
+//! let mut ab = Alphabet::from_names(["a"]);
+//! assert!(all.accepts(&parse_nested_word("<a a a>", &mut ab).unwrap()));
+//! ```
+
+use crate::automaton::Nwa;
+use crate::nondet::Nnwa;
+use automata_core::{Builder, StateId};
+use nested_words::Symbol;
+
+/// Fluent builder for deterministic nested word automata ([`Nwa`]).
+///
+/// Transitions not set explicitly keep the [`Nwa::new`] default of pointing
+/// at state 0; use [`sink`](NwaBuilder::sink) for an explicit dead state.
+#[derive(Debug, Clone)]
+pub struct NwaBuilder {
+    nwa: Nwa,
+}
+
+impl NwaBuilder {
+    /// Starts building an NWA with `num_states` states over an alphabet of
+    /// `sigma` symbols, starting in `initial`.
+    pub fn new(num_states: usize, sigma: usize, initial: impl Into<StateId>) -> Self {
+        NwaBuilder {
+            nwa: Nwa::new(num_states, sigma, initial.into().index()),
+        }
+    }
+
+    /// Marks `q` as accepting.
+    pub fn accepting(mut self, q: impl Into<StateId>) -> Self {
+        self.nwa.set_accepting(q.into().index(), true);
+        self
+    }
+
+    /// Sets the internal transition `δi(q, a) = target`.
+    pub fn internal(
+        mut self,
+        q: impl Into<StateId>,
+        a: Symbol,
+        target: impl Into<StateId>,
+    ) -> Self {
+        self.nwa
+            .set_internal(q.into().index(), a, target.into().index());
+        self
+    }
+
+    /// Sets the call transition `δc(q, a) = (linear, hier)`.
+    pub fn call(
+        mut self,
+        q: impl Into<StateId>,
+        a: Symbol,
+        linear: impl Into<StateId>,
+        hier: impl Into<StateId>,
+    ) -> Self {
+        self.nwa.set_call(
+            q.into().index(),
+            a,
+            linear.into().index(),
+            hier.into().index(),
+        );
+        self
+    }
+
+    /// Sets the return transition `δr(linear, hier, a) = target`.
+    pub fn ret(
+        mut self,
+        linear: impl Into<StateId>,
+        hier: impl Into<StateId>,
+        a: Symbol,
+        target: impl Into<StateId>,
+    ) -> Self {
+        self.nwa.set_return(
+            linear.into().index(),
+            hier.into().index(),
+            a,
+            target.into().index(),
+        );
+        self
+    }
+
+    /// Makes `q` a sink: every transition out of it loops back to `q`.
+    pub fn sink(mut self, q: impl Into<StateId>) -> Self {
+        let q = q.into().index();
+        self.nwa.set_all_transitions_to(q, q);
+        self
+    }
+
+    /// Routes every transition out of `q` (every symbol, every return
+    /// pairing) to `target`; the fluent spelling of
+    /// [`Nwa::set_all_transitions_to`]. Use this rather than
+    /// [`sink`](NwaBuilder::sink) when a state must fall through to a
+    /// *different* dead state — the two produce language-equivalent but
+    /// structurally different automata, which matters to the construction
+    /// experiments that count states.
+    pub fn all_transitions(mut self, q: impl Into<StateId>, target: impl Into<StateId>) -> Self {
+        self.nwa
+            .set_all_transitions_to(q.into().index(), target.into().index());
+        self
+    }
+
+    /// Produces the automaton.
+    pub fn build(self) -> Nwa {
+        self.nwa
+    }
+}
+
+impl Builder for NwaBuilder {
+    type Output = Nwa;
+
+    fn build(self) -> Nwa {
+        self.nwa
+    }
+}
+
+impl Nwa {
+    /// Starts a fluent [`NwaBuilder`]; equivalent to [`NwaBuilder::new`].
+    pub fn builder(num_states: usize, sigma: usize, initial: impl Into<StateId>) -> NwaBuilder {
+        NwaBuilder::new(num_states, sigma, initial)
+    }
+}
+
+/// Fluent builder for nondeterministic nested word automata ([`Nnwa`]).
+#[derive(Debug, Clone)]
+pub struct NnwaBuilder {
+    nnwa: Nnwa,
+}
+
+impl NnwaBuilder {
+    /// Starts building an NNWA with `num_states` states over an alphabet of
+    /// `sigma` symbols, with no transitions.
+    pub fn new(num_states: usize, sigma: usize) -> Self {
+        NnwaBuilder {
+            nnwa: Nnwa::new(num_states, sigma),
+        }
+    }
+
+    /// Marks `q` as initial.
+    pub fn initial(mut self, q: impl Into<StateId>) -> Self {
+        self.nnwa.add_initial(q.into().index());
+        self
+    }
+
+    /// Marks `q` as accepting.
+    pub fn accepting(mut self, q: impl Into<StateId>) -> Self {
+        self.nnwa.add_accepting(q.into().index());
+        self
+    }
+
+    /// Adds the internal transition `(q, a) → target`.
+    pub fn internal(
+        mut self,
+        q: impl Into<StateId>,
+        a: Symbol,
+        target: impl Into<StateId>,
+    ) -> Self {
+        self.nnwa
+            .add_internal(q.into().index(), a, target.into().index());
+        self
+    }
+
+    /// Adds the call transition `(q, a) → (linear, hier)`.
+    pub fn call(
+        mut self,
+        q: impl Into<StateId>,
+        a: Symbol,
+        linear: impl Into<StateId>,
+        hier: impl Into<StateId>,
+    ) -> Self {
+        self.nnwa.add_call(
+            q.into().index(),
+            a,
+            linear.into().index(),
+            hier.into().index(),
+        );
+        self
+    }
+
+    /// Adds the return transition `(linear, hier, a) → target`.
+    pub fn ret(
+        mut self,
+        linear: impl Into<StateId>,
+        hier: impl Into<StateId>,
+        a: Symbol,
+        target: impl Into<StateId>,
+    ) -> Self {
+        self.nnwa.add_return(
+            linear.into().index(),
+            hier.into().index(),
+            a,
+            target.into().index(),
+        );
+        self
+    }
+
+    /// Produces the automaton.
+    pub fn build(self) -> Nnwa {
+        self.nnwa
+    }
+}
+
+impl Builder for NnwaBuilder {
+    type Output = Nnwa;
+
+    fn build(self) -> Nnwa {
+        self.nnwa
+    }
+}
+
+impl Nnwa {
+    /// Starts a fluent [`NnwaBuilder`]; equivalent to [`NnwaBuilder::new`].
+    pub fn builder(num_states: usize, sigma: usize) -> NnwaBuilder {
+        NnwaBuilder::new(num_states, sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automata_core::Acceptor;
+    use nested_words::tagged::parse_nested_word;
+    use nested_words::Alphabet;
+
+    #[test]
+    fn nwa_builder_matches_imperative_construction() {
+        let a = Symbol(0);
+        let b = Symbol(1);
+        let built = NwaBuilder::new(2, 2, 0)
+            .accepting(0)
+            .sink(1)
+            .internal(0, a, 0)
+            .internal(0, b, 1)
+            .call(0, a, 0, 0)
+            .call(0, b, 1, 0)
+            .ret(0, 0, a, 0)
+            .ret(0, 1, a, 0)
+            .ret(0, 0, b, 1)
+            .ret(0, 1, b, 1)
+            .build();
+
+        let mut byhand = Nwa::new(2, 2, 0);
+        byhand.set_accepting(0, true);
+        byhand.set_all_transitions_to(1, 1);
+        byhand.set_internal(0, a, 0);
+        byhand.set_internal(0, b, 1);
+        byhand.set_call(0, a, 0, 0);
+        byhand.set_call(0, b, 1, 0);
+        for h in 0..2 {
+            byhand.set_return(0, h, a, 0);
+            byhand.set_return(0, h, b, 1);
+        }
+        assert_eq!(built, byhand);
+    }
+
+    #[test]
+    fn nnwa_builder_produces_working_automaton() {
+        let a = Symbol(0);
+        let n = Nnwa::builder(2, 1)
+            .initial(0)
+            .accepting(1)
+            .call(0, a, 1, 0)
+            .build();
+        let mut ab = Alphabet::from_names(["a"]);
+        assert!(n.accepts(&parse_nested_word("<a", &mut ab).unwrap()));
+        assert!(!n.accepts(&parse_nested_word("a", &mut ab).unwrap()));
+        // the trait spelling agrees
+        assert!(Acceptor::accepts(
+            &n,
+            &parse_nested_word("<a", &mut ab).unwrap()
+        ));
+    }
+}

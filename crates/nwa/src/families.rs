@@ -183,7 +183,10 @@ pub fn theorem8_regex(s: usize) -> Regex {
     for _ in 0..s {
         r = r.concat(any.clone());
     }
-    r = r.concat(Regex::Symbol(0)).concat(any.clone().star()).concat(Regex::Symbol(0));
+    r = r
+        .concat(Regex::Symbol(0))
+        .concat(any.clone().star())
+        .concat(Regex::Symbol(0));
     for _ in 0..s {
         r = r.concat(any.clone());
     }
@@ -194,9 +197,7 @@ pub fn theorem8_regex(s: usize) -> Regex {
 /// `n = path(w)` with `w ∈ Σ^s a Σ^* a Σ^s`.
 pub fn theorem8_contains(n: &NestedWord, s: usize) -> bool {
     match nested_words::path::unpath(n) {
-        Some(w) => {
-            w.len() >= 2 * s + 2 && w[s] == A && w[w.len() - 1 - s] == A
-        }
+        Some(w) => w.len() >= 2 * s + 2 && w[s] == A && w[w.len() - 1 - s] == A,
         None => false,
     }
 }
@@ -355,9 +356,10 @@ pub fn theorem5_tagged_dfa(s: usize) -> Dfa {
     let p_root = 0usize;
     let p_count = |r: usize| 1 + r; // expect <b or <a
     let p_bopen = |r: usize| 1 + s + r; // expect b>
-    // inner(r, j, open): j in 1..=s ; open: 0 = expecting child j's call,
-    //                    1 = expecting a-leaf close, 2 = expecting b-leaf close
-    let p_inner = |r: usize, j: usize, open: usize| 1 + 2 * s + ((r * (s + 1) + (j - 1)) * 3 + open);
+                                        // inner(r, j, open): j in 1..=s ; open: 0 = expecting child j's call,
+                                        //                    1 = expecting a-leaf close, 2 = expecting b-leaf close
+    let p_inner =
+        |r: usize, j: usize, open: usize| 1 + 2 * s + ((r * (s + 1) + (j - 1)) * 3 + open);
     let p_close_inner = |r: usize| 1 + 2 * s + (s * (s + 1) * 3) + r; // expect inner a> ... folded below
     let p_root_close = 1 + 2 * s + s * (s + 1) * 3 + s;
     let p_accept = p_root_close + 1;
@@ -413,10 +415,7 @@ pub fn theorem5_distinguishable_blocks(s: usize) -> usize {
     let subsets: Vec<Vec<usize>> = (0..(1usize << s))
         .map(|mask| (1..=s).filter(|j| mask & (1 << (j - 1)) != 0).collect())
         .collect();
-    let blocks: Vec<NestedWord> = subsets
-        .iter()
-        .map(|t| theorem5_inner_block(s, t))
-        .collect();
+    let blocks: Vec<NestedWord> = subsets.iter().map(|t| theorem5_inner_block(s, t)).collect();
     // signature of a block = acceptance vector over all contexts m ∈ 0..s
     let mut signatures: Vec<Vec<bool>> = Vec::new();
     for block in &blocks {
@@ -459,7 +458,13 @@ mod tests {
     fn path_family_nwa_rejects_non_path_words() {
         let mut ab = Alphabet::ab();
         let nwa = path_family_nwa(2);
-        for text in ["<a <b a> b>", "<a <a a> <b b> a>", "a a", "<a <a a>", "<a a> b>"] {
+        for text in [
+            "<a <b a> b>",
+            "<a <a a> <b b> a>",
+            "a a",
+            "<a <a a>",
+            "<a a> b>",
+        ] {
             let w = nested_words::tagged::parse_nested_word(text, &mut ab).unwrap();
             assert!(!nwa.accepts(&w), "word `{text}`");
         }
@@ -499,7 +504,12 @@ mod tests {
             let nwa = theorem8_nwa(s);
             for len in 0..=2 * s + 4 {
                 // sample a few words of each length rather than all 2^len
-                for bits in [0u32, 1, (1 << len.min(31)) - 1, 0b1010_1010 & ((1 << len.min(31)) - 1)] {
+                for bits in [
+                    0u32,
+                    1,
+                    (1 << len.min(31)) - 1,
+                    0b1010_1010 & ((1 << len.min(31)) - 1),
+                ] {
                     let w: Vec<Symbol> = (0..len)
                         .map(|i| if (bits >> (i % 31)) & 1 == 0 { A } else { B })
                         .collect();
@@ -546,8 +556,7 @@ mod tests {
             for mask in 0..(1usize << s) {
                 let subset: Vec<usize> = (1..=s).filter(|j| mask & (1 << (j - 1)) != 0).collect();
                 let w = theorem5_full_word(m, &theorem5_inner_block(s, &subset));
-                let tagged: Vec<usize> =
-                    w.to_tagged().iter().map(|t| t.tagged_index(2)).collect();
+                let tagged: Vec<usize> = w.to_tagged().iter().map(|t| t.tagged_index(2)).collect();
                 assert_eq!(
                     dfa.accepts(&tagged),
                     theorem5_member(&w, s),

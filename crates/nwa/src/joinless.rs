@@ -385,12 +385,7 @@ pub fn joinless_from_nwa(a: &Nnwa) -> JoinlessNwa {
                 continue;
             }
             // from linear mode, resume linear mode after the return
-            out.add_call(
-                lin(q),
-                sym,
-                hier(ql, r1),
-                res(r2, rsym.index()),
-            );
+            out.add_call(lin(q), sym, hier(ql, r1), res(r2, rsym.index()));
             // from hierarchical mode, keep the outer obligation
             for obligation in 0..s {
                 out.add_call(
@@ -489,10 +484,7 @@ mod tests {
         let j = joinless_from_nwa(&n);
         let s = n.num_states();
         let sigma = n.sigma();
-        assert_eq!(
-            j.num_states(),
-            s + s * sigma + 1 + s * s + s * s * sigma
-        );
+        assert_eq!(j.num_states(), s + s * sigma + 1 + s * s + s * s * sigma);
     }
 
     #[test]

@@ -21,14 +21,20 @@
 //!   [`decision`]);
 //! * the restricted classes of §3.3–§3.6 and the constructions of
 //!   Theorems 1, 4 and 7: [`weak`], [`flat`], [`bottom_up`], [`joinless`];
-//! * the language families used in the succinctness theorems ([`families`]).
+//! * the language families used in the succinctness theorems ([`families`]);
+//! * the unified suite API: fluent construction via [`NwaBuilder`] /
+//!   [`NnwaBuilder`] ([`builder`]) and the `automata-core` trait
+//!   implementations ([`api`]) behind `query::{contains, is_empty,
+//!   subset_eq, equals}`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod automaton;
 pub mod boolean;
 pub mod bottom_up;
+pub mod builder;
 pub mod decision;
 pub mod families;
 pub mod flat;
@@ -37,5 +43,6 @@ pub mod nondet;
 pub mod weak;
 
 pub use automaton::{Nwa, StreamingRun};
+pub use builder::{NnwaBuilder, NwaBuilder};
 pub use joinless::JoinlessNwa;
 pub use nondet::Nnwa;

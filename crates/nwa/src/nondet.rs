@@ -144,7 +144,11 @@ impl Nnwa {
         out
     }
 
-    fn step_call_linear(&self, s: &BTreeSet<(usize, usize)>, a: Symbol) -> BTreeSet<(usize, usize)> {
+    fn step_call_linear(
+        &self,
+        s: &BTreeSet<(usize, usize)>,
+        a: Symbol,
+    ) -> BTreeSet<(usize, usize)> {
         let mut out = BTreeSet::new();
         for &(_, cur) in s {
             for &(q, sym, ql, _qh) in &self.calls {
@@ -248,10 +252,10 @@ impl Nnwa {
         let mut index: HashMap<DetState, usize> = HashMap::new();
         let mut states: Vec<DetState> = Vec::new();
         let mut queue: VecDeque<usize> = VecDeque::new();
-        let mut intern = |st: DetState,
-                          states: &mut Vec<DetState>,
-                          queue: &mut VecDeque<usize>,
-                          index: &mut HashMap<DetState, usize>|
+        let intern = |st: DetState,
+                      states: &mut Vec<DetState>,
+                      queue: &mut VecDeque<usize>,
+                      index: &mut HashMap<DetState, usize>|
          -> usize {
             if let Some(&i) = index.get(&st) {
                 return i;
@@ -284,7 +288,12 @@ impl Nnwa {
             for a in 0..self.sigma {
                 let a = Symbol(a as u16);
                 let int_next = self.step_internal(&summary, a);
-                let int_idx = intern(DetState::Linear(int_next), &mut states, &mut queue, &mut index);
+                let int_idx = intern(
+                    DetState::Linear(int_next),
+                    &mut states,
+                    &mut queue,
+                    &mut index,
+                );
                 internal_tab.insert((idx, a), int_idx);
 
                 let call_linear = self.step_call_linear(&summary, a);
@@ -354,8 +363,12 @@ impl Nnwa {
                         continue;
                     }
                     let int_next = self.step_internal(&summary, a);
-                    let int_idx =
-                        intern(DetState::Linear(int_next), &mut states, &mut queue, &mut index);
+                    let int_idx = intern(
+                        DetState::Linear(int_next),
+                        &mut states,
+                        &mut queue,
+                        &mut index,
+                    );
                     internal_tab.insert((idx, a), int_idx);
                     let call_linear = self.step_call_linear(&summary, a);
                     let lin_idx = intern(

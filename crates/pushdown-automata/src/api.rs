@@ -1,0 +1,58 @@
+//! Implementations of the [`automata_core`] trait vocabulary for the
+//! context-free baselines: CYK membership for grammars over flat words and
+//! run search for pushdown tree automata over ordered trees.
+//!
+//! Context-free languages are not closed under intersection or complement,
+//! so neither model implements [`automata_core::BooleanOps`] or
+//! [`automata_core::Decide`].
+
+use crate::grammar::Cfg;
+use crate::tree_pda::PushdownTreeAutomaton;
+use automata_core::Acceptor;
+use nested_words::OrderedTree;
+
+impl Acceptor<[usize]> for Cfg {
+    /// CYK membership on the terminal word.
+    fn accepts(&self, input: &[usize]) -> bool {
+        self.derives(input)
+    }
+}
+
+impl Acceptor<OrderedTree> for PushdownTreeAutomaton {
+    fn accepts(&self, input: &OrderedTree) -> bool {
+        PushdownTreeAutomaton::accepts(self, input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automata_core::query;
+    use nested_words::{Alphabet, Symbol};
+
+    #[test]
+    fn cfg_membership_via_query() {
+        let g = Cfg::equal_counts();
+        assert!(query::contains(&g, &[0, 1][..]));
+        assert!(query::contains(&g, &[][..]));
+        assert!(!query::contains(&g, &[0, 0, 1][..]));
+    }
+
+    #[test]
+    fn tree_pda_membership_via_query() {
+        let ab = Alphabet::ab();
+        let (a, b) = (ab.lookup("a").unwrap(), ab.lookup("b").unwrap());
+        let pda = PushdownTreeAutomaton::comb_language(a, b);
+        let accepted = comb(a, b, 2);
+        assert_eq!(query::contains(&pda, &accepted), pda.accepts(&accepted));
+    }
+
+    /// The right-comb with `n` a-labelled spine nodes ending in a b-leaf.
+    fn comb(a: Symbol, b: Symbol, n: usize) -> OrderedTree {
+        let mut t = OrderedTree::leaf(b);
+        for _ in 0..n {
+            t = OrderedTree::node(a, vec![OrderedTree::leaf(b), t]);
+        }
+        t
+    }
+}

@@ -101,11 +101,15 @@ impl PushdownTreeAutomaton {
                 }
                 continue;
             }
-            let ok = rule.children.iter().zip(children).all(|((q, push), child)| {
-                let mut new_stack = push.clone();
-                new_stack.extend_from_slice(rest);
-                self.accepts_from(*q, &new_stack, child)
-            });
+            let ok = rule
+                .children
+                .iter()
+                .zip(children)
+                .all(|((q, push), child)| {
+                    let mut new_stack = push.clone();
+                    new_stack.extend_from_slice(rest);
+                    self.accepts_from(*q, &new_stack, child)
+                });
             if ok {
                 return true;
             }

@@ -1,0 +1,182 @@
+//! Implementations of the [`automata_core`] trait vocabulary for the tree
+//! automaton models. Inputs are [`OrderedTree`]s; the input domain of every
+//! model here is the set of *non-empty* trees (binary trees for the ranked
+//! models), so complements are taken relative to that domain.
+
+use crate::bottom_up::BottomUpBinaryTA;
+use crate::stepwise::{DetStepwiseTA, StepwiseTA};
+use crate::top_down::TopDownBinaryTA;
+use automata_core::{Acceptor, BooleanOps, Decide, Emptiness};
+use nested_words::OrderedTree;
+
+impl Acceptor<OrderedTree> for DetStepwiseTA {
+    fn accepts(&self, input: &OrderedTree) -> bool {
+        DetStepwiseTA::accepts(self, input)
+    }
+}
+
+impl BooleanOps for DetStepwiseTA {
+    fn intersect(&self, other: &Self) -> Self {
+        DetStepwiseTA::intersect(self, other)
+    }
+
+    fn union(&self, other: &Self) -> Self {
+        DetStepwiseTA::union(self, other)
+    }
+
+    fn complement(&self) -> Self {
+        DetStepwiseTA::complement(self)
+    }
+}
+
+impl Emptiness for DetStepwiseTA {
+    fn is_empty(&self) -> bool {
+        DetStepwiseTA::is_empty(self)
+    }
+}
+
+impl Decide for DetStepwiseTA {}
+
+impl Acceptor<OrderedTree> for StepwiseTA {
+    fn accepts(&self, input: &OrderedTree) -> bool {
+        StepwiseTA::accepts(self, input)
+    }
+}
+
+impl Emptiness for StepwiseTA {
+    /// Decided on the subset-construction determinization.
+    fn is_empty(&self) -> bool {
+        self.determinize().is_empty()
+    }
+}
+
+impl Acceptor<OrderedTree> for TopDownBinaryTA {
+    fn accepts(&self, input: &OrderedTree) -> bool {
+        TopDownBinaryTA::accepts(self, input)
+    }
+}
+
+impl Emptiness for TopDownBinaryTA {
+    fn is_empty(&self) -> bool {
+        TopDownBinaryTA::is_empty(self)
+    }
+}
+
+impl Acceptor<OrderedTree> for BottomUpBinaryTA {
+    fn accepts(&self, input: &OrderedTree) -> bool {
+        BottomUpBinaryTA::accepts(self, input)
+    }
+}
+
+impl Emptiness for BottomUpBinaryTA {
+    fn is_empty(&self) -> bool {
+        BottomUpBinaryTA::is_empty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automata_core::query;
+    use nested_words::{Alphabet, Symbol};
+
+    fn syms() -> (Symbol, Symbol) {
+        let ab = Alphabet::ab();
+        (ab.lookup("a").unwrap(), ab.lookup("b").unwrap())
+    }
+
+    /// Deterministic stepwise automaton for "the tree contains a b-labelled
+    /// node".
+    fn det_contains_b() -> DetStepwiseTA {
+        let (a, b) = syms();
+        let mut ta = DetStepwiseTA::new(2, 2);
+        ta.set_init(a, 0);
+        ta.set_init(b, 1);
+        for q in 0..2 {
+            for r in 0..2 {
+                ta.set_combine(q, r, usize::from(q == 1 || r == 1));
+            }
+        }
+        ta.set_accepting(1, true);
+        ta
+    }
+
+    /// Deterministic stepwise automaton for "the number of b-labelled nodes
+    /// is even".
+    fn det_even_bs() -> DetStepwiseTA {
+        let (a, b) = syms();
+        let mut ta = DetStepwiseTA::new(2, 2);
+        ta.set_init(a, 0);
+        ta.set_init(b, 1);
+        for q in 0..2 {
+            for r in 0..2 {
+                ta.set_combine(q, r, q ^ r);
+            }
+        }
+        ta.set_accepting(0, true);
+        ta
+    }
+
+    #[test]
+    fn product_agrees_with_components() {
+        let (a, b) = syms();
+        let t1 = det_contains_b();
+        let t2 = det_even_bs();
+        let both = t1.intersect(&t2);
+        let either = t1.union(&t2);
+        let samples = [
+            OrderedTree::leaf(a),
+            OrderedTree::leaf(b),
+            OrderedTree::node(a, vec![OrderedTree::leaf(b), OrderedTree::leaf(b)]),
+            OrderedTree::node(b, vec![OrderedTree::leaf(a)]),
+            OrderedTree::node(a, vec![OrderedTree::leaf(a), OrderedTree::leaf(a)]),
+        ];
+        for t in &samples {
+            assert_eq!(both.accepts(t), t1.accepts(t) && t2.accepts(t));
+            assert_eq!(either.accepts(t), t1.accepts(t) || t2.accepts(t));
+        }
+    }
+
+    #[test]
+    fn decide_laws_for_stepwise() {
+        let t1 = det_contains_b();
+        let t2 = det_even_bs();
+        assert!(query::equals(&t1, &t1.complement().complement()));
+        assert!(!query::equals(&t1, &t2));
+        assert!(query::subset_eq(&t1.intersect(&t2), &t1));
+        assert!(query::is_empty(&t1.intersect(&t1.complement())));
+        assert!(!query::is_empty(&t1));
+    }
+
+    #[test]
+    fn acceptor_covers_all_tree_models() {
+        let (a, b) = syms();
+        let with_b = OrderedTree::node(a, vec![OrderedTree::leaf(b)]);
+
+        let det = det_contains_b();
+        assert!(query::contains(&det, &with_b));
+
+        let mut nondet = StepwiseTA::new(2, 2);
+        nondet.add_init(a, 0);
+        nondet.add_init(b, 1);
+        for q in 0..2 {
+            for r in 0..2 {
+                nondet.add_combine(q, r, usize::from(q == 1 || r == 1));
+            }
+        }
+        nondet.add_accepting(1);
+        assert!(query::contains(&nondet, &with_b));
+        assert!(!query::is_empty(&nondet));
+
+        let mut top_down = TopDownBinaryTA::new(1);
+        top_down.add_initial(0);
+        top_down.add_leaf_rule(0, a);
+        top_down.add_unary_rule(0, a, 0);
+        assert!(query::contains(&top_down, &OrderedTree::leaf(a)));
+        assert!(!query::is_empty(&top_down));
+
+        let bottom_up = BottomUpBinaryTA::universal(2);
+        assert!(query::contains(&bottom_up, &with_b));
+        assert!(!query::is_empty(&bottom_up));
+    }
+}

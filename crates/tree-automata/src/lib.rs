@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod bottom_up;
 pub mod stepwise;
 pub mod top_down;

@@ -1,5 +1,5 @@
 //! Stepwise bottom-up tree automata over unranked ordered trees
-//! (Brüggemann-Klein–Murata–Wood [5], Martens–Niehren [15]).
+//! (Brüggemann-Klein–Murata–Wood \[5\], Martens–Niehren \[15\]).
 //!
 //! A stepwise automaton evaluates a node by first applying an initial
 //! assignment to the node label and then folding in the values of the
@@ -132,13 +132,69 @@ impl DetStepwiseTA {
         !self.reachable_states().iter().any(|&q| self.accepting[q])
     }
 
+    /// Product construction: runs both automata in lockstep; `combine_acc`
+    /// decides acceptance of a state pair. Both the `init` assignment and the
+    /// `combine` fold are componentwise, so the product evaluates every tree
+    /// to the pair of the component values.
+    pub fn product(
+        &self,
+        other: &DetStepwiseTA,
+        combine_acc: impl Fn(bool, bool) -> bool,
+    ) -> DetStepwiseTA {
+        assert_eq!(self.sigma, other.sigma, "product requires equal alphabets");
+        let n2 = other.num_states;
+        let pair = |q1: usize, q2: usize| q1 * n2 + q2;
+        let mut out = DetStepwiseTA::new(self.num_states * n2, self.sigma);
+        for a in 0..self.sigma {
+            out.init[a] = pair(self.init[a], other.init[a]);
+        }
+        for q1 in 0..self.num_states {
+            for q2 in 0..n2 {
+                let q = pair(q1, q2);
+                out.accepting[q] = combine_acc(self.accepting[q1], other.accepting[q2]);
+                for r1 in 0..self.num_states {
+                    for r2 in 0..n2 {
+                        out.set_combine(
+                            q,
+                            pair(r1, r2),
+                            pair(self.combine(q1, r1), other.combine(q2, r2)),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Intersection of two deterministic stepwise automata.
+    pub fn intersect(&self, other: &DetStepwiseTA) -> DetStepwiseTA {
+        self.product(other, |x, y| x && y)
+    }
+
+    /// Union of two deterministic stepwise automata.
+    pub fn union(&self, other: &DetStepwiseTA) -> DetStepwiseTA {
+        self.product(other, |x, y| x || y)
+    }
+
+    /// Complement relative to the domain of *non-empty* ordered trees (the
+    /// empty tree evaluates to no state and is rejected by every stepwise
+    /// automaton, including the complement).
+    pub fn complement(&self) -> DetStepwiseTA {
+        let mut out = self.clone();
+        for b in &mut out.accepting {
+            *b = !*b;
+        }
+        out
+    }
+
     /// Minimizes the automaton: restricts to reachable states and merges
     /// congruent states (same acceptance and pointwise-congruent `combine`
     /// behaviour on both sides). Returns the minimal deterministic stepwise
     /// automaton for the same tree language.
     pub fn minimize(&self) -> DetStepwiseTA {
         let reach: Vec<usize> = self.reachable_states().into_iter().collect();
-        let index_of: HashMap<usize, usize> = reach.iter().enumerate().map(|(i, &q)| (q, i)).collect();
+        let index_of: HashMap<usize, usize> =
+            reach.iter().enumerate().map(|(i, &q)| (q, i)).collect();
         let n = reach.len();
         if n == 0 {
             return DetStepwiseTA::new(1, self.sigma);
@@ -273,10 +329,10 @@ impl StepwiseTA {
         }
         let mut subset_index: HashMap<BTreeSet<usize>, usize> = HashMap::new();
         let mut subsets: Vec<BTreeSet<usize>> = Vec::new();
-        let mut intern = |s: BTreeSet<usize>,
-                          subsets: &mut Vec<BTreeSet<usize>>,
-                          queue: &mut VecDeque<usize>,
-                          subset_index: &mut HashMap<BTreeSet<usize>, usize>|
+        let intern = |s: BTreeSet<usize>,
+                      subsets: &mut Vec<BTreeSet<usize>>,
+                      queue: &mut VecDeque<usize>,
+                      subset_index: &mut HashMap<BTreeSet<usize>, usize>|
          -> usize {
             if let Some(&i) = subset_index.get(&s) {
                 return i;
@@ -374,10 +430,7 @@ mod tests {
                 OrderedTree::leaf(a),
             ],
         );
-        let wide_without = OrderedTree::node(
-            a,
-            (0..5).map(|_| OrderedTree::leaf(a)).collect(),
-        );
+        let wide_without = OrderedTree::node(a, (0..5).map(|_| OrderedTree::leaf(a)).collect());
         assert!(ta.accepts(&wide_with_b));
         assert!(!ta.accepts(&wide_without));
         assert!(ta.accepts(&OrderedTree::leaf(b)));

@@ -92,9 +92,10 @@ impl TopDownBinaryTA {
             OrderedTree::Empty => false,
             OrderedTree::Node { label, children } => match children.len() {
                 0 => self.leaf_rules.iter().any(|&(p, a)| p == q && a == *label),
-                1 => self.unary_rules.iter().any(|&(p, a, c)| {
-                    p == q && a == *label && self.accepts_from(c, &children[0])
-                }),
+                1 => self
+                    .unary_rules
+                    .iter()
+                    .any(|&(p, a, c)| p == q && a == *label && self.accepts_from(c, &children[0])),
                 2 => self.binary_rules.iter().any(|&(p, a, l, r)| {
                     p == q
                         && a == *label

@@ -1,0 +1,94 @@
+//! Implementations of the [`automata_core`] trait vocabulary for word
+//! automata. Inputs are flat symbol slices `[usize]` over the dense symbol
+//! space.
+
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+use automata_core::{Acceptor, BooleanOps, Decide, Emptiness};
+
+impl Acceptor<[usize]> for Dfa {
+    fn accepts(&self, input: &[usize]) -> bool {
+        Dfa::accepts(self, input)
+    }
+}
+
+impl BooleanOps for Dfa {
+    fn intersect(&self, other: &Self) -> Self {
+        Dfa::intersect(self, other)
+    }
+
+    fn union(&self, other: &Self) -> Self {
+        Dfa::union(self, other)
+    }
+
+    fn complement(&self) -> Self {
+        Dfa::complement(self)
+    }
+}
+
+impl Emptiness for Dfa {
+    fn is_empty(&self) -> bool {
+        Dfa::is_empty(self)
+    }
+}
+
+impl Decide for Dfa {
+    fn subset_eq(&self, other: &Self) -> bool {
+        self.included_in(other)
+    }
+
+    fn equals(&self, other: &Self) -> bool {
+        self.equivalent(other)
+    }
+}
+
+impl Acceptor<[usize]> for Nfa {
+    fn accepts(&self, input: &[usize]) -> bool {
+        Nfa::accepts(self, input)
+    }
+}
+
+impl Emptiness for Nfa {
+    /// Decided on the subset-construction DFA; exponential in the worst
+    /// case, though emptiness itself only needs the reachable part.
+    fn is_empty(&self) -> bool {
+        self.determinize().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automata_core::query;
+
+    fn even_ones() -> Dfa {
+        let mut d = Dfa::new(2, 2, 0);
+        d.set_accepting(0, true);
+        d.set_transition(0, 0, 0);
+        d.set_transition(0, 1, 1);
+        d.set_transition(1, 0, 1);
+        d.set_transition(1, 1, 0);
+        d
+    }
+
+    #[test]
+    fn query_verbs_work_on_dfas() {
+        let d = even_ones();
+        assert!(query::contains(&d, &[1, 1][..]));
+        assert!(!query::contains(&d, &[1][..]));
+        assert!(!query::is_empty(&d));
+        assert!(query::is_empty(&d.intersect(&d.complement())));
+        assert!(query::equals(&d, &d.complement().complement()));
+        assert!(query::subset_eq(&d.intersect(&d.complement()), &d));
+    }
+
+    #[test]
+    fn nfa_trait_impls_agree_with_dfa() {
+        let d = even_ones();
+        let n = Nfa::from_dfa(&d);
+        for w in [vec![], vec![1], vec![1, 1], vec![0, 1, 0, 1]] {
+            assert_eq!(query::contains(&n, &w[..]), d.accepts(&w));
+        }
+        assert!(!query::is_empty(&n));
+    }
+}

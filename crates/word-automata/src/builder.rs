@@ -1,0 +1,104 @@
+//! Fluent builder for deterministic word automata.
+//!
+//! ```
+//! use automata_core::Acceptor;
+//! use word_automata::DfaBuilder;
+//!
+//! // Words over {0,1} ending in 1.
+//! let d = DfaBuilder::new(2, 2, 0)
+//!     .accepting(1)
+//!     .transition(0, 0, 0)
+//!     .transition(0, 1, 1)
+//!     .transition(1, 0, 0)
+//!     .transition(1, 1, 1)
+//!     .build();
+//! assert!(d.accepts(&[0, 1]));
+//! assert!(!d.accepts(&[1, 0]));
+//! ```
+
+use crate::dfa::Dfa;
+use automata_core::{Builder, StateId};
+
+/// Fluent builder for [`Dfa`]s.
+///
+/// Transitions not set explicitly keep the [`Dfa::new`] default of pointing
+/// at state 0.
+#[derive(Debug, Clone)]
+pub struct DfaBuilder {
+    dfa: Dfa,
+}
+
+impl DfaBuilder {
+    /// Starts building a DFA with `num_states` states over `num_symbols`
+    /// symbols, starting in `initial`.
+    pub fn new(num_states: usize, num_symbols: usize, initial: impl Into<StateId>) -> Self {
+        DfaBuilder {
+            dfa: Dfa::new(num_states, num_symbols, initial.into().index()),
+        }
+    }
+
+    /// Marks `q` as accepting.
+    pub fn accepting(mut self, q: impl Into<StateId>) -> Self {
+        self.dfa.set_accepting(q.into().index(), true);
+        self
+    }
+
+    /// Sets the transition `δ(q, symbol) = target`.
+    pub fn transition(
+        mut self,
+        q: impl Into<StateId>,
+        symbol: usize,
+        target: impl Into<StateId>,
+    ) -> Self {
+        self.dfa
+            .set_transition(q.into().index(), symbol, target.into().index());
+        self
+    }
+
+    /// Produces the automaton.
+    pub fn build(self) -> Dfa {
+        self.dfa
+    }
+}
+
+impl Builder for DfaBuilder {
+    type Output = Dfa;
+
+    fn build(self) -> Dfa {
+        self.dfa
+    }
+}
+
+impl Dfa {
+    /// Starts a fluent [`DfaBuilder`]; equivalent to [`DfaBuilder::new`].
+    pub fn builder(
+        num_states: usize,
+        num_symbols: usize,
+        initial: impl Into<StateId>,
+    ) -> DfaBuilder {
+        DfaBuilder::new(num_states, num_symbols, initial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_matches_imperative_construction() {
+        let built = Dfa::builder(2, 2, 0)
+            .accepting(0)
+            .transition(0, 1, 1)
+            .transition(1, 1, 0)
+            .transition(0, 0, 0)
+            .transition(1, 0, 1)
+            .build();
+        let mut byhand = Dfa::new(2, 2, 0);
+        byhand.set_accepting(0, true);
+        byhand.set_transition(0, 0, 0);
+        byhand.set_transition(0, 1, 1);
+        byhand.set_transition(1, 0, 1);
+        byhand.set_transition(1, 1, 0);
+        assert_eq!(built, byhand);
+    }
+}

@@ -94,7 +94,11 @@ impl Dfa {
             "product requires equal alphabets"
         );
         let n2 = other.num_states();
-        let mut out = Dfa::new(self.num_states() * n2, self.num_symbols, self.initial * n2 + other.initial);
+        let mut out = Dfa::new(
+            self.num_states() * n2,
+            self.num_symbols,
+            self.initial * n2 + other.initial,
+        );
         for q1 in 0..self.num_states() {
             for q2 in 0..n2 {
                 let s = q1 * n2 + q2;

@@ -18,11 +18,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
+pub mod builder;
 pub mod dfa;
 pub mod minimize;
 pub mod nfa;
 pub mod regex;
 
+pub use builder::DfaBuilder;
 pub use dfa::Dfa;
 pub use nfa::Nfa;
 pub use regex::Regex;

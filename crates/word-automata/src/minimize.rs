@@ -24,16 +24,14 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
 
     // Initial partition: accepting vs non-accepting.
     let mut block_of: Vec<usize> = (0..n).map(|q| usize::from(dfa.is_accepting(q))).collect();
-    let mut num_blocks = if block_of.iter().any(|&b| b == 1) && block_of.iter().any(|&b| b == 0) {
+    let mut num_blocks = if block_of.contains(&1) && block_of.contains(&0) {
         2
     } else {
         1
     };
     if num_blocks == 1 {
         // normalize block ids to 0
-        for b in &mut block_of {
-            *b = 0;
-        }
+        block_of.fill(0);
     }
 
     // Refine until stable: two states stay together iff they agree on

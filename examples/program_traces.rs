@@ -1,38 +1,42 @@
 //! Program-execution traces as nested words: calls and returns of procedures
 //! form the hierarchical structure, statements the linear structure (§1 of
-//! the paper). The example checks two properties with deterministic NWAs:
-//! a stack-depth bound and a "pattern occurs inside procedure p0" query.
+//! the paper). The example checks two properties with deterministic NWAs —
+//! a stack-depth bound and a "pattern occurs inside procedure p0" query —
+//! both through the unified `query`/`Acceptor` facade, with the scoping
+//! automaton assembled by the fluent [`NwaBuilder`].
 //!
 //! Run with `cargo run --example program_traces`.
 
-use nested_words::generate::program_trace;
-use nested_words::{Symbol, TaggedSymbol};
-use nwa::automaton::{Nwa, StreamingRun};
+use nested_words_suite::nested_words::generate::program_trace;
+use nested_words_suite::nwa_xml::queries::depth_at_most_nwa;
+use nested_words_suite::prelude::*;
+use nested_words_suite::query;
 
 /// Builds a deterministic NWA accepting traces in which every occurrence of
 /// `statement` happens somewhere inside (possibly deep below) a call of
 /// `procedure` — a scoping property that needs the hierarchical edges.
 fn statement_only_inside(procedure: Symbol, statement: Symbol, sigma: usize) -> Nwa {
     // states: 0 = outside the procedure, 1 = inside, 2 = violated (dead)
-    let mut m = Nwa::new(3, sigma, 0);
-    m.set_accepting(0, true);
-    m.set_accepting(1, true);
-    m.set_all_transitions_to(2, 2);
+    let mut b = NwaBuilder::new(3, sigma, 0)
+        .accepting(0)
+        .accepting(1)
+        .sink(2);
     for a in 0..sigma {
         let a_sym = Symbol(a as u16);
         for q in 0..2usize {
             let inside = q == 1 || a_sym == procedure;
             let violates = a_sym == statement && q == 0;
-            m.set_internal(q, a_sym, if violates { 2 } else { q });
-            // entering a call: the hierarchical edge remembers whether we
-            // were inside before, so the matching return restores it
-            m.set_call(q, a_sym, usize::from(inside), q);
+            b = b
+                .internal(q, a_sym, if violates { 2 } else { q })
+                // entering a call: the hierarchical edge remembers whether we
+                // were inside before, so the matching return restores it
+                .call(q, a_sym, usize::from(inside), q);
             for h in 0..3usize {
-                m.set_return(q, h, a_sym, if h < 2 { h } else { 2 });
+                b = b.ret(q, h, a_sym, if h < 2 { h } else { 2 });
             }
         }
     }
-    m
+    b.build()
 }
 
 fn main() {
@@ -47,13 +51,15 @@ fn main() {
     );
 
     // Property 1: the call-stack depth never exceeds 12.
-    let depth_q = nwa_xml::queries::depth_at_most_nwa(12, alphabet.len());
+    let depth_q = depth_at_most_nwa(12, alphabet.len());
     println!(
         "call depth bounded by 12? {}",
-        depth_q.accepts(&trace)
+        query::contains(&depth_q, &trace)
     );
 
-    // Property 2: statement s0 only executes inside procedure p0.
+    // Property 2: statement s0 only executes inside procedure p0. Evaluated
+    // event by event with the streaming runner, whose stack height equals
+    // the call depth.
     let p0 = alphabet.lookup("p0").unwrap();
     let s0 = alphabet.lookup("s0").unwrap();
     let scope_q = statement_only_inside(p0, s0, alphabet.len());

@@ -1,12 +1,17 @@
-//! Quickstart: build the nested words of Figure 1, inspect their structure,
-//! and run a deterministic nested word automaton over them.
+//! Quickstart for the unified API: build the nested words of Figure 1,
+//! inspect their structure, run a deterministic nested word automaton over
+//! them through the `query` facade, and check language equivalence after
+//! determinization with `query::equals`.
+//!
+//! Everything here comes from two imports: `nested_words_suite::prelude::*`
+//! (the data model, the automaton types and the shared traits) and
+//! `nested_words_suite::query` (the WALi-style decision verbs).
 //!
 //! Run with `cargo run --example quickstart`.
 
-use nested_words::tagged::{display_nested_word, parse_nested_word};
-use nested_words::{Alphabet, OrderedTree};
-use nwa::families::path_family_nwa;
-use nwa::nondet::Nnwa;
+use nested_words_suite::nwa::families::path_family_nwa;
+use nested_words_suite::prelude::*;
+use nested_words_suite::query;
 
 fn main() {
     let mut ab = Alphabet::ab();
@@ -32,22 +37,33 @@ fn main() {
     println!("n3 as a tree: {}", tree.display(&ab));
 
     // A deterministic NWA for the Theorem 3 language L_3 = { path(w) : |w| = 3 }.
+    // Membership is the same verb for every automaton model in the suite:
+    // `query::contains(&automaton, &input)`.
     let nwa = path_family_nwa(3);
     let inside = parse_nested_word("<a <b <a a> b> a>", &mut ab).unwrap();
     let outside = parse_nested_word("<a <b b> a>", &mut ab).unwrap();
     println!(
         "L_3 automaton ({} states): accepts path(aba)? {}  accepts path(ab)? {}",
         nwa.num_states(),
-        nwa.accepts(&inside),
-        nwa.accepts(&outside)
+        query::contains(&nwa, &inside),
+        query::contains(&nwa, &outside)
     );
 
-    // Nondeterministic automata determinize via the summary-set construction.
+    // Nondeterministic automata determinize via the summary-set construction;
+    // `query::equals` certifies the language is preserved.
     let nondet = Nnwa::from_deterministic(&nwa);
     let det = nondet.determinize();
     println!(
-        "re-determinized automaton has {} states and still accepts path(aba): {}",
+        "re-determinized automaton has {} states; language preserved: {}",
         det.num_states(),
-        det.accepts(&inside)
+        query::equals(&nwa, &det)
+    );
+
+    // Boolean operations come from the shared `BooleanOps` trait; together
+    // with `query::is_empty` they decide inclusion the WALi way.
+    println!(
+        "L_3 ∩ L_3ᶜ empty? {}   L_3 ⊆ L_3? {}",
+        query::is_empty(&nwa.intersect(&nwa.complement())),
+        query::subset_eq(&nwa, &nwa)
     );
 }

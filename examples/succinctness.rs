@@ -4,14 +4,17 @@
 //!
 //! Run with `cargo run --release --example succinctness`.
 
-use nwa::families::{
+use nested_words_suite::nwa::families::{
     path_family_nwa, path_family_tagged_dfa, theorem5_distinguishable_blocks, theorem5_tagged_dfa,
     theorem8_nwa, theorem8_regex,
 };
 
 fn main() {
     println!("Theorem 3 — L_s = {{ path(w) : |w| = s }}");
-    println!("{:>3} {:>12} {:>18}", "s", "NWA states", "minimal DFA states");
+    println!(
+        "{:>3} {:>12} {:>18}",
+        "s", "NWA states", "minimal DFA states"
+    );
     for s in 1..=10usize {
         let nwa = path_family_nwa(s);
         let dfa = path_family_tagged_dfa(s).minimize();

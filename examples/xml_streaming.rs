@@ -5,10 +5,12 @@
 //!
 //! Run with `cargo run --example xml_streaming`.
 
-use nested_words::Alphabet;
-use nwa_xml::generate::{generate_document, DocumentConfig};
-use nwa_xml::queries::{contains_tag_nwa, depth_at_most_nwa, patterns_in_order_nwa, run_streaming};
-use nwa_xml::sax::parse_document;
+use nested_words_suite::nwa_xml::generate::{generate_document, DocumentConfig};
+use nested_words_suite::nwa_xml::queries::{
+    contains_tag_nwa, depth_at_most_nwa, patterns_in_order_nwa, run_streaming,
+};
+use nested_words_suite::nwa_xml::sax::parse_document;
+use nested_words_suite::prelude::*;
 
 fn main() {
     // A small hand-written document.
@@ -34,10 +36,22 @@ fn main() {
     let q2 = patterns_in_order_nwa(&[moby, nested], sigma);
     let q3 = patterns_in_order_nwa(&[nested, moby], sigma);
     let q4 = depth_at_most_nwa(1, sigma);
-    println!("contains <book>?                 {}", run_streaming(&q1, &doc).accepted);
-    println!("'moby' before 'nested'?          {}", run_streaming(&q2, &doc).accepted);
-    println!("'nested' before 'moby'?          {}", run_streaming(&q3, &doc).accepted);
-    println!("nesting depth at most 1?         {}", run_streaming(&q4, &doc).accepted);
+    println!(
+        "contains <book>?                 {}",
+        run_streaming(&q1, &doc).accepted
+    );
+    println!(
+        "'moby' before 'nested'?          {}",
+        run_streaming(&q2, &doc).accepted
+    );
+    println!(
+        "'nested' before 'moby'?          {}",
+        run_streaming(&q3, &doc).accepted
+    );
+    println!(
+        "nesting depth at most 1?         {}",
+        run_streaming(&q4, &doc).accepted
+    );
 
     // A large synthetic document, processed in one pass.
     let (gen_ab, big) = generate_document(

@@ -1,8 +1,80 @@
-//! Umbrella crate for the nested-words suite.
+//! # nested-words-suite
 //!
-//! Re-exports every crate of the workspace so that examples and integration
-//! tests can use a single dependency.
+//! Umbrella crate for the reproduction of *"Marrying Words and Trees"*
+//! (Rajeev Alur, PODS 2007): nested words, the seven automaton models that
+//! read them (or their word/tree projections), and **one API** over all of
+//! them.
+//!
+//! ## The unified API
+//!
+//! Every automaton model implements the [`automata_core`] trait vocabulary,
+//! so membership and the decision problems are spelled the same way no
+//! matter which machine you hold:
+//!
+//! * [`prelude`] — one `use nested_words_suite::prelude::*;` brings in the
+//!   data model ([`prelude::NestedWord`], [`prelude::OrderedTree`],
+//!   [`prelude::Alphabet`]), all automaton types, the fluent builders
+//!   ([`prelude::NwaBuilder`], [`prelude::NnwaBuilder`],
+//!   [`prelude::DfaBuilder`]) and the traits
+//!   ([`prelude::Acceptor`], [`prelude::BooleanOps`],
+//!   [`prelude::Emptiness`], [`prelude::Decide`]);
+//! * [`query`] — WALi-style free-function verbs, generic over the traits:
+//!   [`query::contains`], [`query::is_empty`], [`query::subset_eq`],
+//!   [`query::equals`].
+//!
+//! ```
+//! use nested_words_suite::prelude::*;
+//! use nested_words_suite::query;
+//!
+//! // A deterministic NWA over {a} accepting nested words of even length.
+//! let a = Symbol(0);
+//! let mut b = NwaBuilder::new(2, 1, 0).accepting(0);
+//! for q in 0..2usize {
+//!     b = b.internal(q, a, 1 - q).call(q, a, 1 - q, 0).ret(q, 0, a, 1 - q).ret(q, 1, a, 1 - q);
+//! }
+//! let even = b.build();
+//!
+//! let mut ab = Alphabet::from_names(["a"]);
+//! let w = parse_nested_word("<a a>", &mut ab).unwrap();
+//! assert!(query::contains(&even, &w));
+//! assert!(query::equals(&even, &even.complement().complement()));
+//! assert!(query::is_empty(&even.intersect(&even.complement())));
+//! ```
+//!
+//! ## Migration from the per-crate APIs
+//!
+//! The free decision functions of the individual crates still exist (the
+//! trait impls delegate to them), but new code should speak the facade:
+//!
+//! | old (per-crate)                            | new (facade)                       |
+//! |--------------------------------------------|------------------------------------|
+//! | `nwa::decision::is_empty(&n)`              | `query::is_empty(&n)`              |
+//! | `nwa::decision::is_empty_det(&m)`          | `query::is_empty(&m)`              |
+//! | `nwa::decision::included_in(&a, &b)`       | `query::subset_eq(&a, &b)`         |
+//! | `nwa::decision::equivalent(&a, &b)`        | `query::equals(&a, &b)`            |
+//! | `nwa::decision::included_in_nondet(&a, &b)`| `query::subset_eq(&a, &b)`         |
+//! | `nwa::decision::equivalent_nondet(&a, &b)` | `query::equals(&a, &b)`            |
+//! | `nwa::boolean::intersect(&a, &b)`          | `a.intersect(&b)`                  |
+//! | `nwa::boolean::union(&a, &b)`              | `a.union(&b)`                      |
+//! | `nwa::boolean::complement(&a)`             | `a.complement()`                   |
+//! | `nwa::boolean::intersect_nondet(&a, &b)`   | `a.intersect(&b)`                  |
+//! | `nwa::boolean::union_nondet(&a, &b)`       | `a.union(&b)`                      |
+//! | `word_automata::Dfa::equivalent(&a, &b)`   | `query::equals(&a, &b)`            |
+//! | `word_automata::Dfa::included_in(&a, &b)`  | `query::subset_eq(&a, &b)`         |
+//! | `nwa_pushdown::emptiness::is_empty(&p)`    | `query::is_empty(&p)`              |
+//! | `m.accepts(&w)` (per-model inherent)       | `query::contains(&m, &w)` or trait |
+//! | `Nwa::new(n, s, q0)` + `set_*` calls       | `NwaBuilder::new(n, s, q0).…`      |
+//! | `Nnwa::new(n, s)` + `add_*` calls          | `NnwaBuilder::new(n, s).…`         |
+//! | `Dfa::new(n, s, q0)` + `set_*` calls       | `DfaBuilder::new(n, s, q0).…`      |
+//!
+//! The individual crates remain available under their own names for code
+//! that needs model-specific constructions (determinization, minimization,
+//! the succinctness families, SAX parsing, …).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use automata_core;
 pub use nested_words;
 pub use nwa;
 pub use nwa_pushdown;
@@ -10,3 +82,26 @@ pub use nwa_xml;
 pub use pushdown_automata;
 pub use tree_automata;
 pub use word_automata;
+
+/// One import for the whole suite: data model, automaton types, builders and
+/// the unified traits.
+pub mod prelude {
+    pub use automata_core::{Acceptor, BooleanOps, Builder, Decide, Emptiness, StateId};
+    pub use nested_words::tagged::{display_nested_word, parse_nested_word};
+    pub use nested_words::{
+        Alphabet, MatchingRelation, NestedWord, NestedWordError, OrderedTree, PositionKind, Symbol,
+        TaggedSymbol, TaggedWord,
+    };
+    pub use nwa::{JoinlessNwa, Nnwa, NnwaBuilder, Nwa, NwaBuilder, StreamingRun};
+    pub use nwa_pushdown::{Pnwa, PnwaMode};
+    pub use pushdown_automata::{Cfg, PushdownTreeAutomaton};
+    pub use tree_automata::{BottomUpBinaryTA, DetStepwiseTA, StepwiseTA, TopDownBinaryTA};
+    pub use word_automata::{Dfa, DfaBuilder, Nfa, Regex};
+}
+
+/// The WALi-style decision verbs, uniform over every automaton model:
+/// [`query::contains`], [`query::is_empty`], [`query::subset_eq`] and
+/// [`query::equals`].
+pub mod query {
+    pub use automata_core::query::{contains, equals, is_empty, subset_eq};
+}

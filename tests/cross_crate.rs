@@ -1,14 +1,12 @@
 //! Cross-crate integration tests: the paper's correspondences between
-//! automaton models, exercised end to end.
+//! automaton models, exercised end to end through the unified
+//! `prelude`/`query` facade — no per-crate decision functions.
 
-use nested_words::generate::{random_tree, random_well_matched};
-use nested_words::{Alphabet, Symbol};
-use nwa::bottom_up::from_stepwise;
-use nwa::decision::{equivalent_nondet, is_empty};
-use nwa::flat::{from_tagged_dfa, tagged_indices, to_tagged_dfa};
-use nwa::nondet::Nnwa;
-use tree_automata::DetStepwiseTA;
-use word_automata::Regex;
+use nested_words_suite::nested_words::generate::{random_tree, random_well_matched};
+use nested_words_suite::nwa::bottom_up::from_stepwise;
+use nested_words_suite::nwa::flat::{from_tagged_dfa, tagged_indices, to_tagged_dfa};
+use nested_words_suite::prelude::*;
+use nested_words_suite::query;
 
 /// Theorem 2 end to end: a regular property of the tagged encoding, compiled
 /// through regex → DFA → flat NWA → DFA, agrees everywhere.
@@ -17,8 +15,8 @@ fn theorem2_flat_nwa_word_automaton_correspondence() {
     let sigma = 2usize;
     // property: the document contains a b-labelled call followed later by an
     // a-labelled return (over the tagged alphabet)
-    let b_call = nested_words::TaggedSymbol::Call(Symbol(1)).tagged_index(sigma);
-    let a_ret = nested_words::TaggedSymbol::Return(Symbol(0)).tagged_index(sigma);
+    let b_call = TaggedSymbol::Call(Symbol(1)).tagged_index(sigma);
+    let a_ret = TaggedSymbol::Return(Symbol(0)).tagged_index(sigma);
     let regex = Regex::any_star()
         .concat(Regex::Symbol(b_call))
         .concat(Regex::any_star())
@@ -28,14 +26,14 @@ fn theorem2_flat_nwa_word_automaton_correspondence() {
     let flat = from_tagged_dfa(&dfa, sigma);
     assert_eq!(flat.num_states(), dfa.num_states());
     let back = to_tagged_dfa(&flat);
-    assert!(dfa.equivalent(&back));
+    assert!(query::equals(&dfa, &back));
 
     let ab = Alphabet::ab();
     for seed in 0..40 {
         let w = random_well_matched(&ab, 40, seed);
         assert_eq!(
-            flat.accepts(&w),
-            dfa.accepts(&tagged_indices(&w, sigma)),
+            query::contains(&flat, &w),
+            query::contains(&dfa, &tagged_indices(&w, sigma)[..]),
             "seed {seed}"
         );
     }
@@ -63,8 +61,8 @@ fn lemma1_stepwise_and_bottom_up_nwa_agree() {
     for seed in 0..40 {
         let tree = random_tree(&alphabet, 15, 3, seed);
         assert_eq!(
-            ta.accepts(&tree),
-            nwa.accepts(&tree.to_nested_word()),
+            query::contains(&ta, &tree),
+            query::contains(&nwa, &tree.to_nested_word()),
             "seed {seed}"
         );
     }
@@ -77,40 +75,65 @@ fn decision_procedures_compose() {
     let a = Symbol(0);
     let b = Symbol(1);
     // nondeterministic NWA: some matched call/return pair carries label b
-    let mut n = Nnwa::new(3, 2);
-    n.add_initial(0);
-    n.add_accepting(2);
+    let mut builder = NnwaBuilder::new(3, 2).initial(0).accepting(2);
     for sym in [a, b] {
-        n.add_internal(0, sym, 0);
-        n.add_internal(2, sym, 2);
-        n.add_call(0, sym, 0, 0);
-        n.add_call(2, sym, 2, 0);
+        builder = builder
+            .internal(0, sym, 0)
+            .internal(2, sym, 2)
+            .call(0, sym, 0, 0)
+            .call(2, sym, 2, 0);
         for h in [0usize, 1] {
-            n.add_return(0, h, sym, 0);
-            n.add_return(2, h, sym, 2);
+            builder = builder.ret(0, h, sym, 0).ret(2, h, sym, 2);
         }
     }
-    n.add_call(0, b, 0, 1);
-    n.add_return(0, 1, b, 2);
+    let n = builder.call(0, b, 0, 1).ret(0, 1, b, 2).build();
 
-    assert!(!is_empty(&n));
+    assert!(!query::is_empty(&n));
+
+    // Equivalence after a determinize/relax round trip. Checked on a sparse
+    // one-symbol automaton (rooted words of even depth ≥ 2): `query::equals`
+    // determinizes nondeterministic operands, and the dense b-block automaton
+    // above would make that round trip quadratically larger.
+    let mut sparse = NnwaBuilder::new(4, 1).initial(0).accepting(3);
+    sparse = sparse.call(0, a, 1, 0).call(1, a, 0, 1);
+    for lin in [0usize, 2] {
+        sparse = sparse.ret(lin, 0, a, 2).ret(lin, 1, a, 2).ret(lin, 0, a, 3);
+    }
+    let sparse = sparse.build();
+    let roundtrip = Nnwa::from_deterministic(&sparse.determinize());
+    assert!(query::equals(&sparse, &roundtrip));
+
+    // intersection with the complement is empty, and is included in anything
+    let empty = sparse.intersect(&sparse.complement());
+    assert!(query::is_empty(&empty));
+    assert!(query::subset_eq(&empty, &sparse));
+
+    // Determinization of the dense automaton is checked by membership
+    // agreement on random nested words (a full `query::equals` on the
+    // nondeterministic operands would re-determinize quadratically).
     let det = n.determinize();
-    let roundtrip = Nnwa::from_deterministic(&det);
-    assert!(equivalent_nondet(&n, &roundtrip));
-
-    // intersection with the complement is empty
-    let complement = Nnwa::from_deterministic(&nwa::boolean::complement(&det));
-    let inter = nwa::boolean::intersect_nondet(&n, &complement);
-    assert!(is_empty(&inter));
+    let ab = Alphabet::ab();
+    let cfg = nested_words_suite::nested_words::generate::NestedWordConfig {
+        len: 30,
+        allow_pending: true,
+        ..Default::default()
+    };
+    for seed in 0..40u64 {
+        let w = nested_words_suite::nested_words::generate::random_nested_word(&ab, cfg, seed);
+        assert_eq!(
+            query::contains(&n, &w),
+            query::contains(&det, &w),
+            "seed {seed}"
+        );
+    }
+    assert!(query::is_empty(&det.intersect(&det.complement())));
 }
 
 /// Lemma 4 in miniature: the equal-count pushdown NWA agrees with the CFG
-/// baseline on flat words.
+/// baseline on flat words, both spoken through `query::contains`.
 #[test]
 fn lemma4_pnwa_matches_cfg_on_flat_words() {
-    use nested_words::NestedWord;
-    use nwa_pushdown::separations::equal_count_pnwa;
-    use pushdown_automata::Cfg;
+    use nested_words_suite::nwa_pushdown::separations::equal_count_pnwa;
     let grammar = Cfg::equal_counts();
     let pnwa = equal_count_pnwa();
     for len in 0..=6usize {
@@ -118,10 +141,51 @@ fn lemma4_pnwa_matches_cfg_on_flat_words() {
             let word: Vec<usize> = (0..len).map(|i| ((bits >> i) & 1) as usize).collect();
             let nested = NestedWord::flat(word.iter().map(|&x| Symbol(x as u16)).collect());
             assert_eq!(
-                grammar.derives(&word),
-                pnwa.accepts(&nested),
+                query::contains(&grammar, &word[..]),
+                query::contains(&pnwa, &nested),
                 "word {word:?}"
             );
         }
     }
+}
+
+/// The same decision verbs work across all four required models — the
+/// acceptance bar of the unified-API redesign.
+#[test]
+fn query_verbs_uniform_across_models() {
+    // Nwa
+    let a = Symbol(0);
+    let nwa = NwaBuilder::new(1, 1, 0)
+        .accepting(0)
+        .internal(0, a, 0)
+        .call(0, a, 0, 0)
+        .ret(0, 0, a, 0)
+        .build();
+    assert!(!query::is_empty(&nwa));
+    assert!(query::subset_eq(&nwa, &nwa));
+    assert!(query::equals(&nwa, &nwa));
+    assert!(query::contains(&nwa, &NestedWord::empty()));
+
+    // Nnwa
+    let nnwa = Nnwa::from_deterministic(&nwa);
+    assert!(!query::is_empty(&nnwa));
+    assert!(query::subset_eq(&nnwa, &nnwa));
+    assert!(query::equals(&nnwa, &nnwa));
+    assert!(query::contains(&nnwa, &NestedWord::empty()));
+
+    // Dfa
+    let dfa = DfaBuilder::new(1, 2, 0).accepting(0).build();
+    assert!(!query::is_empty(&dfa));
+    assert!(query::subset_eq(&dfa, &dfa));
+    assert!(query::equals(&dfa, &dfa));
+    assert!(query::contains(&dfa, &[0, 1][..]));
+
+    // DetStepwiseTA
+    let mut ta = DetStepwiseTA::new(1, 1);
+    ta.set_init(a, 0);
+    ta.set_accepting(0, true);
+    assert!(!query::is_empty(&ta));
+    assert!(query::subset_eq(&ta, &ta));
+    assert!(query::equals(&ta, &ta));
+    assert!(query::contains(&ta, &OrderedTree::leaf(a)));
 }

@@ -1,8 +1,7 @@
 //! Integration test reproducing Figure 1 of the paper: the three sample
 //! nested words, their tagged encodings, and the tree view of n3.
 
-use nested_words::tagged::{display_nested_word, parse_nested_word};
-use nested_words::{Alphabet, OrderedTree};
+use nested_words_suite::prelude::*;
 
 #[test]
 fn figure1_nested_words() {
@@ -23,10 +22,7 @@ fn figure1_nested_words() {
         (0..n2.len()).filter(|&i| n2.is_pending_return(i)).count(),
         1
     );
-    assert_eq!(
-        (0..n2.len()).filter(|&i| n2.is_pending_call(i)).count(),
-        2
-    );
+    assert_eq!((0..n2.len()).filter(|&i| n2.is_pending_call(i)).count(), 2);
 
     // n3: rooted, and a tree word encoding a(a(), b())
     assert!(n3.is_rooted());
@@ -47,7 +43,6 @@ fn figure1_nested_words() {
 fn figure1_counts_of_matching_relations() {
     // §2.2: there are exactly 3^ℓ matching relations and 3^ℓ·|Σ|^ℓ nested
     // words of length ℓ. Verify by enumeration for ℓ = 4 over {a, b}.
-    use nested_words::{NestedWord, TaggedSymbol};
     use std::collections::HashSet;
     let sigma = 2usize;
     let len = 4usize;

@@ -1,93 +1,360 @@
-//! Property-based tests (proptest) for the core data model and the key
-//! automaton constructions.
+//! Property-based tests for the core data model, the key automaton
+//! constructions, and the laws of the unified `Decide`/`BooleanOps`/
+//! `Acceptor` trait layer.
+//!
+//! The build environment has no crates.io access, so instead of proptest the
+//! tests draw deterministic pseudo-random cases from the suite's own seeded
+//! generators (`nested_words::generate`, `nested_words::rng::Prng`); every
+//! failure is reproducible from the printed seed.
 
-use nested_words::ops::{concat, prefix, reverse, suffix};
-use nested_words::{NestedWord, Symbol, TaggedSymbol};
-use proptest::prelude::*;
+use nested_words_suite::nested_words::generate::{
+    random_nested_word, random_tree, NestedWordConfig,
+};
+use nested_words_suite::nested_words::ops::{concat, prefix, reverse, suffix};
+use nested_words_suite::nested_words::rng::Prng;
+use nested_words_suite::prelude::*;
+use nested_words_suite::query;
 
-/// Strategy producing arbitrary tagged words over {a, b}.
-fn tagged_word(max_len: usize) -> impl Strategy<Value = Vec<TaggedSymbol>> {
-    prop::collection::vec((0..3usize, 0..2u16), 0..max_len).prop_map(|pairs| {
-        pairs
-            .into_iter()
-            .map(|(kind, sym)| match kind {
-                0 => TaggedSymbol::Call(Symbol(sym)),
-                1 => TaggedSymbol::Internal(Symbol(sym)),
-                _ => TaggedSymbol::Return(Symbol(sym)),
-            })
-            .collect()
-    })
+/// Draws an arbitrary tagged word over {a, b} of length < `max_len`,
+/// mirroring the proptest strategy the seed used: any mix of calls,
+/// internals and returns, including ill-matched ones.
+fn arbitrary_tagged(rng: &mut Prng, max_len: usize) -> Vec<TaggedSymbol> {
+    let len = rng.below(max_len);
+    (0..len)
+        .map(|_| {
+            let sym = Symbol(rng.below(2) as u16);
+            match rng.below(3) {
+                0 => TaggedSymbol::Call(sym),
+                1 => TaggedSymbol::Internal(sym),
+                _ => TaggedSymbol::Return(sym),
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    /// w_nw and nw_w are mutually inverse (§2.2): the tagged encoding is a
-    /// bijection.
-    #[test]
-    fn tagged_encoding_roundtrips(tagged in tagged_word(60)) {
-        let word = NestedWord::from_tagged(&tagged);
-        prop_assert_eq!(word.to_tagged(), tagged);
-    }
+// --------------------------------------------------------------------------
+// Data-model properties (carried over from the seed's proptest suite)
+// --------------------------------------------------------------------------
 
-    /// Reversal is an involution (§2.4).
-    #[test]
-    fn reverse_is_an_involution(tagged in tagged_word(60)) {
+/// w_nw and nw_w are mutually inverse (§2.2): the tagged encoding is a
+/// bijection.
+#[test]
+fn tagged_encoding_roundtrips() {
+    let mut rng = Prng::new(0xA11CE);
+    for _ in 0..200 {
+        let tagged = arbitrary_tagged(&mut rng, 61);
         let word = NestedWord::from_tagged(&tagged);
-        prop_assert_eq!(reverse(&reverse(&word)), word);
+        assert_eq!(word.to_tagged(), tagged);
     }
+}
 
-    /// Splitting at any position and concatenating recovers the word (§2.4).
-    #[test]
-    fn prefix_suffix_concat_roundtrips(tagged in tagged_word(40), split in 0usize..41) {
-        let word = NestedWord::from_tagged(&tagged);
-        let split = split.min(word.len());
+/// Reversal is an involution (§2.4).
+#[test]
+fn reverse_is_an_involution() {
+    let mut rng = Prng::new(0xB0B);
+    for _ in 0..200 {
+        let word = NestedWord::from_tagged(&arbitrary_tagged(&mut rng, 61));
+        assert_eq!(reverse(&reverse(&word)), word);
+    }
+}
+
+/// Splitting at any position and concatenating recovers the word (§2.4).
+#[test]
+fn prefix_suffix_concat_roundtrips() {
+    let mut rng = Prng::new(0xC0FFEE);
+    for _ in 0..200 {
+        let word = NestedWord::from_tagged(&arbitrary_tagged(&mut rng, 41));
+        let split = if word.is_empty() {
+            0
+        } else {
+            rng.below(word.len() + 1)
+        };
         let rebuilt = concat(&prefix(&word, split), &suffix(&word, split));
-        prop_assert_eq!(rebuilt, word);
+        assert_eq!(rebuilt, word);
     }
+}
 
-    /// Depth never exceeds half the length, and reversal preserves it.
-    #[test]
-    fn depth_bounds_and_reverse_invariance(tagged in tagged_word(60)) {
-        let word = NestedWord::from_tagged(&tagged);
-        prop_assert!(word.depth() <= word.len() / 2);
-        prop_assert_eq!(reverse(&word).depth(), word.depth());
-        prop_assert_eq!(reverse(&word).is_well_matched(), word.is_well_matched());
+/// Depth never exceeds half the length, and reversal preserves depth and
+/// well-matchedness.
+#[test]
+fn depth_bounds_and_reverse_invariance() {
+    let mut rng = Prng::new(0xD00D);
+    for _ in 0..200 {
+        let word = NestedWord::from_tagged(&arbitrary_tagged(&mut rng, 61));
+        assert!(word.depth() <= word.len() / 2);
+        assert_eq!(reverse(&word).depth(), word.depth());
+        assert_eq!(reverse(&word).is_well_matched(), word.is_well_matched());
     }
+}
 
-    /// The Theorem 1 weak construction preserves the language of the
-    /// matching-labels automaton on arbitrary nested words.
-    #[test]
-    fn weak_construction_language_preservation(tagged in tagged_word(30)) {
-        let a = Symbol(0);
-        let b = Symbol(1);
-        let mut m = nwa::automaton::Nwa::new(4, 2, 0);
-        m.set_accepting(0, true);
-        m.set_all_transitions_to(3, 3);
-        m.set_internal(0, a, 0);
-        m.set_internal(0, b, 0);
-        m.set_call(0, a, 0, 1);
-        m.set_call(0, b, 0, 2);
-        for q in [1usize, 2] {
-            m.set_all_transitions_to(q, 3);
+/// The Theorem 1 weak construction preserves the language of the
+/// matching-labels automaton on arbitrary nested words.
+#[test]
+fn weak_construction_language_preservation() {
+    let a = Symbol(0);
+    let b = Symbol(1);
+    let mut builder = NwaBuilder::new(4, 2, 0)
+        .accepting(0)
+        .sink(3)
+        .all_transitions(1, 3)
+        .all_transitions(2, 3)
+        .internal(0, a, 0)
+        .internal(0, b, 0)
+        .call(0, a, 0, 1)
+        .call(0, b, 0, 2);
+    for h in 0..4usize {
+        for (sym, want) in [(a, 1usize), (b, 2usize)] {
+            builder = builder.ret(0, h, sym, if h == want { 0 } else { 3 });
         }
-        for h in 0..4usize {
-            for (sym, want) in [(a, 1usize), (b, 2usize)] {
-                m.set_return(0, h, sym, if h == want { 0 } else { 3 });
+    }
+    let m = builder.build();
+    let weak = nested_words_suite::nwa::weak::to_weak(&m);
+    let mut rng = Prng::new(0x7EA);
+    for _ in 0..100 {
+        let word = NestedWord::from_tagged(&arbitrary_tagged(&mut rng, 31));
+        assert_eq!(
+            query::contains(&m, &word),
+            query::contains(&weak, &word),
+            "word {:?}",
+            word.to_tagged()
+        );
+    }
+}
+
+/// Tree encoding round-trips: every randomly generated tree satisfies
+/// nw_t(t_nw(t)) = t.
+#[test]
+fn tree_encoding_roundtrips() {
+    let ab = Alphabet::with_size(3);
+    let mut rng = Prng::new(0x72EE);
+    for seed in 0..200u64 {
+        let size = 1 + rng.below(39);
+        let tree = random_tree(&ab, size, 4, seed);
+        let word = tree.to_nested_word();
+        assert!(nested_words_suite::nested_words::tree::is_tree_word(&word) || tree.is_empty());
+        let back = OrderedTree::from_nested_word(&word).unwrap();
+        assert_eq!(back, tree);
+    }
+}
+
+// --------------------------------------------------------------------------
+// Random automata
+// --------------------------------------------------------------------------
+
+/// A random complete deterministic NWA: every transition drawn uniformly,
+/// every state accepting with probability 1/2.
+fn random_det_nwa(num_states: usize, sigma: usize, seed: u64) -> Nwa {
+    let mut rng = Prng::new(seed);
+    let mut m = Nwa::new(num_states, sigma, rng.below(num_states));
+    for q in 0..num_states {
+        m.set_accepting(q, rng.bool(0.5));
+        for a in 0..sigma {
+            let a = Symbol(a as u16);
+            m.set_internal(q, a, rng.below(num_states));
+            m.set_call(q, a, rng.below(num_states), rng.below(num_states));
+            for h in 0..num_states {
+                m.set_return(q, h, a, rng.below(num_states));
             }
         }
-        let weak = nwa::weak::to_weak(&m);
-        let word = NestedWord::from_tagged(&tagged);
-        prop_assert_eq!(m.accepts(&word), weak.accepts(&word));
     }
+    m
+}
 
-    /// Tree encoding round-trips: every randomly generated tree satisfies
-    /// nw_t(t_nw(t)) = t.
-    #[test]
-    fn tree_encoding_roundtrips(seed in 0u64..10_000, size in 1usize..40) {
-        let ab = nested_words::Alphabet::with_size(3);
-        let tree = nested_words::generate::random_tree(&ab, size, 4, seed);
-        let word = tree.to_nested_word();
-        prop_assert!(nested_words::tree::is_tree_word(&word) || tree.is_empty());
-        let back = nested_words::OrderedTree::from_nested_word(&word).unwrap();
-        prop_assert_eq!(back, tree);
+/// A random sparse nondeterministic NWA. Sparseness is deliberate: the
+/// Decide laws complement (hence determinize) these automata, and the
+/// summary-set construction is exponential in the transition density.
+fn random_nnwa(num_states: usize, sigma: usize, seed: u64) -> Nnwa {
+    let mut rng = Prng::new(seed);
+    let mut n = Nnwa::new(num_states, sigma);
+    n.add_initial(rng.below(num_states));
+    n.add_accepting(rng.below(num_states));
+    for _ in 0..num_states + 2 {
+        let s = Symbol(rng.below(sigma) as u16);
+        match rng.below(3) {
+            0 => n.add_internal(rng.below(num_states), s, rng.below(num_states)),
+            1 => n.add_call(
+                rng.below(num_states),
+                s,
+                rng.below(num_states),
+                rng.below(num_states),
+            ),
+            _ => n.add_return(
+                rng.below(num_states),
+                rng.below(num_states),
+                s,
+                rng.below(num_states),
+            ),
+        }
+    }
+    n
+}
+
+/// A random complete DFA.
+fn random_dfa(num_states: usize, num_symbols: usize, seed: u64) -> Dfa {
+    let mut rng = Prng::new(seed);
+    let mut d = Dfa::new(num_states, num_symbols, rng.below(num_states));
+    for q in 0..num_states {
+        d.set_accepting(q, rng.bool(0.5));
+        for a in 0..num_symbols {
+            d.set_transition(q, a, rng.below(num_states));
+        }
+    }
+    d
+}
+
+/// A random deterministic stepwise tree automaton.
+fn random_stepwise(num_states: usize, sigma: usize, seed: u64) -> DetStepwiseTA {
+    let mut rng = Prng::new(seed);
+    let mut ta = DetStepwiseTA::new(num_states, sigma);
+    for a in 0..sigma {
+        ta.set_init(Symbol(a as u16), rng.below(num_states));
+    }
+    for q in 0..num_states {
+        ta.set_accepting(q, rng.bool(0.5));
+        for r in 0..num_states {
+            ta.set_combine(q, r, rng.below(num_states));
+        }
+    }
+    ta
+}
+
+// --------------------------------------------------------------------------
+// Decide laws across models
+// --------------------------------------------------------------------------
+
+/// `equals(a, complement(complement(a)))` for deterministic NWAs.
+#[test]
+fn decide_law_double_complement_nwa() {
+    for seed in 0..10u64 {
+        let a = random_det_nwa(3, 2, seed);
+        assert!(
+            query::equals(&a, &a.complement().complement()),
+            "seed {seed}"
+        );
+    }
+}
+
+/// `subset_eq(intersect(a, b), a)` for deterministic NWAs, and intersection
+/// with the complement is empty.
+#[test]
+fn decide_law_intersection_shrinks_nwa() {
+    for seed in 0..10u64 {
+        let a = random_det_nwa(3, 2, seed);
+        let b = random_det_nwa(3, 2, seed + 1000);
+        assert!(query::subset_eq(&a.intersect(&b), &a), "seed {seed}");
+        assert!(query::subset_eq(&a.intersect(&b), &b), "seed {seed}");
+        assert!(
+            query::is_empty(&a.intersect(&a.complement())),
+            "seed {seed}"
+        );
+    }
+}
+
+/// The same two laws for nondeterministic NWAs. Instances are kept tiny
+/// (two states, one symbol, a handful of transitions): `complement`
+/// determinizes via the `2^{s²}` summary-set construction, and the law
+/// `equals(a, aᶜᶜ)` then squares that size again through the product.
+#[test]
+fn decide_laws_nnwa() {
+    for seed in 0..6u64 {
+        let a = random_nnwa(2, 1, seed);
+        assert!(
+            query::equals(&a, &a.complement().complement()),
+            "seed {seed}"
+        );
+        let b = random_nnwa(2, 1, seed + 1000);
+        assert!(query::subset_eq(&a.intersect(&b), &a), "seed {seed}");
+        assert!(
+            query::is_empty(&a.intersect(&a.complement())),
+            "seed {seed}"
+        );
+    }
+}
+
+/// The same two laws for DFAs.
+#[test]
+fn decide_laws_dfa() {
+    for seed in 0..20u64 {
+        let a = random_dfa(4, 2, seed);
+        let b = random_dfa(3, 2, seed + 1000);
+        assert!(
+            query::equals(&a, &a.complement().complement()),
+            "seed {seed}"
+        );
+        assert!(query::subset_eq(&a.intersect(&b), &a), "seed {seed}");
+        assert!(
+            query::is_empty(&a.intersect(&a.complement())),
+            "seed {seed}"
+        );
+    }
+}
+
+/// The same two laws for deterministic stepwise tree automata.
+#[test]
+fn decide_laws_stepwise() {
+    for seed in 0..20u64 {
+        let a = random_stepwise(3, 2, seed);
+        let b = random_stepwise(2, 2, seed + 1000);
+        assert!(
+            query::equals(&a, &a.complement().complement()),
+            "seed {seed}"
+        );
+        assert!(query::subset_eq(&a.intersect(&b), &a), "seed {seed}");
+        assert!(
+            query::is_empty(&a.intersect(&a.complement())),
+            "seed {seed}"
+        );
+    }
+}
+
+// --------------------------------------------------------------------------
+// Acceptor agreement with the legacy per-model entry points
+// --------------------------------------------------------------------------
+
+/// `Acceptor::accepts` (via `query::contains`) agrees with the legacy
+/// inherent membership methods on random nested words, and determinization
+/// preserves the answers.
+#[test]
+fn acceptor_agrees_with_legacy_membership_nwa() {
+    let ab = Alphabet::ab();
+    let cfg = NestedWordConfig {
+        len: 30,
+        allow_pending: true,
+        ..Default::default()
+    };
+    for seed in 0..8u64 {
+        let m = random_det_nwa(3, 2, seed);
+        let n = Nnwa::from_deterministic(&m);
+        for wseed in 0..15u64 {
+            let w = random_nested_word(&ab, cfg, wseed);
+            let legacy = m.accepts(&w);
+            assert_eq!(query::contains(&m, &w), legacy, "seed {seed}/{wseed}");
+            assert_eq!(query::contains(&n, &w), legacy, "seed {seed}/{wseed}");
+        }
+    }
+}
+
+/// The same agreement for DFAs on random flat words and for stepwise tree
+/// automata on random trees.
+#[test]
+fn acceptor_agrees_with_legacy_membership_word_and_tree() {
+    let ab = Alphabet::ab();
+    let mut rng = Prng::new(0x5EED);
+    for seed in 0..10u64 {
+        let d = random_dfa(4, 2, seed);
+        for _ in 0..20 {
+            let w: Vec<usize> = (0..rng.below(20)).map(|_| rng.below(2)).collect();
+            assert_eq!(query::contains(&d, &w[..]), d.accepts(&w), "seed {seed}");
+        }
+
+        let ta = random_stepwise(3, 2, seed);
+        for tseed in 0..20u64 {
+            let t = random_tree(&ab, 1 + rng.below(20), 3, tseed);
+            assert_eq!(
+                query::contains(&ta, &t),
+                ta.accepts(&t),
+                "seed {seed}/{tseed}"
+            );
+        }
     }
 }
