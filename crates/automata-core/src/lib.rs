@@ -13,6 +13,10 @@
 //!
 //! * [`Acceptor`] — membership: `a.accepts(&input)` for whatever input type
 //!   the model reads (nested words, ordered trees, flat symbol slices);
+//! * [`StreamAcceptor`] / [`StreamRun`] — incremental membership over
+//!   streams of tagged-symbol events (SAX processing, §3.2): start a run,
+//!   feed one event at a time, and observe acceptance and peak stack memory
+//!   at any prefix;
 //! * [`BooleanOps`] — intersection, union, complement;
 //! * [`Emptiness`] — the language-emptiness decision;
 //! * [`Decide`] — inclusion and equivalence, with default implementations
@@ -23,7 +27,8 @@
 //!   states with symbols or stack entries;
 //! * [`query`] — free-function spellings of the decision verbs
 //!   ([`query::contains`], [`query::is_empty`], [`query::subset_eq`],
-//!   [`query::equals`]).
+//!   [`query::equals`]) and of the streaming runs
+//!   ([`query::run_stream`], [`query::contains_stream`]).
 //!
 //! This crate depends only on `nested-words` (for the input types); the
 //! model crates depend on it and implement the traits.
@@ -34,8 +39,10 @@
 pub mod build;
 pub mod ids;
 pub mod query;
+pub mod stream;
 pub mod traits;
 
 pub use build::Builder;
 pub use ids::StateId;
+pub use stream::{StreamAcceptor, StreamOutcome, StreamRun};
 pub use traits::{Acceptor, BooleanOps, Decide, Emptiness};

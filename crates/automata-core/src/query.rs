@@ -7,7 +7,9 @@
 //! suite. The umbrella crate re-exports this module as `query`, which is the
 //! spelling examples and tests use: `query::equals(&a, &b)`.
 
+use crate::stream::{StreamAcceptor, StreamOutcome, StreamRun};
 use crate::traits::{Acceptor, Decide, Emptiness};
+use nested_words::TaggedSymbol;
 
 /// Returns `true` if automaton `a` accepts `input`
 /// (WALi's `languageContains`).
@@ -38,6 +40,100 @@ use crate::traits::{Acceptor, Decide, Emptiness};
 /// ```
 pub fn contains<I: ?Sized, A: Acceptor<I>>(a: &A, input: &I) -> bool {
     a.accepts(input)
+}
+
+/// Runs automaton `a` incrementally over a stream of tagged-symbol events
+/// and reports the [`StreamOutcome`]: acceptance, event count, and the peak
+/// stack memory the run needed (proportional to the nesting depth of the
+/// stream, not its length — the §3.2 bound).
+///
+/// `events` is any `IntoIterator` of [`TaggedSymbol`]s: a SAX tokenizer, a
+/// materialized tagged word, or a generator. The input is consumed one event
+/// at a time and never buffered.
+///
+/// ```
+/// use automata_core::query;
+/// use nested_words::{Symbol, TaggedSymbol};
+/// use nwa::NwaBuilder;
+///
+/// // Deterministic NWA over {a} accepting nested words of even length.
+/// let a = Symbol(0);
+/// let mut builder = NwaBuilder::new(2, 1, 0).accepting(0);
+/// for q in 0..2usize {
+///     builder = builder
+///         .internal(q, a, 1 - q)
+///         .call(q, a, 1 - q, 0)
+///         .ret(q, 0, a, 1 - q)
+///         .ret(q, 1, a, 1 - q);
+/// }
+/// let even = builder.build();
+///
+/// // <a <a a> a> — four events, nesting depth 2.
+/// let events = [
+///     TaggedSymbol::Call(a),
+///     TaggedSymbol::Call(a),
+///     TaggedSymbol::Return(a),
+///     TaggedSymbol::Return(a),
+/// ];
+/// let outcome = query::run_stream(&even, events);
+/// assert!(outcome.accepted);
+/// assert_eq!(outcome.events, 4);
+/// assert_eq!(outcome.peak_memory, 2);
+/// ```
+pub fn run_stream<A, E>(a: &A, events: E) -> StreamOutcome
+where
+    A: StreamAcceptor,
+    E: IntoIterator<Item = TaggedSymbol>,
+{
+    let mut run = a.start();
+    for event in events {
+        run.step(event);
+    }
+    StreamOutcome {
+        accepted: run.is_accepting(),
+        events: run.steps(),
+        peak_memory: run.peak_memory(),
+    }
+}
+
+/// Returns `true` if automaton `a` accepts the stream of tagged-symbol
+/// events, evaluated in one pass with memory proportional to the nesting
+/// depth (the streaming counterpart of [`contains`]).
+///
+/// ```
+/// use automata_core::query;
+/// use nested_words::{Alphabet, tagged::parse_nested_word};
+/// use nwa::{Nnwa, NnwaBuilder};
+/// use nested_words::Symbol;
+///
+/// // Nondeterministic NWA accepting words containing an a-labelled internal.
+/// let a = Symbol(0);
+/// let n = NnwaBuilder::new(2, 1)
+///     .initial(0)
+///     .accepting(1)
+///     .internal(0, a, 0)
+///     .internal(0, a, 1)
+///     .internal(1, a, 1)
+///     .call(0, a, 0, 0)
+///     .call(1, a, 1, 0)
+///     .ret(0, 0, a, 0)
+///     .ret(1, 0, a, 1)
+///     .build();
+///
+/// let mut ab = Alphabet::from_names(["a"]);
+/// let w = parse_nested_word("<a a a>", &mut ab).unwrap();
+/// assert!(query::contains_stream(&n, w.to_tagged()));
+/// assert_eq!(
+///     query::contains_stream(&n, w.to_tagged()),
+///     query::contains(&n, &w),
+/// );
+/// ```
+pub fn contains_stream<A, E>(a: &A, events: E) -> bool
+where
+    A: StreamAcceptor,
+    E: IntoIterator<Item = TaggedSymbol>,
+{
+    run_stream(a, events).accepted
 }
 
 /// Returns `true` if automaton `a` accepts no input at all

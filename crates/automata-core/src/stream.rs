@@ -1,0 +1,78 @@
+//! Streaming (event-at-a-time) runs over tagged-symbol streams.
+//!
+//! The headline application of the paper (§1, §3.2) is SAX processing: a
+//! document arrives as a stream of open-tags, text tokens and close-tags —
+//! i.e. as a sequence of [`TaggedSymbol`] events — and a nested word
+//! automaton decides membership in a single pass with memory proportional to
+//! the nesting depth, never materializing the document. The batch
+//! [`Acceptor`](crate::Acceptor) trait cannot express that: it takes the
+//! whole input at once.
+//!
+//! [`StreamAcceptor`] is the incremental counterpart. A model starts a
+//! [`StreamRun`], feeds it one event at a time, and may interrogate it at any
+//! prefix: would stopping here accept, how many stack frames are live right
+//! now, and what is the peak memory the run has ever needed. The free
+//! functions [`query::run_stream`](crate::query::run_stream) and
+//! [`query::contains_stream`](crate::query::contains_stream) drive a run
+//! over any `IntoIterator` of events.
+
+use nested_words::TaggedSymbol;
+
+/// One in-progress run of an automaton over a stream of tagged symbols.
+///
+/// A run is created by [`StreamAcceptor::start`], consumes events via
+/// [`step`](StreamRun::step), and can be queried after any prefix. Runs
+/// borrow their automaton, so they are cheap to create and carry only the
+/// per-run state (for nested word automata: a stack whose height equals the
+/// number of currently open calls).
+pub trait StreamRun {
+    /// Consumes one tagged-symbol event.
+    fn step(&mut self, event: TaggedSymbol);
+
+    /// Returns `true` if ending the stream now would accept the prefix read
+    /// so far.
+    fn is_accepting(&self) -> bool;
+
+    /// The number of stack frames currently live (equals the number of
+    /// currently open calls; `0` for stack-free models such as word
+    /// automata).
+    fn stack_height(&self) -> usize;
+
+    /// The maximum [`stack_height`](StreamRun::stack_height) observed so far
+    /// — the memory bound of §3.2: proportional to the depth of the input,
+    /// not its length.
+    fn peak_memory(&self) -> usize;
+
+    /// Number of events consumed so far.
+    fn steps(&self) -> usize;
+}
+
+/// An automaton that can run incrementally over a stream of
+/// [`TaggedSymbol`] events.
+///
+/// Implementors: `Nwa` runs its deterministic transition functions directly;
+/// `Nnwa` and `JoinlessNwa` simulate the on-the-fly subset construction over
+/// (summary-set, stack) configurations; `Dfa` reads the events as letters of
+/// the tagged alphabet Σ̂ (the flat view of §3.3) with no stack at all.
+pub trait StreamAcceptor {
+    /// The run type; borrows the automaton for the duration of the run.
+    type Run<'a>: StreamRun
+    where
+        Self: 'a;
+
+    /// Starts a fresh run in the initial configuration with an empty stack.
+    fn start(&self) -> Self::Run<'_>;
+}
+
+/// Summary of a completed streaming evaluation, as reported by
+/// [`query::run_stream`](crate::query::run_stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamOutcome {
+    /// Whether the automaton accepted the stream.
+    pub accepted: bool,
+    /// Number of events processed.
+    pub events: usize,
+    /// Maximum stack height used: proportional to the nesting depth of the
+    /// input, not to its length.
+    pub peak_memory: usize,
+}

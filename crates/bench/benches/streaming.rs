@@ -1,14 +1,20 @@
 //! Membership-scaling and streaming experiments (E12, E15 of `DESIGN.md`):
 //! deterministic NWA membership is linear in the document length with memory
 //! proportional to the depth (§3.2), and document queries run in one pass
-//! over SAX-style event streams.
+//! over SAX-style event streams — either from a materialized nested word or
+//! fully incrementally from XML text via `sax::Tokenizer`, without ever
+//! building the document in memory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use nested_words_suite::nested_words::generate::deep_word;
 use nested_words_suite::nwa_xml::generate::{
     generate_deep_document, generate_document, DocumentConfig,
 };
-use nested_words_suite::nwa_xml::queries::{contains_tag_nwa, depth_at_most_nwa, run_streaming};
+use nested_words_suite::nwa_xml::queries::{
+    contains_tag_nwa, open_depth_at_most_nwa, run_streaming, run_streaming_text,
+};
+use nested_words_suite::nwa_xml::sax::parse_document;
+use nested_words_suite::nwa_xml::sax::to_xml;
 use nested_words_suite::prelude::*;
 use nested_words_suite::query;
 use std::time::Duration;
@@ -18,7 +24,7 @@ fn print_tables() {
     println!("{:>10} {:>8} {:>14}", "events", "depth", "peak stack");
     for depth in [4usize, 64, 512] {
         let (ab, doc) = generate_deep_document(depth, 4);
-        let q = depth_at_most_nwa(depth, ab.len());
+        let q = open_depth_at_most_nwa(depth, ab.len());
         let outcome = run_streaming(&q, &doc);
         println!(
             "{:>10} {:>8} {:>14}",
@@ -52,8 +58,52 @@ fn print_tables() {
     println!();
 }
 
+/// The depth-not-length claim, measured: the materialize-then-run path
+/// stores every position of the document before the automaton sees the
+/// first event, while the incremental path's live state is one stack entry
+/// per open element. Both report the same answer.
+fn print_memory_table() {
+    println!("== E15b: materialize-then-run vs incremental streaming ==");
+    println!(
+        "{:>10} {:>12} {:>22} {:>22} {:>8}",
+        "events", "xml bytes", "materialized positions", "incremental peak stack", "agree"
+    );
+    for events in [10_000usize, 100_000, 1_000_000] {
+        let (mut ab, doc) = generate_document(
+            DocumentConfig {
+                events,
+                max_depth: 32,
+                ..Default::default()
+            },
+            7,
+        );
+        let q = contains_tag_nwa(ab.lookup("t1").unwrap(), ab.len());
+        let xml = to_xml(&doc, &ab);
+
+        // materialize-then-run: parse the whole document, then decide
+        let materialized = parse_document(&xml, &mut ab).unwrap();
+        let batch_accepted = query::contains(&q, &materialized);
+
+        // incremental: tokenizer events straight into the automaton
+        let incremental = run_streaming_text(&q, &xml, &ab).unwrap();
+
+        println!(
+            "{:>10} {:>12} {:>22} {:>22} {:>8}",
+            events,
+            xml.len(),
+            materialized.len(),
+            incremental.peak_memory,
+            batch_accepted == incremental.accepted
+        );
+        assert_eq!(batch_accepted, incremental.accepted);
+        assert!(incremental.peak_memory <= 32);
+    }
+    println!();
+}
+
 fn bench_streaming(c: &mut Criterion) {
     print_tables();
+    print_memory_table();
 
     let mut group = c.benchmark_group("e12_membership_scaling");
     group
@@ -82,8 +132,8 @@ fn bench_streaming(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(800));
-    for events in [10_000usize, 100_000] {
-        let (doc_ab, doc) = generate_document(
+    for events in [10_000usize, 100_000, 1_000_000] {
+        let (mut doc_ab, doc) = generate_document(
             DocumentConfig {
                 events,
                 max_depth: 64,
@@ -92,10 +142,33 @@ fn bench_streaming(c: &mut Criterion) {
             11,
         );
         let q = contains_tag_nwa(doc_ab.lookup("t1").unwrap(), doc_ab.len());
+        let xml = to_xml(&doc, &doc_ab);
+
         group.throughput(Throughput::Elements(doc.len() as u64));
-        group.bench_with_input(BenchmarkId::new("contains_tag", events), &doc, |b, d| {
-            b.iter(|| run_streaming(&q, d))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("contains_tag_batch", events),
+            &doc,
+            |b, d| b.iter(|| run_streaming(&q, d)),
+        );
+        // materialize-then-run: pay the parse and the full document on every
+        // iteration, then decide
+        group.bench_with_input(
+            BenchmarkId::new("materialize_then_run", events),
+            &xml,
+            |b, xml| {
+                b.iter(|| {
+                    let doc = parse_document(xml, &mut doc_ab).unwrap();
+                    run_streaming(&q, &doc)
+                })
+            },
+        );
+        // incremental: tokenizer events straight into the automaton, nothing
+        // materialized
+        group.bench_with_input(
+            BenchmarkId::new("incremental_stream", events),
+            &xml,
+            |b, xml| b.iter(|| run_streaming_text(&q, xml, &doc_ab).unwrap()),
+        );
     }
     group.finish();
 }

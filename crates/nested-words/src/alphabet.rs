@@ -4,6 +4,8 @@
 //! transition tables dense and comparisons cheap, symbols are small integer
 //! indices into an [`Alphabet`] that owns the human-readable names.
 
+use crate::error::NestedWordError;
+use std::collections::HashMap;
 use std::fmt;
 
 /// A symbol of an alphabet, represented as a dense index.
@@ -38,15 +40,29 @@ impl fmt::Display for Symbol {
 /// The alphabet interns symbol names and hands out dense [`Symbol`] indices.
 /// All structures in the suite (nested words, trees, automata) refer to
 /// symbols by index; the alphabet is only needed to render or parse text.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Alphabet {
     names: Vec<String>,
+    /// Name → index, kept in sync with `names` for O(1) interning.
+    index: HashMap<String, u16>,
 }
+
+impl PartialEq for Alphabet {
+    fn eq(&self, other: &Self) -> bool {
+        // `index` is derived from `names`, so names alone decide equality.
+        self.names == other.names
+    }
+}
+
+impl Eq for Alphabet {}
 
 impl Alphabet {
     /// Creates an empty alphabet.
     pub fn new() -> Self {
-        Alphabet { names: Vec::new() }
+        Alphabet {
+            names: Vec::new(),
+            index: HashMap::new(),
+        }
     }
 
     /// Creates an alphabet from an iterator of symbol names.
@@ -84,26 +100,50 @@ impl Alphabet {
         Alphabet::from_names(names)
     }
 
-    /// Interns a symbol name, returning its [`Symbol`].
-    pub fn intern(&mut self, name: &str) -> Symbol {
+    /// The maximum number of symbols an alphabet can hold: symbols are dense
+    /// `u16` indices, so at most `u16::MAX` of them fit (the suite reserves
+    /// the top value so tagged-index arithmetic can never overflow).
+    pub const MAX_SYMBOLS: usize = u16::MAX as usize;
+
+    /// Interns a symbol name, returning its [`Symbol`], or a typed
+    /// [`NestedWordError::AlphabetFull`] once [`Alphabet::MAX_SYMBOLS`]
+    /// distinct names have been interned. Looking up an already-interned
+    /// name never fails, full or not.
+    pub fn try_intern(&mut self, name: &str) -> Result<Symbol, NestedWordError> {
         if let Some(s) = self.lookup(name) {
-            return s;
+            return Ok(s);
         }
-        assert!(
-            self.names.len() < u16::MAX as usize,
-            "alphabet exceeds u16::MAX symbols"
-        );
+        if self.names.len() >= Self::MAX_SYMBOLS {
+            return Err(NestedWordError::AlphabetFull {
+                capacity: Self::MAX_SYMBOLS,
+            });
+        }
         let s = Symbol(self.names.len() as u16);
+        self.index.insert(name.to_string(), s.0);
         self.names.push(name.to_string());
-        s
+        Ok(s)
+    }
+
+    /// Interns a symbol name, returning its [`Symbol`].
+    ///
+    /// This is the panicking convenience wrapper around
+    /// [`Alphabet::try_intern`]; use the fallible variant when the input is
+    /// untrusted (e.g. tag names streamed from a document).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabet already holds [`Alphabet::MAX_SYMBOLS`]
+    /// distinct symbols and `name` is not one of them.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        match self.try_intern(name) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Looks up an existing symbol by name.
     pub fn lookup(&self, name: &str) -> Option<Symbol> {
-        self.names
-            .iter()
-            .position(|n| n == name)
-            .map(|i| Symbol(i as u16))
+        self.index.get(name).map(|&i| Symbol(i))
     }
 
     /// Returns the name of a symbol, if it belongs to this alphabet.
@@ -197,5 +237,23 @@ mod tests {
         let a = Alphabet::new();
         assert!(a.is_empty());
         assert_eq!(a.symbols().count(), 0);
+    }
+
+    #[test]
+    fn try_intern_reports_full_alphabet() {
+        let mut a = Alphabet::new();
+        for i in 0..Alphabet::MAX_SYMBOLS {
+            a.try_intern(&format!("s{i}")).unwrap();
+        }
+        assert_eq!(a.len(), Alphabet::MAX_SYMBOLS);
+        let err = a.try_intern("one-too-many").unwrap_err();
+        assert!(matches!(
+            err,
+            NestedWordError::AlphabetFull { capacity } if capacity == Alphabet::MAX_SYMBOLS
+        ));
+        // A full alphabet still resolves already-interned names.
+        assert_eq!(a.try_intern("s0").unwrap(), Symbol(0));
+        assert_eq!(a.lookup("s42"), Some(Symbol(42)));
+        assert_eq!(a.len(), Alphabet::MAX_SYMBOLS);
     }
 }

@@ -63,6 +63,11 @@ pub enum NestedWordError {
         /// The offending symbol name.
         name: String,
     },
+    /// Interning one more symbol would exceed the dense `u16` symbol space.
+    AlphabetFull {
+        /// The maximum number of symbols an alphabet can hold.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for NestedWordError {
@@ -106,6 +111,12 @@ impl fmt::Display for NestedWordError {
             }
             NestedWordError::UnknownSymbol { name } => {
                 write!(f, "symbol `{name}` does not belong to the alphabet")
+            }
+            NestedWordError::AlphabetFull { capacity } => {
+                write!(
+                    f,
+                    "alphabet is full: at most {capacity} symbols fit the dense u16 space"
+                )
             }
         }
     }

@@ -11,8 +11,10 @@
 //!   ≤ d" / "the document nests deeper than d", which genuinely use the
 //!   hierarchical structure.
 
-use nested_words::{NestedWord, Symbol, TaggedSymbol};
-use nwa::automaton::{Nwa, StreamingRun};
+use crate::sax::Tokenizer;
+use automata_core::{query, StreamAcceptor, StreamRun};
+use nested_words::{Alphabet, NestedWord, NestedWordError, Symbol, TaggedSymbol};
+use nwa::automaton::Nwa;
 use nwa::flat::from_tagged_dfa;
 use word_automata::{Dfa, Regex};
 
@@ -35,10 +37,75 @@ pub fn patterns_in_order_nwa(patterns: &[Symbol], sigma: usize) -> Nwa {
     from_tagged_dfa(&dfa, sigma)
 }
 
-/// Builds a deterministic NWA accepting documents whose nesting depth is at
-/// most `d` (checked on matched calls; pending calls count as open depth).
+/// Builds a deterministic NWA accepting documents whose nesting depth —
+/// [`NestedWord::depth`], the matched-nesting definition of §2.1 — is at
+/// most `d`. Pending calls and pending returns contribute nothing, exactly
+/// as in [`nested_words::MatchingRelation::depth`]; for the "at most `d`
+/// simultaneously open elements" reading (which bounds the streaming stack),
+/// use [`open_depth_at_most_nwa`].
+///
+/// The automaton tracks, per open element, the longest chain of *closed*
+/// matched edges nested inside it so far (capped at `d + 1`): a return
+/// closing an element with chain value `m` certifies a chain of `m + 1`
+/// matched edges. The hierarchical edge carries the enclosing element's
+/// accumulator, and top level is a dedicated state `⊥`. Pending vs matched
+/// returns are discriminated by the *linear* state, not the hierarchical
+/// one: the run is in `⊥` exactly when no element is open (calls always
+/// move to an accumulator state, matched returns with `h = ⊥` move back to
+/// `⊥`), so a return read in `⊥` is necessarily pending and closes
+/// nothing, while a matched return seeing `h = ⊥` is a top-level close.
 pub fn depth_at_most_nwa(d: usize, sigma: usize) -> Nwa {
-    // states 0..=d = current depth, d+1 = dead
+    // states: 0 = ⊥ (top level, initial), 1..=d+1 = accumulator 0..=d,
+    // d+2 = dead
+    let bottom = 0usize;
+    let acc = |m: usize| m + 1;
+    let dead = d + 2;
+    let mut m = Nwa::new(d + 3, sigma, bottom);
+    for q in 0..dead {
+        m.set_accepting(q, true);
+    }
+    m.set_all_transitions_to(dead, dead);
+    for a in 0..sigma {
+        let a = Symbol(a as u16);
+        for q in 0..dead {
+            m.set_internal(q, a, q);
+            // opening an element starts a fresh chain accumulator and saves
+            // the enclosing context on the hierarchical edge
+            m.set_call(q, a, acc(0), q);
+            for h in 0..d + 3 {
+                let target = if h == dead {
+                    dead
+                } else if q == bottom {
+                    // a return seen at top level is pending: no matched edge
+                    // closes, the depth is unchanged
+                    bottom
+                } else {
+                    // closing an element with accumulator q-1 certifies a
+                    // chain of q matched edges; the enclosing accumulator
+                    // (from the hierarchical edge) absorbs it
+                    let chain = q; // q = acc(q - 1), chain length = q
+                    if chain > d {
+                        dead
+                    } else if h == bottom {
+                        bottom
+                    } else {
+                        acc(chain.max(h - 1))
+                    }
+                };
+                m.set_return(q, h, a, target);
+            }
+        }
+    }
+    m
+}
+
+/// Builds a deterministic NWA accepting documents that never have more than
+/// `d` simultaneously open elements (calls without a return yet, pending
+/// ones included). This bounds the stack a streaming run needs; it differs
+/// from [`depth_at_most_nwa`] on ill-formed documents, where open elements
+/// may never close and then do not count towards the matched nesting depth.
+pub fn open_depth_at_most_nwa(d: usize, sigma: usize) -> Nwa {
+    // states 0..=d = number of currently open elements, d+1 = dead
     let dead = d + 1;
     let mut m = Nwa::new(d + 2, sigma, 0);
     for q in 0..=d {
@@ -51,8 +118,9 @@ pub fn depth_at_most_nwa(d: usize, sigma: usize) -> Nwa {
             m.set_internal(q, a, q);
             m.set_call(q, a, if q < d { q + 1 } else { dead }, q);
             for h in 0..d + 2 {
-                // a matched return pops back to the depth recorded on the
-                // hierarchical edge; a pending return keeps the depth
+                // a matched return pops back to the open count recorded on
+                // the hierarchical edge; a pending return carries the
+                // initial state 0, correctly resetting to "nothing open"
                 let target = if h <= d { h } else { dead };
                 m.set_return(q, h, a, target);
             }
@@ -80,29 +148,65 @@ pub fn contains_tag_nwa(tag: Symbol, sigma: usize) -> Nwa {
     m
 }
 
-/// Result of a streaming evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct StreamingOutcome {
-    /// Whether the automaton accepted the document.
-    pub accepted: bool,
-    /// Number of SAX events processed.
-    pub events: usize,
-    /// Maximum stack height used (equals the document depth reached).
-    pub peak_memory: usize,
+/// Result of a streaming evaluation (re-exported from
+/// `automata_core::stream`, where the generic streaming verbs live).
+pub type StreamingOutcome = automata_core::StreamOutcome;
+
+/// Runs a deterministic NWA over a materialized document in streaming
+/// fashion (one pass, memory proportional to depth) and reports the
+/// outcome. Thin wrapper over the generic
+/// [`automata_core::query::run_stream`], which accepts any
+/// [`StreamAcceptor`] and any event source.
+pub fn run_streaming(nwa: &Nwa, document: &NestedWord) -> StreamingOutcome {
+    query::run_stream(
+        nwa,
+        (0..document.len()).map(|i| TaggedSymbol::new(document.kind(i), document.symbol(i))),
+    )
 }
 
-/// Runs a deterministic NWA over a document in streaming fashion (one pass,
-/// memory proportional to depth) and reports the outcome.
-pub fn run_streaming(nwa: &Nwa, document: &NestedWord) -> StreamingOutcome {
-    let mut run = StreamingRun::new(nwa);
-    for i in 0..document.len() {
-        run.step(TaggedSymbol::new(document.kind(i), document.symbol(i)));
+/// Runs a streaming acceptor directly over the SAX events of an XML-ish
+/// text, without ever materializing a tagged word or nested word: the
+/// end-to-end single-pass pipeline of §1. Memory is the tokenizer's current
+/// token plus a stack proportional to the nesting depth.
+///
+/// Every tag and text symbol of `text` must already be interned in
+/// `alphabet`, and the automaton must be compiled against that alphabet
+/// (the usual flow: tokenize once, compile the query with
+/// `sigma = alphabet.len()`, then stream). A name not in `alphabet` is
+/// reported as [`NestedWordError::UnknownSymbol`] rather than silently
+/// interned past the automaton's alphabet, where it would index out of the
+/// transition tables; `alphabet` itself is never mutated, so the guard
+/// holds across repeated calls with the same query.
+pub fn run_streaming_text<A: StreamAcceptor>(
+    a: &A,
+    text: &str,
+    alphabet: &Alphabet,
+) -> Result<StreamingOutcome, NestedWordError> {
+    // Unknown names are interned into a scratch copy only, so they land at
+    // indices >= sigma exactly once per call and the caller's alphabet stays
+    // aligned with the automaton.
+    let sigma = alphabet.len();
+    let mut scratch = alphabet.clone();
+    let mut run = a.start();
+    let mut unknown = None;
+    for event in Tokenizer::new(text.chars(), &mut scratch) {
+        let event = event?;
+        if event.symbol().index() >= sigma {
+            unknown = Some(event.symbol());
+            break;
+        }
+        run.step(event);
     }
-    StreamingOutcome {
+    if let Some(sym) = unknown {
+        return Err(NestedWordError::UnknownSymbol {
+            name: scratch.name(sym).unwrap_or("?").to_string(),
+        });
+    }
+    Ok(StreamingOutcome {
         accepted: run.is_accepting(),
         events: run.steps(),
-        peak_memory: run.max_stack_height(),
-    }
+        peak_memory: run.peak_memory(),
+    })
 }
 
 #[cfg(test)]
@@ -149,6 +253,106 @@ mod tests {
         assert!(contains_tag_nwa(doc_tag, sigma).accepts(&doc));
         // `t` occurs only as text, not as an element tag
         assert!(!contains_tag_nwa(t, sigma).accepts(&doc));
+    }
+
+    #[test]
+    fn depth_query_agrees_with_nested_word_depth() {
+        // Regression for the matched-nesting semantics: this fragment has
+        // depth() == 1 (one matched edge), but the old automaton counted the
+        // four pending calls as depth and rejected it at d = 3.
+        let mut ab = Alphabet::new();
+        let doc = parse_document("<a><a><a></x><a><a>", &mut ab).unwrap();
+        assert_eq!(doc.depth(), 1);
+        let sigma = ab.len();
+        for d in 0..4 {
+            assert_eq!(
+                depth_at_most_nwa(d, sigma).accepts(&doc),
+                doc.depth() <= d,
+                "d = {d}"
+            );
+        }
+
+        // Randomized pinning: the automaton and NestedWord::depth() must
+        // agree on arbitrary documents, pending edges included.
+        use nested_words::generate::{random_nested_word, NestedWordConfig};
+        let ab = Alphabet::with_size(3);
+        let cfg = NestedWordConfig {
+            len: 40,
+            allow_pending: true,
+            ..Default::default()
+        };
+        for seed in 0..100u64 {
+            let w = random_nested_word(&ab, cfg, seed);
+            for d in 0..5 {
+                assert_eq!(
+                    depth_at_most_nwa(d, ab.len()).accepts(&w),
+                    w.depth() <= d,
+                    "seed {seed}, d = {d}, word {:?}",
+                    w.to_tagged()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn open_depth_query_counts_pending_calls() {
+        let mut ab = Alphabet::new();
+        let doc = parse_document("<a><a><a></x><a><a>", &mut ab).unwrap();
+        let sigma = ab.len();
+        // four elements are simultaneously open at the end
+        assert!(!open_depth_at_most_nwa(3, sigma).accepts(&doc));
+        assert!(open_depth_at_most_nwa(4, sigma).accepts(&doc));
+        // on well-matched documents the two notions coincide
+        let well = parse_document("<a><b><c></c></b></a>", &mut ab).unwrap();
+        let sigma = ab.len();
+        for d in 0..5 {
+            assert_eq!(
+                depth_at_most_nwa(d, sigma).accepts(&well),
+                open_depth_at_most_nwa(d, sigma).accepts(&well),
+                "d = {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_text_runs_without_materializing() {
+        let text = r#"<doc><sec n="1">hello</sec><sec n="2">world</sec></doc>"#;
+        // First pass builds the alphabet; then compile and stream.
+        let mut ab = Alphabet::new();
+        crate::sax::tokenize(text, &mut ab).unwrap();
+        let sec = ab.lookup("sec").unwrap();
+        let q = contains_tag_nwa(sec, ab.len());
+        let outcome = run_streaming_text(&q, text, &ab).unwrap();
+        assert!(outcome.accepted);
+        assert_eq!(outcome.events, 8);
+        assert_eq!(outcome.peak_memory, 2);
+        // and it agrees with the materialized path
+        let mut ab2 = Alphabet::new();
+        let doc = parse_document(text, &mut ab2).unwrap();
+        assert_eq!(run_streaming(&q, &doc), outcome);
+    }
+
+    #[test]
+    fn streaming_text_rejects_symbols_outside_the_alphabet() {
+        // The query was compiled against an alphabet that lacks "intruder";
+        // the streaming run must surface a typed error, not index out of
+        // the automaton's tables.
+        let mut ab = Alphabet::new();
+        crate::sax::tokenize("<doc>t</doc>", &mut ab).unwrap();
+        let sigma = ab.len();
+        let q = contains_tag_nwa(ab.lookup("doc").unwrap(), sigma);
+        let err = run_streaming_text(&q, "<doc><intruder/></doc>", &ab).unwrap_err();
+        assert!(matches!(
+            err,
+            NestedWordError::UnknownSymbol { ref name } if name == "intruder"
+        ));
+        // The caller's alphabet is untouched, so a repeated call still
+        // reports the error instead of letting the now-interned name index
+        // past the automaton's tables.
+        assert_eq!(ab.len(), sigma);
+        assert!(ab.lookup("intruder").is_none());
+        let err2 = run_streaming_text(&q, "<doc><intruder/></doc>", &ab).unwrap_err();
+        assert!(matches!(err2, NestedWordError::UnknownSymbol { .. }));
     }
 
     #[test]

@@ -1,51 +1,237 @@
 //! SAX-style tokenization of a lightweight XML syntax into nested words.
 //!
-//! Supported syntax: `<tag>` (open), `</tag>` (close), `<tag/>` (empty
-//! element), and bare text tokens (split on whitespace), e.g.
-//! `"<doc><sec>hello world</sec><sec/></doc>"`. Unmatched open and close
-//! tags are allowed — they become pending calls and returns, exactly the
-//! situation §1 highlights as awkward for tree-based models.
+//! Supported syntax: `<tag>` (open, attributes ignored), `</tag>` (close),
+//! `<tag/>` (empty element), `<!…>` / `<?…?>` directives (skipped), and bare
+//! text tokens (split on whitespace), e.g.
+//! `"<doc><sec n="1">hello world</sec><sec/></doc>"`. Unmatched open and
+//! close tags are allowed — they become pending calls and returns, exactly
+//! the situation §1 highlights as awkward for tree-based models.
+//!
+//! The central type is the incremental [`Tokenizer`]: an iterator over
+//! `Result<TaggedSymbol, NestedWordError>` that lexes one SAX event at a
+//! time from any `Iterator<Item = char>`, without ever materializing a
+//! [`TaggedWord`] or [`NestedWord`]. Feeding it straight into
+//! `query::run_stream` evaluates a document query in one pass with memory
+//! proportional to the nesting depth. [`tokenize`] and [`parse_document`]
+//! are the batch conveniences on top.
 
-use nested_words::{Alphabet, NestedWord, NestedWordError, TaggedSymbol, TaggedWord};
+use nested_words::{Alphabet, NestedWord, NestedWordError, Symbol, TaggedSymbol, TaggedWord};
 
-/// Parses a lightweight XML string into a stream of tagged symbols,
-/// interning tag names and text tokens into `alphabet`.
-pub fn tokenize(text: &str, alphabet: &mut Alphabet) -> Result<TaggedWord, NestedWordError> {
-    let mut out = Vec::new();
-    let bytes = text.as_bytes();
-    let mut i = 0usize;
-    while i < bytes.len() {
-        if bytes[i] == b'<' {
-            let end = text[i..]
-                .find('>')
-                .map(|p| i + p)
-                .ok_or(NestedWordError::Parse {
-                    offset: i,
-                    message: "unterminated tag".into(),
-                })?;
-            let inner = &text[i + 1..end];
-            if let Some(name) = inner.strip_prefix('/') {
-                let sym = alphabet.intern(name.trim());
-                out.push(TaggedSymbol::Return(sym));
-            } else if let Some(name) = inner.strip_suffix('/') {
-                let sym = alphabet.intern(name.trim());
-                out.push(TaggedSymbol::Call(sym));
-                out.push(TaggedSymbol::Return(sym));
-            } else {
-                let sym = alphabet.intern(inner.trim());
-                out.push(TaggedSymbol::Call(sym));
-            }
-            i = end + 1;
-        } else {
-            let end = text[i..].find('<').map(|p| i + p).unwrap_or(text.len());
-            for token in text[i..end].split_whitespace() {
-                let sym = alphabet.intern(token);
-                out.push(TaggedSymbol::Internal(sym));
-            }
-            i = end;
+/// An incremental SAX lexer: yields one [`TaggedSymbol`] event per open tag,
+/// close tag, or whitespace-separated text token, interning names into the
+/// borrowed alphabet as it goes.
+///
+/// * Tag names end at the first whitespace character; anything after it
+///   (attributes) is ignored, so `<sec a="1">` and `</sec>` produce the
+///   *same* symbol.
+/// * A `>` inside a single- or double-quoted attribute value does not
+///   terminate the tag.
+/// * `<!…>` declarations/comments and `<?…?>` processing instructions are
+///   skipped entirely.
+/// * `<tag/>` (with or without attributes) yields a call immediately
+///   followed by a return.
+///
+/// Errors (`unterminated tag`, `empty tag name`, or a full alphabet via
+/// [`Alphabet::try_intern`]) are yielded once, after which the iterator is
+/// fused.
+#[derive(Debug)]
+pub struct Tokenizer<'a, I: Iterator<Item = char>> {
+    chars: std::iter::Peekable<I>,
+    alphabet: &'a mut Alphabet,
+    /// The queued return of a self-closing tag.
+    queued: Option<TaggedSymbol>,
+    /// Byte offset of the next unread character (for error reporting).
+    offset: usize,
+    /// Set after yielding an error; the iterator is fused.
+    failed: bool,
+}
+
+impl<'a, I: Iterator<Item = char>> Tokenizer<'a, I> {
+    /// Creates a tokenizer over a character stream, interning symbol names
+    /// into `alphabet`.
+    pub fn new(chars: I, alphabet: &'a mut Alphabet) -> Self {
+        Tokenizer {
+            chars: chars.peekable(),
+            alphabet,
+            queued: None,
+            offset: 0,
+            failed: false,
         }
     }
-    Ok(out)
+
+    /// Consumes the next character, advancing the byte offset.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        self.offset += c.len_utf8();
+        Some(c)
+    }
+
+    fn intern(&mut self, name: &str) -> Result<Symbol, NestedWordError> {
+        self.alphabet.try_intern(name)
+    }
+
+    /// Skips one directive, with the cursor just past `<` and on `!` or
+    /// `?`. Comments run to `-->`, processing instructions to `?>`, other
+    /// declarations (`<!DOCTYPE …>`) to the first `>`; attribute-quote
+    /// rules do not apply inside directives, so an apostrophe or a bare `>`
+    /// in a comment does not derail the lexer.
+    fn lex_directive(&mut self, tag_start: usize) -> Result<(), NestedWordError> {
+        let unterminated = || NestedWordError::Parse {
+            offset: tag_start,
+            message: "unterminated directive".into(),
+        };
+        let lead = self.bump().expect("caller peeked '!' or '?'");
+        if lead == '!' && self.chars.peek() == Some(&'-') {
+            self.bump();
+            if self.chars.peek() == Some(&'-') {
+                self.bump();
+                // comment: scan for the "-->" terminator
+                let mut dashes = 0usize;
+                loop {
+                    match self.bump() {
+                        None => return Err(unterminated()),
+                        Some('-') => dashes += 1,
+                        Some('>') if dashes >= 2 => return Ok(()),
+                        Some(_) => dashes = 0,
+                    }
+                }
+            }
+            // "<!-…" without a second dash: fall through to the '>' scan
+        }
+        if lead == '?' {
+            // processing instruction: scan for the "?>" terminator
+            let mut prev_question = false;
+            loop {
+                match self.bump() {
+                    None => return Err(unterminated()),
+                    Some('>') if prev_question => return Ok(()),
+                    Some(c) => prev_question = c == '?',
+                }
+            }
+        }
+        loop {
+            match self.bump() {
+                None => return Err(unterminated()),
+                Some('>') => return Ok(()),
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Lexes one `<…>` construct, with the cursor on `<`. Returns `None`
+    /// for skipped directives.
+    fn lex_tag(&mut self) -> Result<Option<TaggedSymbol>, NestedWordError> {
+        let tag_start = self.offset;
+        self.bump(); // consume '<'
+        if matches!(self.chars.peek(), Some('!') | Some('?')) {
+            // <!DOCTYPE …>, <!-- … -->, <?xml … ?>: no SAX event.
+            self.lex_directive(tag_start)?;
+            return Ok(None);
+        }
+        let mut content = String::new();
+        let mut quote: Option<char> = None;
+        loop {
+            match self.bump() {
+                None => {
+                    return Err(NestedWordError::Parse {
+                        offset: tag_start,
+                        message: "unterminated tag".into(),
+                    });
+                }
+                Some(c) => match quote {
+                    Some(q) => {
+                        if c == q {
+                            quote = None;
+                        }
+                        content.push(c);
+                    }
+                    None => {
+                        if c == '>' {
+                            break;
+                        }
+                        if c == '"' || c == '\'' {
+                            quote = Some(c);
+                        }
+                        content.push(c);
+                    }
+                },
+            }
+        }
+        let empty_name = || NestedWordError::Parse {
+            offset: tag_start,
+            message: "empty tag name".into(),
+        };
+        if let Some(rest) = content.strip_prefix('/') {
+            let name = rest.split_whitespace().next().ok_or_else(empty_name)?;
+            let sym = self.intern(name)?;
+            return Ok(Some(TaggedSymbol::Return(sym)));
+        }
+        let trimmed = content.trim_end();
+        let (body, self_closing) = match trimmed.strip_suffix('/') {
+            Some(body) => (body, true),
+            None => (content.as_str(), false),
+        };
+        let name = body.split_whitespace().next().ok_or_else(empty_name)?;
+        let sym = self.intern(name)?;
+        if self_closing {
+            self.queued = Some(TaggedSymbol::Return(sym));
+        }
+        Ok(Some(TaggedSymbol::Call(sym)))
+    }
+
+    /// Lexes one whitespace-delimited text token, with the cursor on its
+    /// first character.
+    fn lex_text(&mut self) -> Result<TaggedSymbol, NestedWordError> {
+        let mut word = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == '<' || c.is_whitespace() {
+                break;
+            }
+            word.push(c);
+            self.bump();
+        }
+        let sym = self.intern(&word)?;
+        Ok(TaggedSymbol::Internal(sym))
+    }
+}
+
+impl<I: Iterator<Item = char>> Iterator for Tokenizer<'_, I> {
+    type Item = Result<TaggedSymbol, NestedWordError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        if let Some(t) = self.queued.take() {
+            return Some(Ok(t));
+        }
+        loop {
+            let step = match self.chars.peek() {
+                None => return None,
+                Some('<') => self.lex_tag(),
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                    continue;
+                }
+                Some(_) => self.lex_text().map(Some),
+            };
+            match step {
+                Ok(Some(t)) => return Some(Ok(t)),
+                Ok(None) => continue, // directive skipped
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+/// Parses a lightweight XML string into a stream of tagged symbols,
+/// interning tag names and text tokens into `alphabet` (the batch form of
+/// [`Tokenizer`]).
+pub fn tokenize(text: &str, alphabet: &mut Alphabet) -> Result<TaggedWord, NestedWordError> {
+    Tokenizer::new(text.chars(), alphabet).collect()
 }
 
 /// Parses a lightweight XML string directly into a nested word.
@@ -129,5 +315,117 @@ mod tests {
     fn unterminated_tag_is_an_error() {
         let mut ab = Alphabet::new();
         assert!(parse_document("<doc", &mut ab).is_err());
+    }
+
+    #[test]
+    fn attributes_do_not_change_the_tag_symbol() {
+        // Regression: the tag interior used to be interned whole, so
+        // `<sec a="1">` and `</sec>` produced different symbols and the
+        // element was invisible to tag queries.
+        let mut ab = Alphabet::new();
+        let events = tokenize(r#"<sec a="1" b='2'>x</sec>"#, &mut ab).unwrap();
+        let sec = ab.lookup("sec").unwrap();
+        let x = ab.lookup("x").unwrap();
+        assert_eq!(
+            events,
+            vec![
+                TaggedSymbol::Call(sec),
+                TaggedSymbol::Internal(x),
+                TaggedSymbol::Return(sec),
+            ]
+        );
+        assert!(ab.lookup(r#"sec a="1" b='2'"#).is_none());
+        let doc = NestedWord::from_tagged(&events);
+        assert!(doc.is_rooted());
+    }
+
+    #[test]
+    fn directives_are_skipped() {
+        let mut ab = Alphabet::new();
+        let doc = parse_document(
+            "<?xml version=\"1.0\"?><!DOCTYPE doc><!-- note --><doc>t</doc>",
+            &mut ab,
+        )
+        .unwrap();
+        assert_eq!(doc.len(), 3);
+        assert!(doc.is_rooted());
+        assert!(ab.lookup("doc").is_some());
+        assert!(ab.lookup("?xml").is_none());
+    }
+
+    #[test]
+    fn hostile_comment_bodies_are_skipped_whole() {
+        // An apostrophe must not open quote mode, and a bare '>' must not
+        // terminate the comment early.
+        let mut ab = Alphabet::new();
+        let doc = parse_document("<!-- don't trip --><doc>t</doc>", &mut ab).unwrap();
+        assert_eq!(doc.len(), 3);
+        assert!(doc.is_rooted());
+
+        let mut ab = Alphabet::new();
+        let doc = parse_document("<!-- a>b --><doc>t</doc>", &mut ab).unwrap();
+        assert_eq!(doc.len(), 3);
+        assert!(ab.lookup("b").is_none());
+
+        // A processing instruction may contain a bare '>'.
+        let mut ab = Alphabet::new();
+        let doc = parse_document("<?php 1 > 0 ?><doc>t</doc>", &mut ab).unwrap();
+        assert_eq!(doc.len(), 3);
+
+        // Unterminated directives are errors, not silent truncation.
+        let mut ab = Alphabet::new();
+        assert!(parse_document("<!-- never closed >", &mut ab).is_err());
+        assert!(parse_document("<?xml version=\"1.0\" >", &mut ab).is_err());
+    }
+
+    #[test]
+    fn quoted_gt_does_not_terminate_the_tag() {
+        let mut ab = Alphabet::new();
+        let events = tokenize(r#"<sec title="a>b">t</sec>"#, &mut ab).unwrap();
+        let sec = ab.lookup("sec").unwrap();
+        assert_eq!(events[0], TaggedSymbol::Call(sec));
+        assert_eq!(events[2], TaggedSymbol::Return(sec));
+        assert_eq!(events.len(), 3);
+    }
+
+    #[test]
+    fn self_closing_tag_with_attributes() {
+        let mut ab = Alphabet::new();
+        let events = tokenize(r#"<img src="i.png"/>"#, &mut ab).unwrap();
+        let img = ab.lookup("img").unwrap();
+        assert_eq!(
+            events,
+            vec![TaggedSymbol::Call(img), TaggedSymbol::Return(img)]
+        );
+    }
+
+    #[test]
+    fn empty_tag_name_is_an_error() {
+        let mut ab = Alphabet::new();
+        assert!(tokenize("<>", &mut ab).is_err());
+        assert!(tokenize("</ >", &mut ab).is_err());
+    }
+
+    #[test]
+    fn tokenizer_is_incremental_and_fused() {
+        let mut batch_ab = Alphabet::new();
+        let text = r#"<doc><sec n="1">hello world</sec><sec/></doc>"#;
+        let batch = tokenize(text, &mut batch_ab).unwrap();
+
+        // One event at a time, from a plain char iterator.
+        let mut ab = Alphabet::new();
+        let tok = Tokenizer::new(text.chars(), &mut ab);
+        let mut streamed = Vec::new();
+        for item in tok {
+            streamed.push(item.unwrap());
+        }
+        assert_eq!(streamed, batch);
+        assert_eq!(ab, batch_ab);
+
+        // After an error the iterator is fused.
+        let mut ab2 = Alphabet::new();
+        let mut bad = Tokenizer::new("<doc".chars(), &mut ab2);
+        assert!(bad.next().unwrap().is_err());
+        assert!(bad.next().is_none());
     }
 }

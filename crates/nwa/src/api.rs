@@ -2,11 +2,11 @@
 //! word automaton models: membership, boolean operations and the WALi-style
 //! decision verbs, uniform with every other model in the suite.
 
-use crate::automaton::Nwa;
-use crate::joinless::JoinlessNwa;
-use crate::nondet::Nnwa;
+use crate::automaton::{Nwa, StreamingRun};
+use crate::joinless::{JoinlessNwa, JoinlessStreamingRun};
+use crate::nondet::{Nnwa, NnwaStreamingRun};
 use crate::{boolean, decision};
-use automata_core::{Acceptor, BooleanOps, Decide, Emptiness};
+use automata_core::{Acceptor, BooleanOps, Decide, Emptiness, StreamAcceptor};
 use nested_words::NestedWord;
 
 // --- deterministic NWAs ---------------------------------------------------
@@ -14,6 +14,14 @@ use nested_words::NestedWord;
 impl Acceptor<NestedWord> for Nwa {
     fn accepts(&self, input: &NestedWord) -> bool {
         Nwa::accepts(self, input)
+    }
+}
+
+impl StreamAcceptor for Nwa {
+    type Run<'a> = StreamingRun<'a>;
+
+    fn start(&self) -> StreamingRun<'_> {
+        StreamingRun::new(self)
     }
 }
 
@@ -52,6 +60,14 @@ impl Decide for Nwa {
 impl Acceptor<NestedWord> for Nnwa {
     fn accepts(&self, input: &NestedWord) -> bool {
         Nnwa::accepts(self, input)
+    }
+}
+
+impl StreamAcceptor for Nnwa {
+    type Run<'a> = NnwaStreamingRun<'a>;
+
+    fn start(&self) -> NnwaStreamingRun<'_> {
+        Nnwa::start_run(self)
     }
 }
 
@@ -94,6 +110,14 @@ impl Decide for Nnwa {
 impl Acceptor<NestedWord> for JoinlessNwa {
     fn accepts(&self, input: &NestedWord) -> bool {
         JoinlessNwa::accepts(self, input)
+    }
+}
+
+impl StreamAcceptor for JoinlessNwa {
+    type Run<'a> = JoinlessStreamingRun<'a>;
+
+    fn start(&self) -> JoinlessStreamingRun<'_> {
+        JoinlessNwa::start_run(self)
     }
 }
 

@@ -283,6 +283,28 @@ impl<'a> StreamingRun<'a> {
     }
 }
 
+impl automata_core::StreamRun for StreamingRun<'_> {
+    fn step(&mut self, event: TaggedSymbol) {
+        StreamingRun::step(self, event);
+    }
+
+    fn is_accepting(&self) -> bool {
+        StreamingRun::is_accepting(self)
+    }
+
+    fn stack_height(&self) -> usize {
+        StreamingRun::stack_height(self)
+    }
+
+    fn peak_memory(&self) -> usize {
+        StreamingRun::max_stack_height(self)
+    }
+
+    fn steps(&self) -> usize {
+        StreamingRun::steps(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

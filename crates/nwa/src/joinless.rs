@@ -17,6 +17,7 @@
 //! pending calls.
 
 use crate::nondet::Nnwa;
+use crate::summary::{Summary, SummarySemantics, SummaryStreamingRun};
 use nested_words::{NestedWord, PositionKind, Symbol};
 use std::collections::{BTreeSet, HashMap};
 
@@ -287,6 +288,149 @@ impl JoinlessNwa {
         let out = self.eval(word, lo, hi, &s, cache);
         cache.insert((lo, start), out.clone());
         out
+    }
+
+    /// Starts a streaming run: an on-the-fly subset construction over
+    /// (summary-set, stack) configurations, consumable one tagged-symbol
+    /// event at a time. Agrees with [`JoinlessNwa::accepts`] on every nested
+    /// word (the recursive evaluator is the reference semantics).
+    pub fn start_run(&self) -> JoinlessStreamingRun<'_> {
+        JoinlessStreamingRun::new(self)
+    }
+
+    // --- streaming summary steps -------------------------------------------
+    //
+    // A joinless automaton is a nondeterministic NWA whose return relation
+    // splits by mode: a linear-mode state follows the linear edge provided
+    // the hierarchical edge carries an initial state, and a
+    // hierarchical-mode state follows the hierarchical edge provided the
+    // body run ended accepting. Substituting that relation into the
+    // summary-set simulation of §3.2 gives a one-pass membership test with
+    // memory proportional to the nesting depth.
+
+    fn stream_internal(&self, s: &BTreeSet<(usize, usize)>, a: Symbol) -> BTreeSet<(usize, usize)> {
+        let mut out = BTreeSet::new();
+        for &(anchor, cur) in s {
+            for &(q, sym, t) in &self.internals {
+                if q == cur && sym == a {
+                    out.insert((anchor, t));
+                }
+            }
+        }
+        out
+    }
+
+    fn stream_call_linear(
+        &self,
+        s: &BTreeSet<(usize, usize)>,
+        a: Symbol,
+    ) -> BTreeSet<(usize, usize)> {
+        let mut out = BTreeSet::new();
+        for &(_, cur) in s {
+            for &(q, sym, ql, _qh) in &self.calls {
+                if q == cur && sym == a {
+                    out.insert((ql, ql));
+                }
+            }
+        }
+        out
+    }
+
+    /// Return targets from body-end state `cur` when the matching call
+    /// pushed `qh`: the generalized joinless return relation.
+    fn return_targets(&self, cur: usize, qh: usize, a: Symbol, out: &mut BTreeSet<usize>) {
+        if self.linear[cur] && self.initial.contains(&qh) {
+            for &(rq, rsym, t) in &self.returns {
+                if rq == cur && rsym == a {
+                    out.insert(t);
+                }
+            }
+        }
+        if !self.linear[cur] && self.accepting.contains(&cur) {
+            for &(rq, rsym, t) in &self.returns {
+                if rq == qh && rsym == a {
+                    out.insert(t);
+                }
+            }
+        }
+    }
+
+    fn stream_matched_return(
+        &self,
+        outer: &BTreeSet<(usize, usize)>,
+        call_symbol: Symbol,
+        inner: &BTreeSet<(usize, usize)>,
+        a: Symbol,
+    ) -> BTreeSet<(usize, usize)> {
+        let mut out = BTreeSet::new();
+        for &(anchor, before_call) in outer {
+            for &(q, sym, ql, qh) in &self.calls {
+                if q != before_call || sym != call_symbol {
+                    continue;
+                }
+                let mut targets = BTreeSet::new();
+                for &(start, cur) in inner {
+                    if start == ql {
+                        self.return_targets(cur, qh, a, &mut targets);
+                    }
+                }
+                out.extend(targets.iter().map(|&t| (anchor, t)));
+            }
+        }
+        out
+    }
+
+    fn stream_pending_return(
+        &self,
+        s: &BTreeSet<(usize, usize)>,
+        a: Symbol,
+    ) -> BTreeSet<(usize, usize)> {
+        let mut out = BTreeSet::new();
+        for &(anchor, cur) in s {
+            let mut targets = BTreeSet::new();
+            for &q0 in &self.initial {
+                self.return_targets(cur, q0, a, &mut targets);
+            }
+            out.extend(targets.iter().map(|&t| (anchor, t)));
+        }
+        out
+    }
+}
+
+/// A streaming run of a joinless NWA over tagged-symbol events: the
+/// summary-set subset construction of §3.2 instantiated with the joinless
+/// return relation, shared with [`Nnwa`] through [`SummaryStreamingRun`].
+pub type JoinlessStreamingRun<'a> = SummaryStreamingRun<'a, JoinlessNwa>;
+
+impl SummarySemantics for JoinlessNwa {
+    fn initial_summary(&self) -> Summary {
+        self.initial.iter().map(|&q| (q, q)).collect()
+    }
+
+    fn summary_internal(&self, s: &Summary, a: Symbol) -> Summary {
+        self.stream_internal(s, a)
+    }
+
+    fn summary_call(&self, s: &Summary, a: Symbol) -> Summary {
+        self.stream_call_linear(s, a)
+    }
+
+    fn summary_matched_return(
+        &self,
+        outer: &Summary,
+        call_symbol: Symbol,
+        inner: &Summary,
+        a: Symbol,
+    ) -> Summary {
+        self.stream_matched_return(outer, call_symbol, inner, a)
+    }
+
+    fn summary_pending_return(&self, s: &Summary, a: Symbol) -> Summary {
+        self.stream_pending_return(s, a)
+    }
+
+    fn summary_accepting(&self, s: &Summary) -> bool {
+        s.iter().any(|&(_, q)| self.accepting.contains(&q))
     }
 }
 

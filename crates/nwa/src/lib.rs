@@ -17,6 +17,10 @@
 //! * [`Nnwa`] — nondeterministic automata, polynomial membership via
 //!   on-the-fly summaries and determinization with the `2^{s²}` summary-set
 //!   construction (§3.2);
+//! * streaming runs for all three acceptor models ([`StreamingRun`],
+//!   [`NnwaStreamingRun`], [`JoinlessStreamingRun`]) behind the
+//!   `automata-core` [`StreamAcceptor`](automata_core::StreamAcceptor)
+//!   trait: one event at a time, memory proportional to the nesting depth;
 //! * boolean operations, emptiness, inclusion and equivalence ([`boolean`],
 //!   [`decision`]);
 //! * the restricted classes of §3.3–§3.6 and the constructions of
@@ -40,9 +44,10 @@ pub mod families;
 pub mod flat;
 pub mod joinless;
 pub mod nondet;
+pub mod summary;
 pub mod weak;
 
 pub use automaton::{Nwa, StreamingRun};
 pub use builder::{NnwaBuilder, NwaBuilder};
-pub use joinless::JoinlessNwa;
-pub use nondet::Nnwa;
+pub use joinless::{JoinlessNwa, JoinlessStreamingRun};
+pub use nondet::{Nnwa, NnwaStreamingRun};

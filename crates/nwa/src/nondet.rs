@@ -3,7 +3,8 @@
 //! construction.
 
 use crate::automaton::Nwa;
-use nested_words::{NestedWord, PositionKind, Symbol};
+use crate::summary::{Summary, SummarySemantics, SummaryStreamingRun};
+use nested_words::{NestedWord, Symbol, TaggedSymbol};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// A nondeterministic nested word automaton.
@@ -208,30 +209,17 @@ impl Nnwa {
     /// determinization on the fly, using a stack whose height equals the
     /// nesting depth of the word. Polynomial in `|A|` and linear in `ℓ`.
     pub fn accepts(&self, word: &NestedWord) -> bool {
-        let mut current = self.initial_summary();
-        let mut stack: Vec<(BTreeSet<(usize, usize)>, Symbol)> = Vec::new();
+        let mut run = NnwaStreamingRun::new(self);
         for i in 0..word.len() {
-            let a = word.symbol(i);
-            match word.kind(i) {
-                PositionKind::Internal => {
-                    current = self.step_internal(&current, a);
-                }
-                PositionKind::Call => {
-                    let linear = self.step_call_linear(&current, a);
-                    stack.push((current, a));
-                    current = linear;
-                }
-                PositionKind::Return => match stack.pop() {
-                    Some((outer, call_symbol)) => {
-                        current = self.step_matched_return(&outer, call_symbol, &current, a);
-                    }
-                    None => {
-                        current = self.step_pending_return(&current, a);
-                    }
-                },
-            }
+            run.step(TaggedSymbol::new(word.kind(i), word.symbol(i)));
         }
-        current.iter().any(|&(_, q)| self.accepting.contains(&q))
+        run.is_accepting()
+    }
+
+    /// Starts a streaming run: the same on-the-fly summary-set simulation as
+    /// [`Nnwa::accepts`], consumable one tagged-symbol event at a time.
+    pub fn start_run(&self) -> NnwaStreamingRun<'_> {
+        NnwaStreamingRun::new(self)
     }
 
     // --- determinization ----------------------------------------------------
@@ -405,6 +393,44 @@ impl Nnwa {
             det.set_return(l, h, a, t);
         }
         det
+    }
+}
+
+/// A streaming run of a nondeterministic NWA over tagged-symbol events: the
+/// subset construction of §3.2 executed on the fly over (summary-set, stack)
+/// configurations, shared with [`JoinlessNwa`](crate::JoinlessNwa) through
+/// [`SummaryStreamingRun`].
+pub type NnwaStreamingRun<'a> = SummaryStreamingRun<'a, Nnwa>;
+
+impl SummarySemantics for Nnwa {
+    fn initial_summary(&self) -> Summary {
+        Nnwa::initial_summary(self)
+    }
+
+    fn summary_internal(&self, s: &Summary, a: Symbol) -> Summary {
+        self.step_internal(s, a)
+    }
+
+    fn summary_call(&self, s: &Summary, a: Symbol) -> Summary {
+        self.step_call_linear(s, a)
+    }
+
+    fn summary_matched_return(
+        &self,
+        outer: &Summary,
+        call_symbol: Symbol,
+        inner: &Summary,
+        a: Symbol,
+    ) -> Summary {
+        self.step_matched_return(outer, call_symbol, inner, a)
+    }
+
+    fn summary_pending_return(&self, s: &Summary, a: Symbol) -> Summary {
+        self.step_pending_return(s, a)
+    }
+
+    fn summary_accepting(&self, s: &Summary) -> bool {
+        s.iter().any(|&(_, q)| self.accepting.contains(&q))
     }
 }
 

@@ -4,11 +4,71 @@
 
 use crate::dfa::Dfa;
 use crate::nfa::Nfa;
-use automata_core::{Acceptor, BooleanOps, Decide, Emptiness};
+use automata_core::{Acceptor, BooleanOps, Decide, Emptiness, StreamAcceptor, StreamRun};
+use nested_words::TaggedSymbol;
 
 impl Acceptor<[usize]> for Dfa {
     fn accepts(&self, input: &[usize]) -> bool {
         Dfa::accepts(self, input)
+    }
+}
+
+/// A streaming run of a DFA over the tagged alphabet Σ̂: the stack-free
+/// special case of a nested-word run (a flat NWA, Theorem 2 / §3.3).
+///
+/// Each [`TaggedSymbol`] event is read as the letter
+/// `TaggedSymbol::tagged_index` of Σ̂, so the DFA must have `3·|Σ|` symbols
+/// (calls `0..σ`, internals `σ..2σ`, returns `2σ..3σ`), as produced by
+/// `nwa::flat::to_tagged_dfa` or `Regex::to_min_dfa(3 * sigma)`.
+#[derive(Debug, Clone)]
+pub struct TaggedDfaRun<'a> {
+    dfa: &'a Dfa,
+    sigma: usize,
+    state: usize,
+    steps: usize,
+}
+
+impl StreamRun for TaggedDfaRun<'_> {
+    fn step(&mut self, event: TaggedSymbol) {
+        self.steps += 1;
+        self.state = self.dfa.next(self.state, event.tagged_index(self.sigma));
+    }
+
+    fn is_accepting(&self) -> bool {
+        self.dfa.is_accepting(self.state)
+    }
+
+    fn stack_height(&self) -> usize {
+        0
+    }
+
+    fn peak_memory(&self) -> usize {
+        0
+    }
+
+    fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
+impl StreamAcceptor for Dfa {
+    type Run<'a> = TaggedDfaRun<'a>;
+
+    /// Starts a tagged-alphabet run.
+    ///
+    /// Panics if the DFA's symbol count is not a multiple of three (it must
+    /// be a DFA over Σ̂ to interpret call/internal/return events).
+    fn start(&self) -> TaggedDfaRun<'_> {
+        assert!(
+            self.num_symbols().is_multiple_of(3),
+            "streaming over tagged events needs a DFA over the tagged alphabet (3·|Σ| symbols)"
+        );
+        TaggedDfaRun {
+            dfa: self,
+            sigma: self.num_symbols() / 3,
+            state: self.initial(),
+            steps: 0,
+        }
     }
 }
 

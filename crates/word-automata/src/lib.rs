@@ -25,6 +25,7 @@ pub mod minimize;
 pub mod nfa;
 pub mod regex;
 
+pub use api::TaggedDfaRun;
 pub use builder::DfaBuilder;
 pub use dfa::Dfa;
 pub use nfa::Nfa;

@@ -8,7 +8,7 @@
 //! Run with `cargo run --example program_traces`.
 
 use nested_words_suite::nested_words::generate::program_trace;
-use nested_words_suite::nwa_xml::queries::depth_at_most_nwa;
+use nested_words_suite::nwa_xml::queries::open_depth_at_most_nwa;
 use nested_words_suite::prelude::*;
 use nested_words_suite::query;
 
@@ -50,8 +50,9 @@ fn main() {
         trace.is_well_matched()
     );
 
-    // Property 1: the call-stack depth never exceeds 12.
-    let depth_q = depth_at_most_nwa(12, alphabet.len());
+    // Property 1: the call-stack depth never exceeds 12 (open calls count,
+    // so the bound holds even for truncated traces with pending calls).
+    let depth_q = open_depth_at_most_nwa(12, alphabet.len());
     println!(
         "call depth bounded by 12? {}",
         query::contains(&depth_q, &trace)

@@ -1,25 +1,24 @@
-//! Streaming document processing: parse an XML-ish document into a nested
-//! word, compile queries to deterministic NWAs, and evaluate them in a
-//! single pass with memory proportional to the nesting depth (§1 of the
-//! paper and experiments E14/E15).
+//! Streaming document processing: compile queries to deterministic NWAs and
+//! evaluate them over SAX event streams in a single pass with memory
+//! proportional to the nesting depth (§1 of the paper and experiments
+//! E14/E15) — via the `automata-core` `StreamAcceptor` trait and the
+//! incremental `sax::Tokenizer`, which never materialize the document.
 //!
-//! Run with `cargo run --example xml_streaming`.
+//! Run with `cargo run --release --example xml_streaming`.
 
 use nested_words_suite::nwa_xml::generate::{generate_document, DocumentConfig};
 use nested_words_suite::nwa_xml::queries::{
-    contains_tag_nwa, depth_at_most_nwa, patterns_in_order_nwa, run_streaming,
+    contains_tag_nwa, depth_at_most_nwa, patterns_in_order_nwa, run_streaming, run_streaming_text,
 };
-use nested_words_suite::nwa_xml::sax::parse_document;
+use nested_words_suite::nwa_xml::sax::{parse_document, to_xml};
 use nested_words_suite::prelude::*;
+use nested_words_suite::query;
 
 fn main() {
-    // A small hand-written document.
+    // A small hand-written document (attributes are understood and ignored).
     let mut ab = Alphabet::new();
-    let doc = parse_document(
-        "<library><book>moby dick</book><book>nested words</book><shelf/></library>",
-        &mut ab,
-    )
-    .unwrap();
+    let text = "<library><book id=\"1\">moby dick</book><book id=\"2\">nested words</book><shelf/></library>";
+    let doc = parse_document(text, &mut ab).unwrap();
     println!(
         "document: {} events, depth {}, well-matched: {}",
         doc.len(),
@@ -36,24 +35,28 @@ fn main() {
     let q2 = patterns_in_order_nwa(&[moby, nested], sigma);
     let q3 = patterns_in_order_nwa(&[nested, moby], sigma);
     let q4 = depth_at_most_nwa(1, sigma);
+    // The alphabet already holds every symbol of `text`, so the incremental
+    // tokenizer re-runs the document as a pure event stream.
     println!(
         "contains <book>?                 {}",
-        run_streaming(&q1, &doc).accepted
+        run_streaming_text(&q1, text, &ab).unwrap().accepted
     );
     println!(
         "'moby' before 'nested'?          {}",
-        run_streaming(&q2, &doc).accepted
+        run_streaming_text(&q2, text, &ab).unwrap().accepted
     );
     println!(
         "'nested' before 'moby'?          {}",
-        run_streaming(&q3, &doc).accepted
+        run_streaming_text(&q3, text, &ab).unwrap().accepted
     );
     println!(
         "nesting depth at most 1?         {}",
-        run_streaming(&q4, &doc).accepted
+        run_streaming_text(&q4, text, &ab).unwrap().accepted
     );
 
-    // A large synthetic document, processed in one pass.
+    // A large synthetic document, processed three ways: batch membership on
+    // the materialized nested word, streaming over its events, and fully
+    // incrementally from the serialized XML text.
     let (gen_ab, big) = generate_document(
         DocumentConfig {
             events: 200_000,
@@ -64,9 +67,32 @@ fn main() {
     );
     let tag = gen_ab.lookup("t3").unwrap();
     let q = contains_tag_nwa(tag, gen_ab.len());
+
     let outcome = run_streaming(&q, &big);
     println!(
         "synthetic document: {} events processed, peak stack {} entries, query result {}",
         outcome.events, outcome.peak_memory, outcome.accepted
+    );
+    assert_eq!(outcome.accepted, query::contains(&q, &big));
+
+    let xml = to_xml(&big, &gen_ab);
+    let incremental = run_streaming_text(&q, &xml, &gen_ab).unwrap();
+    assert_eq!(incremental.accepted, outcome.accepted);
+    println!(
+        "incremental pass over {} bytes of XML: peak memory {} stack entries (depth), \
+         not {} positions (length)",
+        xml.len(),
+        incremental.peak_memory,
+        incremental.events
+    );
+
+    // The same events drive a nondeterministic automaton through the same
+    // trait: the on-the-fly subset construction keeps one summary per open
+    // element.
+    let n = Nnwa::from_deterministic(&q);
+    let stream_events = (0..big.len()).map(|i| TaggedSymbol::new(big.kind(i), big.symbol(i)));
+    println!(
+        "nondeterministic run over the same stream: accepted {}",
+        query::contains_stream(&n, stream_events)
     );
 }

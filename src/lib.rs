@@ -20,7 +20,10 @@
 //!   [`prelude::Emptiness`], [`prelude::Decide`]);
 //! * [`query`] — WALi-style free-function verbs, generic over the traits:
 //!   [`query::contains`], [`query::is_empty`], [`query::subset_eq`],
-//!   [`query::equals`].
+//!   [`query::equals`], and the streaming verbs [`query::run_stream`] /
+//!   [`query::contains_stream`] that evaluate any
+//!   [`prelude::StreamAcceptor`] over SAX-style event streams in one pass
+//!   with memory proportional to the nesting depth.
 //!
 //! ```
 //! use nested_words_suite::prelude::*;
@@ -86,22 +89,31 @@ pub use word_automata;
 /// One import for the whole suite: data model, automaton types, builders and
 /// the unified traits.
 pub mod prelude {
-    pub use automata_core::{Acceptor, BooleanOps, Builder, Decide, Emptiness, StateId};
+    pub use automata_core::{
+        Acceptor, BooleanOps, Builder, Decide, Emptiness, StateId, StreamAcceptor, StreamOutcome,
+        StreamRun,
+    };
     pub use nested_words::tagged::{display_nested_word, parse_nested_word};
     pub use nested_words::{
         Alphabet, MatchingRelation, NestedWord, NestedWordError, OrderedTree, PositionKind, Symbol,
         TaggedSymbol, TaggedWord,
     };
-    pub use nwa::{JoinlessNwa, Nnwa, NnwaBuilder, Nwa, NwaBuilder, StreamingRun};
+    pub use nwa::{
+        JoinlessNwa, JoinlessStreamingRun, Nnwa, NnwaBuilder, NnwaStreamingRun, Nwa, NwaBuilder,
+        StreamingRun,
+    };
     pub use nwa_pushdown::{Pnwa, PnwaMode};
     pub use pushdown_automata::{Cfg, PushdownTreeAutomaton};
     pub use tree_automata::{BottomUpBinaryTA, DetStepwiseTA, StepwiseTA, TopDownBinaryTA};
-    pub use word_automata::{Dfa, DfaBuilder, Nfa, Regex};
+    pub use word_automata::{Dfa, DfaBuilder, Nfa, Regex, TaggedDfaRun};
 }
 
-/// The WALi-style decision verbs, uniform over every automaton model:
-/// [`query::contains`], [`query::is_empty`], [`query::subset_eq`] and
-/// [`query::equals`].
+/// The WALi-style decision verbs, uniform over every automaton model
+/// ([`query::contains`], [`query::is_empty`], [`query::subset_eq`],
+/// [`query::equals`]), plus the streaming verbs over tagged-symbol event
+/// streams ([`query::run_stream`], [`query::contains_stream`]).
 pub mod query {
-    pub use automata_core::query::{contains, equals, is_empty, subset_eq};
+    pub use automata_core::query::{
+        contains, contains_stream, equals, is_empty, run_stream, subset_eq,
+    };
 }

@@ -1,0 +1,212 @@
+//! Property tests for the streaming event-run subsystem: for every model
+//! implementing both the batch and the streaming path, `query::contains`
+//! and `query::contains_stream` must agree, and the streaming run's peak
+//! memory must equal the input's open-call depth bound (§3.2: memory
+//! proportional to depth, not length).
+//!
+//! Cases are drawn from the suite's seeded generators (no crates.io access,
+//! so no proptest); every failure is reproducible from the printed seed.
+
+use nested_words_suite::nested_words::generate::{random_nested_word, NestedWordConfig};
+use nested_words_suite::nested_words::rng::Prng;
+use nested_words_suite::nwa::flat::tagged_indices;
+use nested_words_suite::nwa::joinless::joinless_from_nwa;
+use nested_words_suite::prelude::*;
+use nested_words_suite::query;
+
+/// The peak stack height a nested-word run needs: the maximum number of
+/// simultaneously open calls over all prefixes (pending calls included).
+fn open_call_peak(word: &NestedWord) -> usize {
+    let mut open = 0usize;
+    let mut peak = 0usize;
+    for (kind, _) in word.positions() {
+        match kind {
+            PositionKind::Call => {
+                open += 1;
+                peak = peak.max(open);
+            }
+            PositionKind::Return => open = open.saturating_sub(1),
+            PositionKind::Internal => {}
+        }
+    }
+    peak
+}
+
+/// A random complete deterministic NWA (same shape as `tests/properties.rs`).
+fn random_det_nwa(num_states: usize, sigma: usize, seed: u64) -> Nwa {
+    let mut rng = Prng::new(seed);
+    let mut m = Nwa::new(num_states, sigma, rng.below(num_states));
+    for q in 0..num_states {
+        m.set_accepting(q, rng.bool(0.5));
+        for a in 0..sigma {
+            let a = Symbol(a as u16);
+            m.set_internal(q, a, rng.below(num_states));
+            m.set_call(q, a, rng.below(num_states), rng.below(num_states));
+            for h in 0..num_states {
+                m.set_return(q, h, a, rng.below(num_states));
+            }
+        }
+    }
+    m
+}
+
+/// A random sparse nondeterministic NWA.
+fn random_nnwa(num_states: usize, sigma: usize, seed: u64) -> Nnwa {
+    let mut rng = Prng::new(seed);
+    let mut n = Nnwa::new(num_states, sigma);
+    n.add_initial(rng.below(num_states));
+    n.add_accepting(rng.below(num_states));
+    for _ in 0..3 * num_states {
+        let s = Symbol(rng.below(sigma) as u16);
+        match rng.below(3) {
+            0 => n.add_internal(rng.below(num_states), s, rng.below(num_states)),
+            1 => n.add_call(
+                rng.below(num_states),
+                s,
+                rng.below(num_states),
+                rng.below(num_states),
+            ),
+            _ => n.add_return(
+                rng.below(num_states),
+                rng.below(num_states),
+                s,
+                rng.below(num_states),
+            ),
+        }
+    }
+    n
+}
+
+fn random_words(count: usize) -> Vec<NestedWord> {
+    let ab = Alphabet::ab();
+    let cfg = NestedWordConfig {
+        len: 40,
+        allow_pending: true,
+        ..Default::default()
+    };
+    (0..count as u64)
+        .map(|seed| random_nested_word(&ab, cfg, seed))
+        .collect()
+}
+
+/// Batch and streaming membership agree for deterministic NWAs, and the
+/// streaming run uses exactly the open-call peak of the word as stack.
+#[test]
+fn stream_agrees_with_batch_nwa() {
+    let words = random_words(120);
+    for seed in 0..5u64 {
+        let m = random_det_nwa(3, 2, seed);
+        for (i, w) in words.iter().enumerate() {
+            let outcome = query::run_stream(&m, w.to_tagged());
+            assert_eq!(
+                outcome.accepted,
+                query::contains(&m, w),
+                "seed {seed}, word {i}"
+            );
+            assert_eq!(outcome.events, w.len(), "seed {seed}, word {i}");
+            assert_eq!(
+                outcome.peak_memory,
+                open_call_peak(w),
+                "seed {seed}, word {i}"
+            );
+        }
+    }
+}
+
+/// The same for nondeterministic NWAs (on-the-fly summary-set simulation).
+#[test]
+fn stream_agrees_with_batch_nnwa() {
+    let words = random_words(120);
+    for seed in 0..5u64 {
+        let n = random_nnwa(3, 2, seed);
+        for (i, w) in words.iter().enumerate() {
+            let outcome = query::run_stream(&n, w.to_tagged());
+            assert_eq!(
+                outcome.accepted,
+                query::contains(&n, w),
+                "seed {seed}, word {i}"
+            );
+            assert_eq!(
+                outcome.peak_memory,
+                open_call_peak(w),
+                "seed {seed}, word {i}"
+            );
+        }
+    }
+}
+
+/// The same for joinless NWAs: the streaming subset construction must agree
+/// with the recursive reference evaluator on arbitrary words, pending edges
+/// included.
+#[test]
+fn stream_agrees_with_batch_joinless() {
+    let words = random_words(120);
+    for seed in 0..3u64 {
+        let j = joinless_from_nwa(&random_nnwa(2, 2, seed));
+        for (i, w) in words.iter().enumerate() {
+            let outcome = query::run_stream(&j, w.to_tagged());
+            assert_eq!(
+                outcome.accepted,
+                query::contains(&j, w),
+                "seed {seed}, word {i}"
+            );
+            assert_eq!(
+                outcome.peak_memory,
+                open_call_peak(w),
+                "seed {seed}, word {i}"
+            );
+        }
+    }
+}
+
+/// DFAs stream over the tagged alphabet Σ̂ with no stack at all; the batch
+/// counterpart reads the tagged-index encoding of the word.
+#[test]
+fn stream_agrees_with_batch_tagged_dfa() {
+    let sigma = 2usize;
+    let words = random_words(120);
+    let mut rng = Prng::new(0xD0F);
+    for seed in 0..5u64 {
+        let mut d = Dfa::new(3, 3 * sigma, 0);
+        for q in 0..3 {
+            d.set_accepting(q, rng.bool(0.5));
+            for a in 0..3 * sigma {
+                d.set_transition(q, a, rng.below(3));
+            }
+        }
+        for (i, w) in words.iter().enumerate() {
+            let outcome = query::run_stream(&d, w.to_tagged());
+            let batch = query::contains(&d, &tagged_indices(w, sigma)[..]);
+            assert_eq!(outcome.accepted, batch, "seed {seed}, word {i}");
+            assert_eq!(outcome.peak_memory, 0, "seed {seed}, word {i}");
+        }
+    }
+}
+
+/// Mid-stream introspection: acceptance at every prefix matches the batch
+/// answer on that prefix, and the stack height tracks the open calls.
+#[test]
+fn prefix_acceptance_matches_batch() {
+    let words = random_words(40);
+    let m = random_det_nwa(3, 2, 7);
+    for (i, w) in words.iter().enumerate() {
+        let tagged = w.to_tagged();
+        let mut run = m.start();
+        let mut open = 0usize;
+        for (j, &event) in tagged.iter().enumerate() {
+            run.step(event);
+            match event.kind() {
+                PositionKind::Call => open += 1,
+                PositionKind::Return => open = open.saturating_sub(1),
+                PositionKind::Internal => {}
+            }
+            let prefix = NestedWord::from_tagged(&tagged[..=j]);
+            assert_eq!(
+                run.is_accepting(),
+                query::contains(&m, &prefix),
+                "word {i}, prefix {j}"
+            );
+            assert_eq!(run.stack_height(), open, "word {i}, prefix {j}");
+        }
+    }
+}
