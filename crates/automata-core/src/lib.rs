@@ -21,6 +21,9 @@
 //! * [`Emptiness`] — the language-emptiness decision;
 //! * [`Decide`] — inclusion and equivalence, with default implementations
 //!   via `intersect` + `complement` + `is_empty`;
+//! * [`Minimize`] — state minimization ([`query::minimize`]), so the
+//!   succinctness experiments sweep minimal state counts across models
+//!   generically;
 //! * [`Builder`] — the fluent-construction idiom shared by `NwaBuilder`,
 //!   `NnwaBuilder`, `DfaBuilder` and friends in the model crates;
 //! * [`StateId`] — a typed state index, so builder call sites cannot confuse
@@ -45,4 +48,4 @@ pub mod traits;
 pub use build::Builder;
 pub use ids::StateId;
 pub use stream::{StreamAcceptor, StreamOutcome, StreamRun};
-pub use traits::{Acceptor, BooleanOps, Decide, Emptiness};
+pub use traits::{Acceptor, BooleanOps, Decide, Emptiness, Minimize};

@@ -2,13 +2,13 @@
 //! WALi-OpenNWA query layer (`languageContains`, `languageIsEmpty`,
 //! `languageSubsetEq`, `languageEquals`).
 //!
-//! These are thin generic wrappers over the [`Acceptor`], [`Emptiness`] and
-//! [`Decide`] traits, so one vocabulary covers every automaton model in the
+//! These are thin generic wrappers over the [`Acceptor`], [`Emptiness`],
+//! [`Decide`] and [`Minimize`] traits, so one vocabulary covers every automaton model in the
 //! suite. The umbrella crate re-exports this module as `query`, which is the
 //! spelling examples and tests use: `query::equals(&a, &b)`.
 
 use crate::stream::{StreamAcceptor, StreamOutcome, StreamRun};
-use crate::traits::{Acceptor, Decide, Emptiness};
+use crate::traits::{Acceptor, Decide, Emptiness, Minimize};
 use nested_words::TaggedSymbol;
 
 /// Returns `true` if automaton `a` accepts `input`
@@ -158,6 +158,41 @@ where
 /// ```
 pub fn is_empty<A: Emptiness>(a: &A) -> bool {
     a.is_empty()
+}
+
+/// Returns the minimized automaton for `a` — the model-generic entry point
+/// to every [`Minimize`] implementation, so succinctness sweeps can obtain
+/// minimal state counts without naming a model-specific procedure.
+///
+/// For deterministic word and stepwise tree automata the result is the
+/// unique minimal machine; for nested word automata it is the quotient by
+/// the coarsest state congruence (exact on flat automata).
+///
+/// ```
+/// use automata_core::{query, Minimize};
+/// use nested_words::Symbol;
+/// use tree_automata::StepwiseTA;
+///
+/// // Nondeterministic "some leaf is b": determinization is wasteful,
+/// // minimization brings it back to the 2-state machine.
+/// let (a, b) = (Symbol(0), Symbol(1));
+/// let mut ta = StepwiseTA::new(2, 2);
+/// ta.add_init(a, 0);
+/// ta.add_init(b, 0);
+/// ta.add_init(b, 1);
+/// for q in 0..2 {
+///     for r in 0..2 {
+///         ta.add_combine(q, r, usize::from(q == 1 || r == 1));
+///     }
+/// }
+/// ta.add_accepting(1);
+/// let det = ta.determinize();
+/// let min = query::minimize(&det);
+/// assert!(Minimize::num_states(&min) <= Minimize::num_states(&det));
+/// assert_eq!(Minimize::num_states(&min), 2);
+/// ```
+pub fn minimize<A: Minimize>(a: &A) -> A {
+    a.minimize()
 }
 
 /// Returns `true` if `L(a) ⊆ L(b)` (WALi's `languageSubsetEq`).

@@ -42,6 +42,56 @@ pub trait Emptiness {
     fn is_empty(&self) -> bool;
 }
 
+/// State-minimization: the quotient of an automaton by a language-preserving
+/// congruence on its states.
+///
+/// The paper's succinctness results (Theorems 3, 5 and 8) all measure models
+/// against the *minimal* automaton — the index of the right-congruence of
+/// §3.4 — so every deterministic model exposes its minimization procedure
+/// behind this one trait and the experiments can sweep models generically
+/// via [`crate::query::minimize`].
+///
+/// Implementations must satisfy two laws, property-tested in the suite:
+///
+/// 1. **language preservation** — `a.minimize()` accepts exactly the inputs
+///    `a` accepts;
+/// 2. **idempotence** — a second pass changes nothing:
+///    `a.minimize().minimize().num_states() == a.minimize().num_states()`.
+///
+/// For word automata (`Dfa`) and stepwise tree automata (`DetStepwiseTA`)
+/// the result is the unique minimal deterministic machine (the Myhill–Nerode
+/// quotient). Nested word automata have no unique minimum in general, so
+/// `Nwa::minimize` returns the quotient by the coarsest congruence on
+/// reachable states — exact on flat automata (where it coincides with DFA
+/// minimization over the tagged alphabet Σ̂, Theorem 2), a sound reduction
+/// otherwise.
+///
+/// ```
+/// use automata_core::Minimize;
+/// use word_automata::Dfa;
+///
+/// // "ends in 1" with each state duplicated: 4 states, minimal is 2.
+/// let mut d = Dfa::new(4, 2, 0);
+/// d.set_accepting(1, true);
+/// d.set_accepting(3, true);
+/// for (q, t0, t1) in [(0, 2, 1), (1, 2, 3), (2, 0, 3), (3, 0, 1)] {
+///     d.set_transition(q, 0, t0);
+///     d.set_transition(q, 1, t1);
+/// }
+/// let m = Minimize::minimize(&d);
+/// assert_eq!(Minimize::num_states(&m), 2);
+/// assert_eq!(m.accepts(&[0, 1]), d.accepts(&[0, 1]));
+/// ```
+pub trait Minimize: Sized {
+    /// Returns an equivalent automaton with the fewest states the model's
+    /// minimization procedure achieves (see the trait docs for which models
+    /// guarantee true minimality).
+    fn minimize(&self) -> Self;
+
+    /// Number of states — the quantity the succinctness theorems compare.
+    fn num_states(&self) -> usize;
+}
+
 /// The WALi-style decision verbs: inclusion and equivalence.
 ///
 /// Both have default implementations by reduction to [`BooleanOps`] +

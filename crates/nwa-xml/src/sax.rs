@@ -1,7 +1,9 @@
 //! SAX-style tokenization of a lightweight XML syntax into nested words.
 //!
 //! Supported syntax: `<tag>` (open, attributes ignored), `</tag>` (close),
-//! `<tag/>` (empty element), `<!…>` / `<?…?>` directives (skipped), and bare
+//! `<tag/>` (empty element), `<!…>` / `<?…?>` directives (skipped, including
+//! DOCTYPEs with a `[ … ]` internal subset), `<![CDATA[ … ]]>` sections
+//! (content lexed as text), and bare
 //! text tokens (split on whitespace), e.g.
 //! `"<doc><sec n="1">hello world</sec><sec/></doc>"`. Unmatched open and
 //! close tags are allowed — they become pending calls and returns, exactly
@@ -27,7 +29,11 @@ use nested_words::{Alphabet, NestedWord, NestedWordError, Symbol, TaggedSymbol, 
 /// * A `>` inside a single- or double-quoted attribute value does not
 ///   terminate the tag.
 /// * `<!…>` declarations/comments and `<?…?>` processing instructions are
-///   skipped entirely.
+///   skipped entirely; a `<!DOCTYPE …>` may carry a `[ … ]` internal subset
+///   whose declarations contain `>`.
+/// * `<![CDATA[ … ]]>` sections run to their `]]>` terminator; their
+///   content is character data and is lexed as ordinary text tokens, so a
+///   `>`, `&` or even `<tag>` inside CDATA is never mistaken for markup.
 /// * `<tag/>` (with or without attributes) yields a call immediately
 ///   followed by a return.
 ///
@@ -38,8 +44,9 @@ use nested_words::{Alphabet, NestedWord, NestedWordError, Symbol, TaggedSymbol, 
 pub struct Tokenizer<'a, I: Iterator<Item = char>> {
     chars: std::iter::Peekable<I>,
     alphabet: &'a mut Alphabet,
-    /// The queued return of a self-closing tag.
-    queued: Option<TaggedSymbol>,
+    /// Queued events: the return of a self-closing tag, or the text tokens
+    /// of a CDATA section.
+    queued: std::collections::VecDeque<TaggedSymbol>,
     /// Byte offset of the next unread character (for error reporting).
     offset: usize,
     /// Set after yielding an error; the iterator is fused.
@@ -53,7 +60,7 @@ impl<'a, I: Iterator<Item = char>> Tokenizer<'a, I> {
         Tokenizer {
             chars: chars.peekable(),
             alphabet,
-            queued: None,
+            queued: std::collections::VecDeque::new(),
             offset: 0,
             failed: false,
         }
@@ -70,11 +77,14 @@ impl<'a, I: Iterator<Item = char>> Tokenizer<'a, I> {
         self.alphabet.try_intern(name)
     }
 
-    /// Skips one directive, with the cursor just past `<` and on `!` or
-    /// `?`. Comments run to `-->`, processing instructions to `?>`, other
-    /// declarations (`<!DOCTYPE …>`) to the first `>`; attribute-quote
-    /// rules do not apply inside directives, so an apostrophe or a bare `>`
-    /// in a comment does not derail the lexer.
+    /// Skips or lexes one directive, with the cursor just past `<` and on
+    /// `!` or `?`. Comments run to `-->`, processing instructions to `?>`,
+    /// CDATA sections to `]]>` (their content is queued as text tokens, see
+    /// [`Tokenizer::lex_cdata`]); other declarations (`<!DOCTYPE …>`) run to
+    /// the first `>` *outside* a `[ … ]` internal subset, so an entity
+    /// declaration's `>` inside the subset does not end the DOCTYPE early.
+    /// Attribute-quote rules do not apply inside directives, so an
+    /// apostrophe or a bare `>` in a comment does not derail the lexer.
     fn lex_directive(&mut self, tag_start: usize) -> Result<(), NestedWordError> {
         let unterminated = || NestedWordError::Parse {
             offset: tag_start,
@@ -109,13 +119,69 @@ impl<'a, I: Iterator<Item = char>> Tokenizer<'a, I> {
                 }
             }
         }
+        // `[`…`]` nesting depth of a DOCTYPE internal subset; a `>` only
+        // terminates the directive at depth zero.
+        let mut depth = 0usize;
+        if lead == '!' && self.chars.peek() == Some(&'[') {
+            self.bump();
+            // `<![`: a CDATA section if the marker `CDATA[` follows.
+            const MARKER: [char; 6] = ['C', 'D', 'A', 'T', 'A', '['];
+            let mut matched = 0usize;
+            while matched < MARKER.len() && self.chars.peek() == Some(&MARKER[matched]) {
+                self.bump();
+                matched += 1;
+            }
+            if matched == MARKER.len() {
+                return self.lex_cdata(tag_start);
+            }
+            // Not CDATA (e.g. a DTD conditional section): the consumed `[`
+            // opened one bracket level; fall through to the scan.
+            depth = 1;
+        }
         loop {
             match self.bump() {
                 None => return Err(unterminated()),
-                Some('>') => return Ok(()),
+                Some('[') => depth += 1,
+                Some(']') => depth = depth.saturating_sub(1),
+                Some('>') if depth == 0 => return Ok(()),
                 Some(_) => {}
             }
         }
+    }
+
+    /// Lexes a CDATA section, with the cursor just past `<![CDATA[`: scans
+    /// to the `]]>` terminator and queues the content as ordinary
+    /// whitespace-separated text tokens. Everything inside — `>`, `&`, even
+    /// `<tag>` — is character data, never markup; without this the section
+    /// used to end at the first `>` and its remainder was re-lexed as tags
+    /// and text, silently corrupting the event stream.
+    fn lex_cdata(&mut self, tag_start: usize) -> Result<(), NestedWordError> {
+        let mut content = String::new();
+        loop {
+            match self.bump() {
+                None => {
+                    return Err(NestedWordError::Parse {
+                        offset: tag_start,
+                        message: "unterminated CDATA section".into(),
+                    });
+                }
+                Some(c) => {
+                    content.push(c);
+                    if content.ends_with("]]>") {
+                        content.truncate(content.len() - 3);
+                        break;
+                    }
+                }
+            }
+        }
+        // Intern every token before queuing any, so an alphabet-full error
+        // surfaces without half the section already emitted.
+        let mut events = Vec::new();
+        for token in content.split_whitespace() {
+            events.push(TaggedSymbol::Internal(self.intern(token)?));
+        }
+        self.queued.extend(events);
+        Ok(())
     }
 
     /// Lexes one `<…>` construct, with the cursor on `<`. Returns `None`
@@ -166,15 +232,19 @@ impl<'a, I: Iterator<Item = char>> Tokenizer<'a, I> {
             let sym = self.intern(name)?;
             return Ok(Some(TaggedSymbol::Return(sym)));
         }
+        // Both branches read the same trimmed body. (The untrimmed view the
+        // non-self-closing branch previously took was harmless — the name is
+        // extracted with split_whitespace — but equal inputs by construction
+        // beat equal-by-coincidence.)
         let trimmed = content.trim_end();
         let (body, self_closing) = match trimmed.strip_suffix('/') {
             Some(body) => (body, true),
-            None => (content.as_str(), false),
+            None => (trimmed, false),
         };
         let name = body.split_whitespace().next().ok_or_else(empty_name)?;
         let sym = self.intern(name)?;
         if self_closing {
-            self.queued = Some(TaggedSymbol::Return(sym));
+            self.queued.push_back(TaggedSymbol::Return(sym));
         }
         Ok(Some(TaggedSymbol::Call(sym)))
     }
@@ -202,10 +272,12 @@ impl<I: Iterator<Item = char>> Iterator for Tokenizer<'_, I> {
         if self.failed {
             return None;
         }
-        if let Some(t) = self.queued.take() {
-            return Some(Ok(t));
-        }
         loop {
+            // Drained inside the loop: a skipped CDATA section queues text
+            // tokens that must come out before the next character is lexed.
+            if let Some(t) = self.queued.pop_front() {
+                return Some(Ok(t));
+            }
             let step = match self.chars.peek() {
                 None => return None,
                 Some('<') => self.lex_tag(),
@@ -376,6 +448,105 @@ mod tests {
         let mut ab = Alphabet::new();
         assert!(parse_document("<!-- never closed >", &mut ab).is_err());
         assert!(parse_document("<?xml version=\"1.0\" >", &mut ab).is_err());
+    }
+
+    #[test]
+    fn cdata_content_is_text_not_markup() {
+        // Regression: the directive scan used to stop at the first `>`, so
+        // `<![CDATA[ a > b ]]>` ended after `a ` and re-lexed `b ]]>` (or
+        // any markup inside the section) as text and tags.
+        let mut ab = Alphabet::new();
+        let events = tokenize("<doc><![CDATA[ a > b ]]></doc>", &mut ab).unwrap();
+        let doc = ab.lookup("doc").unwrap();
+        let a = ab.lookup("a").unwrap();
+        let gt = ab.lookup(">").unwrap();
+        let b = ab.lookup("b").unwrap();
+        assert_eq!(
+            events,
+            vec![
+                TaggedSymbol::Call(doc),
+                TaggedSymbol::Internal(a),
+                TaggedSymbol::Internal(gt),
+                TaggedSymbol::Internal(b),
+                TaggedSymbol::Return(doc),
+            ]
+        );
+    }
+
+    #[test]
+    fn markup_and_entities_inside_cdata_are_character_data() {
+        // `<tag>` inside CDATA must not open an element, and `&` is a plain
+        // character (no entity processing).
+        let mut ab = Alphabet::new();
+        let doc = parse_document("<doc><![CDATA[<tag> & x]]></doc>", &mut ab).unwrap();
+        assert!(doc.is_rooted());
+        assert_eq!(doc.depth(), 1);
+        assert!(ab.lookup("<tag>").is_some());
+        assert!(ab.lookup("&").is_some());
+        assert!(ab.lookup("x").is_some());
+        // no element named `tag` was ever opened
+        assert!(ab.lookup("tag").is_none());
+
+        // a lone `]` before the real terminator stays in the content
+        let mut ab = Alphabet::new();
+        let events = tokenize("<![CDATA[a]]]>", &mut ab).unwrap();
+        assert_eq!(
+            events,
+            vec![TaggedSymbol::Internal(ab.lookup("a]").unwrap())]
+        );
+
+        // an empty section produces no events at all
+        let mut ab = Alphabet::new();
+        assert_eq!(tokenize("<![CDATA[]]><r/>", &mut ab).unwrap().len(), 2);
+
+        // unterminated sections are errors, not silent truncation
+        let mut ab = Alphabet::new();
+        assert!(tokenize("<![CDATA[ x ]] >", &mut ab).is_err());
+    }
+
+    #[test]
+    fn doctype_internal_subset_is_skipped_whole() {
+        // Regression: the `>` of the inner `<!ENTITY …>` declaration used to
+        // terminate the DOCTYPE, leaving ` ]>` to be lexed as text.
+        let mut ab = Alphabet::new();
+        let doc = parse_document(
+            r#"<!DOCTYPE doc [ <!ENTITY x "y"> <!ENTITY z "w"> ]><doc>t</doc>"#,
+            &mut ab,
+        )
+        .unwrap();
+        assert_eq!(doc.len(), 3);
+        assert!(doc.is_rooted());
+        assert!(ab.lookup("]>").is_none());
+        assert!(ab.lookup("]").is_none());
+
+        // a DTD conditional section (`<![IGNORE[ … ]]>`) is skipped too
+        let mut ab = Alphabet::new();
+        let doc = parse_document("<!DOCTYPE d [<![IGNORE[ <x> ]]>]><doc>t</doc>", &mut ab);
+        let doc = doc.unwrap();
+        assert_eq!(doc.len(), 3);
+        assert!(ab.lookup("x").is_none());
+    }
+
+    #[test]
+    fn tag_whitespace_variants_intern_identical_symbols() {
+        // All spellings of an element with trailing whitespace or a
+        // self-closing slash must produce one and the same symbol, whichever
+        // lex_tag branch handles them.
+        let mut ab = Alphabet::new();
+        let events = tokenize("<tag ></tag ><tag/><tag />", &mut ab).unwrap();
+        let tag = ab.lookup("tag").unwrap();
+        assert_eq!(
+            events,
+            vec![
+                TaggedSymbol::Call(tag),
+                TaggedSymbol::Return(tag),
+                TaggedSymbol::Call(tag),
+                TaggedSymbol::Return(tag),
+                TaggedSymbol::Call(tag),
+                TaggedSymbol::Return(tag),
+            ]
+        );
+        assert_eq!(ab.len(), 1);
     }
 
     #[test]

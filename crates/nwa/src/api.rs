@@ -6,7 +6,7 @@ use crate::automaton::{Nwa, StreamingRun};
 use crate::joinless::{JoinlessNwa, JoinlessStreamingRun};
 use crate::nondet::{Nnwa, NnwaStreamingRun};
 use crate::{boolean, decision};
-use automata_core::{Acceptor, BooleanOps, Decide, Emptiness, StreamAcceptor};
+use automata_core::{Acceptor, BooleanOps, Decide, Emptiness, Minimize, StreamAcceptor};
 use nested_words::NestedWord;
 
 // --- deterministic NWAs ---------------------------------------------------
@@ -52,6 +52,21 @@ impl Decide for Nwa {
 
     fn equals(&self, other: &Self) -> bool {
         decision::equivalent(self, other)
+    }
+}
+
+impl Minimize for Nwa {
+    /// The quotient by the coarsest state congruence (see
+    /// [`crate::minimize::reduce`]): language-preserving and idempotent,
+    /// exactly minimal on flat automata (where it coincides with DFA
+    /// minimization over Σ̂), a sound reduction in general — deterministic
+    /// NWAs have no unique minimum.
+    fn minimize(&self) -> Self {
+        crate::minimize::reduce(self)
+    }
+
+    fn num_states(&self) -> usize {
+        Nwa::num_states(self)
     }
 }
 

@@ -13,11 +13,86 @@
 //! Everything is over the two-letter alphabet Σ = {a, b} used in the paper.
 
 use crate::automaton::Nwa;
+use automata_core::{query, Minimize};
 use nested_words::{NestedWord, PositionKind, Symbol, TaggedSymbol};
 use word_automata::{Dfa, Regex};
 
 const A: Symbol = Symbol(0);
 const B: Symbol = Symbol(1);
+
+// --------------------------------------------------------------------------
+// Generic succinctness sweeps over the `Minimize` trait
+// --------------------------------------------------------------------------
+
+/// Minimal state count of any automaton model, obtained through the unified
+/// [`Minimize`] trait — the one entry point the succinctness sweeps use, so
+/// the comparisons range over models generically instead of calling each
+/// model's bespoke minimizer.
+pub fn minimal_states<M: Minimize>(m: &M) -> usize {
+    query::minimize(m).num_states()
+}
+
+/// One row of a succinctness sweep: the family parameter `s`, the state
+/// count of the succinct model (the upper-bound construction) and the
+/// minimal state count of the baseline model, the latter computed through
+/// [`minimal_states`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuccinctnessRow {
+    /// Family parameter.
+    pub s: usize,
+    /// States of the succinct construction (an NWA, or a flat NWA for
+    /// Theorem 5).
+    pub succinct_states: usize,
+    /// Minimal states of the baseline model ([`minimal_states`]), except in
+    /// the Theorem 5 sweep where the baseline is the count of
+    /// distinguishable blocks (a lower bound on bottom-up NWA sizes).
+    pub baseline_states: usize,
+}
+
+/// Theorem 3 sweep for `s ∈ 1..=max_s`: the `O(s)`-state NWA against the
+/// minimal DFA over the tagged alphabet Σ̂ (which needs `> 2^s` states),
+/// minimized through the trait.
+pub fn theorem3_sweep(max_s: usize) -> Vec<SuccinctnessRow> {
+    (1..=max_s)
+        .map(|s| SuccinctnessRow {
+            s,
+            succinct_states: path_family_nwa(s).num_states(),
+            baseline_states: minimal_states(&path_family_tagged_dfa(s)),
+        })
+        .collect()
+}
+
+/// Theorem 5 sweep for `s ∈ 1..=max_s`: the minimal *flat* NWA — computed on
+/// the flat automaton itself via the congruence reduction behind
+/// [`Minimize`] (exact there, Theorem 2) — against the number of pairwise
+/// distinguishable inner blocks, a lower bound on the size of any bottom-up
+/// NWA ([`theorem5_distinguishable_blocks`]).
+pub fn theorem5_sweep(max_s: usize) -> Vec<SuccinctnessRow> {
+    (1..=max_s)
+        .map(|s| SuccinctnessRow {
+            s,
+            succinct_states: minimal_states(&crate::flat::from_tagged_dfa(
+                &theorem5_tagged_dfa(s),
+                2,
+            )),
+            baseline_states: theorem5_distinguishable_blocks(s),
+        })
+        .collect()
+}
+
+/// Theorem 8 sweep for `s ∈ 1..=max_s`: the `O(s)`-state NWA against the
+/// minimal word DFA for `Σ^s a Σ^* a Σ^s` (which needs `≥ 2^s` states and
+/// equals the deterministic top-down/bottom-up sizes), minimized through the
+/// trait.
+pub fn theorem8_sweep(max_s: usize) -> Vec<SuccinctnessRow> {
+    (1..=max_s)
+        .map(|s| SuccinctnessRow {
+            s,
+            succinct_states: theorem8_nwa(s).num_states(),
+            baseline_states: minimal_states(&theorem8_regex(s).to_nfa(2).determinize()),
+        })
+        .collect()
+}
 
 // --------------------------------------------------------------------------
 // Theorem 3: L_s = { path(w) : w ∈ Σ^s }
@@ -487,11 +562,10 @@ mod tests {
                     assert_eq!(nwa.accepts(&p), dfa.accepts(&tagged), "s={s} w={w:?}");
                 }
             }
-            let minimal = dfa.minimize();
+            let minimal = minimal_states(&dfa);
             assert!(
-                minimal.num_states() >= (1 << s),
-                "s={s}: minimal DFA has {} states, expected ≥ {}",
-                minimal.num_states(),
+                minimal >= (1 << s),
+                "s={s}: minimal DFA has {minimal} states, expected ≥ {}",
                 1 << s
             );
             assert!(nwa.num_states() <= s + 8);
@@ -526,10 +600,14 @@ mod tests {
 
     #[test]
     fn theorem8_dfa_is_exponential_and_nwa_is_linear() {
-        for s in 1..7usize {
-            let dfa = theorem8_regex(s).to_min_dfa(2);
-            assert!(dfa.num_states() >= (1 << s), "s={s}: {}", dfa.num_states());
-            assert!(theorem8_nwa(s).num_states() <= 2 * s + 11);
+        for row in theorem8_sweep(6) {
+            let s = row.s;
+            assert!(
+                row.baseline_states >= (1 << s),
+                "s={s}: {}",
+                row.baseline_states
+            );
+            assert!(row.succinct_states <= 2 * s + 11);
         }
     }
 
@@ -568,14 +646,29 @@ mod tests {
 
     #[test]
     fn theorem5_flat_size_is_quadratic_and_blocks_are_exponential() {
-        for s in 1..6usize {
-            let minimal = theorem5_tagged_dfa(s).minimize();
+        for row in theorem5_sweep(5) {
+            let s = row.s;
             assert!(
-                minimal.num_states() <= 4 * s * s + 8 * s + 10,
+                row.succinct_states <= 4 * s * s + 8 * s + 10,
                 "s={s}: flat size {}",
-                minimal.num_states()
+                row.succinct_states
             );
-            assert_eq!(theorem5_distinguishable_blocks(s), 1 << s, "s={s}");
+            assert_eq!(row.baseline_states, 1 << s, "s={s}");
+        }
+    }
+
+    /// The Theorem 5 sweep computes the minimal flat size on the flat NWA
+    /// itself (the new congruence reduction); it must agree with minimizing
+    /// the tagged DFA directly (Theorem 2: the conversions are size-exact).
+    #[test]
+    fn theorem5_sweep_agrees_with_tagged_dfa_minimization() {
+        for row in theorem5_sweep(4) {
+            assert_eq!(
+                row.succinct_states,
+                minimal_states(&theorem5_tagged_dfa(row.s)),
+                "s={}",
+                row.s
+            );
         }
     }
 }

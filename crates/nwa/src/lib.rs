@@ -25,6 +25,9 @@
 //!   [`decision`]);
 //! * the restricted classes of §3.3–§3.6 and the constructions of
 //!   Theorems 1, 4 and 7: [`weak`], [`flat`], [`bottom_up`], [`joinless`];
+//! * state reduction by congruence refinement ([`minimize`]), behind the
+//!   `automata-core` [`Minimize`](automata_core::Minimize) trait — exact on
+//!   flat automata, a sound quotient in general;
 //! * the language families used in the succinctness theorems ([`families`]);
 //! * the unified suite API: fluent construction via [`NwaBuilder`] /
 //!   [`NnwaBuilder`] ([`builder`]) and the `automata-core` trait
@@ -43,6 +46,7 @@ pub mod decision;
 pub mod families;
 pub mod flat;
 pub mod joinless;
+pub mod minimize;
 pub mod nondet;
 pub mod summary;
 pub mod weak;

@@ -6,7 +6,7 @@
 use crate::bottom_up::BottomUpBinaryTA;
 use crate::stepwise::{DetStepwiseTA, StepwiseTA};
 use crate::top_down::TopDownBinaryTA;
-use automata_core::{Acceptor, BooleanOps, Decide, Emptiness};
+use automata_core::{Acceptor, BooleanOps, Decide, Emptiness, Minimize};
 use nested_words::OrderedTree;
 
 impl Acceptor<OrderedTree> for DetStepwiseTA {
@@ -36,6 +36,19 @@ impl Emptiness for DetStepwiseTA {
 }
 
 impl Decide for DetStepwiseTA {}
+
+impl Minimize for DetStepwiseTA {
+    /// The minimal deterministic stepwise automaton (two-sided congruence
+    /// refinement over the reachable states; see
+    /// [`DetStepwiseTA::minimize`]).
+    fn minimize(&self) -> Self {
+        DetStepwiseTA::minimize(self)
+    }
+
+    fn num_states(&self) -> usize {
+        DetStepwiseTA::num_states(self)
+    }
+}
 
 impl Acceptor<OrderedTree> for StepwiseTA {
     fn accepts(&self, input: &OrderedTree) -> bool {

@@ -4,7 +4,7 @@
 
 use crate::dfa::Dfa;
 use crate::nfa::Nfa;
-use automata_core::{Acceptor, BooleanOps, Decide, Emptiness, StreamAcceptor, StreamRun};
+use automata_core::{Acceptor, BooleanOps, Decide, Emptiness, Minimize, StreamAcceptor, StreamRun};
 use nested_words::TaggedSymbol;
 
 impl Acceptor<[usize]> for Dfa {
@@ -99,6 +99,18 @@ impl Decide for Dfa {
 
     fn equals(&self, other: &Self) -> bool {
         self.equivalent(other)
+    }
+}
+
+impl Minimize for Dfa {
+    /// The unique minimal complete DFA (Moore partition refinement; see
+    /// [`crate::minimize::minimize`]).
+    fn minimize(&self) -> Self {
+        crate::minimize::minimize(self)
+    }
+
+    fn num_states(&self) -> usize {
+        Dfa::num_states(self)
     }
 }
 

@@ -2,12 +2,17 @@
 //! Theorems 3, 5 and 8 of the paper for small parameters and prints them as
 //! a table (the full sweeps live in the benchmark harness).
 //!
+//! All minimal state counts are obtained through the unified
+//! `automata_core::Minimize` trait (via `nwa::families::minimal_states` and
+//! `query::minimize`), so the same code path covers word DFAs (Theorem 3
+//! and 8 baselines), the new congruence reduction on nested word automata
+//! (the Theorem 5 flat sizes) and stepwise tree automata.
+//!
 //! Run with `cargo run --release --example succinctness`.
 
-use nested_words_suite::nwa::families::{
-    path_family_nwa, path_family_tagged_dfa, theorem5_distinguishable_blocks, theorem5_tagged_dfa,
-    theorem8_nwa, theorem8_regex,
-};
+use nested_words_suite::nwa::families::{theorem3_sweep, theorem5_sweep, theorem8_sweep};
+use nested_words_suite::prelude::*;
+use nested_words_suite::query;
 
 fn main() {
     println!("Theorem 3 — L_s = {{ path(w) : |w| = s }}");
@@ -15,21 +20,23 @@ fn main() {
         "{:>3} {:>12} {:>18}",
         "s", "NWA states", "minimal DFA states"
     );
-    for s in 1..=10usize {
-        let nwa = path_family_nwa(s);
-        let dfa = path_family_tagged_dfa(s).minimize();
-        println!("{:>3} {:>12} {:>18}", s, nwa.num_states(), dfa.num_states());
+    for row in theorem3_sweep(10) {
+        println!(
+            "{:>3} {:>12} {:>18}",
+            row.s, row.succinct_states, row.baseline_states
+        );
     }
 
     println!("\nTheorem 5 — flat NWA vs bottom-up congruence classes");
     println!(
         "{:>3} {:>18} {:>26}",
-        "s", "flat NWA states", "distinguishable blocks (≥ bottom-up states)"
+        "s", "min flat NWA states", "distinguishable blocks (≥ bottom-up states)"
     );
-    for s in 1..=8usize {
-        let flat = theorem5_tagged_dfa(s).minimize();
-        let blocks = theorem5_distinguishable_blocks(s);
-        println!("{:>3} {:>18} {:>26}", s, flat.num_states(), blocks);
+    for row in theorem5_sweep(8) {
+        println!(
+            "{:>3} {:>18} {:>26}",
+            row.s, row.succinct_states, row.baseline_states
+        );
     }
 
     println!("\nTheorem 8 — path(Σ^s a Σ* a Σ^s)");
@@ -37,9 +44,50 @@ fn main() {
         "{:>3} {:>12} {:>28}",
         "s", "NWA states", "minimal word DFA states (= det top-down/bottom-up)"
     );
-    for s in 1..=8usize {
-        let nwa = theorem8_nwa(s);
-        let dfa = theorem8_regex(s).to_min_dfa(2);
-        println!("{:>3} {:>12} {:>28}", s, nwa.num_states(), dfa.num_states());
+    for row in theorem8_sweep(8) {
+        println!(
+            "{:>3} {:>12} {:>28}",
+            row.s, row.succinct_states, row.baseline_states
+        );
     }
+
+    // Stepwise tree automata go through the very same trait: determinize the
+    // nondeterministic "some leaf among the first k is b" automaton and
+    // minimize the (wasteful) subset automaton back down.
+    println!("\nStepwise tree automata — determinize, then query::minimize");
+    println!("{:>3} {:>18} {:>16}", "k", "determinized", "minimal");
+    for k in 1..=4usize {
+        let det = some_early_b_leaf(k).determinize();
+        let min = query::minimize(&det);
+        println!("{:>3} {:>18} {:>16}", k, det.num_states(), min.num_states());
+    }
+}
+
+/// Nondeterministic stepwise automaton for "some node among the first `k`
+/// children folded in is a b-labelled leaf" — the guess of *which* child
+/// makes determinization overshoot, so minimization has work to do.
+fn some_early_b_leaf(k: usize) -> StepwiseTA {
+    let (a, b) = (Symbol(0), Symbol(1));
+    // states: 0 = counting (tracks 0..k children seen), …, k = counted k,
+    // k+1 = guessed leaf found
+    let found = k + 1;
+    let mut ta = StepwiseTA::new(k + 2, 2);
+    for sym in [a, b] {
+        ta.add_init(sym, 0);
+    }
+    ta.add_init(b, found);
+    for c in 0..k {
+        // fold child c+1 into the count
+        for r in 0..k + 2 {
+            ta.add_combine(c, r, c + 1);
+        }
+        // or nondeterministically mark this child as the guessed b-leaf
+        ta.add_combine(c, found, found);
+    }
+    for r in 0..k + 2 {
+        ta.add_combine(k, r, k);
+        ta.add_combine(found, r, found);
+    }
+    ta.add_accepting(found);
+    ta
 }

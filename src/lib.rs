@@ -90,8 +90,8 @@ pub use word_automata;
 /// the unified traits.
 pub mod prelude {
     pub use automata_core::{
-        Acceptor, BooleanOps, Builder, Decide, Emptiness, StateId, StreamAcceptor, StreamOutcome,
-        StreamRun,
+        Acceptor, BooleanOps, Builder, Decide, Emptiness, Minimize, StateId, StreamAcceptor,
+        StreamOutcome, StreamRun,
     };
     pub use nested_words::tagged::{display_nested_word, parse_nested_word};
     pub use nested_words::{
@@ -111,9 +111,10 @@ pub mod prelude {
 /// The WALi-style decision verbs, uniform over every automaton model
 /// ([`query::contains`], [`query::is_empty`], [`query::subset_eq`],
 /// [`query::equals`]), plus the streaming verbs over tagged-symbol event
-/// streams ([`query::run_stream`], [`query::contains_stream`]).
+/// streams ([`query::run_stream`], [`query::contains_stream`]) and
+/// model-generic state minimization ([`query::minimize`]).
 pub mod query {
     pub use automata_core::query::{
-        contains, contains_stream, equals, is_empty, run_stream, subset_eq,
+        contains, contains_stream, equals, is_empty, minimize, run_stream, subset_eq,
     };
 }

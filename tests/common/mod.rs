@@ -1,0 +1,61 @@
+//! Seeded random-automaton generators shared by the integration tests
+//! (`tests/properties.rs`, `tests/streaming.rs`, `tests/minimize.rs`). The
+//! build environment has no crates.io access, so instead of proptest the
+//! property tests draw deterministic cases from these generators; every
+//! failure is reproducible from the printed seed.
+//!
+//! Each test binary compiles this module separately and uses only some of
+//! the generators, hence the file-wide `dead_code` allowance.
+
+#![allow(dead_code)]
+
+use nested_words_suite::nested_words::rng::Prng;
+use nested_words_suite::prelude::*;
+
+/// A random complete deterministic NWA: every transition drawn uniformly,
+/// every state accepting with probability 1/2.
+pub fn random_det_nwa(num_states: usize, sigma: usize, seed: u64) -> Nwa {
+    let mut rng = Prng::new(seed);
+    let mut m = Nwa::new(num_states, sigma, rng.below(num_states));
+    for q in 0..num_states {
+        m.set_accepting(q, rng.bool(0.5));
+        for a in 0..sigma {
+            let a = Symbol(a as u16);
+            m.set_internal(q, a, rng.below(num_states));
+            m.set_call(q, a, rng.below(num_states), rng.below(num_states));
+            for h in 0..num_states {
+                m.set_return(q, h, a, rng.below(num_states));
+            }
+        }
+    }
+    m
+}
+
+/// A random complete DFA.
+pub fn random_dfa(num_states: usize, num_symbols: usize, seed: u64) -> Dfa {
+    let mut rng = Prng::new(seed);
+    let mut d = Dfa::new(num_states, num_symbols, rng.below(num_states));
+    for q in 0..num_states {
+        d.set_accepting(q, rng.bool(0.5));
+        for a in 0..num_symbols {
+            d.set_transition(q, a, rng.below(num_states));
+        }
+    }
+    d
+}
+
+/// A random deterministic stepwise tree automaton.
+pub fn random_stepwise(num_states: usize, sigma: usize, seed: u64) -> DetStepwiseTA {
+    let mut rng = Prng::new(seed);
+    let mut ta = DetStepwiseTA::new(num_states, sigma);
+    for a in 0..sigma {
+        ta.set_init(Symbol(a as u16), rng.below(num_states));
+    }
+    for q in 0..num_states {
+        ta.set_accepting(q, rng.bool(0.5));
+        for r in 0..num_states {
+            ta.set_combine(q, r, rng.below(num_states));
+        }
+    }
+    ta
+}

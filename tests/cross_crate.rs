@@ -22,7 +22,7 @@ fn theorem2_flat_nwa_word_automaton_correspondence() {
         .concat(Regex::any_star())
         .concat(Regex::Symbol(a_ret))
         .concat(Regex::any_star());
-    let dfa = regex.to_min_dfa(3 * sigma);
+    let dfa = query::minimize(&regex.to_nfa(3 * sigma).determinize());
     let flat = from_tagged_dfa(&dfa, sigma);
     assert_eq!(flat.num_states(), dfa.num_states());
     let back = to_tagged_dfa(&flat);

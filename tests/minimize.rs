@@ -1,0 +1,125 @@
+//! Property tests for the `automata_core::Minimize` trait layer: every
+//! implementation must preserve the language exactly and be idempotent, and
+//! the Theorem 3 minimal-DFA sizes are pinned to their closed form.
+//!
+//! As everywhere in the suite, the randomized cases are drawn from the
+//! seeded `nested_words::rng::Prng` / `nested_words::generate` sources (no
+//! proptest in this environment); failures reproduce from the printed seed.
+
+mod common;
+
+use common::{random_det_nwa, random_dfa, random_stepwise};
+use nested_words_suite::nested_words::generate::{
+    random_nested_word, random_tree, NestedWordConfig,
+};
+use nested_words_suite::nested_words::rng::Prng;
+use nested_words_suite::nwa::families::theorem3_sweep;
+use nested_words_suite::prelude::*;
+use nested_words_suite::query;
+
+/// `query::minimize` preserves the language of DFAs (checked both by the
+/// `Decide`-level equivalence and on random words), never grows them, and is
+/// idempotent.
+#[test]
+fn minimize_laws_dfa() {
+    let mut rng = Prng::new(0xD1A);
+    for seed in 0..20u64 {
+        let d = random_dfa(6, 2, seed);
+        let m = query::minimize(&d);
+        assert!(m.num_states() <= d.num_states(), "seed {seed}");
+        assert!(query::equals(&d, &m), "seed {seed}");
+        for _ in 0..30 {
+            let w: Vec<usize> = (0..rng.below(25)).map(|_| rng.below(2)).collect();
+            assert_eq!(d.accepts(&w), m.accepts(&w), "seed {seed} word {w:?}");
+        }
+        let mm = query::minimize(&m);
+        assert_eq!(m.num_states(), mm.num_states(), "seed {seed}");
+        assert!(query::equals(&m, &mm), "seed {seed}");
+    }
+}
+
+/// The same three laws for the congruence reduction on deterministic nested
+/// word automata, on randomized nested words with pending calls and returns.
+#[test]
+fn minimize_laws_nwa() {
+    let ab = Alphabet::ab();
+    let cfg = NestedWordConfig {
+        len: 35,
+        allow_pending: true,
+        ..Default::default()
+    };
+    for seed in 0..10u64 {
+        let n = random_det_nwa(4, 2, seed);
+        let m = query::minimize(&n);
+        assert!(m.num_states() <= n.num_states(), "seed {seed}");
+        assert!(query::equals(&n, &m), "seed {seed}");
+        for wseed in 0..30u64 {
+            let w = random_nested_word(&ab, cfg, 1000 * seed + wseed);
+            assert_eq!(n.accepts(&w), m.accepts(&w), "seed {seed}/{wseed}");
+        }
+        let mm = query::minimize(&m);
+        assert_eq!(m.num_states(), mm.num_states(), "seed {seed}");
+        assert!(query::equals(&m, &mm), "seed {seed}");
+    }
+}
+
+/// The same three laws for deterministic stepwise tree automata, on
+/// randomized unranked trees.
+#[test]
+fn minimize_laws_stepwise() {
+    let ab = Alphabet::ab();
+    let mut rng = Prng::new(0x57E9);
+    for seed in 0..20u64 {
+        let ta = random_stepwise(4, 2, seed);
+        let m = query::minimize(&ta);
+        assert!(m.num_states() <= ta.num_states(), "seed {seed}");
+        assert!(query::equals(&ta, &m), "seed {seed}");
+        for tseed in 0..25u64 {
+            let t = random_tree(&ab, 1 + rng.below(25), 3, 1000 * seed + tseed);
+            assert_eq!(ta.accepts(&t), m.accepts(&t), "seed {seed}/{tseed}");
+        }
+        let mm = query::minimize(&m);
+        assert_eq!(m.num_states(), mm.num_states(), "seed {seed}");
+        assert!(query::equals(&m, &mm), "seed {seed}");
+    }
+}
+
+/// Theorem 3's minimal DFA sizes over the tagged alphabet Σ̂, pinned to the
+/// exact closed form for s ≤ 8: the minimal DFA for `nw(L_s)` has
+/// `3·2^s − 1` states — the `2^{s+1} − 1` descent stacks of length ≤ s, the
+/// `2^s − 1` ascent stacks of length < s, and one dead state — which is the
+/// `> 2^s` blow-up the theorem asserts, while the NWA stays at `s + 8`
+/// states.
+#[test]
+fn theorem3_minimal_dfa_counts_are_exact() {
+    for row in theorem3_sweep(8) {
+        let s = row.s;
+        assert_eq!(
+            row.baseline_states,
+            3 * (1 << s) - 1,
+            "s={s}: minimal DFA states"
+        );
+        assert!(row.baseline_states >= (1 << s), "s={s}: Theorem 3 bound");
+        assert_eq!(row.succinct_states, s + 8, "s={s}: NWA stays linear");
+    }
+}
+
+/// The trait entry point and the model-specific minimizers agree — the
+/// facade does not change what "minimal" means.
+#[test]
+fn query_minimize_matches_inherent_minimizers() {
+    for seed in 0..10u64 {
+        let d = random_dfa(5, 2, seed);
+        assert_eq!(
+            query::minimize(&d).num_states(),
+            d.minimize().num_states(),
+            "seed {seed}"
+        );
+        let ta = random_stepwise(3, 2, seed);
+        assert_eq!(
+            query::minimize(&ta).num_states(),
+            ta.minimize().num_states(),
+            "seed {seed}"
+        );
+    }
+}

@@ -7,6 +7,9 @@
 //! generators (`nested_words::generate`, `nested_words::rng::Prng`); every
 //! failure is reproducible from the printed seed.
 
+mod common;
+
+use common::{random_det_nwa, random_dfa, random_stepwise};
 use nested_words_suite::nested_words::generate::{
     random_nested_word, random_tree, NestedWordConfig,
 };
@@ -141,25 +144,6 @@ fn tree_encoding_roundtrips() {
 // Random automata
 // --------------------------------------------------------------------------
 
-/// A random complete deterministic NWA: every transition drawn uniformly,
-/// every state accepting with probability 1/2.
-fn random_det_nwa(num_states: usize, sigma: usize, seed: u64) -> Nwa {
-    let mut rng = Prng::new(seed);
-    let mut m = Nwa::new(num_states, sigma, rng.below(num_states));
-    for q in 0..num_states {
-        m.set_accepting(q, rng.bool(0.5));
-        for a in 0..sigma {
-            let a = Symbol(a as u16);
-            m.set_internal(q, a, rng.below(num_states));
-            m.set_call(q, a, rng.below(num_states), rng.below(num_states));
-            for h in 0..num_states {
-                m.set_return(q, h, a, rng.below(num_states));
-            }
-        }
-    }
-    m
-}
-
 /// A random sparse nondeterministic NWA. Sparseness is deliberate: the
 /// Decide laws complement (hence determinize) these automata, and the
 /// summary-set construction is exponential in the transition density.
@@ -187,35 +171,6 @@ fn random_nnwa(num_states: usize, sigma: usize, seed: u64) -> Nnwa {
         }
     }
     n
-}
-
-/// A random complete DFA.
-fn random_dfa(num_states: usize, num_symbols: usize, seed: u64) -> Dfa {
-    let mut rng = Prng::new(seed);
-    let mut d = Dfa::new(num_states, num_symbols, rng.below(num_states));
-    for q in 0..num_states {
-        d.set_accepting(q, rng.bool(0.5));
-        for a in 0..num_symbols {
-            d.set_transition(q, a, rng.below(num_states));
-        }
-    }
-    d
-}
-
-/// A random deterministic stepwise tree automaton.
-fn random_stepwise(num_states: usize, sigma: usize, seed: u64) -> DetStepwiseTA {
-    let mut rng = Prng::new(seed);
-    let mut ta = DetStepwiseTA::new(num_states, sigma);
-    for a in 0..sigma {
-        ta.set_init(Symbol(a as u16), rng.below(num_states));
-    }
-    for q in 0..num_states {
-        ta.set_accepting(q, rng.bool(0.5));
-        for r in 0..num_states {
-            ta.set_combine(q, r, rng.below(num_states));
-        }
-    }
-    ta
 }
 
 // --------------------------------------------------------------------------

@@ -7,6 +7,9 @@
 //! Cases are drawn from the suite's seeded generators (no crates.io access,
 //! so no proptest); every failure is reproducible from the printed seed.
 
+mod common;
+
+use common::random_det_nwa;
 use nested_words_suite::nested_words::generate::{random_nested_word, NestedWordConfig};
 use nested_words_suite::nested_words::rng::Prng;
 use nested_words_suite::nwa::flat::tagged_indices;
@@ -30,24 +33,6 @@ fn open_call_peak(word: &NestedWord) -> usize {
         }
     }
     peak
-}
-
-/// A random complete deterministic NWA (same shape as `tests/properties.rs`).
-fn random_det_nwa(num_states: usize, sigma: usize, seed: u64) -> Nwa {
-    let mut rng = Prng::new(seed);
-    let mut m = Nwa::new(num_states, sigma, rng.below(num_states));
-    for q in 0..num_states {
-        m.set_accepting(q, rng.bool(0.5));
-        for a in 0..sigma {
-            let a = Symbol(a as u16);
-            m.set_internal(q, a, rng.below(num_states));
-            m.set_call(q, a, rng.below(num_states), rng.below(num_states));
-            for h in 0..num_states {
-                m.set_return(q, h, a, rng.below(num_states));
-            }
-        }
-    }
-    m
 }
 
 /// A random sparse nondeterministic NWA.
