@@ -24,6 +24,11 @@
 //! * [`Minimize`] — state minimization ([`query::minimize`]), so the
 //!   succinctness experiments sweep minimal state counts across models
 //!   generically;
+//! * [`Witness`] — emptiness witness extraction ([`query::witness`]): a
+//!   shortest-ish accepted input instead of a bare boolean, with
+//!   [`query::counterexample`] and [`query::distinguish`] derived from
+//!   [`BooleanOps`] + [`Witness`] to explain failed inclusion and
+//!   equivalence checks;
 //! * [`Builder`] — the fluent-construction idiom shared by `NwaBuilder`,
 //!   `NnwaBuilder`, `DfaBuilder` and friends in the model crates;
 //! * [`StateId`] — a typed state index, so builder call sites cannot confuse
@@ -48,4 +53,4 @@ pub mod traits;
 pub use build::Builder;
 pub use ids::StateId;
 pub use stream::{StreamAcceptor, StreamOutcome, StreamRun};
-pub use traits::{Acceptor, BooleanOps, Decide, Emptiness, Minimize};
+pub use traits::{Acceptor, BooleanOps, Decide, Emptiness, Minimize, Witness};

@@ -8,7 +8,7 @@
 //! spelling examples and tests use: `query::equals(&a, &b)`.
 
 use crate::stream::{StreamAcceptor, StreamOutcome, StreamRun};
-use crate::traits::{Acceptor, Decide, Emptiness, Minimize};
+use crate::traits::{Acceptor, BooleanOps, Decide, Emptiness, Minimize, Witness};
 use nested_words::TaggedSymbol;
 
 /// Returns `true` if automaton `a` accepts `input`
@@ -193,6 +193,109 @@ pub fn is_empty<A: Emptiness>(a: &A) -> bool {
 /// ```
 pub fn minimize<A: Minimize>(a: &A) -> A {
     a.minimize()
+}
+
+/// Returns a shortest-ish input accepted by `a`, or `None` iff the language
+/// is empty — the model-generic entry point to every [`Witness`]
+/// implementation, turning the bare emptiness bit into an explanation.
+///
+/// ```
+/// use automata_core::query;
+/// use nested_words::{Symbol, TaggedSymbol};
+/// use nwa::NnwaBuilder;
+///
+/// // Accepting state only reachable through a matched b-labelled pair.
+/// let b = Symbol(0);
+/// let n = NnwaBuilder::new(3, 1)
+///     .initial(0)
+///     .accepting(2)
+///     .call(0, b, 1, 1)
+///     .ret(1, 1, b, 2)
+///     .build();
+///
+/// let w = query::witness(&n).unwrap();
+/// assert!(query::contains(&n, &w));
+/// assert_eq!(
+///     w.to_tagged(),
+///     vec![TaggedSymbol::Call(b), TaggedSymbol::Return(b)],
+/// );
+/// ```
+pub fn witness<A: Witness>(a: &A) -> Option<A::Input> {
+    a.witness()
+}
+
+/// Returns an input accepted by `a` but rejected by `b`, or `None` iff
+/// `L(a) ⊆ L(b)` — the explanation for a failed [`subset_eq`] check, derived
+/// for every model from [`BooleanOps`] + [`Witness`] as a witness of
+/// `L(a) ∩ L(b)ᶜ`.
+///
+/// ```
+/// use automata_core::query;
+/// use word_automata::DfaBuilder;
+///
+/// // Over {0,1}: "even number of 1s" vs "ends in 1".
+/// let even_ones = DfaBuilder::new(2, 2, 0)
+///     .accepting(0)
+///     .transition(0, 0, 0)
+///     .transition(0, 1, 1)
+///     .transition(1, 0, 1)
+///     .transition(1, 1, 0)
+///     .build();
+/// let ends_in_one = DfaBuilder::new(2, 2, 0)
+///     .accepting(1)
+///     .transition(0, 0, 0)
+///     .transition(0, 1, 1)
+///     .transition(1, 0, 0)
+///     .transition(1, 1, 1)
+///     .build();
+///
+/// // The empty word has an even number of 1s but does not end in 1.
+/// let w = query::counterexample(&even_ones, &ends_in_one).unwrap();
+/// assert!(query::contains(&even_ones, &w[..]));
+/// assert!(!query::contains(&ends_in_one, &w[..]));
+///
+/// // Inclusions that hold produce no counterexample.
+/// assert!(query::counterexample(&even_ones, &even_ones).is_none());
+/// ```
+pub fn counterexample<A>(a: &A, b: &A) -> Option<A::Input>
+where
+    A: Witness + BooleanOps,
+{
+    a.intersect(&b.complement()).witness()
+}
+
+/// Returns an input accepted by exactly one of `a` and `b` (either
+/// direction), or `None` iff `L(a) = L(b)` — the separator behind a failed
+/// [`equals`] check, derived from [`BooleanOps`] + [`Witness`] by trying
+/// [`counterexample`] both ways.
+///
+/// ```
+/// use automata_core::query;
+/// use nested_words::Symbol;
+/// use tree_automata::DetStepwiseTA;
+///
+/// // "contains a b-labelled node" vs its complement: any non-empty tree
+/// // separates them, and exactly one side accepts the returned one.
+/// let (a, b) = (Symbol(0), Symbol(1));
+/// let mut ta = DetStepwiseTA::new(2, 2);
+/// ta.set_init(a, 0);
+/// ta.set_init(b, 1);
+/// for q in 0..2 {
+///     for r in 0..2 {
+///         ta.set_combine(q, r, usize::from(q == 1 || r == 1));
+///     }
+/// }
+/// ta.set_accepting(1, true);
+///
+/// let sep = query::distinguish(&ta, &ta.complement()).unwrap();
+/// assert_ne!(query::contains(&ta, &sep), query::contains(&ta.complement(), &sep));
+/// assert!(query::distinguish(&ta, &ta).is_none());
+/// ```
+pub fn distinguish<A>(a: &A, b: &A) -> Option<A::Input>
+where
+    A: Witness + BooleanOps,
+{
+    counterexample(a, b).or_else(|| counterexample(b, a))
 }
 
 /// Returns `true` if `L(a) ⊆ L(b)` (WALi's `languageSubsetEq`).

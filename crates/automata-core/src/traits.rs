@@ -92,6 +92,58 @@ pub trait Minimize: Sized {
     fn num_states(&self) -> usize;
 }
 
+/// Witness extraction: producing a concrete accepted input instead of a bare
+/// emptiness bit.
+///
+/// Every decision verb in the suite bottoms out in an emptiness check, and a
+/// `false` answer from [`Decide::equals`] or [`Decide::subset_eq`] is opaque
+/// without an input that separates the two languages. `Witness` is the
+/// capability that makes the decision layer self-explaining: a model that
+/// implements it can answer *why* its language is non-empty, and — combined
+/// with [`BooleanOps`] — the derived entry points
+/// [`crate::query::counterexample`] and [`crate::query::distinguish`]
+/// explain failed inclusion and equivalence checks for free.
+///
+/// Implementations must satisfy, and the suite property-tests:
+///
+/// 1. **soundness** — a returned input is accepted:
+///    `a.witness().map_or(true, |w| a.accepts(&w))`;
+/// 2. **completeness** — `a.witness().is_none()` exactly when the language
+///    is empty (agreement with [`Emptiness::is_empty`]).
+///
+/// Witnesses are *shortest-ish*: every implementation extracts a minimal
+/// input under its own derivation rules (BFS for DFAs, shortest summary
+/// derivations for nested word automata, smallest witness trees for
+/// stepwise tree automata), but no global minimality across encodings is
+/// promised.
+///
+/// Unlike [`Acceptor`], whose input parameter may be unsized (`[usize]`),
+/// the associated `Input` here is the *owned* form a witness is produced as
+/// (`Vec<usize>` for word automata, [`nested_words::NestedWord`] for nested
+/// word automata, [`nested_words::OrderedTree`] for tree automata).
+///
+/// ```
+/// use automata_core::Witness;
+/// use word_automata::Dfa;
+///
+/// // "contains a 1" over {0,1}: shortest witness is [1].
+/// let mut d = Dfa::new(2, 2, 0);
+/// d.set_accepting(1, true);
+/// d.set_transition(0, 0, 0);
+/// d.set_transition(0, 1, 1);
+/// d.set_transition(1, 0, 1);
+/// d.set_transition(1, 1, 1);
+/// assert_eq!(d.witness(), Some(vec![1]));
+/// ```
+pub trait Witness {
+    /// The owned input type witnesses are produced as.
+    type Input;
+
+    /// Returns a shortest-ish accepted input, or `None` iff the language is
+    /// empty.
+    fn witness(&self) -> Option<Self::Input>;
+}
+
 /// The WALi-style decision verbs: inclusion and equivalence.
 ///
 /// Both have default implementations by reduction to [`BooleanOps`] +

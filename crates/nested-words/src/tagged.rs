@@ -138,7 +138,10 @@ fn parse_token(
             message: format!("malformed token `{token}`"),
         });
     }
-    let s = alphabet.intern(name);
+    // The fallible variant: parsing already returns `Result`, so a full
+    // alphabet surfaces as a typed `AlphabetFull` error instead of a panic
+    // (families sweeps and tests parse untrusted word texts through here).
+    let s = alphabet.try_intern(name)?;
     Ok(TaggedSymbol::new(kind, s))
 }
 
@@ -211,6 +214,20 @@ mod tests {
         assert_eq!(open[0].display(&ab), "<open");
         assert_eq!(open[1].display(&ab), "close>");
         assert_eq!(open[2].display(&ab), "inner");
+    }
+
+    #[test]
+    fn parse_surfaces_full_alphabet_as_typed_error() {
+        use crate::error::NestedWordError;
+        let mut ab = Alphabet::new();
+        for i in 0..Alphabet::MAX_SYMBOLS {
+            ab.try_intern(&format!("s{i}")).unwrap();
+        }
+        // A fresh name no longer fits: a typed error, not a panic.
+        let err = parse_tagged("<overflow", &mut ab).unwrap_err();
+        assert!(matches!(err, NestedWordError::AlphabetFull { .. }));
+        // Already-interned names still parse on the full alphabet.
+        assert!(parse_tagged("<s0 s1 s2>", &mut ab).is_ok());
     }
 
     #[test]

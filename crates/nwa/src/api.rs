@@ -6,7 +6,7 @@ use crate::automaton::{Nwa, StreamingRun};
 use crate::joinless::{JoinlessNwa, JoinlessStreamingRun};
 use crate::nondet::{Nnwa, NnwaStreamingRun};
 use crate::{boolean, decision};
-use automata_core::{Acceptor, BooleanOps, Decide, Emptiness, Minimize, StreamAcceptor};
+use automata_core::{Acceptor, BooleanOps, Decide, Emptiness, Minimize, StreamAcceptor, Witness};
 use nested_words::NestedWord;
 
 // --- deterministic NWAs ---------------------------------------------------
@@ -70,6 +70,17 @@ impl Minimize for Nwa {
     }
 }
 
+impl Witness for Nwa {
+    type Input = NestedWord;
+
+    /// A shortest accepted nested word (see
+    /// [`crate::witness::shortest_accepted_det`]): the emptiness saturation
+    /// instrumented with backpointers through the summary relation.
+    fn witness(&self) -> Option<NestedWord> {
+        crate::witness::shortest_accepted_det(self)
+    }
+}
+
 // --- nondeterministic NWAs ------------------------------------------------
 
 impl Acceptor<NestedWord> for Nnwa {
@@ -120,6 +131,17 @@ impl Decide for Nnwa {
     }
 }
 
+impl Witness for Nnwa {
+    type Input = NestedWord;
+
+    /// A shortest accepted nested word (see
+    /// [`crate::witness::shortest_accepted`]), directly on the
+    /// nondeterministic transition relations — no determinization.
+    fn witness(&self) -> Option<NestedWord> {
+        crate::witness::shortest_accepted(self)
+    }
+}
+
 // --- joinless NWAs --------------------------------------------------------
 
 impl Acceptor<NestedWord> for JoinlessNwa {
@@ -133,6 +155,25 @@ impl StreamAcceptor for JoinlessNwa {
 
     fn start(&self) -> JoinlessStreamingRun<'_> {
         JoinlessNwa::start_run(self)
+    }
+}
+
+impl Emptiness for JoinlessNwa {
+    /// Decided on the exact [`JoinlessNwa::to_nnwa`] expansion of the
+    /// mode-split return relation (polynomial, no determinization).
+    fn is_empty(&self) -> bool {
+        decision::is_empty(&self.to_nnwa())
+    }
+}
+
+impl Witness for JoinlessNwa {
+    type Input = NestedWord;
+
+    /// A shortest accepted nested word, extracted from the exact
+    /// [`JoinlessNwa::to_nnwa`] expansion through the summary-relation
+    /// engine ([`crate::witness::shortest_accepted`]).
+    fn witness(&self) -> Option<NestedWord> {
+        crate::witness::shortest_accepted(&self.to_nnwa())
     }
 }
 

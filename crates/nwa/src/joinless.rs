@@ -298,6 +298,53 @@ impl JoinlessNwa {
         JoinlessStreamingRun::new(self)
     }
 
+    /// Expands the mode-split return relation into an ordinary
+    /// nondeterministic NWA accepting the same language.
+    ///
+    /// A joinless automaton *is* an NWA whose return relation factors
+    /// through the generalized joinless return relation (the
+    /// `return_targets` step of the streaming engine): a linear body-end
+    /// state `q`
+    /// follows its own return transitions provided the hierarchical edge
+    /// carries an initial state, and a hierarchical body-end state that ends
+    /// accepting follows the return transitions of the state pushed at the
+    /// call. Materializing exactly those `(linear, hierarchical, symbol,
+    /// target)` tuples — `(q, q₀, a, t)` for linear `q` and initial `q₀`,
+    /// and `(f, h, a, t)` for hierarchical accepting `f` and any pushed `h`
+    /// with `(h, a, t)` in the relation — yields an [`Nnwa`] with identical
+    /// runs, which gives the joinless model the summary-based decision and
+    /// witness procedures ([`crate::decision`], [`crate::witness`]) without
+    /// a dedicated engine.
+    pub fn to_nnwa(&self) -> Nnwa {
+        let mut out = Nnwa::new(self.num_states, self.sigma);
+        for &q in &self.initial {
+            out.add_initial(q);
+        }
+        for &q in &self.accepting {
+            out.add_accepting(q);
+        }
+        for &(q, a, l, h) in &self.calls {
+            out.add_call(q, a, l, h);
+        }
+        for &(q, a, t) in &self.internals {
+            out.add_internal(q, a, t);
+        }
+        let hier_accepting: Vec<usize> = (0..self.num_states)
+            .filter(|&q| !self.linear[q] && self.accepting.contains(&q))
+            .collect();
+        for &(src, a, t) in &self.returns {
+            if self.linear[src] {
+                for &q0 in &self.initial {
+                    out.add_return(src, q0, a, t);
+                }
+            }
+            for &f in &hier_accepting {
+                out.add_return(f, src, a, t);
+            }
+        }
+        out
+    }
+
     // --- streaming summary steps -------------------------------------------
     //
     // A joinless automaton is a nondeterministic NWA whose return relation
@@ -667,6 +714,48 @@ mod tests {
         for seed in 0..40 {
             let w = random_nested_word(&ab, cfg, seed);
             assert_eq!(n.accepts(&w), j.accepts(&w), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn to_nnwa_preserves_language() {
+        let mut ab = Alphabet::ab();
+        // Both a genuinely hierarchical automaton and a Theorem 7 conversion.
+        for (name, j) in [
+            ("root_is_a", root_is_a()),
+            ("theorem7", joinless_from_nwa(&some_b_block())),
+        ] {
+            let n = j.to_nnwa();
+            for s in [
+                "",
+                "a b",
+                "<a a>",
+                "<b b>",
+                "<a <b b> a>",
+                "<b <a a> b>",
+                "<a <b b> <a a> a>",
+                "<a a> <a a>",
+                "a> <b b>",
+                "<a <a <b b> a> a>",
+            ] {
+                let w = parse(&mut ab, s);
+                assert_eq!(j.accepts(&w), n.accepts(&w), "{name}: word `{s}`");
+            }
+            // The conversion must agree with the joinless reference
+            // semantics on *all* words, pending edges included (unlike the
+            // Theorem 7 construction itself, which is only exact without
+            // pending calls — the comparison here is j against its own
+            // expansion, not against the original NWA).
+            let cfg = NestedWordConfig {
+                len: 25,
+                allow_pending: true,
+                ..Default::default()
+            };
+            let ab2 = Alphabet::ab();
+            for seed in 0..30 {
+                let w = random_nested_word(&ab2, cfg, seed);
+                assert_eq!(j.accepts(&w), n.accepts(&w), "{name}: seed {seed}");
+            }
         }
     }
 

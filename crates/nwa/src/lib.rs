@@ -28,6 +28,11 @@
 //! * state reduction by congruence refinement ([`minimize`]), behind the
 //!   `automata-core` [`Minimize`](automata_core::Minimize) trait — exact on
 //!   flat automata, a sound quotient in general;
+//! * emptiness witness extraction ([`witness`]), behind the `automata-core`
+//!   [`Witness`](automata_core::Witness) trait: shortest derivations over
+//!   the call/return summary relation reconstruct a concrete accepted
+//!   nested word for [`Nwa`], [`Nnwa`] and [`JoinlessNwa`] (the latter via
+//!   its exact [`JoinlessNwa::to_nnwa`] return-relation expansion);
 //! * the language families used in the succinctness theorems ([`families`]);
 //! * the unified suite API: fluent construction via [`NwaBuilder`] /
 //!   [`NnwaBuilder`] ([`builder`]) and the `automata-core` trait
@@ -50,6 +55,7 @@ pub mod minimize;
 pub mod nondet;
 pub mod summary;
 pub mod weak;
+pub mod witness;
 
 pub use automaton::{Nwa, StreamingRun};
 pub use builder::{NnwaBuilder, NwaBuilder};

@@ -1,0 +1,446 @@
+//! Emptiness witness extraction for nested word automata: a shortest-ish
+//! accepted [`NestedWord`] instead of a bare boolean.
+//!
+//! The emptiness procedure of §3.2 ([`crate::decision`]) saturates the
+//! *well-matched summary* relation `WM(q, q')` and then closes the initial
+//! states under summaries, pending returns and pending calls. This module
+//! runs the same derivation system, but every derived fact carries its
+//! shortest derivation: a length and a backpointer to the rule instance that
+//! produced it. Reaching an accepting state then reconstructs a concrete
+//! accepted nested word — including pending edges — by unwinding the
+//! backpointers through the call/return summary relation.
+//!
+//! The derivation rules mirror [`crate::decision::well_matched_summaries`] /
+//! [`crate::decision::reachable_sets`], restated so that every rule grows
+//! its conclusion strictly (which makes the backpointer graph well-founded
+//! and plain fixpoint iteration sufficient):
+//!
+//! * `SUM(q, q)` by the empty word;
+//! * `SUM(p, q) --a--> SUM(p, t)` for an internal transition `(q, a, t)`;
+//! * `SUM(p, qc)` + call `(qc, c, ql, qh)` + `SUM(ql, e)` + return
+//!   `(e, qh, r, t)` derive `SUM(p, t)` by `w₁ ⟨c w₂ r⟩` — the
+//!   call–body–return rule;
+//! * `R₀(q₀)` for initial `q₀`; both reach modes compose with summaries;
+//! * pending returns extend mode 0 (the hierarchical edge carries an
+//!   initial state, §3.1); pending calls switch to mode 1, where no pending
+//!   return may follow (edges never cross).
+//!
+//! Lengths are minimal over this rule system, so witnesses are shortest
+//! accepted words up to the usual caveat that a shortest derivation of an
+//! exponentially long witness is still exponentially long to materialize.
+
+use crate::nondet::Nnwa;
+use nested_words::{NestedWord, Symbol, TaggedSymbol};
+
+/// How a fact was derived; indices refer to the fact arrays of the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Back {
+    /// Not derived (yet).
+    None,
+    /// `SUM(q, q)` — the empty well-matched word.
+    SumEps,
+    /// `SUM(p, t)` from `SUM(p, q)` followed by an internal position.
+    SumInternal { pre: usize, sym: Symbol },
+    /// `SUM(p, t)` from `SUM(p, qc)`, a call, a body summary and a return.
+    SumCallRet {
+        pre: usize,
+        call: Symbol,
+        body: usize,
+        ret: Symbol,
+    },
+    /// `R₀(q₀)` — an initial state, reached by the empty word.
+    ReachInit,
+    /// `R_m(q')` from `R_m(q)` extended by a well-matched summary.
+    ReachSum { reach: usize, sum: usize },
+    /// `R₀(t)` from `R₀(q)` extended by a pending return.
+    ReachPendingReturn { reach: usize, sym: Symbol },
+    /// `R₁(ql)` from `R_m(q)` extended by a pending call.
+    ReachPendingCall { reach: usize, sym: Symbol },
+}
+
+/// Shortest-derivation engine over the summary relation of one automaton.
+struct Engine {
+    /// Fact layout: `SUM(p, q) = p·n + q`, `R₀(q) = n² + q`,
+    /// `R₁(q) = n² + n + q`.
+    num_states: usize,
+    dist: Vec<usize>,
+    back: Vec<Back>,
+}
+
+impl Engine {
+    fn sum(&self, p: usize, q: usize) -> usize {
+        p * self.num_states + q
+    }
+
+    fn reach(&self, mode: usize, q: usize) -> usize {
+        self.num_states * self.num_states + mode * self.num_states + q
+    }
+
+    /// Relaxes one fact: records the strictly better derivation if `len`
+    /// improves on the best known one.
+    fn relax(&mut self, fact: usize, len: usize, back: Back) -> bool {
+        if len < self.dist[fact] {
+            self.dist[fact] = len;
+            self.back[fact] = back;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Saturates the derivation system of `a` to the least fixpoint of
+    /// shortest lengths.
+    fn saturate(a: &Nnwa) -> Engine {
+        let n = a.num_states();
+        let mut e = Engine {
+            num_states: n,
+            dist: vec![usize::MAX; n * n + 2 * n],
+            back: vec![Back::None; n * n + 2 * n],
+        };
+        for q in 0..n {
+            let f = e.sum(q, q);
+            e.relax(f, 0, Back::SumEps);
+        }
+        for q0 in a.initial_states() {
+            let f = e.reach(0, q0);
+            e.relax(f, 0, Back::ReachInit);
+        }
+        let initial: Vec<usize> = a.initial_states().collect();
+        // Return transitions indexed by their hierarchical state, so the
+        // call–body–return rule only pairs a call with the returns that can
+        // consume the state it pushes.
+        let mut returns_by_hier: Vec<Vec<(usize, Symbol, usize)>> = vec![Vec::new(); n];
+        for &(rl, rh, rsym, t) in a.returns() {
+            returns_by_hier[rh].push((rl, rsym, t));
+        }
+
+        // Fixpoint iteration. Every rule below adds at least one position
+        // except summary composition, whose zero-length case is the identity
+        // summary `SUM(q, q)` and therefore never a strict improvement — so
+        // each stored backpointer references strictly shorter facts and the
+        // reconstruction below terminates.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // internal extension of summaries
+            for &(q, sym, t) in a.internals() {
+                for p in 0..n {
+                    let pre = e.sum(p, q);
+                    if e.dist[pre] == usize::MAX {
+                        continue;
+                    }
+                    let len = e.dist[pre] + 1;
+                    let f = e.sum(p, t);
+                    changed |= e.relax(f, len, Back::SumInternal { pre, sym });
+                }
+            }
+            // call–body–return
+            for &(qc, csym, ql, qh) in a.calls() {
+                for &(rl, rsym, t) in &returns_by_hier[qh] {
+                    let body = e.sum(ql, rl);
+                    if e.dist[body] == usize::MAX {
+                        continue;
+                    }
+                    for p in 0..n {
+                        let pre = e.sum(p, qc);
+                        if e.dist[pre] == usize::MAX {
+                            continue;
+                        }
+                        // Saturate throughout: witness lengths can be
+                        // exponential in the state count, and a saturated
+                        // candidate must never be stored (usize::MAX is the
+                        // "unreached" sentinel, and `relax` only accepts
+                        // strictly smaller values).
+                        let len = e.dist[pre].saturating_add(e.dist[body]).saturating_add(2);
+                        let f = e.sum(p, t);
+                        changed |= e.relax(
+                            f,
+                            len,
+                            Back::SumCallRet {
+                                pre,
+                                call: csym,
+                                body,
+                                ret: rsym,
+                            },
+                        );
+                    }
+                }
+            }
+            // reachability composed with summaries
+            for mode in 0..2 {
+                for q in 0..n {
+                    let r = e.reach(mode, q);
+                    if e.dist[r] == usize::MAX {
+                        continue;
+                    }
+                    for t in 0..n {
+                        let s = e.sum(q, t);
+                        if e.dist[s] == usize::MAX {
+                            continue;
+                        }
+                        let len = e.dist[r].saturating_add(e.dist[s]);
+                        let f = e.reach(mode, t);
+                        changed |= e.relax(f, len, Back::ReachSum { reach: r, sum: s });
+                    }
+                }
+            }
+            // pending returns (mode 0 only; hierarchical edge is initial)
+            for &(rl, rh, sym, t) in a.returns() {
+                if !initial.contains(&rh) {
+                    continue;
+                }
+                let r = e.reach(0, rl);
+                if e.dist[r] == usize::MAX {
+                    continue;
+                }
+                let len = e.dist[r] + 1;
+                let f = e.reach(0, t);
+                changed |= e.relax(f, len, Back::ReachPendingReturn { reach: r, sym });
+            }
+            // pending calls (either mode enters mode 1)
+            for &(q, sym, ql, _qh) in a.calls() {
+                for mode in 0..2 {
+                    let r = e.reach(mode, q);
+                    if e.dist[r] == usize::MAX {
+                        continue;
+                    }
+                    let len = e.dist[r] + 1;
+                    let f = e.reach(1, ql);
+                    changed |= e.relax(f, len, Back::ReachPendingCall { reach: r, sym });
+                }
+            }
+        }
+        e
+    }
+
+    /// Reconstructs the tagged word of a derived fact by unwinding
+    /// backpointers with an explicit stack (witnesses can be long, so no
+    /// recursion).
+    fn reconstruct(&self, goal: usize) -> Vec<TaggedSymbol> {
+        enum Item {
+            Fact(usize),
+            Tag(TaggedSymbol),
+        }
+        let mut out = Vec::new();
+        let mut stack = vec![Item::Fact(goal)];
+        while let Some(item) = stack.pop() {
+            match item {
+                Item::Tag(t) => out.push(t),
+                // Pushed in reverse emission order: the last push pops first.
+                Item::Fact(f) => match self.back[f] {
+                    Back::None => unreachable!("reconstructing an unreached fact"),
+                    Back::SumEps | Back::ReachInit => {}
+                    Back::SumInternal { pre, sym } => {
+                        stack.push(Item::Tag(TaggedSymbol::Internal(sym)));
+                        stack.push(Item::Fact(pre));
+                    }
+                    Back::SumCallRet {
+                        pre,
+                        call,
+                        body,
+                        ret,
+                    } => {
+                        stack.push(Item::Tag(TaggedSymbol::Return(ret)));
+                        stack.push(Item::Fact(body));
+                        stack.push(Item::Tag(TaggedSymbol::Call(call)));
+                        stack.push(Item::Fact(pre));
+                    }
+                    Back::ReachSum { reach, sum } => {
+                        stack.push(Item::Fact(sum));
+                        stack.push(Item::Fact(reach));
+                    }
+                    Back::ReachPendingReturn { reach, sym } => {
+                        stack.push(Item::Tag(TaggedSymbol::Return(sym)));
+                        stack.push(Item::Fact(reach));
+                    }
+                    Back::ReachPendingCall { reach, sym } => {
+                        stack.push(Item::Tag(TaggedSymbol::Call(sym)));
+                        stack.push(Item::Fact(reach));
+                    }
+                },
+            }
+        }
+        out
+    }
+}
+
+/// Returns a shortest accepted nested word of a nondeterministic NWA, or
+/// `None` iff the language is empty (agreeing with
+/// [`crate::decision::is_empty`], whose saturation this instruments with
+/// backpointers). Pending calls and pending returns are produced when they
+/// give a shorter witness.
+pub fn shortest_accepted(a: &Nnwa) -> Option<NestedWord> {
+    let e = Engine::saturate(a);
+    let goal = (0..a.num_states())
+        .filter(|&q| a.is_accepting(q))
+        .flat_map(|q| [e.reach(0, q), e.reach(1, q)])
+        .filter(|&f| e.dist[f] != usize::MAX)
+        .min_by_key(|&f| e.dist[f])?;
+    Some(NestedWord::from_tagged(&e.reconstruct(goal)))
+}
+
+/// Returns a shortest accepted nested word of a deterministic NWA, or
+/// `None` iff the language is empty: the dense transition tables are viewed
+/// as relations (exactly as [`crate::decision::is_empty_det`] does) and fed
+/// through the same shortest-derivation engine.
+pub fn shortest_accepted_det(a: &crate::automaton::Nwa) -> Option<NestedWord> {
+    shortest_accepted(&Nnwa::from_deterministic(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nested_words::tagged::parse_nested_word;
+    use nested_words::Alphabet;
+
+    #[test]
+    fn empty_language_has_no_witness() {
+        let n = Nnwa::new(2, 1);
+        assert_eq!(shortest_accepted(&n), None);
+        let mut n = Nnwa::new(2, 1);
+        n.add_initial(0);
+        n.add_accepting(1);
+        // accepting state unreachable
+        assert_eq!(shortest_accepted(&n), None);
+    }
+
+    #[test]
+    fn accepting_initial_state_yields_empty_word() {
+        let mut n = Nnwa::new(1, 1);
+        n.add_initial(0);
+        n.add_accepting(0);
+        assert_eq!(shortest_accepted(&n), Some(NestedWord::empty()));
+    }
+
+    #[test]
+    fn internal_witness_is_shortest() {
+        let a = Symbol(0);
+        let mut n = Nnwa::new(3, 1);
+        n.add_initial(0);
+        n.add_accepting(2);
+        n.add_internal(0, a, 1);
+        n.add_internal(1, a, 2);
+        let w = shortest_accepted(&n).unwrap();
+        assert_eq!(w.len(), 2);
+        assert!(n.accepts(&w));
+    }
+
+    #[test]
+    fn matched_pair_witness_goes_through_summary() {
+        let b = Symbol(0);
+        // Accepting state only reachable by a matched call/return whose
+        // hierarchical state is 1 (not initial), so neither position can be
+        // pending.
+        let mut n = Nnwa::new(3, 1);
+        n.add_initial(0);
+        n.add_accepting(2);
+        n.add_call(0, b, 1, 1);
+        n.add_return(1, 1, b, 2);
+        let w = shortest_accepted(&n).unwrap();
+        assert!(n.accepts(&w));
+        assert_eq!(
+            w.to_tagged(),
+            vec![TaggedSymbol::Call(b), TaggedSymbol::Return(b)]
+        );
+        assert!(w.is_well_matched());
+    }
+
+    #[test]
+    fn pending_call_witness() {
+        let a = Symbol(0);
+        let mut n = Nnwa::new(2, 1);
+        n.add_initial(0);
+        n.add_accepting(1);
+        n.add_call(0, a, 1, 0);
+        let w = shortest_accepted(&n).unwrap();
+        assert!(n.accepts(&w));
+        assert_eq!(w.len(), 1);
+        assert!(w.is_pending_call(0));
+    }
+
+    #[test]
+    fn pending_return_witness() {
+        let a = Symbol(0);
+        let mut n = Nnwa::new(2, 1);
+        n.add_initial(0);
+        n.add_accepting(1);
+        n.add_return(0, 0, a, 1);
+        let w = shortest_accepted(&n).unwrap();
+        assert!(n.accepts(&w));
+        assert_eq!(w.len(), 1);
+        assert!(w.is_pending_return(0));
+    }
+
+    #[test]
+    fn no_pending_return_after_pending_call() {
+        let a = Symbol(0);
+        // The call pushes hierarchical state 2, which no return consumes, so
+        // it can only be taken as a pending call; state 1 is then reachable
+        // only in mode 1, where the pending return (hierarchical state
+        // initial) is illegal because edges must not cross. Language empty.
+        let mut n = Nnwa::new(3, 1);
+        n.add_initial(0);
+        n.add_accepting(2);
+        n.add_call(0, a, 1, 2);
+        n.add_return(1, 0, a, 2);
+        assert_eq!(shortest_accepted(&n), None);
+        assert!(crate::decision::is_empty(&n));
+        // A return consuming the pushed state 2 lets the pair match: <a a>.
+        n.add_return(1, 2, a, 2);
+        let w = shortest_accepted(&n).unwrap();
+        assert!(n.accepts(&w));
+        assert_eq!(
+            w.to_tagged(),
+            vec![TaggedSymbol::Call(a), TaggedSymbol::Return(a)]
+        );
+    }
+
+    #[test]
+    fn witness_matches_known_language() {
+        // Rooted words of even depth: the first return must happen at even
+        // depth (linear state 0) consuming the odd-parity marker 1, and the
+        // root return consumes the bottom marker 0 from the ascent state 2 —
+        // so no pending edge can reach the accepting state and the shortest
+        // member is <a <a a> a>.
+        let a = Symbol(0);
+        let mut n = Nnwa::new(4, 1);
+        n.add_initial(0);
+        n.add_accepting(3);
+        n.add_call(0, a, 1, 0);
+        n.add_call(1, a, 0, 1);
+        n.add_return(0, 1, a, 2);
+        n.add_return(2, 1, a, 2);
+        n.add_return(2, 0, a, 3);
+        let w = shortest_accepted(&n).unwrap();
+        assert!(n.accepts(&w));
+        assert!(w.is_well_matched());
+        let mut ab = Alphabet::from_names(["a"]);
+        let expect = parse_nested_word("<a <a a> a>", &mut ab).unwrap();
+        assert_eq!(w.len(), expect.len());
+        assert!(n.accepts(&expect));
+    }
+
+    #[test]
+    fn deterministic_witness_agrees_with_emptiness() {
+        use crate::automaton::Nwa;
+        let a = Symbol(0);
+        // "even number of positions" — non-empty, shortest witness ε.
+        let mut m = Nwa::new(2, 1, 0);
+        m.set_accepting(0, true);
+        for q in 0..2usize {
+            m.set_internal(q, a, 1 - q);
+            m.set_call(q, a, 1 - q, 0);
+            for h in 0..2 {
+                m.set_return(q, h, a, 1 - q);
+            }
+        }
+        assert_eq!(shortest_accepted_det(&m), Some(NestedWord::empty()));
+        // "odd number of positions" — shortest witness has one position.
+        let mut odd = m.clone();
+        odd.set_accepting(0, false);
+        odd.set_accepting(1, true);
+        let w = shortest_accepted_det(&odd).unwrap();
+        assert_eq!(w.len(), 1);
+        assert!(odd.accepts(&w));
+    }
+}

@@ -6,7 +6,7 @@
 use crate::bottom_up::BottomUpBinaryTA;
 use crate::stepwise::{DetStepwiseTA, StepwiseTA};
 use crate::top_down::TopDownBinaryTA;
-use automata_core::{Acceptor, BooleanOps, Decide, Emptiness, Minimize};
+use automata_core::{Acceptor, BooleanOps, Decide, Emptiness, Minimize, Witness};
 use nested_words::OrderedTree;
 
 impl Acceptor<OrderedTree> for DetStepwiseTA {
@@ -50,6 +50,16 @@ impl Minimize for DetStepwiseTA {
     }
 }
 
+impl Witness for DetStepwiseTA {
+    type Input = OrderedTree;
+
+    /// A smallest accepted tree ([`DetStepwiseTA::find_accepted_tree`]:
+    /// bottom-up reachability with backpointers).
+    fn witness(&self) -> Option<OrderedTree> {
+        self.find_accepted_tree()
+    }
+}
+
 impl Acceptor<OrderedTree> for StepwiseTA {
     fn accepts(&self, input: &OrderedTree) -> bool {
         StepwiseTA::accepts(self, input)
@@ -60,6 +70,17 @@ impl Emptiness for StepwiseTA {
     /// Decided on the subset-construction determinization.
     fn is_empty(&self) -> bool {
         self.determinize().is_empty()
+    }
+}
+
+impl Witness for StepwiseTA {
+    type Input = OrderedTree;
+
+    /// A smallest accepted tree of the subset-construction determinization
+    /// (whose smallest accepted trees coincide with the nondeterministic
+    /// automaton's).
+    fn witness(&self) -> Option<OrderedTree> {
+        self.determinize().find_accepted_tree()
     }
 }
 

@@ -132,6 +132,87 @@ impl DetStepwiseTA {
         !self.reachable_states().iter().any(|&q| self.accepting[q])
     }
 
+    /// Finds a smallest accepted tree, or `None` iff the language is empty.
+    ///
+    /// The bottom-up reachability behind [`DetStepwiseTA::is_empty`] is
+    /// instrumented with backpointers: `init(a) = q` reaches `q` with the
+    /// one-node tree `a`, and `combine(q, r) = t` reaches `t` with the tree
+    /// for `q` extended by the tree for `r` as one more child. Node counts
+    /// are minimized to a fixpoint (each rule grows its conclusion strictly,
+    /// so the backpointer graph is well-founded), then the smallest
+    /// accepting value is unwound into an [`OrderedTree`].
+    pub fn find_accepted_tree(&self) -> Option<OrderedTree> {
+        #[derive(Clone, Copy)]
+        enum Back {
+            None,
+            /// Reached as `init(label)`: a leaf.
+            Init(Symbol),
+            /// Reached as `combine(partial, child)`: one more child.
+            Combine(usize, usize),
+        }
+        let n = self.num_states;
+        let mut size = vec![usize::MAX; n];
+        let mut back = vec![Back::None; n];
+        for a in 0..self.sigma {
+            let q = self.init[a];
+            if 1 < size[q] {
+                size[q] = 1;
+                back[q] = Back::Init(Symbol(a as u16));
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for q in 0..n {
+                if size[q] == usize::MAX {
+                    continue;
+                }
+                for r in 0..n {
+                    if size[r] == usize::MAX {
+                        continue;
+                    }
+                    let t = self.combine(q, r);
+                    let candidate = size[q].saturating_add(size[r]);
+                    if candidate < size[t] {
+                        size[t] = candidate;
+                        back[t] = Back::Combine(q, r);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        let goal = (0..n)
+            .filter(|&q| self.accepting[q] && size[q] != usize::MAX)
+            .min_by_key(|&q| size[q])?;
+
+        // Unwind: follow the combine chain down to the init leaf, collecting
+        // the child values folded in along the way, then build each child
+        // recursively (depth is bounded by the witness height).
+        fn build(back: &[Back], q: usize) -> OrderedTree {
+            let mut children_states = Vec::new();
+            let mut cur = q;
+            let label = loop {
+                match back[cur] {
+                    Back::Init(a) => break a,
+                    Back::Combine(partial, child) => {
+                        children_states.push(child);
+                        cur = partial;
+                    }
+                    Back::None => unreachable!("unwinding an unreached state"),
+                }
+            };
+            children_states.reverse();
+            OrderedTree::node(
+                label,
+                children_states
+                    .into_iter()
+                    .map(|c| build(back, c))
+                    .collect(),
+            )
+        }
+        Some(build(&back, goal))
+    }
+
     /// Product construction: runs both automata in lockstep; `combine_acc`
     /// decides acceptance of a state pair. Both the `init` assignment and the
     /// `combine` fold are componentwise, so the product evaluates every tree
@@ -517,6 +598,32 @@ mod tests {
         assert!(min.num_states() <= det.num_states());
         assert!(min.accepts(&with_b));
         assert!(!min.accepts(&without));
+    }
+
+    #[test]
+    fn find_accepted_tree_produces_smallest_witness() {
+        let (a, b) = syms();
+        let ta = det_contains_b();
+        // smallest accepted tree is the single leaf b
+        let t = ta.find_accepted_tree().unwrap();
+        assert_eq!(t, OrderedTree::leaf(b));
+        assert!(ta.accepts(&t));
+        // "at least two b-nodes": 0/1/2-or-more counted in the state
+        let mut two = DetStepwiseTA::new(3, 2);
+        two.set_init(a, 0);
+        two.set_init(b, 1);
+        for q in 0..3 {
+            for r in 0..3 {
+                two.set_combine(q, r, (q + r).min(2));
+            }
+        }
+        two.set_accepting(2, true);
+        let t2 = two.find_accepted_tree().unwrap();
+        assert_eq!(t2.node_count(), 2);
+        assert!(two.accepts(&t2));
+        // empty language has no witness
+        let dead = DetStepwiseTA::new(2, 2);
+        assert_eq!(dead.find_accepted_tree(), None);
     }
 
     #[test]

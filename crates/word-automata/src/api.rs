@@ -4,7 +4,9 @@
 
 use crate::dfa::Dfa;
 use crate::nfa::Nfa;
-use automata_core::{Acceptor, BooleanOps, Decide, Emptiness, Minimize, StreamAcceptor, StreamRun};
+use automata_core::{
+    Acceptor, BooleanOps, Decide, Emptiness, Minimize, StreamAcceptor, StreamRun, Witness,
+};
 use nested_words::TaggedSymbol;
 
 impl Acceptor<[usize]> for Dfa {
@@ -114,6 +116,16 @@ impl Minimize for Dfa {
     }
 }
 
+impl Witness for Dfa {
+    type Input = Vec<usize>;
+
+    /// A shortest accepted word ([`Dfa::find_accepted_word`]: BFS from the
+    /// initial state with predecessor backpointers).
+    fn witness(&self) -> Option<Vec<usize>> {
+        self.find_accepted_word()
+    }
+}
+
 impl Acceptor<[usize]> for Nfa {
     fn accepts(&self, input: &[usize]) -> bool {
         Nfa::accepts(self, input)
@@ -125,6 +137,16 @@ impl Emptiness for Nfa {
     /// case, though emptiness itself only needs the reachable part.
     fn is_empty(&self) -> bool {
         self.determinize().is_empty()
+    }
+}
+
+impl Witness for Nfa {
+    type Input = Vec<usize>;
+
+    /// A shortest accepted word, found by BFS on the subset-construction
+    /// DFA (whose shortest accepted words coincide with the NFA's).
+    fn witness(&self) -> Option<Vec<usize>> {
+        self.determinize().find_accepted_word()
     }
 }
 

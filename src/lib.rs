@@ -20,10 +20,13 @@
 //!   [`prelude::Emptiness`], [`prelude::Decide`]);
 //! * [`query`] — WALi-style free-function verbs, generic over the traits:
 //!   [`query::contains`], [`query::is_empty`], [`query::subset_eq`],
-//!   [`query::equals`], and the streaming verbs [`query::run_stream`] /
+//!   [`query::equals`], the streaming verbs [`query::run_stream`] /
 //!   [`query::contains_stream`] that evaluate any
 //!   [`prelude::StreamAcceptor`] over SAX-style event streams in one pass
-//!   with memory proportional to the nesting depth.
+//!   with memory proportional to the nesting depth, and the explanation
+//!   verbs [`query::witness`] / [`query::counterexample`] /
+//!   [`query::distinguish`] that turn every negative decision into a
+//!   concrete input ([`prelude::Witness`]).
 //!
 //! ```
 //! use nested_words_suite::prelude::*;
@@ -64,6 +67,7 @@
 //! | `nwa::boolean::union_nondet(&a, &b)`       | `a.union(&b)`                      |
 //! | `word_automata::Dfa::equivalent(&a, &b)`   | `query::equals(&a, &b)`            |
 //! | `word_automata::Dfa::included_in(&a, &b)`  | `query::subset_eq(&a, &b)`         |
+//! | `word_automata::Dfa::find_accepted_word(&d)`| `query::witness(&d)`              |
 //! | `nwa_pushdown::emptiness::is_empty(&p)`    | `query::is_empty(&p)`              |
 //! | `m.accepts(&w)` (per-model inherent)       | `query::contains(&m, &w)` or trait |
 //! | `Nwa::new(n, s, q0)` + `set_*` calls       | `NwaBuilder::new(n, s, q0).…`      |
@@ -91,7 +95,7 @@ pub use word_automata;
 pub mod prelude {
     pub use automata_core::{
         Acceptor, BooleanOps, Builder, Decide, Emptiness, Minimize, StateId, StreamAcceptor,
-        StreamOutcome, StreamRun,
+        StreamOutcome, StreamRun, Witness,
     };
     pub use nested_words::tagged::{display_nested_word, parse_nested_word};
     pub use nested_words::{
@@ -111,10 +115,15 @@ pub mod prelude {
 /// The WALi-style decision verbs, uniform over every automaton model
 /// ([`query::contains`], [`query::is_empty`], [`query::subset_eq`],
 /// [`query::equals`]), plus the streaming verbs over tagged-symbol event
-/// streams ([`query::run_stream`], [`query::contains_stream`]) and
-/// model-generic state minimization ([`query::minimize`]).
+/// streams ([`query::run_stream`], [`query::contains_stream`]),
+/// model-generic state minimization ([`query::minimize`]) and the
+/// explanation verbs ([`query::witness`], [`query::counterexample`],
+/// [`query::distinguish`]) that produce a concrete accepted input — or the
+/// separator behind a failed inclusion/equivalence — instead of a bare
+/// boolean.
 pub mod query {
     pub use automata_core::query::{
-        contains, contains_stream, equals, is_empty, minimize, run_stream, subset_eq,
+        contains, contains_stream, counterexample, distinguish, equals, is_empty, minimize,
+        run_stream, subset_eq, witness,
     };
 }

@@ -59,3 +59,45 @@ pub fn random_stepwise(num_states: usize, sigma: usize, seed: u64) -> DetStepwis
     }
     ta
 }
+
+/// A random sparse nondeterministic NWA. Sparseness is deliberate: several
+/// property tests complement (hence determinize) these automata, and the
+/// summary-set construction is exponential in the transition density. The
+/// sparse draw also leaves a healthy fraction of instances with an empty
+/// language, which the witness completeness properties need.
+pub fn random_nnwa(num_states: usize, sigma: usize, seed: u64) -> Nnwa {
+    random_nnwa_with_transitions(num_states, sigma, num_states + 2, seed)
+}
+
+/// [`random_nnwa`] with an explicit transition budget, for tests that want
+/// denser automata (e.g. the streaming suite, which never determinizes).
+pub fn random_nnwa_with_transitions(
+    num_states: usize,
+    sigma: usize,
+    transitions: usize,
+    seed: u64,
+) -> Nnwa {
+    let mut rng = Prng::new(seed);
+    let mut n = Nnwa::new(num_states, sigma);
+    n.add_initial(rng.below(num_states));
+    n.add_accepting(rng.below(num_states));
+    for _ in 0..transitions {
+        let s = Symbol(rng.below(sigma) as u16);
+        match rng.below(3) {
+            0 => n.add_internal(rng.below(num_states), s, rng.below(num_states)),
+            1 => n.add_call(
+                rng.below(num_states),
+                s,
+                rng.below(num_states),
+                rng.below(num_states),
+            ),
+            _ => n.add_return(
+                rng.below(num_states),
+                rng.below(num_states),
+                s,
+                rng.below(num_states),
+            ),
+        }
+    }
+    n
+}

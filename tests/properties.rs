@@ -9,7 +9,7 @@
 
 mod common;
 
-use common::{random_det_nwa, random_dfa, random_stepwise};
+use common::{random_det_nwa, random_dfa, random_nnwa, random_stepwise};
 use nested_words_suite::nested_words::generate::{
     random_nested_word, random_tree, NestedWordConfig,
 };
@@ -141,39 +141,6 @@ fn tree_encoding_roundtrips() {
 }
 
 // --------------------------------------------------------------------------
-// Random automata
-// --------------------------------------------------------------------------
-
-/// A random sparse nondeterministic NWA. Sparseness is deliberate: the
-/// Decide laws complement (hence determinize) these automata, and the
-/// summary-set construction is exponential in the transition density.
-fn random_nnwa(num_states: usize, sigma: usize, seed: u64) -> Nnwa {
-    let mut rng = Prng::new(seed);
-    let mut n = Nnwa::new(num_states, sigma);
-    n.add_initial(rng.below(num_states));
-    n.add_accepting(rng.below(num_states));
-    for _ in 0..num_states + 2 {
-        let s = Symbol(rng.below(sigma) as u16);
-        match rng.below(3) {
-            0 => n.add_internal(rng.below(num_states), s, rng.below(num_states)),
-            1 => n.add_call(
-                rng.below(num_states),
-                s,
-                rng.below(num_states),
-                rng.below(num_states),
-            ),
-            _ => n.add_return(
-                rng.below(num_states),
-                rng.below(num_states),
-                s,
-                rng.below(num_states),
-            ),
-        }
-    }
-    n
-}
-
-// --------------------------------------------------------------------------
 // Decide laws across models
 // --------------------------------------------------------------------------
 
@@ -190,7 +157,10 @@ fn decide_law_double_complement_nwa() {
 }
 
 /// `subset_eq(intersect(a, b), a)` for deterministic NWAs, and intersection
-/// with the complement is empty.
+/// with the complement is empty. Every negative decision now explains
+/// itself: a failed inclusion yields a counterexample accepted by exactly
+/// the left side, a failed equivalence a separator accepted by exactly one
+/// side, and the explanation exists if and only if the decision failed.
 #[test]
 fn decide_law_intersection_shrinks_nwa() {
     for seed in 0..10u64 {
@@ -202,6 +172,25 @@ fn decide_law_intersection_shrinks_nwa() {
             query::is_empty(&a.intersect(&a.complement())),
             "seed {seed}"
         );
+        match query::counterexample(&a, &b) {
+            Some(w) => {
+                assert!(!query::subset_eq(&a, &b), "seed {seed}");
+                assert!(query::contains(&a, &w), "seed {seed}");
+                assert!(!query::contains(&b, &w), "seed {seed}");
+            }
+            None => assert!(query::subset_eq(&a, &b), "seed {seed}"),
+        }
+        match query::distinguish(&a, &b) {
+            Some(w) => {
+                assert!(!query::equals(&a, &b), "seed {seed}");
+                assert_ne!(
+                    query::contains(&a, &w),
+                    query::contains(&b, &w),
+                    "seed {seed}: separator must be accepted by exactly one side"
+                );
+            }
+            None => assert!(query::equals(&a, &b), "seed {seed}"),
+        }
     }
 }
 
@@ -223,10 +212,22 @@ fn decide_laws_nnwa() {
             query::is_empty(&a.intersect(&a.complement())),
             "seed {seed}"
         );
+        match query::distinguish(&a, &b) {
+            Some(w) => {
+                assert_ne!(
+                    query::contains(&a, &w),
+                    query::contains(&b, &w),
+                    "seed {seed}: separator must be accepted by exactly one side"
+                );
+            }
+            None => assert!(query::equals(&a, &b), "seed {seed}"),
+        }
     }
 }
 
-/// The same two laws for DFAs.
+/// The same two laws for DFAs, with the explanation laws: the
+/// counterexample/separator exists iff the inclusion/equivalence fails, and
+/// is accepted by exactly the side it should be.
 #[test]
 fn decide_laws_dfa() {
     for seed in 0..20u64 {
@@ -241,10 +242,26 @@ fn decide_laws_dfa() {
             query::is_empty(&a.intersect(&a.complement())),
             "seed {seed}"
         );
+        match query::counterexample(&a, &b) {
+            Some(w) => {
+                assert!(query::contains(&a, &w[..]), "seed {seed}");
+                assert!(!query::contains(&b, &w[..]), "seed {seed}");
+            }
+            None => assert!(query::subset_eq(&a, &b), "seed {seed}"),
+        }
+        match query::distinguish(&a, &b) {
+            Some(w) => assert_ne!(
+                query::contains(&a, &w[..]),
+                query::contains(&b, &w[..]),
+                "seed {seed}: separator must be accepted by exactly one side"
+            ),
+            None => assert!(query::equals(&a, &b), "seed {seed}"),
+        }
     }
 }
 
-/// The same two laws for deterministic stepwise tree automata.
+/// The same two laws for deterministic stepwise tree automata, with the
+/// explanation laws over witness trees.
 #[test]
 fn decide_laws_stepwise() {
     for seed in 0..20u64 {
@@ -259,6 +276,21 @@ fn decide_laws_stepwise() {
             query::is_empty(&a.intersect(&a.complement())),
             "seed {seed}"
         );
+        match query::counterexample(&a, &b) {
+            Some(t) => {
+                assert!(query::contains(&a, &t), "seed {seed}");
+                assert!(!query::contains(&b, &t), "seed {seed}");
+            }
+            None => assert!(query::subset_eq(&a, &b), "seed {seed}"),
+        }
+        match query::distinguish(&a, &b) {
+            Some(t) => assert_ne!(
+                query::contains(&a, &t),
+                query::contains(&b, &t),
+                "seed {seed}: separator must be accepted by exactly one side"
+            ),
+            None => assert!(query::equals(&a, &b), "seed {seed}"),
+        }
     }
 }
 

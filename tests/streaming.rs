@@ -9,7 +9,7 @@
 
 mod common;
 
-use common::random_det_nwa;
+use common::{random_det_nwa, random_nnwa_with_transitions};
 use nested_words_suite::nested_words::generate::{random_nested_word, NestedWordConfig};
 use nested_words_suite::nested_words::rng::Prng;
 use nested_words_suite::nwa::flat::tagged_indices;
@@ -35,31 +35,11 @@ fn open_call_peak(word: &NestedWord) -> usize {
     peak
 }
 
-/// A random sparse nondeterministic NWA.
+/// A random nondeterministic NWA, denser than the shared default (this
+/// suite never determinizes, so density is affordable and exercises the
+/// summary sets harder).
 fn random_nnwa(num_states: usize, sigma: usize, seed: u64) -> Nnwa {
-    let mut rng = Prng::new(seed);
-    let mut n = Nnwa::new(num_states, sigma);
-    n.add_initial(rng.below(num_states));
-    n.add_accepting(rng.below(num_states));
-    for _ in 0..3 * num_states {
-        let s = Symbol(rng.below(sigma) as u16);
-        match rng.below(3) {
-            0 => n.add_internal(rng.below(num_states), s, rng.below(num_states)),
-            1 => n.add_call(
-                rng.below(num_states),
-                s,
-                rng.below(num_states),
-                rng.below(num_states),
-            ),
-            _ => n.add_return(
-                rng.below(num_states),
-                rng.below(num_states),
-                s,
-                rng.below(num_states),
-            ),
-        }
-    }
-    n
+    random_nnwa_with_transitions(num_states, sigma, 3 * num_states, seed)
 }
 
 fn random_words(count: usize) -> Vec<NestedWord> {
