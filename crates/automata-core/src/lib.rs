@@ -17,6 +17,11 @@
 //!   streams of tagged-symbol events (SAX processing, §3.2): start a run,
 //!   feed one event at a time, and observe acceptance and peak stack memory
 //!   at any prefix;
+//! * [`Compile`] — lowering into a dense-table execution artifact
+//!   ([`query::compile`]): the compiled form runs the same [`StreamAcceptor`]
+//!   protocol with cache-friendly flat tables, trading a one-time
+//!   compilation pass (and, for subset engines, memoized row storage) for
+//!   per-event speed;
 //! * [`BooleanOps`] — intersection, union, complement;
 //! * [`Emptiness`] — the language-emptiness decision;
 //! * [`Decide`] — inclusion and equivalence, with default implementations
@@ -45,12 +50,14 @@
 #![warn(missing_docs)]
 
 pub mod build;
+pub mod compile;
 pub mod ids;
 pub mod query;
 pub mod stream;
 pub mod traits;
 
 pub use build::Builder;
+pub use compile::Compile;
 pub use ids::StateId;
 pub use stream::{StreamAcceptor, StreamOutcome, StreamRun};
 pub use traits::{Acceptor, BooleanOps, Decide, Emptiness, Minimize, Witness};

@@ -7,6 +7,7 @@
 //! suite. The umbrella crate re-exports this module as `query`, which is the
 //! spelling examples and tests use: `query::equals(&a, &b)`.
 
+use crate::compile::Compile;
 use crate::stream::{StreamAcceptor, StreamOutcome, StreamRun};
 use crate::traits::{Acceptor, BooleanOps, Decide, Emptiness, Minimize, Witness};
 use nested_words::TaggedSymbol;
@@ -134,6 +135,40 @@ where
     E: IntoIterator<Item = TaggedSymbol>,
 {
     run_stream(a, events).accepted
+}
+
+/// Lowers automaton `a` into its dense-table execution artifact — the
+/// model-generic entry point to every [`Compile`] implementation. The
+/// artifact accepts exactly the streams `a` accepts (property-tested), but
+/// runs them through flat, cache-friendly tables; compile once, then drive
+/// the result with [`run_stream`] / [`contains_stream`] many times.
+///
+/// ```
+/// use automata_core::query;
+/// use nested_words::{Symbol, TaggedSymbol};
+/// use nwa::NwaBuilder;
+///
+/// // Deterministic NWA over {a} accepting nested words of even length.
+/// let a = Symbol(0);
+/// let mut builder = NwaBuilder::new(2, 1, 0).accepting(0);
+/// for q in 0..2usize {
+///     builder = builder
+///         .internal(q, a, 1 - q)
+///         .call(q, a, 1 - q, 0)
+///         .ret(q, 0, a, 1 - q)
+///         .ret(q, 1, a, 1 - q);
+/// }
+/// let even = builder.build();
+///
+/// let compiled = query::compile(&even);
+/// let events = [TaggedSymbol::Call(a), TaggedSymbol::Return(a)];
+/// assert_eq!(
+///     query::contains_stream(&compiled, events),
+///     query::contains_stream(&even, events),
+/// );
+/// ```
+pub fn compile<A: Compile>(a: &A) -> A::Compiled {
+    a.compile()
 }
 
 /// Returns `true` if automaton `a` accepts no input at all

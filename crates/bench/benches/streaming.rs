@@ -4,14 +4,23 @@
 //! over SAX-style event streams — either from a materialized nested word or
 //! fully incrementally from XML text via `sax::Tokenizer`, without ever
 //! building the document in memory.
+//!
+//! E15c adds the compiled execution engines (`query::compile`): interpreted
+//! vs dense-table runners for `Nwa`, the tagged `Dfa` and `Nnwa` at
+//! 10k/100k/1M events, plus the bytes-in → verdict-out throughput of the
+//! byte-level SAX pipeline (`run_streaming_reader`). Running this bench
+//! with `--format json` emits the measurements as `BENCH_streaming.json`
+//! (see the criterion shim), which CI uploads and gates against the
+//! checked-in baseline `BENCH_streaming.json` at the workspace root.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use nested_words_suite::nested_words::generate::deep_word;
+use nested_words_suite::nested_words::generate::{deep_word, random_nested_word, NestedWordConfig};
 use nested_words_suite::nwa_xml::generate::{
     generate_deep_document, generate_document, DocumentConfig,
 };
 use nested_words_suite::nwa_xml::queries::{
-    contains_tag_nwa, open_depth_at_most_nwa, run_streaming, run_streaming_text,
+    contains_tag_nwa, open_depth_at_most_nwa, run_streaming, run_streaming_reader,
+    run_streaming_text,
 };
 use nested_words_suite::nwa_xml::sax::parse_document;
 use nested_words_suite::nwa_xml::sax::to_xml;
@@ -101,6 +110,190 @@ fn print_memory_table() {
     println!();
 }
 
+/// The nondeterministic workload of E15c: "some matched call/return pair
+/// both labelled b" over {a, b} — a genuine join, so the streaming run is
+/// the summary-set subset construction.
+fn some_b_block_nnwa() -> Nnwa {
+    let a = Symbol(0);
+    let b = Symbol(1);
+    let mut n = Nnwa::new(3, 2);
+    n.add_initial(0);
+    n.add_accepting(2);
+    for sym in [a, b] {
+        n.add_internal(0, sym, 0);
+        n.add_internal(2, sym, 2);
+        n.add_call(0, sym, 0, 0);
+        n.add_call(2, sym, 2, 0);
+        for h in [0usize, 1] {
+            n.add_return(0, h, sym, 0);
+            n.add_return(2, h, sym, 2);
+        }
+    }
+    n.add_call(0, b, 0, 1);
+    n.add_return(0, 1, b, 2);
+    n
+}
+
+/// E15c summary table: one quick pass per engine pair, with the agreement
+/// asserted (the criterion groups below provide the recorded numbers).
+fn print_compiled_table() {
+    println!("== E15c: interpreted vs compiled execution engines ==");
+    println!(
+        "{:>10} {:>8} {:>22} {:>22} {:>8}",
+        "events", "model", "interpreted (Mev/s)", "compiled (Mev/s)", "speedup"
+    );
+    let mevs = |events: usize, d: Duration| events as f64 / d.as_secs_f64() / 1e6;
+    for events in [10_000usize, 100_000, 1_000_000] {
+        let (ab, doc) = generate_document(
+            DocumentConfig {
+                events,
+                max_depth: 32,
+                ..Default::default()
+            },
+            7,
+        );
+        let q = contains_tag_nwa(ab.lookup("t1").unwrap(), ab.len());
+        let cq = query::compile(&q);
+        let tagged: Vec<TaggedSymbol> = (0..doc.len())
+            .map(|i| TaggedSymbol::new(doc.kind(i), doc.symbol(i)))
+            .collect();
+        let t = std::time::Instant::now();
+        let interpreted = query::run_stream(&q, tagged.iter().copied());
+        let t_int = t.elapsed();
+        let t = std::time::Instant::now();
+        let compiled = cq.run_tagged(&tagged);
+        let t_comp = t.elapsed();
+        assert_eq!(interpreted, compiled);
+        println!(
+            "{:>10} {:>8} {:>22.0} {:>22.0} {:>7.2}x",
+            tagged.len(),
+            "nwa",
+            mevs(tagged.len(), t_int),
+            mevs(tagged.len(), t_comp),
+            t_int.as_secs_f64() / t_comp.as_secs_f64()
+        );
+    }
+    println!();
+}
+
+fn bench_compiled(c: &mut Criterion) {
+    print_compiled_table();
+
+    // Interpreted vs compiled event engines, three models, three sizes.
+    let mut group = c.benchmark_group("e15c_event_engines");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for events in [10_000usize, 100_000, 1_000_000] {
+        let (ab, doc) = generate_document(
+            DocumentConfig {
+                events,
+                max_depth: 32,
+                ..Default::default()
+            },
+            7,
+        );
+        let q = contains_tag_nwa(ab.lookup("t1").unwrap(), ab.len());
+        let cq = query::compile(&q);
+        let dfa = nested_words_suite::nwa::flat::to_tagged_dfa(&q);
+        let cdfa = query::compile(&dfa);
+        let tagged: Vec<TaggedSymbol> = (0..doc.len())
+            .map(|i| TaggedSymbol::new(doc.kind(i), doc.symbol(i)))
+            .collect();
+        group.throughput(Throughput::Elements(tagged.len() as u64));
+
+        // Deterministic NWA: premultiplied fused tables vs the interpreted
+        // streaming run — the acceptance bar is ≥ 2× at 1M events.
+        group.bench_with_input(
+            BenchmarkId::new("interpreted_nwa", events),
+            &tagged,
+            |b, evs| b.iter(|| query::run_stream(&q, evs.iter().copied())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compiled_nwa", events),
+            &tagged,
+            |b, evs| b.iter(|| cq.run_tagged(evs)),
+        );
+
+        // The flat view (Theorem 2): the same query as a DFA over Σ̂.
+        group.bench_with_input(
+            BenchmarkId::new("interpreted_dfa", events),
+            &tagged,
+            |b, evs| b.iter(|| query::run_stream(&dfa, evs.iter().copied())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compiled_dfa", events),
+            &tagged,
+            |b, evs| b.iter(|| cdfa.run_tagged(evs)),
+        );
+
+        // Nondeterministic NWA: the interpreted on-the-fly subset
+        // construction vs the memoized summary engine (compiled once,
+        // cache shared across iterations — the steady state a server sees).
+        let n = some_b_block_nnwa();
+        let cn = query::compile(&n);
+        let word = random_nested_word(
+            &Alphabet::ab(),
+            NestedWordConfig {
+                len: events,
+                allow_pending: true,
+                ..Default::default()
+            },
+            11,
+        );
+        let nnwa_events = word.to_tagged();
+        group.bench_with_input(
+            BenchmarkId::new("interpreted_nnwa", events),
+            &nnwa_events,
+            |b, evs| b.iter(|| query::run_stream(&n, evs.iter().copied())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compiled_nnwa", events),
+            &nnwa_events,
+            |b, evs| b.iter(|| query::run_stream(&cn, evs.iter().copied())),
+        );
+        assert_eq!(
+            query::contains_stream(&n, nnwa_events.iter().copied()),
+            query::contains_stream(&cn, nnwa_events.iter().copied()),
+        );
+    }
+    group.finish();
+
+    // Bytes in, verdict out: the full byte-level pipeline (incremental
+    // UTF-8 decode → SAX events → automaton), interpreted and compiled.
+    let mut group = c.benchmark_group("e15c_bytes_to_verdict");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for events in [10_000usize, 100_000, 1_000_000] {
+        let (ab, doc) = generate_document(
+            DocumentConfig {
+                events,
+                max_depth: 32,
+                ..Default::default()
+            },
+            7,
+        );
+        let q = contains_tag_nwa(ab.lookup("t1").unwrap(), ab.len());
+        let cq = query::compile(&q);
+        let xml = to_xml(&doc, &ab);
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("bytes_interpreted", events),
+            &xml,
+            |b, xml| b.iter(|| run_streaming_reader(&q, xml.as_bytes(), &ab).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bytes_compiled", events),
+            &xml,
+            |b, xml| b.iter(|| run_streaming_reader(&cq, xml.as_bytes(), &ab).unwrap()),
+        );
+    }
+    group.finish();
+}
+
 fn bench_streaming(c: &mut Criterion) {
     print_tables();
     print_memory_table();
@@ -173,5 +366,5 @@ fn bench_streaming(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_streaming);
+criterion_group!(benches, bench_streaming, bench_compiled);
 criterion_main!(benches);

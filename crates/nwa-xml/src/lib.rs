@@ -8,14 +8,16 @@
 //!
 //! The crate provides
 //!
-//! * a SAX-style tokenizer from a lightweight XML-ish syntax to nested words
-//!   ([`sax`]),
+//! * SAX-style tokenizers from a lightweight XML-ish syntax to nested words
+//!   ([`sax`]): char-level ([`sax::Tokenizer`]) and byte-level over any
+//!   `io::Read` with incremental UTF-8 decoding ([`sax::ByteTokenizer`]),
 //! * a synthetic document generator with controllable size and depth
 //!   ([`generate`]),
 //! * document queries (patterns in document order, tag containment, depth
 //!   bounds) compiled to deterministic nested word automata and evaluated in
 //!   a streaming fashion with memory proportional to the document depth
-//!   ([`queries`]).
+//!   ([`queries`]), including the bytes-in → verdict-out pipeline
+//!   ([`queries::run_streaming_reader`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -11,11 +11,12 @@
 //!   ≤ d" / "the document nests deeper than d", which genuinely use the
 //!   hierarchical structure.
 
-use crate::sax::Tokenizer;
+use crate::sax::{ByteTokenizer, SaxError};
 use automata_core::{query, StreamAcceptor, StreamRun};
 use nested_words::{Alphabet, NestedWord, NestedWordError, Symbol, TaggedSymbol};
 use nwa::automaton::Nwa;
 use nwa::flat::from_tagged_dfa;
+use std::io;
 use word_automata::{Dfa, Regex};
 
 /// Compiles the "patterns appear in this order" query (over document symbol
@@ -165,23 +166,28 @@ pub fn run_streaming(nwa: &Nwa, document: &NestedWord) -> StreamingOutcome {
 }
 
 /// Runs a streaming acceptor directly over the SAX events of an XML-ish
-/// text, without ever materializing a tagged word or nested word: the
-/// end-to-end single-pass pipeline of §1. Memory is the tokenizer's current
-/// token plus a stack proportional to the nesting depth.
+/// byte stream — any [`io::Read`]: a file, a socket, a decompressor —
+/// without ever materializing a string, a tagged word or a nested word:
+/// the bytes-in → verdict-out single-pass pipeline of §1. UTF-8 is decoded
+/// incrementally ([`ByteTokenizer`]); memory is the reader's buffer, the
+/// tokenizer's current token, and a stack proportional to the nesting
+/// depth.
 ///
-/// Every tag and text symbol of `text` must already be interned in
+/// Every tag and text symbol of the stream must already be interned in
 /// `alphabet`, and the automaton must be compiled against that alphabet
 /// (the usual flow: tokenize once, compile the query with
 /// `sigma = alphabet.len()`, then stream). A name not in `alphabet` is
-/// reported as [`NestedWordError::UnknownSymbol`] rather than silently
-/// interned past the automaton's alphabet, where it would index out of the
-/// transition tables; `alphabet` itself is never mutated, so the guard
-/// holds across repeated calls with the same query.
-pub fn run_streaming_text<A: StreamAcceptor>(
+/// reported as [`NestedWordError::UnknownSymbol`] (wrapped in
+/// [`SaxError::Syntax`]) rather than silently interned past the automaton's
+/// alphabet, where it would index out of the transition tables; `alphabet`
+/// itself is never mutated, so the guard holds across repeated calls with
+/// the same query. Invalid or truncated UTF-8 and I/O failures surface as
+/// the corresponding typed [`SaxError`]s.
+pub fn run_streaming_reader<A: StreamAcceptor, R: io::Read>(
     a: &A,
-    text: &str,
+    reader: R,
     alphabet: &Alphabet,
-) -> Result<StreamingOutcome, NestedWordError> {
+) -> Result<StreamingOutcome, SaxError> {
     // Unknown names are interned into a scratch copy only, so they land at
     // indices >= sigma exactly once per call and the caller's alphabet stays
     // aligned with the automaton.
@@ -189,7 +195,7 @@ pub fn run_streaming_text<A: StreamAcceptor>(
     let mut scratch = alphabet.clone();
     let mut run = a.start();
     let mut unknown = None;
-    for event in Tokenizer::new(text.chars(), &mut scratch) {
+    for event in ByteTokenizer::new(reader, &mut scratch) {
         let event = event?;
         if event.symbol().index() >= sigma {
             unknown = Some(event.symbol());
@@ -198,14 +204,34 @@ pub fn run_streaming_text<A: StreamAcceptor>(
         run.step(event);
     }
     if let Some(sym) = unknown {
-        return Err(NestedWordError::UnknownSymbol {
+        return Err(SaxError::Syntax(NestedWordError::UnknownSymbol {
             name: scratch.name(sym).unwrap_or("?").to_string(),
-        });
+        }));
     }
     Ok(StreamingOutcome {
         accepted: run.is_accepting(),
         events: run.steps(),
         peak_memory: run.peak_memory(),
+    })
+}
+
+/// [`run_streaming_reader`] over an in-memory text: the same byte-level
+/// pipeline driven from `text.as_bytes()`. Since the input is already valid
+/// UTF-8 held in memory, the only reachable failures are syntactic, so they
+/// come back as plain [`NestedWordError`]s.
+pub fn run_streaming_text<A: StreamAcceptor>(
+    a: &A,
+    text: &str,
+    alphabet: &Alphabet,
+) -> Result<StreamingOutcome, NestedWordError> {
+    run_streaming_reader(a, text.as_bytes(), alphabet).map_err(|e| match e {
+        SaxError::Syntax(e) => e,
+        // Unreachable for an in-memory &str source, but mapped rather than
+        // panicked on out of caution.
+        other => NestedWordError::Parse {
+            offset: 0,
+            message: other.to_string(),
+        },
     })
 }
 
@@ -330,6 +356,45 @@ mod tests {
         let mut ab2 = Alphabet::new();
         let doc = parse_document(text, &mut ab2).unwrap();
         assert_eq!(run_streaming(&q, &doc), outcome);
+    }
+
+    #[test]
+    fn streaming_reader_runs_bytes_to_verdict() {
+        use automata_core::Compile;
+
+        /// Hands out one byte per read call: every multi-byte boundary is a
+        /// split boundary.
+        struct OneByteReader<'a>(&'a [u8], usize);
+        impl std::io::Read for OneByteReader<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.1 == self.0.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+
+        let text = "<doc><sec>héllo</sec><sec>wörld</sec></doc>";
+        let mut ab = Alphabet::new();
+        crate::sax::tokenize(text, &mut ab).unwrap();
+        let q = contains_tag_nwa(ab.lookup("sec").unwrap(), ab.len());
+
+        let from_text = run_streaming_text(&q, text, &ab).unwrap();
+        let from_bytes = run_streaming_reader(&q, OneByteReader(text.as_bytes(), 0), &ab).unwrap();
+        assert_eq!(from_bytes, from_text);
+        assert!(from_bytes.accepted);
+
+        // The compiled artifact runs the same byte pipeline.
+        let compiled = q.compile();
+        let from_compiled =
+            run_streaming_reader(&compiled, OneByteReader(text.as_bytes(), 0), &ab).unwrap();
+        assert_eq!(from_compiled, from_text);
+
+        // Broken bytes surface as typed errors, not panics.
+        let err = run_streaming_reader(&q, OneByteReader(b"<doc>\xFF</doc>", 0), &ab).unwrap_err();
+        assert!(matches!(err, crate::sax::SaxError::InvalidUtf8 { .. }));
     }
 
     #[test]

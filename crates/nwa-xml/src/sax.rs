@@ -9,17 +9,266 @@
 //! close tags are allowed — they become pending calls and returns, exactly
 //! the situation §1 highlights as awkward for tree-based models.
 //!
-//! The central type is the incremental [`Tokenizer`]: an iterator over
-//! `Result<TaggedSymbol, NestedWordError>` that lexes one SAX event at a
-//! time from any `Iterator<Item = char>`, without ever materializing a
-//! [`TaggedWord`] or [`NestedWord`]. Feeding it straight into
-//! `query::run_stream` evaluates a document query in one pass with memory
-//! proportional to the nesting depth. [`tokenize`] and [`parse_document`]
-//! are the batch conveniences on top.
+//! Two incremental front ends share one lexing engine:
+//!
+//! * [`Tokenizer`] — an iterator over
+//!   `Result<TaggedSymbol, NestedWordError>` that lexes one SAX event at a
+//!   time from any `Iterator<Item = char>`;
+//! * [`ByteTokenizer`] — the byte-level source: one SAX event at a time
+//!   from any [`std::io::Read`], decoding UTF-8 incrementally (multi-byte
+//!   sequences split across `read` calls are reassembled, invalid or
+//!   truncated sequences surface as typed [`SaxError`]s) without ever
+//!   materializing an intermediate `String` — the bytes-in → events-out
+//!   pipeline of §1.
+//!
+//! Neither front end materializes a [`TaggedWord`] or [`NestedWord`];
+//! feeding one straight into `query::run_stream` evaluates a document query
+//! in one pass with memory proportional to the nesting depth. [`tokenize`]
+//! and [`parse_document`] are the batch conveniences on top.
 
 use nested_words::{Alphabet, NestedWord, NestedWordError, Symbol, TaggedSymbol, TaggedWord};
+use std::collections::VecDeque;
+use std::io;
 
-/// An incremental SAX lexer: yields one [`TaggedSymbol`] event per open tag,
+/// Errors of the byte-level SAX pipeline: everything that can go wrong
+/// between raw bytes and tagged-symbol events.
+///
+/// The char-level [`Tokenizer`] can only fail with [`SaxError::Syntax`] (its
+/// input is already decoded), so it keeps yielding plain
+/// [`NestedWordError`]s; the byte-level [`ByteTokenizer`] adds the I/O and
+/// UTF-8 failure modes.
+#[derive(Debug)]
+pub enum SaxError {
+    /// A lexical error in the XML-ish syntax (unterminated tag, empty tag
+    /// name, full alphabet, …).
+    Syntax(NestedWordError),
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// An invalid UTF-8 sequence (bad leading byte, bad continuation byte,
+    /// overlong encoding, surrogate or out-of-range scalar) at the given
+    /// byte offset.
+    InvalidUtf8 {
+        /// Byte offset of the first byte of the offending sequence.
+        offset: usize,
+    },
+    /// The input ended in the middle of a multi-byte UTF-8 sequence.
+    TruncatedUtf8 {
+        /// Byte offset of the first byte of the truncated sequence.
+        offset: usize,
+    },
+}
+
+impl std::fmt::Display for SaxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SaxError::Syntax(e) => write!(f, "{e}"),
+            SaxError::Io(e) => write!(f, "read error: {e}"),
+            SaxError::InvalidUtf8 { offset } => {
+                write!(f, "invalid UTF-8 sequence at byte {offset}")
+            }
+            SaxError::TruncatedUtf8 { offset } => {
+                write!(
+                    f,
+                    "input ends inside a multi-byte UTF-8 sequence starting at byte {offset}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SaxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SaxError::Syntax(e) => Some(e),
+            SaxError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NestedWordError> for SaxError {
+    fn from(e: NestedWordError) -> Self {
+        SaxError::Syntax(e)
+    }
+}
+
+// --------------------------------------------------------------------------
+// Incremental UTF-8 decoding over io::Read
+// --------------------------------------------------------------------------
+
+/// An iterator of `Result<char, SaxError>` decoding UTF-8 incrementally
+/// from any [`io::Read`].
+///
+/// Bytes are pulled through an internal buffer one decoded scalar at a
+/// time, so a multi-byte sequence split across `read` calls (or across
+/// buffer refills) is reassembled transparently. Validation is strict
+/// (WHATWG table): overlong encodings, surrogates and scalars above
+/// `U+10FFFF` are [`SaxError::InvalidUtf8`]; EOF inside a sequence is
+/// [`SaxError::TruncatedUtf8`]. After any error the iterator is fused.
+#[derive(Debug)]
+pub struct Utf8Chars<R: io::Read> {
+    reader: R,
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+    /// Absolute byte offset of the next unread byte.
+    offset: usize,
+    failed: bool,
+}
+
+impl<R: io::Read> Utf8Chars<R> {
+    /// Starts decoding `reader` with the default 8 KiB buffer.
+    pub fn new(reader: R) -> Self {
+        Utf8Chars {
+            reader,
+            buf: vec![0; 8 * 1024],
+            start: 0,
+            end: 0,
+            offset: 0,
+            failed: false,
+        }
+    }
+
+    /// Pulls one byte, refilling the buffer as needed. `Ok(None)` is EOF.
+    fn next_byte(&mut self) -> Result<Option<u8>, SaxError> {
+        while self.start == self.end {
+            match self.reader.read(&mut self.buf) {
+                Ok(0) => return Ok(None),
+                Ok(n) => {
+                    self.start = 0;
+                    self.end = n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(SaxError::Io(e)),
+            }
+        }
+        let b = self.buf[self.start];
+        self.start += 1;
+        self.offset += 1;
+        Ok(Some(b))
+    }
+
+    fn decode_next(&mut self) -> Result<Option<char>, SaxError> {
+        let start = self.offset;
+        let b0 = match self.next_byte()? {
+            None => return Ok(None),
+            Some(b) => b,
+        };
+        if b0 < 0x80 {
+            return Ok(Some(b0 as char));
+        }
+        // (sequence length, allowed range of the second byte): the WHATWG
+        // encoding table, which rejects overlong forms (C0/C1, E0 80–9F,
+        // F0 80–8F), surrogates (ED A0–BF) and scalars past U+10FFFF
+        // (F4 90–BF, F5–FF) at the second byte.
+        let (len, min_b1, max_b1) = match b0 {
+            0xC2..=0xDF => (2, 0x80, 0xBF),
+            0xE0 => (3, 0xA0, 0xBF),
+            0xE1..=0xEC | 0xEE..=0xEF => (3, 0x80, 0xBF),
+            0xED => (3, 0x80, 0x9F),
+            0xF0 => (4, 0x90, 0xBF),
+            0xF1..=0xF3 => (4, 0x80, 0xBF),
+            0xF4 => (4, 0x80, 0x8F),
+            _ => return Err(SaxError::InvalidUtf8 { offset: start }),
+        };
+        let mut cp = (b0 as u32) & (0x7F >> len);
+        for i in 1..len {
+            let b = match self.next_byte()? {
+                None => return Err(SaxError::TruncatedUtf8 { offset: start }),
+                Some(b) => b,
+            };
+            let (lo, hi) = if i == 1 {
+                (min_b1, max_b1)
+            } else {
+                (0x80, 0xBF)
+            };
+            if b < lo || b > hi {
+                return Err(SaxError::InvalidUtf8 { offset: start });
+            }
+            cp = (cp << 6) | ((b as u32) & 0x3F);
+        }
+        match char::from_u32(cp) {
+            Some(c) => Ok(Some(c)),
+            // Unreachable given the table above, but a defensive error beats
+            // a panic on a decoder bug.
+            None => Err(SaxError::InvalidUtf8 { offset: start }),
+        }
+    }
+}
+
+impl<R: io::Read> Iterator for Utf8Chars<R> {
+    type Item = Result<char, SaxError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        match self.decode_next() {
+            Ok(Some(c)) => Some(Ok(c)),
+            Ok(None) => None,
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// The shared lexing engine
+// --------------------------------------------------------------------------
+
+/// A peekable, offset-tracking adapter over a fallible char source.
+#[derive(Debug)]
+struct Source<S> {
+    iter: S,
+    peeked: Option<char>,
+    /// Byte offset of the next unread character (for error reporting).
+    offset: usize,
+}
+
+impl<S: Iterator<Item = Result<char, SaxError>>> Source<S> {
+    fn new(iter: S) -> Self {
+        Source {
+            iter,
+            peeked: None,
+            offset: 0,
+        }
+    }
+
+    /// Peeks the next character. A source error is consumed and returned
+    /// (the lexer fuses after any error, so nothing is lost).
+    fn peek(&mut self) -> Result<Option<char>, SaxError> {
+        if self.peeked.is_none() {
+            match self.iter.next() {
+                None => return Ok(None),
+                Some(Ok(c)) => self.peeked = Some(c),
+                Some(Err(e)) => return Err(e),
+            }
+        }
+        Ok(self.peeked)
+    }
+
+    /// Consumes the next character, advancing the byte offset.
+    fn bump(&mut self) -> Result<Option<char>, SaxError> {
+        let c = match self.peeked.take() {
+            Some(c) => Some(c),
+            None => match self.iter.next() {
+                None => None,
+                Some(Ok(c)) => Some(c),
+                Some(Err(e)) => return Err(e),
+            },
+        };
+        if let Some(c) = c {
+            self.offset += c.len_utf8();
+        }
+        Ok(c)
+    }
+}
+
+/// The lexing engine shared by [`Tokenizer`] (chars in) and
+/// [`ByteTokenizer`] (bytes in): an iterator over
+/// `Result<TaggedSymbol, SaxError>` that yields one event per open tag,
 /// close tag, or whitespace-separated text token, interning names into the
 /// borrowed alphabet as it goes.
 ///
@@ -37,68 +286,61 @@ use nested_words::{Alphabet, NestedWord, NestedWordError, Symbol, TaggedSymbol, 
 /// * `<tag/>` (with or without attributes) yields a call immediately
 ///   followed by a return.
 ///
-/// Errors (`unterminated tag`, `empty tag name`, or a full alphabet via
-/// [`Alphabet::try_intern`]) are yielded once, after which the iterator is
-/// fused.
+/// Errors — lexical ([`SaxError::Syntax`]: `unterminated tag`, `empty tag
+/// name`, a full alphabet via [`Alphabet::try_intern`]) or, for byte
+/// sources, I/O and UTF-8 failures — are yielded once, after which the
+/// iterator is fused.
 #[derive(Debug)]
-pub struct Tokenizer<'a, I: Iterator<Item = char>> {
-    chars: std::iter::Peekable<I>,
+pub struct EventLexer<'a, S: Iterator<Item = Result<char, SaxError>>> {
+    source: Source<S>,
     alphabet: &'a mut Alphabet,
     /// Queued events: the return of a self-closing tag, or the text tokens
     /// of a CDATA section.
-    queued: std::collections::VecDeque<TaggedSymbol>,
-    /// Byte offset of the next unread character (for error reporting).
-    offset: usize,
+    queued: VecDeque<TaggedSymbol>,
     /// Set after yielding an error; the iterator is fused.
     failed: bool,
 }
 
-impl<'a, I: Iterator<Item = char>> Tokenizer<'a, I> {
-    /// Creates a tokenizer over a character stream, interning symbol names
-    /// into `alphabet`.
-    pub fn new(chars: I, alphabet: &'a mut Alphabet) -> Self {
-        Tokenizer {
-            chars: chars.peekable(),
+impl<'a, S: Iterator<Item = Result<char, SaxError>>> EventLexer<'a, S> {
+    /// Creates a lexer over a fallible character source, interning symbol
+    /// names into `alphabet`.
+    pub fn new(source: S, alphabet: &'a mut Alphabet) -> Self {
+        EventLexer {
+            source: Source::new(source),
             alphabet,
-            queued: std::collections::VecDeque::new(),
-            offset: 0,
+            queued: VecDeque::new(),
             failed: false,
         }
     }
 
-    /// Consumes the next character, advancing the byte offset.
-    fn bump(&mut self) -> Option<char> {
-        let c = self.chars.next()?;
-        self.offset += c.len_utf8();
-        Some(c)
-    }
-
-    fn intern(&mut self, name: &str) -> Result<Symbol, NestedWordError> {
-        self.alphabet.try_intern(name)
+    fn intern(&mut self, name: &str) -> Result<Symbol, SaxError> {
+        Ok(self.alphabet.try_intern(name)?)
     }
 
     /// Skips or lexes one directive, with the cursor just past `<` and on
     /// `!` or `?`. Comments run to `-->`, processing instructions to `?>`,
     /// CDATA sections to `]]>` (their content is queued as text tokens, see
-    /// [`Tokenizer::lex_cdata`]); other declarations (`<!DOCTYPE …>`) run to
-    /// the first `>` *outside* a `[ … ]` internal subset, so an entity
+    /// [`EventLexer::lex_cdata`]); other declarations (`<!DOCTYPE …>`) run
+    /// to the first `>` *outside* a `[ … ]` internal subset, so an entity
     /// declaration's `>` inside the subset does not end the DOCTYPE early.
     /// Attribute-quote rules do not apply inside directives, so an
     /// apostrophe or a bare `>` in a comment does not derail the lexer.
-    fn lex_directive(&mut self, tag_start: usize) -> Result<(), NestedWordError> {
-        let unterminated = || NestedWordError::Parse {
-            offset: tag_start,
-            message: "unterminated directive".into(),
+    fn lex_directive(&mut self, tag_start: usize) -> Result<(), SaxError> {
+        let unterminated = || {
+            SaxError::Syntax(NestedWordError::Parse {
+                offset: tag_start,
+                message: "unterminated directive".into(),
+            })
         };
-        let lead = self.bump().expect("caller peeked '!' or '?'");
-        if lead == '!' && self.chars.peek() == Some(&'-') {
-            self.bump();
-            if self.chars.peek() == Some(&'-') {
-                self.bump();
+        let lead = self.source.bump()?.expect("caller peeked '!' or '?'");
+        if lead == '!' && self.source.peek()? == Some('-') {
+            self.source.bump()?;
+            if self.source.peek()? == Some('-') {
+                self.source.bump()?;
                 // comment: scan for the "-->" terminator
                 let mut dashes = 0usize;
                 loop {
-                    match self.bump() {
+                    match self.source.bump()? {
                         None => return Err(unterminated()),
                         Some('-') => dashes += 1,
                         Some('>') if dashes >= 2 => return Ok(()),
@@ -112,7 +354,7 @@ impl<'a, I: Iterator<Item = char>> Tokenizer<'a, I> {
             // processing instruction: scan for the "?>" terminator
             let mut prev_question = false;
             loop {
-                match self.bump() {
+                match self.source.bump()? {
                     None => return Err(unterminated()),
                     Some('>') if prev_question => return Ok(()),
                     Some(c) => prev_question = c == '?',
@@ -122,13 +364,13 @@ impl<'a, I: Iterator<Item = char>> Tokenizer<'a, I> {
         // `[`…`]` nesting depth of a DOCTYPE internal subset; a `>` only
         // terminates the directive at depth zero.
         let mut depth = 0usize;
-        if lead == '!' && self.chars.peek() == Some(&'[') {
-            self.bump();
+        if lead == '!' && self.source.peek()? == Some('[') {
+            self.source.bump()?;
             // `<![`: a CDATA section if the marker `CDATA[` follows.
             const MARKER: [char; 6] = ['C', 'D', 'A', 'T', 'A', '['];
             let mut matched = 0usize;
-            while matched < MARKER.len() && self.chars.peek() == Some(&MARKER[matched]) {
-                self.bump();
+            while matched < MARKER.len() && self.source.peek()? == Some(MARKER[matched]) {
+                self.source.bump()?;
                 matched += 1;
             }
             if matched == MARKER.len() {
@@ -139,7 +381,7 @@ impl<'a, I: Iterator<Item = char>> Tokenizer<'a, I> {
             depth = 1;
         }
         loop {
-            match self.bump() {
+            match self.source.bump()? {
                 None => return Err(unterminated()),
                 Some('[') => depth += 1,
                 Some(']') => depth = depth.saturating_sub(1),
@@ -152,18 +394,16 @@ impl<'a, I: Iterator<Item = char>> Tokenizer<'a, I> {
     /// Lexes a CDATA section, with the cursor just past `<![CDATA[`: scans
     /// to the `]]>` terminator and queues the content as ordinary
     /// whitespace-separated text tokens. Everything inside — `>`, `&`, even
-    /// `<tag>` — is character data, never markup; without this the section
-    /// used to end at the first `>` and its remainder was re-lexed as tags
-    /// and text, silently corrupting the event stream.
-    fn lex_cdata(&mut self, tag_start: usize) -> Result<(), NestedWordError> {
+    /// `<tag>` — is character data, never markup.
+    fn lex_cdata(&mut self, tag_start: usize) -> Result<(), SaxError> {
         let mut content = String::new();
         loop {
-            match self.bump() {
+            match self.source.bump()? {
                 None => {
-                    return Err(NestedWordError::Parse {
+                    return Err(SaxError::Syntax(NestedWordError::Parse {
                         offset: tag_start,
                         message: "unterminated CDATA section".into(),
-                    });
+                    }));
                 }
                 Some(c) => {
                     content.push(c);
@@ -178,7 +418,7 @@ impl<'a, I: Iterator<Item = char>> Tokenizer<'a, I> {
         // surfaces without half the section already emitted.
         let mut events = Vec::new();
         for token in content.split_whitespace() {
-            events.push(TaggedSymbol::Internal(self.intern(token)?));
+            events.push(TaggedSymbol::Internal(self.alphabet.try_intern(token)?));
         }
         self.queued.extend(events);
         Ok(())
@@ -186,10 +426,10 @@ impl<'a, I: Iterator<Item = char>> Tokenizer<'a, I> {
 
     /// Lexes one `<…>` construct, with the cursor on `<`. Returns `None`
     /// for skipped directives.
-    fn lex_tag(&mut self) -> Result<Option<TaggedSymbol>, NestedWordError> {
-        let tag_start = self.offset;
-        self.bump(); // consume '<'
-        if matches!(self.chars.peek(), Some('!') | Some('?')) {
+    fn lex_tag(&mut self) -> Result<Option<TaggedSymbol>, SaxError> {
+        let tag_start = self.source.offset;
+        self.source.bump()?; // consume '<'
+        if matches!(self.source.peek()?, Some('!') | Some('?')) {
             // <!DOCTYPE …>, <!-- … -->, <?xml … ?>: no SAX event.
             self.lex_directive(tag_start)?;
             return Ok(None);
@@ -197,12 +437,12 @@ impl<'a, I: Iterator<Item = char>> Tokenizer<'a, I> {
         let mut content = String::new();
         let mut quote: Option<char> = None;
         loop {
-            match self.bump() {
+            match self.source.bump()? {
                 None => {
-                    return Err(NestedWordError::Parse {
+                    return Err(SaxError::Syntax(NestedWordError::Parse {
                         offset: tag_start,
                         message: "unterminated tag".into(),
-                    });
+                    }));
                 }
                 Some(c) => match quote {
                     Some(q) => {
@@ -223,9 +463,11 @@ impl<'a, I: Iterator<Item = char>> Tokenizer<'a, I> {
                 },
             }
         }
-        let empty_name = || NestedWordError::Parse {
-            offset: tag_start,
-            message: "empty tag name".into(),
+        let empty_name = || {
+            SaxError::Syntax(NestedWordError::Parse {
+                offset: tag_start,
+                message: "empty tag name".into(),
+            })
         };
         if let Some(rest) = content.strip_prefix('/') {
             let name = rest.split_whitespace().next().ok_or_else(empty_name)?;
@@ -251,17 +493,91 @@ impl<'a, I: Iterator<Item = char>> Tokenizer<'a, I> {
 
     /// Lexes one whitespace-delimited text token, with the cursor on its
     /// first character.
-    fn lex_text(&mut self) -> Result<TaggedSymbol, NestedWordError> {
+    fn lex_text(&mut self) -> Result<TaggedSymbol, SaxError> {
         let mut word = String::new();
-        while let Some(&c) = self.chars.peek() {
+        while let Some(c) = self.source.peek()? {
             if c == '<' || c.is_whitespace() {
                 break;
             }
             word.push(c);
-            self.bump();
+            self.source.bump()?;
         }
         let sym = self.intern(&word)?;
         Ok(TaggedSymbol::Internal(sym))
+    }
+
+    fn next_event(&mut self) -> Result<Option<TaggedSymbol>, SaxError> {
+        loop {
+            // Drained inside the loop: a skipped CDATA section queues text
+            // tokens that must come out before the next character is lexed.
+            if let Some(t) = self.queued.pop_front() {
+                return Ok(Some(t));
+            }
+            match self.source.peek()? {
+                None => return Ok(None),
+                Some('<') => {
+                    if let Some(t) = self.lex_tag()? {
+                        return Ok(Some(t));
+                    }
+                    // directive skipped
+                }
+                Some(c) if c.is_whitespace() => {
+                    self.source.bump()?;
+                }
+                Some(_) => return self.lex_text().map(Some),
+            }
+        }
+    }
+}
+
+impl<S: Iterator<Item = Result<char, SaxError>>> Iterator for EventLexer<'_, S> {
+    type Item = Result<TaggedSymbol, SaxError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        match self.next_event() {
+            Ok(Some(t)) => Some(Ok(t)),
+            Ok(None) => None,
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// The two public front ends
+// --------------------------------------------------------------------------
+
+fn infallible(c: char) -> Result<char, SaxError> {
+    Ok(c)
+}
+
+/// The adapter type lifting an infallible char iterator into the
+/// [`EventLexer`]'s fallible source.
+type OkChars<I> = std::iter::Map<I, fn(char) -> Result<char, SaxError>>;
+
+/// An incremental SAX lexer over a plain character stream: yields one
+/// [`TaggedSymbol`] event per open tag, close tag, or whitespace-separated
+/// text token, interning names into the borrowed alphabet as it goes. See
+/// [`EventLexer`] for the lexical rules; since the input is already decoded,
+/// the only possible failures are syntactic, reported as plain
+/// [`NestedWordError`]s.
+#[derive(Debug)]
+pub struct Tokenizer<'a, I: Iterator<Item = char>> {
+    inner: EventLexer<'a, OkChars<I>>,
+}
+
+impl<'a, I: Iterator<Item = char>> Tokenizer<'a, I> {
+    /// Creates a tokenizer over a character stream, interning symbol names
+    /// into `alphabet`.
+    pub fn new(chars: I, alphabet: &'a mut Alphabet) -> Self {
+        Tokenizer {
+            inner: EventLexer::new(chars.map(infallible as fn(char) -> _), alphabet),
+        }
     }
 }
 
@@ -269,35 +585,65 @@ impl<I: Iterator<Item = char>> Iterator for Tokenizer<'_, I> {
     type Item = Result<TaggedSymbol, NestedWordError>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.failed {
-            return None;
-        }
-        loop {
-            // Drained inside the loop: a skipped CDATA section queues text
-            // tokens that must come out before the next character is lexed.
-            if let Some(t) = self.queued.pop_front() {
-                return Some(Ok(t));
-            }
-            let step = match self.chars.peek() {
-                None => return None,
-                Some('<') => self.lex_tag(),
-                Some(c) if c.is_whitespace() => {
-                    self.bump();
-                    continue;
-                }
-                Some(_) => self.lex_text().map(Some),
-            };
-            match step {
-                Ok(Some(t)) => return Some(Ok(t)),
-                Ok(None) => continue, // directive skipped
-                Err(e) => {
-                    self.failed = true;
-                    return Some(Err(e));
-                }
-            }
+        Some(match self.inner.next()? {
+            Ok(t) => Ok(t),
+            Err(SaxError::Syntax(e)) => Err(e),
+            // Unreachable from an infallible char source, but mapped rather
+            // than panicked on out of caution.
+            Err(other) => Err(NestedWordError::Parse {
+                offset: 0,
+                message: other.to_string(),
+            }),
+        })
+    }
+}
+
+/// The byte-level SAX front end of the ROADMAP: an incremental lexer over
+/// any [`io::Read`], decoding UTF-8 on the fly ([`Utf8Chars`]) and yielding
+/// one [`TaggedSymbol`] event at a time — no intermediate `String`, no
+/// materialized document, memory proportional to the current token.
+///
+/// Invalid UTF-8, sequences truncated by EOF (or split across `read` calls
+/// and never completed) and I/O failures surface as typed [`SaxError`]s;
+/// after any error the iterator is fused.
+///
+/// ```
+/// use nested_words::{Alphabet, TaggedSymbol};
+/// use nwa_xml::sax::ByteTokenizer;
+///
+/// let mut ab = Alphabet::new();
+/// let events: Result<Vec<_>, _> =
+///     ByteTokenizer::new("<doc>héllo</doc>".as_bytes(), &mut ab).collect();
+/// let events = events.unwrap();
+/// assert_eq!(events.len(), 3);
+/// assert_eq!(events[1], TaggedSymbol::Internal(ab.lookup("héllo").unwrap()));
+/// ```
+#[derive(Debug)]
+pub struct ByteTokenizer<'a, R: io::Read> {
+    inner: EventLexer<'a, Utf8Chars<R>>,
+}
+
+impl<'a, R: io::Read> ByteTokenizer<'a, R> {
+    /// Creates a tokenizer over a byte stream, interning symbol names into
+    /// `alphabet`.
+    pub fn new(reader: R, alphabet: &'a mut Alphabet) -> Self {
+        ByteTokenizer {
+            inner: EventLexer::new(Utf8Chars::new(reader), alphabet),
         }
     }
 }
+
+impl<R: io::Read> Iterator for ByteTokenizer<'_, R> {
+    type Item = Result<TaggedSymbol, SaxError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
+}
+
+// --------------------------------------------------------------------------
+// Batch conveniences
+// --------------------------------------------------------------------------
 
 /// Parses a lightweight XML string into a stream of tagged symbols,
 /// interning tag names and text tokens into `alphabet` (the batch form of
@@ -598,5 +944,193 @@ mod tests {
         let mut bad = Tokenizer::new("<doc".chars(), &mut ab2);
         assert!(bad.next().unwrap().is_err());
         assert!(bad.next().is_none());
+    }
+
+    // ----------------------------------------------------------------------
+    // Byte-level tokenization
+    // ----------------------------------------------------------------------
+
+    /// A reader that hands out at most `chunk` bytes per `read` call —
+    /// adversarial for multi-byte sequences spanning call boundaries.
+    struct SplitReader<'a> {
+        data: &'a [u8],
+        pos: usize,
+        chunk: usize,
+    }
+
+    impl<'a> SplitReader<'a> {
+        fn new(data: &'a [u8], chunk: usize) -> Self {
+            SplitReader {
+                data,
+                pos: 0,
+                chunk,
+            }
+        }
+    }
+
+    impl io::Read for SplitReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn byte_tokenizer_agrees_with_char_tokenizer() {
+        let text = "<doc αβ='γ'><sec>héllo wörld — ≤∅≥</sec><näme/></doc>";
+        let mut char_ab = Alphabet::new();
+        let chars: Vec<_> = Tokenizer::new(text.chars(), &mut char_ab)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        // Whatever the read granularity — including mid-multi-byte splits —
+        // the byte path produces the identical event stream and alphabet.
+        for chunk in 1..=7 {
+            let mut byte_ab = Alphabet::new();
+            let bytes: Vec<_> =
+                ByteTokenizer::new(SplitReader::new(text.as_bytes(), chunk), &mut byte_ab)
+                    .collect::<Result<_, _>>()
+                    .unwrap();
+            assert_eq!(bytes, chars, "chunk size {chunk}");
+            assert_eq!(byte_ab, char_ab, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_typed_error_not_a_panic() {
+        // A bare continuation byte, an invalid leading byte, and a bad
+        // second byte — each must yield InvalidUtf8 at the right offset,
+        // under every read granularity.
+        let cases: &[(&[u8], usize)] = &[
+            (b"<doc>\x80</doc>", 5),         // bare continuation byte
+            (b"<doc>\xFF</doc>", 5),         // invalid leading byte
+            (b"<doc>\xC3\x28</doc>", 5),     // bad continuation
+            (b"<doc>\xC0\xAF</doc>", 5),     // overlong '/'
+            (b"<doc>\xE0\x80\xAF</doc>", 5), // overlong 3-byte
+            (b"<doc>\xED\xA0\x80</doc>", 5), // surrogate half
+            (b"<doc>\xF4\x90\x80\x80x", 5),  // scalar above U+10FFFF
+        ];
+        for &(data, want_offset) in cases {
+            for chunk in 1..=4 {
+                let mut ab = Alphabet::new();
+                let mut tok = ByteTokenizer::new(SplitReader::new(data, chunk), &mut ab);
+                // first event: the <doc> call
+                assert!(tok.next().unwrap().is_ok());
+                let err = loop {
+                    match tok.next().expect("error must surface") {
+                        Ok(_) => continue,
+                        Err(e) => break e,
+                    }
+                };
+                match err {
+                    SaxError::InvalidUtf8 { offset } => {
+                        assert_eq!(offset, want_offset, "input {data:?}, chunk {chunk}")
+                    }
+                    other => panic!("input {data:?}: expected InvalidUtf8, got {other:?}"),
+                }
+                // fused after the error
+                assert!(tok.next().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_multibyte_at_eof_is_a_typed_error() {
+        // The stream ends inside a 3-byte sequence; whichever read boundary
+        // the split lands on, the error is TruncatedUtf8, never a panic and
+        // never a silently dropped character.
+        let data: &[u8] = b"<doc>\xE2\x89"; // first two bytes of '≤'
+        for chunk in 1..=4 {
+            let mut ab = Alphabet::new();
+            let mut tok = ByteTokenizer::new(SplitReader::new(data, chunk), &mut ab);
+            assert!(tok.next().unwrap().is_ok());
+            let err = tok.next().expect("error must surface").unwrap_err();
+            assert!(
+                matches!(err, SaxError::TruncatedUtf8 { offset: 5 }),
+                "chunk {chunk}: got {err:?}"
+            );
+            assert!(tok.next().is_none());
+        }
+    }
+
+    #[test]
+    fn io_errors_surface_as_typed_errors() {
+        struct FailingReader(usize);
+        impl io::Read for FailingReader {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.0 == 0 {
+                    return Err(io::Error::new(io::ErrorKind::ConnectionReset, "boom"));
+                }
+                self.0 -= 1;
+                buf[0] = b'x';
+                Ok(1)
+            }
+        }
+        let mut ab = Alphabet::new();
+        let mut tok = ByteTokenizer::new(FailingReader(3), &mut ab);
+        let err = tok.next().expect("error must surface").unwrap_err();
+        assert!(matches!(err, SaxError::Io(_)), "got {err:?}");
+        assert!(tok.next().is_none());
+    }
+
+    #[test]
+    fn interrupted_reads_are_retried() {
+        struct InterruptingReader {
+            data: &'static [u8],
+            pos: usize,
+            interrupt_next: bool,
+        }
+        impl io::Read for InterruptingReader {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.interrupt_next {
+                    self.interrupt_next = false;
+                    return Err(io::Error::new(io::ErrorKind::Interrupted, "signal"));
+                }
+                self.interrupt_next = true;
+                if self.pos == self.data.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.data[self.pos];
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+        let mut ab = Alphabet::new();
+        let events: Result<Vec<_>, _> = ByteTokenizer::new(
+            InterruptingReader {
+                data: b"<a>x</a>",
+                pos: 0,
+                interrupt_next: true,
+            },
+            &mut ab,
+        )
+        .collect();
+        assert_eq!(events.unwrap().len(), 3);
+    }
+
+    #[test]
+    fn utf8_chars_decodes_exactly_like_str_chars() {
+        // Every scalar-value category, split at every granularity.
+        let text = "A£ह𐍈\u{10FFFF}\u{D7FF}\u{E000}ß\u{7F}\u{80}";
+        let expect: Vec<char> = text.chars().collect();
+        for chunk in 1..=5 {
+            let got: Vec<char> = Utf8Chars::new(SplitReader::new(text.as_bytes(), chunk))
+                .collect::<Result<_, _>>()
+                .unwrap();
+            assert_eq!(got, expect, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn sax_error_display_and_source() {
+        let e = SaxError::InvalidUtf8 { offset: 12 };
+        assert!(e.to_string().contains("byte 12"));
+        let e = SaxError::TruncatedUtf8 { offset: 3 };
+        assert!(e.to_string().contains("byte 3"));
+        let e = SaxError::from(NestedWordError::NotWellMatched);
+        assert!(std::error::Error::source(&e).is_some());
+        let e = SaxError::Io(io::Error::other("x"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

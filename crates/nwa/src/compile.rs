@@ -1,0 +1,733 @@
+//! Compiled execution engines: the hot-path automata lowered into dense,
+//! cache-friendly tables behind the `automata-core`
+//! [`Compile`] capability.
+//!
+//! The interpreted runners ([`StreamingRun`](crate::StreamingRun),
+//! [`SummaryStreamingRun`](crate::summary::SummaryStreamingRun)) already
+//! meet the paper's asymptotics — one pass, memory proportional to depth.
+//! Compilation attacks the constant factor:
+//!
+//! * [`CompiledNwa`] fuses the three transition functions of a
+//!   deterministic NWA into **one** flat `u32` table over the tagged
+//!   alphabet Σ̂ with **premultiplied row offsets**: a linear state is
+//!   represented as `q·3σ`, a hierarchical stack entry as the absolute
+//!   base of its block of return rows. Every event then resolves as one
+//!   addition and one array load, and — the part the microbenchmarks say
+//!   matters most — the event kind enters the address as *arithmetic on
+//!   the discriminant* rather than a three-way dispatch, so the
+//!   unpredictable call/internal/return mix of real documents stops
+//!   costing a branch misprediction per event.
+//! * [`CompiledSummary`] executes the summary-set subset construction of
+//!   §3.2 over **interned** state-pair sets with a **memoized transition
+//!   cache**: each distinct (summary, symbol) step is derived once from the
+//!   nondeterministic relations and afterwards answered by a hash lookup,
+//!   so streams with repeated event patterns run at deterministic-automaton
+//!   speed after warm-up.
+//!
+//! The trade-off is memory: `CompiledNwa` materializes the full
+//! `states² × 3σ` return block in `u32`s up front (compilation fails on
+//! automata where the offsets would overflow `u32`), and
+//! `CompiledSummary`'s cache grows with the number of *distinct* summaries
+//! the input streams actually visit — bounded by the (exponential)
+//! determinization size, but in practice tiny and shared across runs.
+//! Both artifacts are language-exact: `tests/compile.rs` property-tests
+//! compiled ≡ interpreted at every prefix, pending edges included.
+
+use crate::automaton::Nwa;
+use crate::joinless::JoinlessNwa;
+use crate::nondet::Nnwa;
+use crate::summary::{Summary, SummarySemantics};
+use automata_core::{Compile, StreamAcceptor, StreamRun};
+use nested_words::{PositionKind, Symbol, TaggedSymbol};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+// --------------------------------------------------------------------------
+// Deterministic NWAs: premultiplied dense tables
+// --------------------------------------------------------------------------
+
+/// A deterministic NWA lowered into one fused `u32` transition table over
+/// the tagged alphabet Σ̂, with premultiplied row offsets (see the
+/// [module docs](self) for the design rationale).
+///
+/// Internally a linear state `q` is the row offset `q·3σ` and every event
+/// is the in-row offset `kind·σ + a` (calls `0..σ`, internals `σ..2σ`,
+/// returns `2σ..3σ` — exactly [`TaggedSymbol::tagged_index`]). The fused
+/// table `T` concatenates
+///
+/// * the **linear block** (`n·3σ` entries): `T[q·3σ + a] = δc^l(q,a)·3σ`
+///   and `T[q·3σ + σ + a] = δi(q,a)·3σ`, and
+/// * the **return block** (`n·n·3σ` entries): for a return the stack
+///   supplies the absolute base of the hierarchical state's row, so
+///   `T[pop() + q·3σ + (2σ + a)] = δr(q,h,a)·3σ`.
+///
+/// One event is therefore *one* add-and-load wherever it lands: a call
+/// additionally pushes `push[q·3σ + a]` (the matching return-row base), a
+/// return pops (an empty stack pops the initial state's base — the
+/// pending-return rule of §3.1). Crucially the decode `kind·σ + a` is plain
+/// arithmetic on the event discriminant — unlike a three-way dispatch it
+/// never branches on the (unpredictable) event kind, which is where the
+/// interpreted runner's cycles go.
+///
+/// Build one with [`Compile::compile`] (or `query::compile`) and drive it
+/// through [`StreamAcceptor`], or hand a whole slice to
+/// [`CompiledNwa::run_tagged`]; it accepts exactly the streams the source
+/// [`Nwa`] accepts.
+#[derive(Debug, Clone)]
+pub struct CompiledNwa {
+    /// Row stride of linear states: `max(3σ, 1)`.
+    stride: u32,
+    /// σ itself (`stride / 3`, kept separately for the band offsets).
+    sigma: u32,
+    num_states: usize,
+    /// The fused table: linear block then return block.
+    table: Vec<u32>,
+    /// `push[q·3σ + a]` = absolute base of `δc^h(q, a)`'s block of return
+    /// rows, so a return resolves as `T[pop() + state + 2σ + a]`.
+    push: Vec<u32>,
+    /// The pushed value for the initial state — what a pending return pops.
+    pending_row: u32,
+    /// Initial linear state, as a row offset.
+    initial: u32,
+    /// Acceptance by plain state index (`q`, not the row offset).
+    accepting: Vec<bool>,
+}
+
+impl CompiledNwa {
+    /// Lowers `nwa` into the fused premultiplied table.
+    ///
+    /// Panics if the table offsets would not fit `u32` (i.e.
+    /// `(states + states²) · 3σ > u32::MAX`); such automata are beyond what
+    /// the dense return block can represent and must use the interpreted
+    /// runner.
+    pub fn new(nwa: &Nwa) -> CompiledNwa {
+        let n = nwa.num_states();
+        let sigma = nwa.sigma();
+        let stride = (3 * sigma).max(1);
+        let table_len = n
+            .checked_add(n.checked_mul(n).expect("table size overflows usize"))
+            .and_then(|x| x.checked_mul(stride))
+            .expect("table size overflows usize");
+        assert!(
+            u32::try_from(table_len).is_ok(),
+            "automaton too large to compile: (states + states^2) * 3*sigma must fit u32"
+        );
+        // Absolute base of hierarchical state h's block of return rows; a
+        // return lands at `base + q·3σ + 2σ + a`.
+        let ret_base = |h: usize| ((n + h * n) * stride) as u32;
+        let mut table = vec![0u32; table_len];
+        let mut push = vec![0u32; n * stride];
+        for q in 0..n {
+            for a in 0..sigma {
+                let sym = Symbol(a as u16);
+                let row = q * stride;
+                table[row + a] = (nwa.call_linear(q, sym) * stride) as u32;
+                table[row + sigma + a] = (nwa.internal(q, sym) * stride) as u32;
+                push[row + a] = ret_base(nwa.call_hier(q, sym));
+                for h in 0..n {
+                    table[(n + h * n) * stride + row + 2 * sigma + a] =
+                        (nwa.ret(q, h, sym) * stride) as u32;
+                }
+            }
+        }
+        CompiledNwa {
+            stride: stride as u32,
+            sigma: sigma as u32,
+            num_states: n,
+            table,
+            push,
+            pending_row: ret_base(nwa.initial()),
+            initial: (nwa.initial() * stride) as u32,
+            accepting: (0..n).map(|q| nwa.is_accepting(q)).collect(),
+        }
+    }
+
+    /// Number of states of the source automaton.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Alphabet size of the source automaton.
+    pub fn sigma(&self) -> usize {
+        self.sigma as usize
+    }
+
+    /// Bytes occupied by the transition tables — the memory the compiled
+    /// representation trades for speed (the `states² × 3σ` return block
+    /// dominates).
+    pub fn table_bytes(&self) -> usize {
+        (self.table.len() + self.push.len()) * std::mem::size_of::<u32>()
+    }
+
+    /// Runs a whole pre-materialized event slice through the fused table
+    /// and reports the outcome — the bulk entry point of the compiled
+    /// engine, and the reason the Σ̂ layout exists.
+    ///
+    /// Language-equivalent to driving [`StreamAcceptor::start`] event by
+    /// event (property-tested in `tests/compile.rs`), but the inner loop is
+    /// **branch-free on the event kind**: real event streams mix calls,
+    /// internals and returns unpredictably, so any per-kind dispatch —
+    /// including the arithmetic-per-arm `match` inside
+    /// [`TaggedSymbol::tagged_index`] — mispredicts constantly and
+    /// dominates the interpreted runner's budget. Here every event
+    ///
+    /// 1. decodes to `kind·σ + a` by pure arithmetic on the discriminant,
+    /// 2. unconditionally writes its would-be push (`push[state + a]`) into
+    ///    the next free stack slot,
+    /// 3. resolves `state = T[state + kind·σ + a + (top & ret_mask)]` —
+    ///    one load, with the return-block base masked in only when the
+    ///    event is a return — and
+    /// 4. adjusts the stack pointer with comparisons, not branches.
+    ///
+    /// A sentinel slot holding the initial state's return base sits below
+    /// the stack, so a pending return (pop on an empty stack) resolves
+    /// against the §3.1 hierarchical-initial row with no special case.
+    /// State, stack pointer and peak stay in registers for the whole slice.
+    pub fn run_tagged(&self, events: &[TaggedSymbol]) -> automata_core::StreamOutcome {
+        let sigma = self.sigma;
+        let mut state = self.initial;
+        // The logical stack is spilled[1..sp] with its top cached in the
+        // register `top`; spilled[0] is the pending-return sentinel, so the
+        // live height is sp - 1. Keeping the top in a register keeps the
+        // address chain `state → table → state` free of stack loads.
+        let mut spilled: Vec<u32> = vec![self.pending_row; 64];
+        let mut top = self.pending_row;
+        let mut sp = 1usize;
+        let mut max_sp = 1usize;
+        for &event in events {
+            // Flag-style decode: `matches!` comparisons compile to setcc,
+            // where a `match` yielding per-arm values compiles to data-
+            // dependent (hence mispredicted) branches.
+            let a = event.symbol().index() as u32;
+            let is_int = u32::from(matches!(event, TaggedSymbol::Internal(_)));
+            let is_ret = u32::from(matches!(event, TaggedSymbol::Return(_)));
+            let kind = is_int + 2 * is_ret;
+            debug_assert!(a < sigma.max(1), "event symbol outside the alphabet");
+            // Predictable (amortized-rare) growth branch, never a per-kind one.
+            if sp + 1 >= spilled.len() {
+                spilled.resize(spilled.len() * 2, 0);
+            }
+            // Unconditional spill of the cached top into its memory home
+            // `sp - 1` (a call's push must preserve it there; harmless
+            // otherwise — the slot is dead while the top lives in the
+            // register), then one add-and-load resolves the event, with the
+            // return block masked in only for returns.
+            spilled[sp - 1] = top;
+            let ret_mask = is_ret.wrapping_neg();
+            let pushed = self.push[(state + a) as usize];
+            state = self.table[(state + kind * sigma + a + (top & ret_mask)) as usize];
+            // New height and new top, all selected without branching: a
+            // call caches its pushed value, an internal keeps the top, a
+            // return refills from the slot that becomes the new top.
+            let is_call = usize::from(kind == 0);
+            sp = (sp + is_call - is_ret as usize).max(1);
+            let refill = spilled[sp - 1];
+            top = [pushed, top, refill][kind as usize];
+            max_sp = max_sp.max(sp);
+        }
+        automata_core::StreamOutcome {
+            accepted: self.accepting[(state / self.stride) as usize],
+            events: events.len(),
+            peak_memory: max_sp - 1,
+        }
+    }
+}
+
+/// A streaming run of a [`CompiledNwa`]: the same protocol as the
+/// interpreted [`StreamingRun`](crate::StreamingRun), resolved against the
+/// fused table with a stack of `u32` return-block bases. For whole slices,
+/// [`CompiledNwa::run_tagged`] is the faster entry point (its event-kind
+/// handling is branch-free).
+#[derive(Debug, Clone)]
+pub struct CompiledNwaRun<'a> {
+    tables: &'a CompiledNwa,
+    state: u32,
+    stack: Vec<u32>,
+    max_stack: usize,
+    steps: usize,
+}
+
+impl CompiledNwaRun<'_> {
+    #[inline]
+    fn step_event(&mut self, event: TaggedSymbol) {
+        self.steps += 1;
+        let t = self.tables;
+        let sigma = t.sigma;
+        let a = event.symbol().index() as u32;
+        debug_assert!(a < sigma.max(1), "event symbol outside the alphabet");
+        match event.kind() {
+            PositionKind::Internal => {
+                self.state = t.table[(self.state + sigma + a) as usize];
+            }
+            PositionKind::Call => {
+                let idx = (self.state + a) as usize;
+                self.stack.push(t.push[idx]);
+                self.max_stack = self.max_stack.max(self.stack.len());
+                self.state = t.table[idx];
+            }
+            PositionKind::Return => {
+                let base = self.stack.pop().unwrap_or(t.pending_row);
+                self.state = t.table[(base + self.state + 2 * sigma + a) as usize];
+            }
+        }
+    }
+}
+
+impl StreamRun for CompiledNwaRun<'_> {
+    fn step(&mut self, event: TaggedSymbol) {
+        self.step_event(event);
+    }
+
+    fn is_accepting(&self) -> bool {
+        self.tables.accepting[(self.state / self.tables.stride) as usize]
+    }
+
+    fn stack_height(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn peak_memory(&self) -> usize {
+        self.max_stack
+    }
+
+    fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
+impl StreamAcceptor for CompiledNwa {
+    type Run<'a> = CompiledNwaRun<'a>;
+
+    fn start(&self) -> CompiledNwaRun<'_> {
+        CompiledNwaRun {
+            tables: self,
+            state: self.initial,
+            stack: Vec::new(),
+            max_stack: 0,
+            steps: 0,
+        }
+    }
+}
+
+impl Compile for Nwa {
+    type Compiled = CompiledNwa;
+
+    /// One fused premultiplied `u32` table ([`CompiledNwa`]); panics if
+    /// `(states + states²) · 3σ` overflows `u32`.
+    fn compile(&self) -> CompiledNwa {
+        CompiledNwa::new(self)
+    }
+}
+
+// --------------------------------------------------------------------------
+// Nondeterministic models: memoized summary subset engine
+// --------------------------------------------------------------------------
+
+/// A summary interned by the memoized subset engine: the set itself (needed
+/// to derive yet-unseen transitions) plus its memoized acceptance bit.
+#[derive(Debug, Clone)]
+struct InternedSummary {
+    summary: Summary,
+    accepting: bool,
+}
+
+/// The memoization state of a [`CompiledSummary`] engine: interned
+/// summaries and one transition cache per step relation.
+#[derive(Debug, Clone, Default)]
+struct SummaryCache {
+    /// Interned summaries by id.
+    summaries: Vec<InternedSummary>,
+    /// Summary → id, keyed by the packed sorted pair list.
+    index: HashMap<Vec<u64>, u32>,
+    /// `(summary, a)` → summary for internal positions.
+    internal: HashMap<(u32, u16), u32>,
+    /// `(summary, a)` → linear-successor summary for call positions.
+    call: HashMap<(u32, u16), u32>,
+    /// `(outer, call symbol, inner, a)` → summary for matched returns.
+    matched: HashMap<(u32, u16, u32, u16), u32>,
+    /// `(summary, a)` → summary for pending returns.
+    pending: HashMap<(u32, u16), u32>,
+}
+
+/// Packs a summary into its canonical hash key (pairs are already sorted in
+/// the `BTreeSet`).
+fn summary_key(s: &Summary) -> Vec<u64> {
+    s.iter()
+        .map(|&(anchor, cur)| {
+            debug_assert!(anchor <= u32::MAX as usize && cur <= u32::MAX as usize);
+            ((anchor as u64) << 32) | cur as u64
+        })
+        .collect()
+}
+
+impl SummaryCache {
+    fn intern<A: SummarySemantics>(&mut self, automaton: &A, summary: Summary) -> u32 {
+        let key = summary_key(&summary);
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+        let id = u32::try_from(self.summaries.len()).expect("summary cache overflow");
+        let accepting = automaton.summary_accepting(&summary);
+        self.index.insert(key, id);
+        self.summaries.push(InternedSummary { summary, accepting });
+        id
+    }
+}
+
+/// The summary-set subset construction of §3.2 compiled on the fly: state
+/// sets are interned once, and every (summary, event) transition is derived
+/// from the nondeterministic relations at most once, then served from a
+/// hash cache. Streams with repeated event patterns — the common case for
+/// document queries — run almost entirely on precomputed rows.
+///
+/// Generic over [`SummarySemantics`], so one engine serves both
+/// [`Nnwa`] (ordinary return relation) and [`JoinlessNwa`] (mode-split
+/// return relation). The cache is interior-mutable and shared by every run
+/// started from the same compiled artifact: warm-up amortizes across runs.
+///
+/// This is in effect determinization restricted to the reachable,
+/// actually-visited part of the `2^{s²}` summary-set automaton — the memory
+/// trade-off is the cache, which grows with the number of distinct
+/// summaries visited, not with the stream length.
+#[derive(Debug, Clone)]
+pub struct CompiledSummary<A: SummarySemantics> {
+    automaton: A,
+    initial: u32,
+    cache: RefCell<SummaryCache>,
+}
+
+impl<A: SummarySemantics> CompiledSummary<A> {
+    /// Compiles the engine around (an owned copy of) the automaton.
+    pub fn new(automaton: A) -> Self {
+        let mut cache = SummaryCache::default();
+        let initial = cache.intern(&automaton, automaton.initial_summary());
+        CompiledSummary {
+            automaton,
+            initial,
+            cache: RefCell::new(cache),
+        }
+    }
+
+    /// Number of distinct summaries interned so far — the size of the
+    /// visited part of the subset construction (grows as runs explore new
+    /// event patterns, never with stream length).
+    pub fn cached_summaries(&self) -> usize {
+        self.cache.borrow().summaries.len()
+    }
+
+    fn accepting(&self, id: u32) -> bool {
+        self.cache.borrow().summaries[id as usize].accepting
+    }
+
+    fn step_internal(&self, id: u32, a: Symbol) -> u32 {
+        let mut cache = self.cache.borrow_mut();
+        if let Some(&hit) = cache.internal.get(&(id, a.0)) {
+            return hit;
+        }
+        let next = self
+            .automaton
+            .summary_internal(&cache.summaries[id as usize].summary, a);
+        let next_id = cache.intern(&self.automaton, next);
+        cache.internal.insert((id, a.0), next_id);
+        next_id
+    }
+
+    fn step_call(&self, id: u32, a: Symbol) -> u32 {
+        let mut cache = self.cache.borrow_mut();
+        if let Some(&hit) = cache.call.get(&(id, a.0)) {
+            return hit;
+        }
+        let next = self
+            .automaton
+            .summary_call(&cache.summaries[id as usize].summary, a);
+        let next_id = cache.intern(&self.automaton, next);
+        cache.call.insert((id, a.0), next_id);
+        next_id
+    }
+
+    fn step_matched(&self, outer: u32, call_symbol: Symbol, inner: u32, a: Symbol) -> u32 {
+        let mut cache = self.cache.borrow_mut();
+        let key = (outer, call_symbol.0, inner, a.0);
+        if let Some(&hit) = cache.matched.get(&key) {
+            return hit;
+        }
+        let next = self.automaton.summary_matched_return(
+            &cache.summaries[outer as usize].summary,
+            call_symbol,
+            &cache.summaries[inner as usize].summary,
+            a,
+        );
+        let next_id = cache.intern(&self.automaton, next);
+        cache.matched.insert(key, next_id);
+        next_id
+    }
+
+    fn step_pending(&self, id: u32, a: Symbol) -> u32 {
+        let mut cache = self.cache.borrow_mut();
+        if let Some(&hit) = cache.pending.get(&(id, a.0)) {
+            return hit;
+        }
+        let next = self
+            .automaton
+            .summary_pending_return(&cache.summaries[id as usize].summary, a);
+        let next_id = cache.intern(&self.automaton, next);
+        cache.pending.insert((id, a.0), next_id);
+        next_id
+    }
+}
+
+/// A streaming run of a [`CompiledSummary`] engine: the same observable
+/// protocol as [`SummaryStreamingRun`](crate::summary::SummaryStreamingRun),
+/// but every configuration is one interned `u32` id and every step is a
+/// cache lookup (or, once per distinct transition, a derivation).
+#[derive(Debug)]
+pub struct CompiledSummaryRun<'a, A: SummarySemantics> {
+    engine: &'a CompiledSummary<A>,
+    current: u32,
+    stack: Vec<(u32, Symbol)>,
+    max_stack: usize,
+    steps: usize,
+}
+
+impl<A: SummarySemantics> StreamRun for CompiledSummaryRun<'_, A> {
+    fn step(&mut self, event: TaggedSymbol) {
+        self.steps += 1;
+        let a = event.symbol();
+        match event.kind() {
+            PositionKind::Internal => {
+                self.current = self.engine.step_internal(self.current, a);
+            }
+            PositionKind::Call => {
+                let linear = self.engine.step_call(self.current, a);
+                self.stack.push((self.current, a));
+                self.max_stack = self.max_stack.max(self.stack.len());
+                self.current = linear;
+            }
+            PositionKind::Return => match self.stack.pop() {
+                Some((outer, call_symbol)) => {
+                    self.current = self
+                        .engine
+                        .step_matched(outer, call_symbol, self.current, a);
+                }
+                None => {
+                    self.current = self.engine.step_pending(self.current, a);
+                }
+            },
+        }
+    }
+
+    fn is_accepting(&self) -> bool {
+        self.engine.accepting(self.current)
+    }
+
+    fn stack_height(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn peak_memory(&self) -> usize {
+        self.max_stack
+    }
+
+    fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
+impl<A: SummarySemantics> StreamAcceptor for CompiledSummary<A> {
+    type Run<'a>
+        = CompiledSummaryRun<'a, A>
+    where
+        Self: 'a;
+
+    fn start(&self) -> CompiledSummaryRun<'_, A> {
+        CompiledSummaryRun {
+            engine: self,
+            current: self.initial,
+            stack: Vec::new(),
+            max_stack: 0,
+            steps: 0,
+        }
+    }
+}
+
+impl Compile for Nnwa {
+    type Compiled = CompiledSummary<Nnwa>;
+
+    /// The memoized summary subset engine ([`CompiledSummary`]) around an
+    /// owned copy of the automaton.
+    fn compile(&self) -> CompiledSummary<Nnwa> {
+        CompiledSummary::new(self.clone())
+    }
+}
+
+impl Compile for JoinlessNwa {
+    type Compiled = CompiledSummary<JoinlessNwa>;
+
+    /// The memoized summary subset engine ([`CompiledSummary`]) over the
+    /// mode-split return relation, around an owned copy of the automaton.
+    fn compile(&self) -> CompiledSummary<JoinlessNwa> {
+        CompiledSummary::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automata_core::query;
+    use nested_words::generate::{random_nested_word, NestedWordConfig};
+    use nested_words::tagged::parse_nested_word;
+    use nested_words::{Alphabet, NestedWord};
+
+    fn parse(ab: &mut Alphabet, s: &str) -> NestedWord {
+        parse_nested_word(s, ab).unwrap()
+    }
+
+    /// The matching-labels NWA from the `automaton` tests: genuinely uses
+    /// hierarchical states, pending calls and pending returns.
+    fn matching_labels_nwa() -> Nwa {
+        let a = Symbol(0);
+        let b = Symbol(1);
+        let mut m = Nwa::new(4, 2, 0);
+        m.set_accepting(0, true);
+        m.set_all_transitions_to(3, 3);
+        m.set_internal(0, a, 0);
+        m.set_internal(0, b, 0);
+        m.set_call(0, a, 0, 1);
+        m.set_call(0, b, 0, 2);
+        for q in [1usize, 2] {
+            m.set_all_transitions_to(q, 3);
+        }
+        for h in 0..4usize {
+            for (sym, want) in [(a, 1usize), (b, 2usize)] {
+                let target = if h == want { 0 } else { 3 };
+                m.set_return(0, h, sym, target);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn compiled_nwa_agrees_with_interpreted() {
+        let mut ab = Alphabet::ab();
+        let m = matching_labels_nwa();
+        let c = query::compile(&m);
+        for s in [
+            "",
+            "<a a>",
+            "<a b>",
+            "<a <b b> a>",
+            "a>",
+            "<a",
+            "<a a> b>",
+            "<a <b <a a> b> a> <b b>",
+        ] {
+            let w = parse(&mut ab, s);
+            let interpreted = query::run_stream(&m, w.to_tagged());
+            let compiled = query::run_stream(&c, w.to_tagged());
+            assert_eq!(interpreted, compiled, "word `{s}`");
+        }
+    }
+
+    #[test]
+    fn compiled_nwa_prefix_observables_match() {
+        let m = matching_labels_nwa();
+        let c = m.compile();
+        let ab = Alphabet::ab();
+        let cfg = NestedWordConfig {
+            len: 30,
+            allow_pending: true,
+            ..Default::default()
+        };
+        for seed in 0..25u64 {
+            let w = random_nested_word(&ab, cfg, seed);
+            let mut ir = m.start();
+            let mut cr = c.start();
+            for (i, &event) in w.to_tagged().iter().enumerate() {
+                ir.step(event);
+                cr.step(event);
+                assert_eq!(ir.is_accepting(), cr.is_accepting(), "seed {seed} pos {i}");
+                assert_eq!(ir.stack_height(), cr.stack_height(), "seed {seed} pos {i}");
+                assert_eq!(ir.peak_memory(), cr.peak_memory(), "seed {seed} pos {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_summary_caches_rows_across_runs() {
+        let mut ab = Alphabet::ab();
+        // Nondeterministic "some matched b-block" automaton.
+        let a = Symbol(0);
+        let b = Symbol(1);
+        let mut n = Nnwa::new(3, 2);
+        n.add_initial(0);
+        n.add_accepting(2);
+        for sym in [a, b] {
+            n.add_internal(0, sym, 0);
+            n.add_internal(2, sym, 2);
+            n.add_call(0, sym, 0, 0);
+            n.add_call(2, sym, 2, 0);
+            for h in [0usize, 1] {
+                n.add_return(0, h, sym, 0);
+                n.add_return(2, h, sym, 2);
+            }
+        }
+        n.add_call(0, b, 0, 1);
+        n.add_return(0, 1, b, 2);
+
+        let c = n.compile();
+        let w = parse(&mut ab, "<b a b> <a <b b> a>");
+        assert!(query::contains_stream(&c, w.to_tagged()));
+        let warm = c.cached_summaries();
+        assert!(warm > 0);
+        // A second, repeated-pattern run derives nothing new.
+        assert!(query::contains_stream(&c, w.to_tagged()));
+        assert_eq!(c.cached_summaries(), warm);
+        // And it still agrees with the interpreted engine on fresh input.
+        for s in ["<b a>", "<a b a>", "b>", "<b", "<a <b b>"] {
+            let v = parse(&mut ab, s);
+            assert_eq!(
+                query::contains_stream(&c, v.to_tagged()),
+                query::contains(&n, &v),
+                "word `{s}`"
+            );
+        }
+    }
+
+    #[test]
+    fn table_bytes_reports_the_dense_footprint() {
+        let m = matching_labels_nwa();
+        let c = m.compile();
+        // fused table (4 + 4²)·3·2 entries + push table 4·3·2, 4 bytes each.
+        assert_eq!(c.table_bytes(), ((4 + 16) * 6 + 24) * 4);
+        assert_eq!(c.num_states(), 4);
+        assert_eq!(c.sigma(), 2);
+    }
+
+    #[test]
+    fn bulk_runner_agrees_with_stepwise_runs() {
+        let m = matching_labels_nwa();
+        let c = m.compile();
+        let ab = Alphabet::ab();
+        let cfg = NestedWordConfig {
+            len: 40,
+            allow_pending: true,
+            ..Default::default()
+        };
+        for seed in 0..50u64 {
+            let w = random_nested_word(&ab, cfg, seed);
+            let events = w.to_tagged();
+            assert_eq!(
+                c.run_tagged(&events),
+                query::run_stream(&m, events.iter().copied()),
+                "seed {seed}"
+            );
+        }
+        // Deep nesting exercises the bulk runner's stack growth path.
+        let deep: Vec<TaggedSymbol> = std::iter::repeat_n(TaggedSymbol::Call(Symbol(0)), 500)
+            .chain(std::iter::repeat_n(TaggedSymbol::Return(Symbol(0)), 500))
+            .collect();
+        let outcome = c.run_tagged(&deep);
+        assert_eq!(outcome, query::run_stream(&m, deep.iter().copied()));
+        assert_eq!(outcome.peak_memory, 500);
+    }
+}

@@ -21,6 +21,11 @@
 //!   [`NnwaStreamingRun`], [`JoinlessStreamingRun`]) behind the
 //!   `automata-core` [`StreamAcceptor`](automata_core::StreamAcceptor)
 //!   trait: one event at a time, memory proportional to the nesting depth;
+//! * compiled execution engines ([`compile`]) behind the `automata-core`
+//!   [`Compile`](automata_core::Compile) trait: [`CompiledNwa`] lowers a
+//!   deterministic NWA into premultiplied dense `u32` tables, and
+//!   [`CompiledSummary`] runs the nondeterministic models through a
+//!   memoized summary-set subset engine;
 //! * boolean operations, emptiness, inclusion and equivalence ([`boolean`],
 //!   [`decision`]);
 //! * the restricted classes of §3.3–§3.6 and the constructions of
@@ -47,6 +52,7 @@ pub mod automaton;
 pub mod boolean;
 pub mod bottom_up;
 pub mod builder;
+pub mod compile;
 pub mod decision;
 pub mod families;
 pub mod flat;
@@ -59,5 +65,6 @@ pub mod witness;
 
 pub use automaton::{Nwa, StreamingRun};
 pub use builder::{NnwaBuilder, NwaBuilder};
+pub use compile::{CompiledNwa, CompiledSummary};
 pub use joinless::{JoinlessNwa, JoinlessStreamingRun};
 pub use nondet::{Nnwa, NnwaStreamingRun};

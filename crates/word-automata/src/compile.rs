@@ -1,0 +1,200 @@
+//! Compiled execution for tagged-alphabet DFAs: the flat view of §3.3
+//! lowered into one dense `states × Σ̂` next-state array behind the
+//! `automata-core` [`Compile`] capability.
+
+use crate::dfa::Dfa;
+use automata_core::{Compile, StreamAcceptor, StreamRun};
+use nested_words::TaggedSymbol;
+
+/// A DFA over the tagged alphabet Σ̂ lowered into a single flat `u32`
+/// next-state array with premultiplied row offsets: a state is represented
+/// as `q · 3σ`, so one event costs computing its `tagged_index`, one
+/// addition and one load.
+///
+/// Like [`Dfa`]'s interpreted streaming run
+/// ([`TaggedDfaRun`](crate::api::TaggedDfaRun)), the artifact reads each
+/// [`TaggedSymbol`] as the letter `tagged_index` of Σ̂, so the source DFA
+/// must have `3·|Σ|` symbols (calls `0..σ`, internals `σ..2σ`, returns
+/// `2σ..3σ`). It is stack-free: flat automata cannot see the matching
+/// relation (Theorem 2 / §3.3).
+#[derive(Debug, Clone)]
+pub struct CompiledTaggedDfa {
+    /// Σ (not Σ̂): `tagged_index` needs the untagged alphabet size.
+    sigma: usize,
+    /// Row stride `3σ`.
+    stride: u32,
+    /// `next[q·3σ + t] = δ(q, t)·3σ`.
+    next: Vec<u32>,
+    /// Initial state as a row offset.
+    initial: u32,
+    /// Acceptance by plain state index.
+    accepting: Vec<bool>,
+}
+
+impl CompiledTaggedDfa {
+    /// Lowers `dfa` into the flat array.
+    ///
+    /// Panics if the DFA's symbol count is not a (positive) multiple of
+    /// three — it must be a DFA over Σ̂ to interpret call/internal/return
+    /// events — or if `states · 3σ` overflows `u32`.
+    pub fn new(dfa: &Dfa) -> CompiledTaggedDfa {
+        assert!(
+            dfa.num_symbols() > 0 && dfa.num_symbols().is_multiple_of(3),
+            "compiling to a tagged runner needs a DFA over the tagged alphabet (3·|Σ| symbols)"
+        );
+        let n = dfa.num_states();
+        let stride = dfa.num_symbols();
+        assert!(
+            u32::try_from(n * stride).is_ok(),
+            "automaton too large to compile: states * 3·sigma must fit u32"
+        );
+        let mut next = vec![0u32; n * stride];
+        for q in 0..n {
+            for t in 0..stride {
+                next[q * stride + t] = (dfa.next(q, t) * stride) as u32;
+            }
+        }
+        CompiledTaggedDfa {
+            sigma: stride / 3,
+            stride: stride as u32,
+            next,
+            initial: (dfa.initial() * stride) as u32,
+            accepting: (0..n).map(|q| dfa.is_accepting(q)).collect(),
+        }
+    }
+
+    /// Runs a whole pre-materialized event slice through the array and
+    /// reports the outcome — the bulk entry point of the compiled engine.
+    ///
+    /// Language-equivalent to driving [`StreamAcceptor::start`] event by
+    /// event, but the event kind enters the address as arithmetic on the
+    /// discriminant (`matches!` comparisons compile to setcc) instead of
+    /// the per-arm `match` of [`TaggedSymbol::tagged_index`], whose
+    /// data-dependent branches mispredict on real event mixes; the state
+    /// stays in a register for the whole slice.
+    pub fn run_tagged(&self, events: &[TaggedSymbol]) -> automata_core::StreamOutcome {
+        let sigma = self.sigma as u32;
+        let mut state = self.initial;
+        for &event in events {
+            let a = event.symbol().index() as u32;
+            let kind = u32::from(matches!(event, TaggedSymbol::Internal(_)))
+                + 2 * u32::from(matches!(event, TaggedSymbol::Return(_)));
+            state = self.next[(state + kind * sigma + a) as usize];
+        }
+        automata_core::StreamOutcome {
+            accepted: self.accepting[(state / self.stride) as usize],
+            events: events.len(),
+            peak_memory: 0,
+        }
+    }
+}
+
+/// A streaming run of a [`CompiledTaggedDfa`]: stack-free, one add-and-load
+/// per event.
+#[derive(Debug, Clone)]
+pub struct CompiledTaggedDfaRun<'a> {
+    tables: &'a CompiledTaggedDfa,
+    state: u32,
+    steps: usize,
+}
+
+impl StreamRun for CompiledTaggedDfaRun<'_> {
+    fn step(&mut self, event: TaggedSymbol) {
+        self.steps += 1;
+        let t = event.tagged_index(self.tables.sigma) as u32;
+        self.state = self.tables.next[(self.state + t) as usize];
+    }
+
+    fn is_accepting(&self) -> bool {
+        self.tables.accepting[(self.state / self.tables.stride) as usize]
+    }
+
+    fn stack_height(&self) -> usize {
+        0
+    }
+
+    fn peak_memory(&self) -> usize {
+        0
+    }
+
+    fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
+impl StreamAcceptor for CompiledTaggedDfa {
+    type Run<'a> = CompiledTaggedDfaRun<'a>;
+
+    fn start(&self) -> CompiledTaggedDfaRun<'_> {
+        CompiledTaggedDfaRun {
+            tables: self,
+            state: self.initial,
+            steps: 0,
+        }
+    }
+}
+
+impl Compile for Dfa {
+    type Compiled = CompiledTaggedDfa;
+
+    /// One flat `states × Σ̂` next-state array ([`CompiledTaggedDfa`]);
+    /// panics unless the DFA is over the tagged alphabet (`3·|Σ|` symbols).
+    fn compile(&self) -> CompiledTaggedDfa {
+        CompiledTaggedDfa::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automata_core::query;
+    use nested_words::Symbol;
+
+    /// Tagged DFA over Σ = {a, b} (so 6 tagged symbols) accepting streams
+    /// with an even number of positions, whatever their kinds.
+    fn even_length_tagged() -> Dfa {
+        let mut d = Dfa::new(2, 6, 0);
+        d.set_accepting(0, true);
+        for q in 0..2usize {
+            for t in 0..6 {
+                d.set_transition(q, t, 1 - q);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn compiled_tagged_dfa_agrees_with_interpreted() {
+        let d = even_length_tagged();
+        let c = query::compile(&d);
+        let a = Symbol(0);
+        let b = Symbol(1);
+        let events = [
+            TaggedSymbol::Call(a),
+            TaggedSymbol::Internal(b),
+            TaggedSymbol::Return(a),
+            TaggedSymbol::Return(b),
+            TaggedSymbol::Call(b),
+        ];
+        for n in 0..=events.len() {
+            let prefix = &events[..n];
+            assert_eq!(
+                query::run_stream(&c, prefix.iter().copied()),
+                query::run_stream(&d, prefix.iter().copied()),
+                "prefix length {n}"
+            );
+            assert_eq!(
+                c.run_tagged(prefix),
+                query::run_stream(&d, prefix.iter().copied()),
+                "bulk, prefix length {n}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tagged alphabet")]
+    fn compiling_an_untagged_dfa_panics() {
+        let d = Dfa::new(2, 2, 0);
+        let _ = d.compile();
+    }
+}

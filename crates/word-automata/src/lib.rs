@@ -20,6 +20,7 @@
 
 pub mod api;
 pub mod builder;
+pub mod compile;
 pub mod dfa;
 pub mod minimize;
 pub mod nfa;
@@ -27,6 +28,7 @@ pub mod regex;
 
 pub use api::TaggedDfaRun;
 pub use builder::DfaBuilder;
+pub use compile::CompiledTaggedDfa;
 pub use dfa::Dfa;
 pub use nfa::Nfa;
 pub use regex::Regex;

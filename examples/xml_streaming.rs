@@ -2,13 +2,17 @@
 //! evaluate them over SAX event streams in a single pass with memory
 //! proportional to the nesting depth (§1 of the paper and experiments
 //! E14/E15) — via the `automata-core` `StreamAcceptor` trait and the
-//! incremental `sax::Tokenizer`, which never materialize the document.
+//! incremental byte-level `sax::ByteTokenizer`, which never materialize the
+//! document (`run_streaming_text` / `run_streaming_reader` are the
+//! bytes-in → verdict-out pipeline), plus the `Compile`d dense-table
+//! engine on the same streams.
 //!
 //! Run with `cargo run --release --example xml_streaming`.
 
 use nested_words_suite::nwa_xml::generate::{generate_document, DocumentConfig};
 use nested_words_suite::nwa_xml::queries::{
-    contains_tag_nwa, depth_at_most_nwa, patterns_in_order_nwa, run_streaming, run_streaming_text,
+    contains_tag_nwa, depth_at_most_nwa, patterns_in_order_nwa, run_streaming,
+    run_streaming_reader, run_streaming_text,
 };
 use nested_words_suite::nwa_xml::sax::{parse_document, to_xml};
 use nested_words_suite::prelude::*;
@@ -86,13 +90,41 @@ fn main() {
         incremental.events
     );
 
+    // The byte-level pipeline: the same query driven straight off an
+    // `io::Read` (here an in-memory reader; a file or socket works the
+    // same), decoding UTF-8 incrementally — bytes in, verdict out.
+    let from_bytes = run_streaming_reader(&q, xml.as_bytes(), &gen_ab).unwrap();
+    assert_eq!(from_bytes, incremental);
+    println!(
+        "byte-level pass (ByteTokenizer over io::Read): same verdict {}, same peak {}",
+        from_bytes.accepted, from_bytes.peak_memory
+    );
+
+    // The compiled dense-table engine: same language, same byte pipeline,
+    // premultiplied u32 tables instead of the interpreted dispatch.
+    let compiled = query::compile(&q);
+    let from_compiled = run_streaming_reader(&compiled, xml.as_bytes(), &gen_ab).unwrap();
+    assert_eq!(from_compiled, incremental);
+    println!(
+        "compiled dense-table run ({} bytes of tables): same verdict {}",
+        compiled.table_bytes(),
+        from_compiled.accepted
+    );
+
     // The same events drive a nondeterministic automaton through the same
     // trait: the on-the-fly subset construction keeps one summary per open
-    // element.
+    // element — and its compiled form memoizes every distinct subset step.
     let n = Nnwa::from_deterministic(&q);
     let stream_events = (0..big.len()).map(|i| TaggedSymbol::new(big.kind(i), big.symbol(i)));
     println!(
         "nondeterministic run over the same stream: accepted {}",
         query::contains_stream(&n, stream_events)
+    );
+    let compiled_n = query::compile(&n);
+    let stream_events = (0..big.len()).map(|i| TaggedSymbol::new(big.kind(i), big.symbol(i)));
+    println!(
+        "compiled subset engine over the same stream: accepted {}, {} summaries memoized",
+        query::contains_stream(&compiled_n, stream_events),
+        compiled_n.cached_summaries()
     );
 }

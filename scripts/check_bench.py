@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Gate compiled-engine throughput against a checked-in baseline.
+
+Usage:
+    check_bench.py NEW.json BASELINE.json [--tolerance 0.20] [--filter compiled]
+
+CI runners and developer machines differ wildly in absolute speed, so the
+gated quantity is hardware-normalized: for every baseline result whose id
+contains the filter substring and that has an `interpreted_*` sibling in
+the same run, the *speedup* (compiled per_sec / interpreted per_sec, both
+measured on the same machine in the same run) is compared between baseline
+and fresh run. A fresh speedup more than the tolerance below the baseline
+speedup fails, as does a gated benchmark disappearing. Gated rows without
+an interpreted sibling fall back to the absolute per_sec comparison.
+
+Absolute throughputs are printed for context either way; the E15c
+acceptance bar (compiled NWA >= 2x interpreted at 1M events) is visible in
+the speedup column of the fresh run.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {
+        r["id"]: r["throughput"]["per_sec"]
+        for r in doc.get("results", [])
+        if "throughput" in r
+    }
+
+
+def speedup(results, bench_id):
+    """compiled/interpreted ratio within one run, or None if no sibling."""
+    sibling = bench_id.replace("compiled", "interpreted")
+    if sibling != bench_id and sibling in results and results[sibling]:
+        return results[bench_id] / results[sibling]
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("new")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed fractional drop (default 0.20)")
+    ap.add_argument("--filter", default="compiled",
+                    help="gate only ids containing this substring")
+    args = ap.parse_args()
+
+    new = load(args.new)
+    base = load(args.baseline)
+
+    failures = []
+    print(f"{'benchmark':<52} {'metric':>8} {'baseline':>12} {'current':>12} {'ratio':>7}")
+    for bench_id, base_per_sec in sorted(base.items()):
+        if args.filter not in bench_id:
+            continue
+        if bench_id not in new:
+            failures.append(f"{bench_id}: missing from the fresh run")
+            continue
+        base_speedup = speedup(base, bench_id)
+        new_speedup = speedup(new, bench_id)
+        if base_speedup is not None and new_speedup is not None:
+            metric, base_v, new_v = "speedup", base_speedup, new_speedup
+        else:
+            # No interpreted sibling: absolute throughput is all we have.
+            metric, base_v, new_v = "per_sec", base_per_sec, new[bench_id]
+        ratio = new_v / base_v if base_v else float("inf")
+        flag = ""
+        if ratio < 1.0 - args.tolerance:
+            failures.append(
+                f"{bench_id}: {metric} {new_v:.3g} is "
+                f"{(1.0 - ratio) * 100:.0f}% below the baseline {base_v:.3g}"
+            )
+            flag = "  << REGRESSION"
+        print(f"{bench_id:<52} {metric:>8} {base_v:>12.3g} {new_v:>12.3g} "
+              f"{ratio:>6.2f}x{flag}")
+
+    # Context: all interpreted-vs-compiled speedups in the fresh run.
+    rows = [(b, s) for b in sorted(new)
+            if "compiled" in b and (s := speedup(new, b)) is not None]
+    if rows:
+        print("\ninterpreted -> compiled speedups (fresh run):")
+        for bench_id, s in rows:
+            print(f"  {bench_id:<50} {s:.2f}x")
+
+    if failures:
+        print("\nFAIL: compiled performance regressed beyond "
+              f"{args.tolerance * 100:.0f}% tolerance:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no gated benchmark regressed more than "
+          f"{args.tolerance * 100:.0f}% vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -94,8 +94,8 @@ pub use word_automata;
 /// the unified traits.
 pub mod prelude {
     pub use automata_core::{
-        Acceptor, BooleanOps, Builder, Decide, Emptiness, Minimize, StateId, StreamAcceptor,
-        StreamOutcome, StreamRun, Witness,
+        Acceptor, BooleanOps, Builder, Compile, Decide, Emptiness, Minimize, StateId,
+        StreamAcceptor, StreamOutcome, StreamRun, Witness,
     };
     pub use nested_words::tagged::{display_nested_word, parse_nested_word};
     pub use nested_words::{
@@ -103,19 +103,20 @@ pub mod prelude {
         TaggedSymbol, TaggedWord,
     };
     pub use nwa::{
-        JoinlessNwa, JoinlessStreamingRun, Nnwa, NnwaBuilder, NnwaStreamingRun, Nwa, NwaBuilder,
-        StreamingRun,
+        CompiledNwa, CompiledSummary, JoinlessNwa, JoinlessStreamingRun, Nnwa, NnwaBuilder,
+        NnwaStreamingRun, Nwa, NwaBuilder, StreamingRun,
     };
     pub use nwa_pushdown::{Pnwa, PnwaMode};
     pub use pushdown_automata::{Cfg, PushdownTreeAutomaton};
     pub use tree_automata::{BottomUpBinaryTA, DetStepwiseTA, StepwiseTA, TopDownBinaryTA};
-    pub use word_automata::{Dfa, DfaBuilder, Nfa, Regex, TaggedDfaRun};
+    pub use word_automata::{CompiledTaggedDfa, Dfa, DfaBuilder, Nfa, Regex, TaggedDfaRun};
 }
 
 /// The WALi-style decision verbs, uniform over every automaton model
 /// ([`query::contains`], [`query::is_empty`], [`query::subset_eq`],
 /// [`query::equals`]), plus the streaming verbs over tagged-symbol event
 /// streams ([`query::run_stream`], [`query::contains_stream`]),
+/// compilation into dense-table execution artifacts ([`query::compile`]),
 /// model-generic state minimization ([`query::minimize`]) and the
 /// explanation verbs ([`query::witness`], [`query::counterexample`],
 /// [`query::distinguish`]) that produce a concrete accepted input — or the
@@ -123,7 +124,7 @@ pub mod prelude {
 /// boolean.
 pub mod query {
     pub use automata_core::query::{
-        contains, contains_stream, counterexample, distinguish, equals, is_empty, minimize,
-        run_stream, subset_eq, witness,
+        compile, contains, contains_stream, counterexample, distinguish, equals, is_empty,
+        minimize, run_stream, subset_eq, witness,
     };
 }

@@ -12,6 +12,19 @@
 use nested_words_suite::nested_words::rng::Prng;
 use nested_words_suite::prelude::*;
 
+/// Iteration budget for the Prng property suites: `base` scaled by the
+/// `NWA_PROP_ITERS` environment variable (if set to a positive integer).
+/// Local runs and the per-PR CI jobs use the bases as written; the weekly
+/// scheduled CI job sets `NWA_PROP_ITERS=10` to sweep ten times as many
+/// seeds through the same properties.
+pub fn prop_iters(base: usize) -> usize {
+    std::env::var("NWA_PROP_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&m| m > 0)
+        .map_or(base, |m| base * m)
+}
+
 /// A random complete deterministic NWA: every transition drawn uniformly,
 /// every state accepting with probability 1/2.
 pub fn random_det_nwa(num_states: usize, sigma: usize, seed: u64) -> Nwa {

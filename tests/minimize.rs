@@ -8,7 +8,7 @@
 
 mod common;
 
-use common::{random_det_nwa, random_dfa, random_stepwise};
+use common::{prop_iters, random_det_nwa, random_dfa, random_stepwise};
 use nested_words_suite::nested_words::generate::{
     random_nested_word, random_tree, NestedWordConfig,
 };
@@ -23,7 +23,7 @@ use nested_words_suite::query;
 #[test]
 fn minimize_laws_dfa() {
     let mut rng = Prng::new(0xD1A);
-    for seed in 0..20u64 {
+    for seed in 0..prop_iters(20) as u64 {
         let d = random_dfa(6, 2, seed);
         let m = query::minimize(&d);
         assert!(m.num_states() <= d.num_states(), "seed {seed}");
@@ -48,7 +48,7 @@ fn minimize_laws_nwa() {
         allow_pending: true,
         ..Default::default()
     };
-    for seed in 0..10u64 {
+    for seed in 0..prop_iters(10) as u64 {
         let n = random_det_nwa(4, 2, seed);
         let m = query::minimize(&n);
         assert!(m.num_states() <= n.num_states(), "seed {seed}");
@@ -69,7 +69,7 @@ fn minimize_laws_nwa() {
 fn minimize_laws_stepwise() {
     let ab = Alphabet::ab();
     let mut rng = Prng::new(0x57E9);
-    for seed in 0..20u64 {
+    for seed in 0..prop_iters(20) as u64 {
         let ta = random_stepwise(4, 2, seed);
         let m = query::minimize(&ta);
         assert!(m.num_states() <= ta.num_states(), "seed {seed}");
@@ -108,7 +108,7 @@ fn theorem3_minimal_dfa_counts_are_exact() {
 /// facade does not change what "minimal" means.
 #[test]
 fn query_minimize_matches_inherent_minimizers() {
-    for seed in 0..10u64 {
+    for seed in 0..prop_iters(10) as u64 {
         let d = random_dfa(5, 2, seed);
         assert_eq!(
             query::minimize(&d).num_states(),

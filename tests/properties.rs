@@ -9,7 +9,7 @@
 
 mod common;
 
-use common::{random_det_nwa, random_dfa, random_nnwa, random_stepwise};
+use common::{prop_iters, random_det_nwa, random_dfa, random_nnwa, random_stepwise};
 use nested_words_suite::nested_words::generate::{
     random_nested_word, random_tree, NestedWordConfig,
 };
@@ -44,7 +44,7 @@ fn arbitrary_tagged(rng: &mut Prng, max_len: usize) -> Vec<TaggedSymbol> {
 #[test]
 fn tagged_encoding_roundtrips() {
     let mut rng = Prng::new(0xA11CE);
-    for _ in 0..200 {
+    for _ in 0..prop_iters(200) {
         let tagged = arbitrary_tagged(&mut rng, 61);
         let word = NestedWord::from_tagged(&tagged);
         assert_eq!(word.to_tagged(), tagged);
@@ -55,7 +55,7 @@ fn tagged_encoding_roundtrips() {
 #[test]
 fn reverse_is_an_involution() {
     let mut rng = Prng::new(0xB0B);
-    for _ in 0..200 {
+    for _ in 0..prop_iters(200) {
         let word = NestedWord::from_tagged(&arbitrary_tagged(&mut rng, 61));
         assert_eq!(reverse(&reverse(&word)), word);
     }
@@ -65,7 +65,7 @@ fn reverse_is_an_involution() {
 #[test]
 fn prefix_suffix_concat_roundtrips() {
     let mut rng = Prng::new(0xC0FFEE);
-    for _ in 0..200 {
+    for _ in 0..prop_iters(200) {
         let word = NestedWord::from_tagged(&arbitrary_tagged(&mut rng, 41));
         let split = if word.is_empty() {
             0
@@ -82,7 +82,7 @@ fn prefix_suffix_concat_roundtrips() {
 #[test]
 fn depth_bounds_and_reverse_invariance() {
     let mut rng = Prng::new(0xD00D);
-    for _ in 0..200 {
+    for _ in 0..prop_iters(200) {
         let word = NestedWord::from_tagged(&arbitrary_tagged(&mut rng, 61));
         assert!(word.depth() <= word.len() / 2);
         assert_eq!(reverse(&word).depth(), word.depth());
@@ -113,7 +113,7 @@ fn weak_construction_language_preservation() {
     let m = builder.build();
     let weak = nested_words_suite::nwa::weak::to_weak(&m);
     let mut rng = Prng::new(0x7EA);
-    for _ in 0..100 {
+    for _ in 0..prop_iters(100) {
         let word = NestedWord::from_tagged(&arbitrary_tagged(&mut rng, 31));
         assert_eq!(
             query::contains(&m, &word),
@@ -130,7 +130,7 @@ fn weak_construction_language_preservation() {
 fn tree_encoding_roundtrips() {
     let ab = Alphabet::with_size(3);
     let mut rng = Prng::new(0x72EE);
-    for seed in 0..200u64 {
+    for seed in 0..prop_iters(200) as u64 {
         let size = 1 + rng.below(39);
         let tree = random_tree(&ab, size, 4, seed);
         let word = tree.to_nested_word();
@@ -147,7 +147,7 @@ fn tree_encoding_roundtrips() {
 /// `equals(a, complement(complement(a)))` for deterministic NWAs.
 #[test]
 fn decide_law_double_complement_nwa() {
-    for seed in 0..10u64 {
+    for seed in 0..prop_iters(10) as u64 {
         let a = random_det_nwa(3, 2, seed);
         assert!(
             query::equals(&a, &a.complement().complement()),
@@ -163,7 +163,7 @@ fn decide_law_double_complement_nwa() {
 /// side, and the explanation exists if and only if the decision failed.
 #[test]
 fn decide_law_intersection_shrinks_nwa() {
-    for seed in 0..10u64 {
+    for seed in 0..prop_iters(10) as u64 {
         let a = random_det_nwa(3, 2, seed);
         let b = random_det_nwa(3, 2, seed + 1000);
         assert!(query::subset_eq(&a.intersect(&b), &a), "seed {seed}");
@@ -200,7 +200,7 @@ fn decide_law_intersection_shrinks_nwa() {
 /// `equals(a, aᶜᶜ)` then squares that size again through the product.
 #[test]
 fn decide_laws_nnwa() {
-    for seed in 0..6u64 {
+    for seed in 0..prop_iters(6) as u64 {
         let a = random_nnwa(2, 1, seed);
         assert!(
             query::equals(&a, &a.complement().complement()),
@@ -230,7 +230,7 @@ fn decide_laws_nnwa() {
 /// is accepted by exactly the side it should be.
 #[test]
 fn decide_laws_dfa() {
-    for seed in 0..20u64 {
+    for seed in 0..prop_iters(20) as u64 {
         let a = random_dfa(4, 2, seed);
         let b = random_dfa(3, 2, seed + 1000);
         assert!(
@@ -264,7 +264,7 @@ fn decide_laws_dfa() {
 /// explanation laws over witness trees.
 #[test]
 fn decide_laws_stepwise() {
-    for seed in 0..20u64 {
+    for seed in 0..prop_iters(20) as u64 {
         let a = random_stepwise(3, 2, seed);
         let b = random_stepwise(2, 2, seed + 1000);
         assert!(
@@ -309,7 +309,7 @@ fn acceptor_agrees_with_legacy_membership_nwa() {
         allow_pending: true,
         ..Default::default()
     };
-    for seed in 0..8u64 {
+    for seed in 0..prop_iters(8) as u64 {
         let m = random_det_nwa(3, 2, seed);
         let n = Nnwa::from_deterministic(&m);
         for wseed in 0..15u64 {
@@ -327,7 +327,7 @@ fn acceptor_agrees_with_legacy_membership_nwa() {
 fn acceptor_agrees_with_legacy_membership_word_and_tree() {
     let ab = Alphabet::ab();
     let mut rng = Prng::new(0x5EED);
-    for seed in 0..10u64 {
+    for seed in 0..prop_iters(10) as u64 {
         let d = random_dfa(4, 2, seed);
         for _ in 0..20 {
             let w: Vec<usize> = (0..rng.below(20)).map(|_| rng.below(2)).collect();

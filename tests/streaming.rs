@@ -9,7 +9,7 @@
 
 mod common;
 
-use common::{random_det_nwa, random_nnwa_with_transitions};
+use common::{prop_iters, random_det_nwa, random_nnwa_with_transitions};
 use nested_words_suite::nested_words::generate::{random_nested_word, NestedWordConfig};
 use nested_words_suite::nested_words::rng::Prng;
 use nested_words_suite::nwa::flat::tagged_indices;
@@ -58,7 +58,7 @@ fn random_words(count: usize) -> Vec<NestedWord> {
 /// streaming run uses exactly the open-call peak of the word as stack.
 #[test]
 fn stream_agrees_with_batch_nwa() {
-    let words = random_words(120);
+    let words = random_words(prop_iters(120));
     for seed in 0..5u64 {
         let m = random_det_nwa(3, 2, seed);
         for (i, w) in words.iter().enumerate() {
@@ -81,7 +81,7 @@ fn stream_agrees_with_batch_nwa() {
 /// The same for nondeterministic NWAs (on-the-fly summary-set simulation).
 #[test]
 fn stream_agrees_with_batch_nnwa() {
-    let words = random_words(120);
+    let words = random_words(prop_iters(120));
     for seed in 0..5u64 {
         let n = random_nnwa(3, 2, seed);
         for (i, w) in words.iter().enumerate() {
@@ -105,7 +105,7 @@ fn stream_agrees_with_batch_nnwa() {
 /// included.
 #[test]
 fn stream_agrees_with_batch_joinless() {
-    let words = random_words(120);
+    let words = random_words(prop_iters(120));
     for seed in 0..3u64 {
         let j = joinless_from_nwa(&random_nnwa(2, 2, seed));
         for (i, w) in words.iter().enumerate() {
@@ -129,7 +129,7 @@ fn stream_agrees_with_batch_joinless() {
 #[test]
 fn stream_agrees_with_batch_tagged_dfa() {
     let sigma = 2usize;
-    let words = random_words(120);
+    let words = random_words(prop_iters(120));
     let mut rng = Prng::new(0xD0F);
     for seed in 0..5u64 {
         let mut d = Dfa::new(3, 3 * sigma, 0);
@@ -152,7 +152,7 @@ fn stream_agrees_with_batch_tagged_dfa() {
 /// answer on that prefix, and the stack height tracks the open calls.
 #[test]
 fn prefix_acceptance_matches_batch() {
-    let words = random_words(40);
+    let words = random_words(prop_iters(40));
     let m = random_det_nwa(3, 2, 7);
     for (i, w) in words.iter().enumerate() {
         let tagged = w.to_tagged();

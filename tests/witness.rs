@@ -11,7 +11,7 @@
 
 mod common;
 
-use common::{random_det_nwa, random_dfa, random_nnwa, random_stepwise};
+use common::{prop_iters, random_det_nwa, random_dfa, random_nnwa, random_stepwise};
 use nested_words_suite::nwa::joinless::joinless_from_nwa;
 use nested_words_suite::prelude::*;
 use nested_words_suite::query;
@@ -46,7 +46,7 @@ fn all_tagged_words(sigma: usize, len: usize) -> Vec<Vec<TaggedSymbol>> {
 /// shorter nested word is accepted.
 #[test]
 fn witness_nwa_sound_complete_and_shortest() {
-    for seed in 0..12u64 {
+    for seed in 0..prop_iters(12) as u64 {
         let mut a = random_det_nwa(3, 2, seed);
         if seed % 4 == 0 {
             // force some genuinely empty languages into the mix
@@ -82,7 +82,7 @@ fn witness_nwa_sound_complete_and_shortest() {
 fn witness_nnwa_sound_and_complete() {
     let mut nonempty = 0usize;
     let mut empty = 0usize;
-    for seed in 0..60u64 {
+    for seed in 0..prop_iters(60) as u64 {
         let a = random_nnwa(3, 2, seed);
         match query::witness(&a) {
             Some(w) => {
@@ -105,7 +105,7 @@ fn witness_nnwa_sound_and_complete() {
 /// semantics itself, and exist iff the language is non-empty.
 #[test]
 fn witness_joinless_sound_and_complete() {
-    for seed in 0..20u64 {
+    for seed in 0..prop_iters(20) as u64 {
         let j = joinless_from_nwa(&random_nnwa(2, 2, seed));
         match query::witness(&j) {
             Some(w) => {
@@ -121,7 +121,7 @@ fn witness_joinless_sound_and_complete() {
 /// and stepwise tree automata (bottom-up witness trees).
 #[test]
 fn witness_dfa_and_stepwise_sound_and_complete() {
-    for seed in 0..20u64 {
+    for seed in 0..prop_iters(20) as u64 {
         let mut d = random_dfa(4, 2, seed);
         if seed % 4 == 0 {
             for q in 0..4 {
@@ -159,7 +159,7 @@ fn witness_dfa_and_stepwise_sound_and_complete() {
 #[test]
 fn distinguish_separates_inequivalent_nwas() {
     let mut separated = 0usize;
-    for seed in 0..10u64 {
+    for seed in 0..prop_iters(10) as u64 {
         let a = random_det_nwa(3, 2, seed);
         let b = random_det_nwa(3, 2, seed + 500);
         match query::distinguish(&a, &b) {
@@ -191,7 +191,7 @@ fn distinguish_separates_inequivalent_nwas() {
 #[test]
 fn distinguish_separates_inequivalent_nnwas() {
     let mut separated = 0usize;
-    for seed in 0..8u64 {
+    for seed in 0..prop_iters(8) as u64 {
         let a = random_nnwa(2, 1, seed);
         let b = random_nnwa(2, 1, seed + 500);
         match query::distinguish(&a, &b) {
@@ -213,7 +213,7 @@ fn distinguish_separates_inequivalent_nnwas() {
 /// DFAs over flat words and stepwise automata over trees.
 #[test]
 fn distinguish_separates_inequivalent_dfas_and_stepwise() {
-    for seed in 0..15u64 {
+    for seed in 0..prop_iters(15) as u64 {
         let a = random_dfa(4, 2, seed);
         let b = random_dfa(3, 2, seed + 500);
         match query::distinguish(&a, &b) {
