@@ -17,6 +17,11 @@
 //!   streams of tagged-symbol events (SAX processing, §3.2): start a run,
 //!   feed one event at a time, and observe acceptance and peak stack memory
 //!   at any prefix;
+//! * [`BatchAcceptor`] — batched multi-stream membership
+//!   ([`query::run_batch`]): N independent event streams advanced in
+//!   software-pipelined lockstep over one shared automaton, each stream's
+//!   state an owned `Send`able lane — the capability the `nwa-service`
+//!   batched runner and concurrent decision service drive;
 //! * [`Compile`] — lowering into a dense-table execution artifact
 //!   ([`query::compile`]): the compiled form runs the same [`StreamAcceptor`]
 //!   protocol with cache-friendly flat tables, trading a one-time
@@ -59,5 +64,5 @@ pub mod traits;
 pub use build::Builder;
 pub use compile::Compile;
 pub use ids::StateId;
-pub use stream::{StreamAcceptor, StreamOutcome, StreamRun};
+pub use stream::{BatchAcceptor, StreamAcceptor, StreamOutcome, StreamRun};
 pub use traits::{Acceptor, BooleanOps, Decide, Emptiness, Minimize, Witness};

@@ -8,7 +8,7 @@
 //! spelling examples and tests use: `query::equals(&a, &b)`.
 
 use crate::compile::Compile;
-use crate::stream::{StreamAcceptor, StreamOutcome, StreamRun};
+use crate::stream::{BatchAcceptor, StreamAcceptor, StreamOutcome, StreamRun};
 use crate::traits::{Acceptor, BooleanOps, Decide, Emptiness, Minimize, Witness};
 use nested_words::TaggedSymbol;
 
@@ -135,6 +135,44 @@ where
     E: IntoIterator<Item = TaggedSymbol>,
 {
     run_stream(a, events).accepted
+}
+
+/// Advances N independent event streams in software-pipelined lockstep over
+/// one shared automaton and returns one [`StreamOutcome`] per stream — the
+/// model-generic entry point to every [`BatchAcceptor`] implementation.
+///
+/// Per stream, the outcome equals [`run_stream`] on that stream alone
+/// (property-tested in `tests/service.rs`); the point of the batch is
+/// throughput: the lanes' `state → table → state` load chains are mutually
+/// independent, so interleaving them hides each lane's dependency stall
+/// behind the others' table lookups. Compile once, batch many.
+///
+/// ```
+/// use automata_core::query;
+/// use nested_words::{Symbol, TaggedSymbol};
+/// use nwa::NwaBuilder;
+///
+/// // Deterministic NWA over {a} accepting nested words of even length.
+/// let a = Symbol(0);
+/// let mut builder = NwaBuilder::new(2, 1, 0).accepting(0);
+/// for q in 0..2usize {
+///     builder = builder
+///         .internal(q, a, 1 - q)
+///         .call(q, a, 1 - q, 0)
+///         .ret(q, 0, a, 1 - q)
+///         .ret(q, 1, a, 1 - q);
+/// }
+/// let compiled = query::compile(&builder.build());
+///
+/// let even = [TaggedSymbol::Call(a), TaggedSymbol::Return(a)];
+/// let odd = [TaggedSymbol::Internal(a)];
+/// let outcomes = query::run_batch(&compiled, &[&even, &odd]);
+/// assert!(outcomes[0].accepted);
+/// assert!(!outcomes[1].accepted);
+/// assert_eq!(outcomes[0], query::run_stream(&compiled, even));
+/// ```
+pub fn run_batch<A: BatchAcceptor>(a: &A, streams: &[&[TaggedSymbol]]) -> Vec<StreamOutcome> {
+    a.run_batch(streams)
 }
 
 /// Lowers automaton `a` into its dense-table execution artifact — the

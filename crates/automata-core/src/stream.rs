@@ -15,6 +15,16 @@
 //! functions [`query::run_stream`](crate::query::run_stream) and
 //! [`query::contains_stream`](crate::query::contains_stream) drive a run
 //! over any `IntoIterator` of events.
+//!
+//! [`BatchAcceptor`] is the multi-stream counterpart: N independent streams
+//! advanced in software-pipelined lockstep over one shared (compiled)
+//! automaton, each stream's state held in an owned, `Send`able *lane*. One
+//! stream's per-event cost is bounded by the `state → table → state`
+//! load-to-use chain; interleaving independent lanes hides each lane's
+//! dependency stall behind the others' table lookups, which is what the
+//! `nwa-service` batched runner and decision service are built on
+//! ([`query::run_batch`](crate::query::run_batch) is the free-function
+//! spelling).
 
 use nested_words::TaggedSymbol;
 
@@ -62,6 +72,81 @@ pub trait StreamAcceptor {
 
     /// Starts a fresh run in the initial configuration with an empty stack.
     fn start(&self) -> Self::Run<'_>;
+}
+
+/// Batched execution: advancing many independent event streams in lockstep
+/// over one shared automaton.
+///
+/// A [`StreamRun`] is the right shape for one stream, but its per-event cost
+/// is dominated by the load-to-use dependency chain `state → table → state`:
+/// the next table lookup cannot issue before the previous one retires, so a
+/// single run leaves most of the core's memory-level parallelism idle. A
+/// *batch* breaks the bottleneck by construction: N streams advance in
+/// round-robin lockstep over the same shared tables, and because the lanes'
+/// chains are mutually independent, lane B's table load executes in the
+/// shadow of lane A's — the software-pipelining observation behind the
+/// multi-stream service layer (`nwa-service`).
+///
+/// The capability is factored as a *lane*: a self-contained, owned per-stream
+/// state ([`BatchAcceptor::Lane`] — for nested word automata a `u32` linear
+/// state plus a `u32` stack; nothing borrows the automaton), advanced one
+/// event at a time by [`lane_step`](BatchAcceptor::lane_step). The automaton
+/// itself stays shared and immutable (`&self` everywhere), so one compiled
+/// artifact can drive any number of lanes from any number of threads.
+///
+/// Laws (property-tested in `tests/service.rs`):
+///
+/// 1. **lane ≡ run** — stepping a lane through a stream observes exactly what
+///    a [`StreamRun`] observes at every prefix (acceptance, stack height,
+///    peak memory, step count);
+/// 2. **batch ≡ sequential** — [`run_batch`](BatchAcceptor::run_batch)
+///    returns, per lane, the [`StreamOutcome`] of running that lane's stream
+///    alone.
+pub trait BatchAcceptor: StreamAcceptor {
+    /// Self-contained per-stream state: owns its stack, borrows nothing, so
+    /// a batch is just N lanes next to each other and lanes can migrate
+    /// across worker threads.
+    type Lane: Send;
+
+    /// A fresh lane in the initial configuration with an empty stack.
+    fn lane_start(&self) -> Self::Lane;
+
+    /// Advances one lane by one event. Implementations keep this small and
+    /// branch-light — it is the body of the batched inner loop.
+    fn lane_step(&self, lane: &mut Self::Lane, event: TaggedSymbol);
+
+    /// Would stopping this lane's stream now accept the prefix read so far.
+    fn lane_accepting(&self, lane: &Self::Lane) -> bool;
+
+    /// The lane's completed-run observables: acceptance, events consumed,
+    /// peak stack height.
+    fn lane_outcome(&self, lane: &Self::Lane) -> StreamOutcome;
+
+    /// Advances stream `i` through lane `i` for every `i`, interleaved in
+    /// lockstep: the common prefix of all streams runs round-robin (one
+    /// event per lane per round, so the lanes' table loads overlap), then
+    /// each lane drains its remaining tail. Returns one [`StreamOutcome`]
+    /// per stream.
+    ///
+    /// The default implementation performs the lockstep interleaving
+    /// generically; with [`lane_step`](BatchAcceptor::lane_step) inlined
+    /// the round loop is exactly the software-pipelined shape the batched
+    /// runner wants, so implementors rarely need to override it.
+    fn run_batch(&self, streams: &[&[TaggedSymbol]]) -> Vec<StreamOutcome> {
+        let mut lanes: Vec<Self::Lane> = streams.iter().map(|_| self.lane_start()).collect();
+        let common = streams.iter().map(|s| s.len()).min().unwrap_or(0);
+        for round in 0..common {
+            for (lane, stream) in lanes.iter_mut().zip(streams) {
+                self.lane_step(lane, stream[round]);
+            }
+        }
+        for (lane, stream) in lanes.iter_mut().zip(streams) {
+            for &event in &stream[common..] {
+                self.lane_step(lane, event);
+            }
+        }
+        lanes.iter().map(|lane| self.lane_outcome(lane)).collect()
+    }
 }
 
 /// Summary of a completed streaming evaluation, as reported by

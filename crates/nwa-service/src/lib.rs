@@ -1,0 +1,70 @@
+//! # nwa-service
+//!
+//! The serving subsystem of the nested-words suite: many concurrent event
+//! streams decided against **one shared, immutable compiled automaton**.
+//!
+//! The paper's headline application (§1, §3.2) — XML stream processing with
+//! per-stream memory proportional to nesting depth — is exactly the shape of
+//! a high-fan-in filter process: thousands of documents in flight, one
+//! compiled query, a stack per open document. The compiled engines
+//! (`query::compile`) made a single stream fast; this crate makes *many*
+//! streams fast, in two layers:
+//!
+//! * **Layer 1 — the batched runner** ([`BatchRun`] with a const lane
+//!   count, [`DynBatchRun`] for widths chosen at runtime): N independent
+//!   streams advanced in software-pipelined lockstep over one shared table,
+//!   via the `automata_core::BatchAcceptor` capability. One stream's
+//!   throughput is bounded by the `state → table → state` load-to-use
+//!   dependency chain, not by table size — the PR5 microbenchmarks measured
+//!   the compiled NWA at ~3.8 ns/event with most of the core idle. Lanes
+//!   are mutually independent chains, so interleaving them fills the
+//!   pipeline: lane B's table lookup executes in the shadow of lane A's
+//!   dependency stall.
+//!
+//! * **Layer 2 — the decision service** ([`DecisionService`]): a
+//!   thread-pool facade over the batched runner. The compiled artifact is
+//!   built once and shared (`Arc`'d — the artifacts are `Send + Sync`);
+//!   worker threads pull submitted streams from a queue into batch slots
+//!   and answer through completion handles. [`DecisionService::submit_bytes`]
+//!   routes raw XML bytes through the incremental SAX `ByteTokenizer`, so
+//!   the external API is bytes-in → verdict-out. Built-in counters
+//!   ([`ServiceStats`]) report per-worker batches, documents, events and
+//!   lane occupancy, plus queue high-water marks.
+//!
+//! This outgrows the single-shot WALi-OpenNWA `query::language` shape the
+//! suite's decision layer was modeled on: the unit of work is no longer one
+//! call deciding one input, but a long-lived process deciding an open-ended
+//! set of concurrent streams against a query compiled once.
+//!
+//! ```
+//! use automata_core::query;
+//! use nested_words::{Alphabet, Symbol, TaggedSymbol};
+//! use nwa_service::{DecisionService, ServiceConfig};
+//! use word_automata::Dfa;
+//!
+//! // Tagged DFA over Σ = {a} accepting streams of even length.
+//! let mut even = Dfa::new(2, 3, 0);
+//! even.set_accepting(0, true);
+//! for q in 0..2 {
+//!     for t in 0..3 {
+//!         even.set_transition(q, t, 1 - q);
+//!     }
+//! }
+//! let service = DecisionService::new(
+//!     query::compile(&even),
+//!     Alphabet::from_names(["a"]),
+//!     ServiceConfig::default(),
+//! );
+//! let a = Symbol(0);
+//! let handle = service.submit(vec![TaggedSymbol::Call(a), TaggedSymbol::Return(a)]);
+//! assert!(handle.wait().accepted);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod service;
+
+pub use batch::{BatchRun, DynBatchRun};
+pub use service::{DecisionHandle, DecisionService, ServiceConfig, ServiceStats, WorkerStats};

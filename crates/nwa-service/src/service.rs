@@ -1,0 +1,543 @@
+//! Layer 2: the concurrent decision service.
+//!
+//! A [`DecisionService`] owns one compiled artifact and a pool of worker
+//! threads. Callers submit whole event streams (or raw XML bytes, which are
+//! tokenized on the calling thread) and get back a [`DecisionHandle`];
+//! workers pull submitted streams from a shared queue into batch slots of up
+//! to `lanes` streams, decide the slot through the batched entry point
+//! (`BatchAcceptor::run_batch`, so per-model lockstep kernels apply), and
+//! fulfil the handles. The
+//! artifact is shared by reference inside one `Arc` — the compiled engines
+//! are `Send + Sync` precisely so that a single table can serve every
+//! worker.
+//!
+//! Observability is built in rather than bolted on: each worker keeps
+//! monotone counters (batches decided, documents decided, events consumed),
+//! and the service tracks queue pressure (submitted, completed, currently
+//! queued, high-water mark). [`DecisionService::stats`] snapshots all of it
+//! into a [`ServiceStats`], including the per-worker mean *lane occupancy* —
+//! how full the batch slots actually ran, the number that tells you whether
+//! the service is getting the batching win or degenerating into sequential
+//! decisions (occupancy → 1/lanes means the queue never has a backlog).
+
+use std::collections::VecDeque;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use automata_core::{BatchAcceptor, StreamOutcome};
+use nested_words::{Alphabet, NestedWordError, TaggedSymbol};
+use nwa_xml::sax::{ByteTokenizer, SaxError};
+
+/// Sizing knobs for a [`DecisionService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker-thread count. The default is the machine's available
+    /// parallelism (falling back to 1 when it cannot be queried).
+    pub workers: usize,
+    /// Batch-slot width: the maximum number of streams one worker decides in
+    /// lockstep per batch. The default of 4 sits past the knee of the
+    /// interleaving curve on the compiled tables (see `bench/service.rs`)
+    /// while keeping per-batch latency low.
+    pub lanes: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            lanes: 4,
+        }
+    }
+}
+
+/// A submitted stream waiting to be decided.
+#[derive(Debug)]
+struct Job {
+    events: Vec<TaggedSymbol>,
+    slot: Arc<Slot>,
+}
+
+/// The completion cell behind a [`DecisionHandle`].
+#[derive(Debug, Default)]
+struct Slot {
+    result: Mutex<Option<StreamOutcome>>,
+    done: Condvar,
+}
+
+impl Slot {
+    fn fulfil(&self, outcome: StreamOutcome) {
+        let mut result = self.result.lock().expect("decision slot poisoned");
+        *result = Some(outcome);
+        self.done.notify_all();
+    }
+}
+
+/// The caller's side of one submitted decision: a future for a single
+/// [`StreamOutcome`], fulfilled by whichever worker's batch the stream
+/// landed in.
+#[derive(Debug, Clone)]
+pub struct DecisionHandle {
+    slot: Arc<Slot>,
+}
+
+impl DecisionHandle {
+    /// Blocks until the verdict is in and returns it. Waiting again returns
+    /// the same outcome.
+    pub fn wait(&self) -> StreamOutcome {
+        let mut result = self.slot.result.lock().expect("decision slot poisoned");
+        loop {
+            if let Some(outcome) = *result {
+                return outcome;
+            }
+            result = self.slot.done.wait(result).expect("decision slot poisoned");
+        }
+    }
+
+    /// The verdict if it is already in, without blocking.
+    pub fn try_outcome(&self) -> Option<StreamOutcome> {
+        *self.slot.result.lock().expect("decision slot poisoned")
+    }
+}
+
+/// Per-worker monotone counters, updated with relaxed atomics on the worker's
+/// hot path.
+#[derive(Debug, Default)]
+struct WorkerCounters {
+    batches: AtomicU64,
+    documents: AtomicU64,
+    events: AtomicU64,
+}
+
+/// State shared between the service facade and its workers.
+#[derive(Debug)]
+struct Shared<A> {
+    artifact: A,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    max_queue_depth: AtomicUsize,
+    workers: Vec<WorkerCounters>,
+}
+
+/// A snapshot of one worker's counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerStats {
+    /// Batches this worker has decided.
+    pub batches: u64,
+    /// Streams this worker has decided (across all its batches).
+    pub documents: u64,
+    /// Events this worker has consumed.
+    pub events: u64,
+    /// Mean fraction of the batch slot actually occupied, in `[0, 1]`:
+    /// `documents / (batches · lanes)`. Near `1.0` the worker runs full
+    /// batches and gets the whole interleaving win; near `1/lanes` the queue
+    /// never has a backlog and the service is effectively sequential.
+    pub lane_occupancy: f64,
+}
+
+/// A point-in-time snapshot of a [`DecisionService`]'s counters, from
+/// [`DecisionService::stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Streams submitted so far.
+    pub submitted: u64,
+    /// Streams decided so far.
+    pub completed: u64,
+    /// Streams currently waiting in the queue.
+    pub queued: usize,
+    /// The deepest the queue has ever been — the backlog high-water mark.
+    pub max_queue_depth: usize,
+    /// One entry per worker thread.
+    pub workers: Vec<WorkerStats>,
+}
+
+/// A concurrent bytes-in → verdict-out decision service over one shared
+/// compiled automaton.
+///
+/// Construction compiles nothing: the caller brings an already-compiled
+/// artifact (any [`BatchAcceptor`] that is `Send + Sync`, i.e. the
+/// `CompiledNwa` / `CompiledSummary` / `CompiledTaggedDfa` engines) plus the
+/// [`Alphabet`] it was compiled against, and the service spawns
+/// [`ServiceConfig::workers`] threads that share the artifact through one
+/// `Arc`. Streams enter through [`submit`](DecisionService::submit) (tagged
+/// events) or [`submit_bytes`](DecisionService::submit_bytes) (raw XML-ish
+/// bytes, tokenized on the calling thread so tokenization scales with
+/// submitters, not workers); verdicts come back through [`DecisionHandle`]s.
+///
+/// Dropping the service is a graceful shutdown: workers finish everything
+/// already queued, then exit and are joined.
+#[derive(Debug)]
+pub struct DecisionService<A: BatchAcceptor + Send + Sync + 'static> {
+    shared: Arc<Shared<A>>,
+    alphabet: Alphabet,
+    config: ServiceConfig,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl<A: BatchAcceptor + Send + Sync + 'static> DecisionService<A> {
+    /// Spawns the worker pool around one compiled artifact and the alphabet
+    /// it was compiled against. `config.workers` and `config.lanes` are
+    /// clamped to at least 1.
+    pub fn new(artifact: A, alphabet: Alphabet, config: ServiceConfig) -> Self {
+        let config = ServiceConfig {
+            workers: config.workers.max(1),
+            lanes: config.lanes.max(1),
+        };
+        let shared = Arc::new(Shared {
+            artifact,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            max_queue_depth: AtomicUsize::new(0),
+            workers: (0..config.workers)
+                .map(|_| WorkerCounters::default())
+                .collect(),
+        });
+        let threads = (0..config.workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                let lanes = config.lanes;
+                std::thread::spawn(move || worker_loop(&shared, index, lanes))
+            })
+            .collect();
+        DecisionService {
+            shared,
+            alphabet,
+            config,
+            threads,
+        }
+    }
+
+    /// The sizing the service was built with (after clamping).
+    pub fn config(&self) -> ServiceConfig {
+        self.config
+    }
+
+    /// The alphabet the artifact was compiled against.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Submits one stream of tagged events for decision and returns its
+    /// completion handle.
+    pub fn submit(&self, events: Vec<TaggedSymbol>) -> DecisionHandle {
+        let slot = Arc::new(Slot::default());
+        let job = Job {
+            events,
+            slot: Arc::clone(&slot),
+        };
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        let depth = {
+            let mut queue = self.shared.queue.lock().expect("service queue poisoned");
+            queue.push_back(job);
+            queue.len()
+        };
+        self.shared
+            .max_queue_depth
+            .fetch_max(depth, Ordering::Relaxed);
+        self.shared.available.notify_one();
+        DecisionHandle { slot }
+    }
+
+    /// Submits a raw XML-ish byte stream: tokenizes it on the calling thread
+    /// through the incremental SAX [`ByteTokenizer`], then queues the tagged
+    /// events. This is the bytes-in → verdict-out external API of §1.
+    ///
+    /// Every tag and text symbol must already be interned in the service's
+    /// alphabet (the one the artifact was compiled against); an unknown name
+    /// comes back as [`NestedWordError::UnknownSymbol`] inside
+    /// [`SaxError::Syntax`] rather than indexing past the transition tables,
+    /// and the service's alphabet is never mutated, so the guard holds
+    /// across submissions. Malformed UTF-8 and I/O failures surface as the
+    /// corresponding typed [`SaxError`]s before anything is queued.
+    pub fn submit_bytes<R: io::Read>(&self, reader: R) -> Result<DecisionHandle, SaxError> {
+        // Unknown names are interned into a scratch copy only, so the
+        // service's alphabet stays aligned with the compiled artifact.
+        let sigma = self.alphabet.len();
+        let mut scratch = self.alphabet.clone();
+        let mut events = Vec::new();
+        let mut unknown = None;
+        for event in ByteTokenizer::new(reader, &mut scratch) {
+            let event = event?;
+            if event.symbol().index() >= sigma {
+                unknown = Some(event.symbol());
+                break;
+            }
+            events.push(event);
+        }
+        if let Some(sym) = unknown {
+            return Err(SaxError::Syntax(NestedWordError::UnknownSymbol {
+                name: scratch.name(sym).unwrap_or("?").to_string(),
+            }));
+        }
+        Ok(self.submit(events))
+    }
+
+    /// Snapshots the service's counters. The snapshot is not atomic across
+    /// counters (workers keep running), but each counter is individually
+    /// consistent and monotone.
+    pub fn stats(&self) -> ServiceStats {
+        let queued = self
+            .shared
+            .queue
+            .lock()
+            .expect("service queue poisoned")
+            .len();
+        let lanes = self.config.lanes as f64;
+        let workers = self
+            .shared
+            .workers
+            .iter()
+            .map(|w| {
+                let batches = w.batches.load(Ordering::Relaxed);
+                let documents = w.documents.load(Ordering::Relaxed);
+                WorkerStats {
+                    batches,
+                    documents,
+                    events: w.events.load(Ordering::Relaxed),
+                    lane_occupancy: if batches == 0 {
+                        0.0
+                    } else {
+                        documents as f64 / (batches as f64 * lanes)
+                    },
+                }
+            })
+            .collect();
+        ServiceStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            queued,
+            max_queue_depth: self.shared.max_queue_depth.load(Ordering::Relaxed),
+            workers,
+        }
+    }
+}
+
+impl<A: BatchAcceptor + Send + Sync + 'static> Drop for DecisionService<A> {
+    /// Graceful shutdown: workers drain everything already queued, then
+    /// exit and are joined, so every handle handed out is fulfilled.
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        for thread in self.threads.drain(..) {
+            // A worker that panicked already poisoned the slots it held;
+            // joining propagates nothing further, so ignore the result.
+            let _ = thread.join();
+        }
+    }
+}
+
+/// One worker: block for a first job, opportunistically top the batch up to
+/// `lanes` jobs without blocking, decide the slot with the batched runner,
+/// fulfil the handles. Exits only when shutdown is flagged *and* the queue
+/// is empty, so pending submissions are always drained.
+fn worker_loop<A: BatchAcceptor>(shared: &Shared<A>, index: usize, lanes: usize) {
+    loop {
+        let mut batch: Vec<Job> = Vec::with_capacity(lanes);
+        {
+            let mut queue = shared.queue.lock().expect("service queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    batch.push(job);
+                    break;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .expect("service queue poisoned");
+            }
+            while batch.len() < lanes {
+                match queue.pop_front() {
+                    Some(job) => batch.push(job),
+                    None => break,
+                }
+            }
+        }
+
+        let streams: Vec<&[TaggedSymbol]> = batch.iter().map(|j| j.events.as_slice()).collect();
+        // The trait entry point, so per-model overrides apply (CompiledNwa's
+        // register-resident lockstep kernel rather than the generic
+        // stored-lane loop).
+        let outcomes = shared.artifact.run_batch(&streams);
+
+        let counters = &shared.workers[index];
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        counters
+            .documents
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        counters.events.fetch_add(
+            streams.iter().map(|s| s.len() as u64).sum(),
+            Ordering::Relaxed,
+        );
+
+        for (job, outcome) in batch.into_iter().zip(outcomes) {
+            job.slot.fulfil(outcome);
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automata_core::{query, Compile};
+    use nested_words::Symbol;
+    use nwa::Nwa;
+
+    /// Deterministic NWA over {a} accepting well-matched streams of even
+    /// length.
+    fn even_len_nwa() -> Nwa {
+        let a = Symbol(0);
+        let mut m = Nwa::new(2, 1, 0);
+        m.set_accepting(0, true);
+        for q in 0..2usize {
+            m.set_internal(q, a, 1 - q);
+            m.set_call(q, a, 1 - q, q);
+            for h in 0..2 {
+                m.set_return(q, h, a, 1 - q);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn verdicts_and_stats_on_a_small_burst() {
+        let m = even_len_nwa();
+        let service = DecisionService::new(
+            m.compile(),
+            Alphabet::from_names(["a"]),
+            ServiceConfig {
+                workers: 2,
+                lanes: 3,
+            },
+        );
+        let a = Symbol(0);
+        let handles: Vec<(DecisionHandle, bool)> = (0..17usize)
+            .map(|i| {
+                let events: Vec<TaggedSymbol> = (0..i)
+                    .map(|j| match j % 3 {
+                        0 => TaggedSymbol::Call(a),
+                        1 => TaggedSymbol::Internal(a),
+                        _ => TaggedSymbol::Return(a),
+                    })
+                    .collect();
+                (service.submit(events), i % 2 == 0)
+            })
+            .collect();
+        for (i, (handle, expect)) in handles.iter().enumerate() {
+            let outcome = handle.wait();
+            assert_eq!(outcome.accepted, *expect, "stream {i}");
+            assert_eq!(outcome.events, i);
+            // Waiting twice returns the same verdict.
+            assert_eq!(handle.wait(), outcome);
+            assert_eq!(handle.try_outcome(), Some(outcome));
+        }
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 17);
+        assert_eq!(stats.completed, 17);
+        assert_eq!(stats.queued, 0);
+        assert!(stats.max_queue_depth >= 1);
+        assert_eq!(stats.workers.len(), 2);
+        assert_eq!(stats.workers.iter().map(|w| w.documents).sum::<u64>(), 17);
+        let total_events: u64 = stats.workers.iter().map(|w| w.events).sum();
+        assert_eq!(total_events, (0..17u64).sum::<u64>());
+        for w in &stats.workers {
+            assert!(w.lane_occupancy >= 0.0 && w.lane_occupancy <= 1.0);
+        }
+    }
+
+    #[test]
+    fn submit_bytes_decides_and_guards_the_alphabet() {
+        let mut ab = Alphabet::new();
+        nwa_xml::sax::tokenize("<doc><sec>t</sec></doc>", &mut ab).unwrap();
+        let q = nwa_xml::queries::contains_tag_nwa(ab.lookup("sec").unwrap(), ab.len());
+        let service = DecisionService::new(q.compile(), ab, ServiceConfig::default());
+
+        let hit = service
+            .submit_bytes("<doc><sec>t</sec></doc>".as_bytes())
+            .unwrap();
+        assert!(hit.wait().accepted);
+        let miss = service.submit_bytes("<doc>t</doc>".as_bytes()).unwrap();
+        assert!(!miss.wait().accepted);
+
+        // Unknown names are typed errors before anything is queued, and the
+        // service alphabet is untouched, so the guard holds on a retry.
+        for _ in 0..2 {
+            let err = service
+                .submit_bytes("<doc><intruder/></doc>".as_bytes())
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                SaxError::Syntax(NestedWordError::UnknownSymbol { ref name }) if name == "intruder"
+            ));
+        }
+        assert_eq!(service.stats().submitted, 2);
+    }
+
+    #[test]
+    fn drop_drains_the_queue_before_joining() {
+        let m = even_len_nwa();
+        let service = DecisionService::new(
+            m.compile(),
+            Alphabet::from_names(["a"]),
+            ServiceConfig {
+                workers: 1,
+                lanes: 4,
+            },
+        );
+        let a = Symbol(0);
+        let handles: Vec<DecisionHandle> = (0..64)
+            .map(|_| service.submit(vec![TaggedSymbol::Internal(a), TaggedSymbol::Internal(a)]))
+            .collect();
+        drop(service);
+        for handle in &handles {
+            // Every handle handed out before the drop is fulfilled.
+            assert!(handle.wait().accepted);
+        }
+    }
+
+    #[test]
+    fn worker_outcomes_match_the_query_facade() {
+        let m = even_len_nwa();
+        let compiled = m.compile();
+        let service = DecisionService::new(
+            m.compile(),
+            Alphabet::from_names(["a"]),
+            ServiceConfig {
+                workers: 2,
+                lanes: 2,
+            },
+        );
+        let a = Symbol(0);
+        let streams: Vec<Vec<TaggedSymbol>> = (0..12usize)
+            .map(|i| {
+                (0..i + 1)
+                    .map(|j| {
+                        if j % 2 == 0 {
+                            TaggedSymbol::Call(a)
+                        } else {
+                            TaggedSymbol::Return(a)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let handles: Vec<DecisionHandle> =
+            streams.iter().map(|s| service.submit(s.clone())).collect();
+        for (stream, handle) in streams.iter().zip(&handles) {
+            let expected = query::run_stream(&compiled, stream.iter().copied());
+            assert_eq!(handle.wait(), expected);
+        }
+    }
+}

@@ -131,6 +131,25 @@ impl Decide for Nnwa {
     }
 }
 
+impl Minimize for Nnwa {
+    /// Determinize-then-reduce: the `2^{s²}` summary-set construction of
+    /// §3.2 followed by the quotient by the coarsest state congruence
+    /// ([`crate::minimize::reduce`]), wrapped back into the
+    /// nondeterministic representation. Worst-case exponential (the
+    /// determinization), and — like every NWA minimization — a sound
+    /// language-preserving reduction of the *deterministic* form rather
+    /// than a unique minimum; in particular the result can be larger than
+    /// the nondeterministic source, which is exactly the succinctness gap
+    /// the Theorem 3/5 families measure.
+    fn minimize(&self) -> Self {
+        Nnwa::from_deterministic(&crate::minimize::reduce(&self.determinize()))
+    }
+
+    fn num_states(&self) -> usize {
+        Nnwa::num_states(self)
+    }
+}
+
 impl Witness for Nnwa {
     type Input = NestedWord;
 

@@ -37,10 +37,10 @@ use crate::automaton::Nwa;
 use crate::joinless::JoinlessNwa;
 use crate::nondet::Nnwa;
 use crate::summary::{Summary, SummarySemantics};
-use automata_core::{Compile, StreamAcceptor, StreamRun};
+use automata_core::{BatchAcceptor, Compile, StreamAcceptor, StreamOutcome, StreamRun};
 use nested_words::{PositionKind, Symbol, TaggedSymbol};
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 // --------------------------------------------------------------------------
 // Deterministic NWAs: premultiplied dense tables
@@ -184,7 +184,6 @@ impl CompiledNwa {
     /// against the §3.1 hierarchical-initial row with no special case.
     /// State, stack pointer and peak stay in registers for the whole slice.
     pub fn run_tagged(&self, events: &[TaggedSymbol]) -> automata_core::StreamOutcome {
-        let sigma = self.sigma;
         let mut state = self.initial;
         // The logical stack is spilled[1..sp] with its top cached in the
         // register `top`; spilled[0] is the pending-return sentinel, so the
@@ -195,41 +194,67 @@ impl CompiledNwa {
         let mut sp = 1usize;
         let mut max_sp = 1usize;
         for &event in events {
-            // Flag-style decode: `matches!` comparisons compile to setcc,
-            // where a `match` yielding per-arm values compiles to data-
-            // dependent (hence mispredicted) branches.
-            let a = event.symbol().index() as u32;
-            let is_int = u32::from(matches!(event, TaggedSymbol::Internal(_)));
-            let is_ret = u32::from(matches!(event, TaggedSymbol::Return(_)));
-            let kind = is_int + 2 * is_ret;
-            debug_assert!(a < sigma.max(1), "event symbol outside the alphabet");
-            // Predictable (amortized-rare) growth branch, never a per-kind one.
-            if sp + 1 >= spilled.len() {
-                spilled.resize(spilled.len() * 2, 0);
-            }
-            // Unconditional spill of the cached top into its memory home
-            // `sp - 1` (a call's push must preserve it there; harmless
-            // otherwise — the slot is dead while the top lives in the
-            // register), then one add-and-load resolves the event, with the
-            // return block masked in only for returns.
-            spilled[sp - 1] = top;
-            let ret_mask = is_ret.wrapping_neg();
-            let pushed = self.push[(state + a) as usize];
-            state = self.table[(state + kind * sigma + a + (top & ret_mask)) as usize];
-            // New height and new top, all selected without branching: a
-            // call caches its pushed value, an internal keeps the top, a
-            // return refills from the slot that becomes the new top.
-            let is_call = usize::from(kind == 0);
-            sp = (sp + is_call - is_ret as usize).max(1);
-            let refill = spilled[sp - 1];
-            top = [pushed, top, refill][kind as usize];
-            max_sp = max_sp.max(sp);
+            self.step_local(
+                &mut state,
+                &mut top,
+                &mut sp,
+                &mut max_sp,
+                &mut spilled,
+                event,
+            );
         }
         automata_core::StreamOutcome {
             accepted: self.accepting[(state / self.stride) as usize],
             events: events.len(),
             peak_memory: max_sp - 1,
         }
+    }
+
+    /// The branch-free event step on explicit locals. `inline(always)` so
+    /// the callers' locals stay register-promoted: the single-stream loop
+    /// of [`CompiledNwa::run_tagged`] keeps the whole lane state in
+    /// registers for the duration of a slice, and the stored-lane
+    /// [`BatchAcceptor::lane_step`] reuses the same body.
+    #[inline(always)]
+    fn step_local(
+        &self,
+        state: &mut u32,
+        top: &mut u32,
+        sp: &mut usize,
+        max_sp: &mut usize,
+        spilled: &mut Vec<u32>,
+        event: TaggedSymbol,
+    ) {
+        let sigma = self.sigma;
+        // Flag-style decode: `matches!` comparisons compile to setcc,
+        // where a `match` yielding per-arm values compiles to data-
+        // dependent (hence mispredicted) branches.
+        let a = event.symbol().index() as u32;
+        let is_int = u32::from(matches!(event, TaggedSymbol::Internal(_)));
+        let is_ret = u32::from(matches!(event, TaggedSymbol::Return(_)));
+        let kind = is_int + 2 * is_ret;
+        debug_assert!(a < sigma.max(1), "event symbol outside the alphabet");
+        // Predictable (amortized-rare) growth branch, never a per-kind one.
+        if *sp + 1 >= spilled.len() {
+            spilled.resize(spilled.len() * 2, 0);
+        }
+        // Unconditional spill of the cached top into its memory home
+        // `sp - 1` (a call's push must preserve it there; harmless
+        // otherwise — the slot is dead while the top lives in the
+        // register), then one add-and-load resolves the event, with the
+        // return block masked in only for returns.
+        spilled[*sp - 1] = *top;
+        let ret_mask = is_ret.wrapping_neg();
+        let pushed = self.push[(*state + a) as usize];
+        *state = self.table[(*state + kind * sigma + a + (*top & ret_mask)) as usize];
+        // New height and new top, all selected without branching: a
+        // call caches its pushed value, an internal keeps the top, a
+        // return refills from the slot that becomes the new top.
+        let is_call = usize::from(kind == 0);
+        *sp = (*sp + is_call - is_ret as usize).max(1);
+        let refill = spilled[*sp - 1];
+        *top = [pushed, *top, refill][kind as usize];
+        *max_sp = (*max_sp).max(*sp);
     }
 }
 
@@ -309,6 +334,95 @@ impl StreamAcceptor for CompiledNwa {
     }
 }
 
+/// One stream's worth of batched-execution state for a [`CompiledNwa`]:
+/// the premultiplied linear state, the register-style cached stack top, and
+/// the spilled `u32` stack with its pending-return sentinel — exactly the
+/// state [`CompiledNwa::run_tagged`] keeps in registers, made storable so N
+/// lanes can sit side by side and migrate across worker threads.
+#[derive(Debug, Clone)]
+pub struct CompiledNwaLane {
+    /// Current linear state as a premultiplied row offset.
+    state: u32,
+    /// Cached top of the stack (a return-row base).
+    top: u32,
+    /// Stack pointer into `spilled`; the live height is `sp - 1` because
+    /// `spilled[0]` is the pending-return sentinel.
+    sp: u32,
+    /// Peak `sp` observed.
+    max_sp: u32,
+    /// Events consumed.
+    steps: usize,
+    /// The spilled stack; `spilled[sp - 1]` mirrors `top` after each step.
+    spilled: Vec<u32>,
+}
+
+impl BatchAcceptor for CompiledNwa {
+    type Lane = CompiledNwaLane;
+
+    fn lane_start(&self) -> CompiledNwaLane {
+        CompiledNwaLane {
+            state: self.initial,
+            top: self.pending_row,
+            sp: 1,
+            max_sp: 1,
+            steps: 0,
+            spilled: vec![self.pending_row; 64],
+        }
+    }
+
+    /// The branch-free event step of [`CompiledNwa::run_tagged`]
+    /// (`step_local`), operating on a stored lane instead of the
+    /// single-stream loop's registers: setcc decode of the event kind,
+    /// unconditional spill of the cached top, one add-and-load with the
+    /// return base masked in, comparison-selected stack adjustment. Lanes
+    /// touch only their own state, so interleaved calls on different lanes
+    /// are independent dependency chains.
+    #[inline]
+    fn lane_step(&self, lane: &mut CompiledNwaLane, event: TaggedSymbol) {
+        let mut sp = lane.sp as usize;
+        let mut max_sp = lane.max_sp as usize;
+        self.step_local(
+            &mut lane.state,
+            &mut lane.top,
+            &mut sp,
+            &mut max_sp,
+            &mut lane.spilled,
+            event,
+        );
+        lane.sp = sp as u32;
+        lane.max_sp = max_sp as u32;
+        lane.steps += 1;
+    }
+
+    fn lane_accepting(&self, lane: &CompiledNwaLane) -> bool {
+        self.accepting[(lane.state / self.stride) as usize]
+    }
+
+    fn lane_outcome(&self, lane: &CompiledNwaLane) -> StreamOutcome {
+        StreamOutcome {
+            accepted: self.lane_accepting(lane),
+            events: lane.steps,
+            peak_memory: (lane.max_sp - 1) as usize,
+        }
+    }
+
+    /// Overrides the generic lockstep to run each stream back to back with
+    /// the register-resident [`CompiledNwa::run_tagged`] — deliberately
+    /// *not* interleaved. The fused NWA step is issue-width-bound, not
+    /// load-latency-bound: besides the table load it decodes the kind,
+    /// spills the cached top, maintains the stack pointer and tracks the
+    /// peak, which together keep the core's ports busy through the load's
+    /// latency. Interleaving lanes therefore buys no overlap, and the extra
+    /// lanes' state (~8 live values each against 15 usable x86-64 GPRs)
+    /// spills to the stack and *loses* 15–30% to the sequential engine —
+    /// measured on the lockstep kernel this override replaced. Flat
+    /// automata, whose step is a pure add-and-load, are the opposite case:
+    /// see `CompiledTaggedDfa::run_batch` in `word-automata`.
+    fn run_batch(&self, streams: &[&[TaggedSymbol]]) -> Vec<StreamOutcome> {
+        streams.iter().map(|s| self.run_tagged(s)).collect()
+    }
+}
+
 impl Compile for Nwa {
     type Compiled = CompiledNwa;
 
@@ -382,18 +496,32 @@ impl SummaryCache {
 ///
 /// Generic over [`SummarySemantics`], so one engine serves both
 /// [`Nnwa`] (ordinary return relation) and [`JoinlessNwa`] (mode-split
-/// return relation). The cache is interior-mutable and shared by every run
-/// started from the same compiled artifact: warm-up amortizes across runs.
+/// return relation). The cache is interior-mutable behind an [`RwLock`] and
+/// shared by every run started from the same compiled artifact — warm-up
+/// amortizes across runs *and* across threads: the artifact is
+/// `Send + Sync` (asserted in the test suite), so one `Arc`'d engine can
+/// serve every worker of a decision service, with the steady state (cache
+/// hits) taking only the uncontended read lock.
 ///
 /// This is in effect determinization restricted to the reachable,
 /// actually-visited part of the `2^{s²}` summary-set automaton — the memory
 /// trade-off is the cache, which grows with the number of distinct
 /// summaries visited, not with the stream length.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CompiledSummary<A: SummarySemantics> {
     automaton: A,
     initial: u32,
-    cache: RefCell<SummaryCache>,
+    cache: RwLock<SummaryCache>,
+}
+
+impl<A: SummarySemantics + Clone> Clone for CompiledSummary<A> {
+    fn clone(&self) -> Self {
+        CompiledSummary {
+            automaton: self.automaton.clone(),
+            initial: self.initial,
+            cache: RwLock::new(self.lock_read().clone()),
+        }
+    }
 }
 
 impl<A: SummarySemantics> CompiledSummary<A> {
@@ -404,7 +532,7 @@ impl<A: SummarySemantics> CompiledSummary<A> {
         CompiledSummary {
             automaton,
             initial,
-            cache: RefCell::new(cache),
+            cache: RwLock::new(cache),
         }
     }
 
@@ -412,15 +540,29 @@ impl<A: SummarySemantics> CompiledSummary<A> {
     /// visited part of the subset construction (grows as runs explore new
     /// event patterns, never with stream length).
     pub fn cached_summaries(&self) -> usize {
-        self.cache.borrow().summaries.len()
+        self.lock_read().summaries.len()
+    }
+
+    fn lock_read(&self) -> std::sync::RwLockReadGuard<'_, SummaryCache> {
+        self.cache.read().expect("summary cache lock poisoned")
+    }
+
+    fn lock_write(&self) -> std::sync::RwLockWriteGuard<'_, SummaryCache> {
+        self.cache.write().expect("summary cache lock poisoned")
     }
 
     fn accepting(&self, id: u32) -> bool {
-        self.cache.borrow().summaries[id as usize].accepting
+        self.lock_read().summaries[id as usize].accepting
     }
 
     fn step_internal(&self, id: u32, a: Symbol) -> u32 {
-        let mut cache = self.cache.borrow_mut();
+        // Steady state: one shared (uncontended-read) lock per event. Only
+        // a miss — once per distinct (summary, symbol) for the lifetime of
+        // the artifact — takes the write lock to derive and memoize.
+        if let Some(&hit) = self.lock_read().internal.get(&(id, a.0)) {
+            return hit;
+        }
+        let mut cache = self.lock_write();
         if let Some(&hit) = cache.internal.get(&(id, a.0)) {
             return hit;
         }
@@ -433,7 +575,10 @@ impl<A: SummarySemantics> CompiledSummary<A> {
     }
 
     fn step_call(&self, id: u32, a: Symbol) -> u32 {
-        let mut cache = self.cache.borrow_mut();
+        if let Some(&hit) = self.lock_read().call.get(&(id, a.0)) {
+            return hit;
+        }
+        let mut cache = self.lock_write();
         if let Some(&hit) = cache.call.get(&(id, a.0)) {
             return hit;
         }
@@ -446,8 +591,11 @@ impl<A: SummarySemantics> CompiledSummary<A> {
     }
 
     fn step_matched(&self, outer: u32, call_symbol: Symbol, inner: u32, a: Symbol) -> u32 {
-        let mut cache = self.cache.borrow_mut();
         let key = (outer, call_symbol.0, inner, a.0);
+        if let Some(&hit) = self.lock_read().matched.get(&key) {
+            return hit;
+        }
+        let mut cache = self.lock_write();
         if let Some(&hit) = cache.matched.get(&key) {
             return hit;
         }
@@ -463,7 +611,10 @@ impl<A: SummarySemantics> CompiledSummary<A> {
     }
 
     fn step_pending(&self, id: u32, a: Symbol) -> u32 {
-        let mut cache = self.cache.borrow_mut();
+        if let Some(&hit) = self.lock_read().pending.get(&(id, a.0)) {
+            return hit;
+        }
+        let mut cache = self.lock_write();
         if let Some(&hit) = cache.pending.get(&(id, a.0)) {
             return hit;
         }
@@ -546,6 +697,68 @@ impl<A: SummarySemantics> StreamAcceptor for CompiledSummary<A> {
             stack: Vec::new(),
             max_stack: 0,
             steps: 0,
+        }
+    }
+}
+
+/// One stream's worth of batched-execution state for a [`CompiledSummary`]
+/// engine: the interned summary id plus the per-stream call stack — the
+/// state of a [`CompiledSummaryRun`], made owned so N lanes share one
+/// engine (and its memoized rows) from any number of threads.
+#[derive(Debug, Clone)]
+pub struct CompiledSummaryLane {
+    current: u32,
+    stack: Vec<(u32, Symbol)>,
+    max_stack: usize,
+    steps: usize,
+}
+
+impl<A: SummarySemantics> BatchAcceptor for CompiledSummary<A> {
+    type Lane = CompiledSummaryLane;
+
+    fn lane_start(&self) -> CompiledSummaryLane {
+        CompiledSummaryLane {
+            current: self.initial,
+            stack: Vec::new(),
+            max_stack: 0,
+            steps: 0,
+        }
+    }
+
+    #[inline]
+    fn lane_step(&self, lane: &mut CompiledSummaryLane, event: TaggedSymbol) {
+        lane.steps += 1;
+        let a = event.symbol();
+        match event.kind() {
+            PositionKind::Internal => {
+                lane.current = self.step_internal(lane.current, a);
+            }
+            PositionKind::Call => {
+                let linear = self.step_call(lane.current, a);
+                lane.stack.push((lane.current, a));
+                lane.max_stack = lane.max_stack.max(lane.stack.len());
+                lane.current = linear;
+            }
+            PositionKind::Return => match lane.stack.pop() {
+                Some((outer, call_symbol)) => {
+                    lane.current = self.step_matched(outer, call_symbol, lane.current, a);
+                }
+                None => {
+                    lane.current = self.step_pending(lane.current, a);
+                }
+            },
+        }
+    }
+
+    fn lane_accepting(&self, lane: &CompiledSummaryLane) -> bool {
+        self.accepting(lane.current)
+    }
+
+    fn lane_outcome(&self, lane: &CompiledSummaryLane) -> StreamOutcome {
+        StreamOutcome {
+            accepted: self.accepting(lane.current),
+            events: lane.steps,
+            peak_memory: lane.max_stack,
         }
     }
 }
@@ -690,6 +903,89 @@ mod tests {
                 query::contains(&n, &v),
                 "word `{s}`"
             );
+        }
+    }
+
+    /// The `Arc` serving path of the decision service requires the compiled
+    /// artifacts to cross and be shared between threads. This did not
+    /// compile while `CompiledSummary` held its memoized row caches in a
+    /// `RefCell` (not `Sync`); the `RwLock`-backed cache makes it hold by
+    /// construction, and this assertion keeps it held.
+    #[test]
+    fn compiled_artifacts_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompiledNwa>();
+        assert_send_sync::<CompiledSummary<Nnwa>>();
+        assert_send_sync::<CompiledSummary<JoinlessNwa>>();
+        // Lanes migrate into worker threads on their own.
+        fn assert_send<T: Send>() {}
+        assert_send::<CompiledNwaLane>();
+        assert_send::<CompiledSummaryLane>();
+    }
+
+    #[test]
+    fn one_summary_engine_shared_across_threads() {
+        let mut ab = Alphabet::ab();
+        let n = {
+            let a = Symbol(0);
+            let b = Symbol(1);
+            let mut n = Nnwa::new(3, 2);
+            n.add_initial(0);
+            n.add_accepting(2);
+            for sym in [a, b] {
+                n.add_internal(0, sym, 0);
+                n.add_internal(2, sym, 2);
+                n.add_call(0, sym, 0, 0);
+                n.add_call(2, sym, 2, 0);
+                for h in [0usize, 1] {
+                    n.add_return(0, h, sym, 0);
+                    n.add_return(2, h, sym, 2);
+                }
+            }
+            n.add_call(0, b, 0, 1);
+            n.add_return(0, 1, b, 2);
+            n
+        };
+        let c = std::sync::Arc::new(n.compile());
+        let words: Vec<_> = ["<b a b>", "<a <b b> a>", "b>", "<b", "a a"]
+            .iter()
+            .map(|s| parse(&mut ab, s))
+            .collect();
+        let expected: Vec<bool> = words.iter().map(|w| n.accepts(w)).collect();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = std::sync::Arc::clone(&c);
+                let words = words.clone();
+                std::thread::spawn(move || {
+                    words
+                        .iter()
+                        .map(|w| query::contains_stream(&*c, w.to_tagged()))
+                        .collect::<Vec<bool>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn batched_lanes_agree_with_streaming_runs() {
+        let m = matching_labels_nwa();
+        let c = m.compile();
+        let ab = Alphabet::ab();
+        let cfg = NestedWordConfig {
+            len: 40,
+            allow_pending: true,
+            ..Default::default()
+        };
+        let words: Vec<Vec<TaggedSymbol>> = (0..8u64)
+            .map(|seed| random_nested_word(&ab, cfg, seed).to_tagged())
+            .collect();
+        let streams: Vec<&[TaggedSymbol]> = words.iter().map(Vec::as_slice).collect();
+        let outcomes = c.run_batch(&streams);
+        for (stream, outcome) in streams.iter().zip(&outcomes) {
+            assert_eq!(*outcome, c.run_tagged(stream));
         }
     }
 

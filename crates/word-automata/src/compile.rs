@@ -3,7 +3,7 @@
 //! `automata-core` [`Compile`] capability.
 
 use crate::dfa::Dfa;
-use automata_core::{Compile, StreamAcceptor, StreamRun};
+use automata_core::{BatchAcceptor, Compile, StreamAcceptor, StreamOutcome, StreamRun};
 use nested_words::TaggedSymbol;
 
 /// A DFA over the tagged alphabet Σ̂ lowered into a single flat `u32`
@@ -87,6 +87,45 @@ impl CompiledTaggedDfa {
             peak_memory: 0,
         }
     }
+
+    /// K streams through K register-resident states in lockstep. A single
+    /// stream is bound by the latency of the `state → table → state`
+    /// load-to-use chain — the step has no other work to hide it behind, so
+    /// the core sits idle for most of each load. The K lanes' chains are
+    /// mutually independent, so the round loop (unrolled over the const
+    /// `K`) issues K overlapping table loads per round and the out-of-order
+    /// window turns chain latency into throughput. A lane is one `u32`, so
+    /// all K states stay in registers; event loads come from pre-narrowed
+    /// `..common` slices so their bounds checks fold away. After the common
+    /// prefix, each lane drains its tail single-stream.
+    fn run_lockstep<const K: usize>(&self, streams: [&[TaggedSymbol]; K]) -> [StreamOutcome; K] {
+        let sigma = self.sigma as u32;
+        let mut state = [self.initial; K];
+        let common = streams.iter().map(|s| s.len()).min().unwrap_or(0);
+        let rows: [&[TaggedSymbol]; K] = std::array::from_fn(|l| &streams[l][..common]);
+        for round in 0..common {
+            for l in 0..K {
+                let event = rows[l][round];
+                let a = event.symbol().index() as u32;
+                let kind = u32::from(matches!(event, TaggedSymbol::Internal(_)))
+                    + 2 * u32::from(matches!(event, TaggedSymbol::Return(_)));
+                state[l] = self.next[(state[l] + kind * sigma + a) as usize];
+            }
+        }
+        for l in 0..K {
+            for &event in &streams[l][common..] {
+                let a = event.symbol().index() as u32;
+                let kind = u32::from(matches!(event, TaggedSymbol::Internal(_)))
+                    + 2 * u32::from(matches!(event, TaggedSymbol::Return(_)));
+                state[l] = self.next[(state[l] + kind * sigma + a) as usize];
+            }
+        }
+        std::array::from_fn(|l| StreamOutcome {
+            accepted: self.accepting[(state[l] / self.stride) as usize],
+            events: streams[l].len(),
+            peak_memory: 0,
+        })
+    }
 }
 
 /// A streaming run of a [`CompiledTaggedDfa`]: stack-free, one add-and-load
@@ -131,6 +170,69 @@ impl StreamAcceptor for CompiledTaggedDfa {
             state: self.initial,
             steps: 0,
         }
+    }
+}
+
+/// One stream's worth of batched-execution state for a
+/// [`CompiledTaggedDfa`]: the premultiplied state and an event count —
+/// stack-free, so a lane is two words.
+#[derive(Debug, Clone)]
+pub struct CompiledTaggedDfaLane {
+    state: u32,
+    steps: usize,
+}
+
+impl BatchAcceptor for CompiledTaggedDfa {
+    type Lane = CompiledTaggedDfaLane;
+
+    fn lane_start(&self) -> CompiledTaggedDfaLane {
+        CompiledTaggedDfaLane {
+            state: self.initial,
+            steps: 0,
+        }
+    }
+
+    /// The setcc-decoded add-and-load of [`CompiledTaggedDfa::run_tagged`]
+    /// on a stored lane; interleaved lanes are independent load chains.
+    #[inline]
+    fn lane_step(&self, lane: &mut CompiledTaggedDfaLane, event: TaggedSymbol) {
+        let sigma = self.sigma as u32;
+        let a = event.symbol().index() as u32;
+        let kind = u32::from(matches!(event, TaggedSymbol::Internal(_)))
+            + 2 * u32::from(matches!(event, TaggedSymbol::Return(_)));
+        lane.state = self.next[(lane.state + kind * sigma + a) as usize];
+        lane.steps += 1;
+    }
+
+    fn lane_accepting(&self, lane: &CompiledTaggedDfaLane) -> bool {
+        self.accepting[(lane.state / self.stride) as usize]
+    }
+
+    fn lane_outcome(&self, lane: &CompiledTaggedDfaLane) -> StreamOutcome {
+        StreamOutcome {
+            accepted: self.lane_accepting(lane),
+            events: lane.steps,
+            peak_memory: 0,
+        }
+    }
+
+    /// Overrides the generic stored-lane lockstep with the
+    /// register-resident kernel (`run_lockstep`):
+    /// streams run four lanes at a time, each lane one `u32` of register
+    /// state, so the four `state → table → state` chains overlap instead of
+    /// serializing — this is the entry point the batched-vs-sequential bar
+    /// of `bench/service.rs` is measured on. A remainder of fewer than four
+    /// streams runs back to back with [`CompiledTaggedDfa::run_tagged`].
+    fn run_batch(&self, streams: &[&[TaggedSymbol]]) -> Vec<StreamOutcome> {
+        let mut out = Vec::with_capacity(streams.len());
+        let mut chunks = streams.chunks_exact(4);
+        for chunk in &mut chunks {
+            out.extend(self.run_lockstep::<4>(chunk.try_into().expect("chunk of 4")));
+        }
+        for s in chunks.remainder() {
+            out.push(self.run_tagged(s));
+        }
+        out
     }
 }
 

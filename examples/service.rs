@@ -1,0 +1,121 @@
+//! The concurrent decision service, end to end: one query compiled once,
+//! many XML documents decided concurrently — bytes in, verdicts out.
+//!
+//! Submitter threads feed serialized documents into a shared
+//! `DecisionService` through `submit_bytes` (the incremental SAX
+//! `ByteTokenizer` runs on the submitting thread); worker threads pull the
+//! tokenized streams into batch slots and decide up to four lanes in
+//! software-pipelined lockstep over the one shared compiled table. The
+//! service's built-in counters show how full the batches actually ran.
+//!
+//! Run with `cargo run --release --example service`.
+
+use nested_words_suite::nwa_service::{DecisionHandle, DecisionService, ServiceConfig};
+use nested_words_suite::nwa_xml::generate::{generate_document, DocumentConfig};
+use nested_words_suite::nwa_xml::queries::contains_tag_nwa;
+use nested_words_suite::nwa_xml::sax::to_xml;
+use nested_words_suite::prelude::*;
+use nested_words_suite::query;
+
+fn main() {
+    // One synthetic corpus: documents of varying size and depth over one
+    // shared alphabet (same generator config + different seeds).
+    let documents: Vec<(Alphabet, String)> = (0..24u64)
+        .map(|seed| {
+            let (ab, doc) = generate_document(
+                DocumentConfig {
+                    events: 2_000 + (seed as usize % 5) * 1_500,
+                    max_depth: 16,
+                    ..Default::default()
+                },
+                seed,
+            );
+            let xml = to_xml(&doc, &ab);
+            (ab, xml)
+        })
+        .collect();
+    let alphabet = documents[0].0.clone();
+
+    // The query — "does the document contain a <t3> element?" — compiled
+    // once into the dense-table engine; the service shares that one table
+    // across all its workers.
+    let tag = alphabet.lookup("t3").unwrap();
+    let q = contains_tag_nwa(tag, alphabet.len());
+    let service = DecisionService::new(
+        query::compile(&q),
+        alphabet.clone(),
+        ServiceConfig {
+            workers: 2,
+            lanes: 4,
+        },
+    );
+
+    // Submit every document from a handful of threads (tokenization runs on
+    // the submitting thread, so it scales with submitters), then collect
+    // the verdicts through the handles.
+    let handles: Vec<(usize, DecisionHandle)> = std::thread::scope(|scope| {
+        let chunks: Vec<_> = documents.chunks(8).enumerate().collect();
+        let spawned: Vec<_> = chunks
+            .into_iter()
+            .map(|(c, chunk)| {
+                let service = &service;
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (_, xml))| {
+                            let handle = service.submit_bytes(xml.as_bytes()).unwrap();
+                            (c * 8 + i, handle)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        spawned
+            .into_iter()
+            .flat_map(|t| t.join().unwrap())
+            .collect()
+    });
+
+    let mut accepted = 0usize;
+    for (i, handle) in &handles {
+        let outcome = handle.wait();
+        accepted += usize::from(outcome.accepted);
+        if *i < 4 {
+            println!(
+                "document {i:2}: {:6} events, peak stack {:2}, contains <t3>: {}",
+                outcome.events, outcome.peak_memory, outcome.accepted
+            );
+        }
+    }
+    println!(
+        "... {} of {} documents contain <t3>",
+        accepted,
+        handles.len()
+    );
+
+    // The service's own accounting: queue pressure and per-worker batch
+    // occupancy (1.0 = every batch ran with all four lanes full).
+    let stats = service.stats();
+    println!(
+        "service: {} submitted, {} completed, queue high-water {}",
+        stats.submitted, stats.completed, stats.max_queue_depth
+    );
+    for (w, worker) in stats.workers.iter().enumerate() {
+        println!(
+            "worker {w}: {} batches, {} documents, {} events, lane occupancy {:.2}",
+            worker.batches, worker.documents, worker.events, worker.lane_occupancy
+        );
+    }
+
+    // Cross-check a few verdicts against the single-stream facade.
+    for (i, (_, xml)) in documents.iter().enumerate().take(4) {
+        let reference =
+            nested_words_suite::nwa_xml::queries::run_streaming_text(&q, xml, &alphabet)
+                .unwrap()
+                .accepted;
+        let (_, handle) = handles.iter().find(|(j, _)| *j == i).unwrap();
+        assert_eq!(handle.wait().accepted, reference);
+    }
+    println!("verdicts agree with the single-stream streaming pipeline");
+}

@@ -2,20 +2,25 @@
 """Gate compiled-engine throughput against a checked-in baseline.
 
 Usage:
-    check_bench.py NEW.json BASELINE.json [--tolerance 0.20] [--filter compiled]
+    check_bench.py NEW.json BASELINE.json [--tolerance 0.20]
+                   [--filter compiled] [--sibling compiled=interpreted]
 
 CI runners and developer machines differ wildly in absolute speed, so the
 gated quantity is hardware-normalized: for every baseline result whose id
-contains the filter substring and that has an `interpreted_*` sibling in
-the same run, the *speedup* (compiled per_sec / interpreted per_sec, both
-measured on the same machine in the same run) is compared between baseline
-and fresh run. A fresh speedup more than the tolerance below the baseline
-speedup fails, as does a gated benchmark disappearing. Gated rows without
-an interpreted sibling fall back to the absolute per_sec comparison.
+contains the filter substring and that has a sibling in the same run (the
+id with the --sibling pair's left name replaced by its right name — by
+default `compiled_*` pairs with `interpreted_*`), the *speedup* (gated
+per_sec / sibling per_sec, both measured on the same machine in the same
+run) is compared between baseline and fresh run. A fresh speedup more than
+the tolerance below the baseline speedup fails, as does a gated benchmark
+disappearing. Gated rows without a sibling fall back to the absolute
+per_sec comparison.
 
 Absolute throughputs are printed for context either way; the E15c
-acceptance bar (compiled NWA >= 2x interpreted at 1M events) is visible in
-the speedup column of the fresh run.
+acceptance bar (compiled NWA >= 2x interpreted at 1M events) and the E17a
+bar (batched DFA >= 1.5x sequential at 1M events, checked with
+`--filter batched_dfa --sibling batched=sequential`) are visible in the
+speedup column of the fresh run.
 """
 
 import argparse
@@ -33,9 +38,10 @@ def load(path):
     }
 
 
-def speedup(results, bench_id):
-    """compiled/interpreted ratio within one run, or None if no sibling."""
-    sibling = bench_id.replace("compiled", "interpreted")
+def speedup(results, bench_id, pair):
+    """gated/sibling ratio within one run, or None if no sibling."""
+    name, sibling_name = pair
+    sibling = bench_id.replace(name, sibling_name)
     if sibling != bench_id and sibling in results and results[sibling]:
         return results[bench_id] / results[sibling]
     return None
@@ -49,7 +55,15 @@ def main():
                     help="allowed fractional drop (default 0.20)")
     ap.add_argument("--filter", default="compiled",
                     help="gate only ids containing this substring")
+    ap.add_argument("--sibling", default="compiled=interpreted",
+                    help="NAME=SIBLING id-substring pair defining the "
+                         "within-run speedup denominator "
+                         "(default compiled=interpreted)")
     args = ap.parse_args()
+
+    pair = args.sibling.split("=", 1)
+    if len(pair) != 2 or not pair[0] or not pair[1]:
+        ap.error("--sibling must look like NAME=SIBLING")
 
     new = load(args.new)
     base = load(args.baseline)
@@ -62,8 +76,8 @@ def main():
         if bench_id not in new:
             failures.append(f"{bench_id}: missing from the fresh run")
             continue
-        base_speedup = speedup(base, bench_id)
-        new_speedup = speedup(new, bench_id)
+        base_speedup = speedup(base, bench_id, pair)
+        new_speedup = speedup(new, bench_id, pair)
         if base_speedup is not None and new_speedup is not None:
             metric, base_v, new_v = "speedup", base_speedup, new_speedup
         else:
@@ -80,16 +94,16 @@ def main():
         print(f"{bench_id:<52} {metric:>8} {base_v:>12.3g} {new_v:>12.3g} "
               f"{ratio:>6.2f}x{flag}")
 
-    # Context: all interpreted-vs-compiled speedups in the fresh run.
+    # Context: all sibling-normalized speedups in the fresh run.
     rows = [(b, s) for b in sorted(new)
-            if "compiled" in b and (s := speedup(new, b)) is not None]
+            if pair[0] in b and (s := speedup(new, b, pair)) is not None]
     if rows:
-        print("\ninterpreted -> compiled speedups (fresh run):")
+        print(f"\n{pair[1]} -> {pair[0]} speedups (fresh run):")
         for bench_id, s in rows:
             print(f"  {bench_id:<50} {s:.2f}x")
 
     if failures:
-        print("\nFAIL: compiled performance regressed beyond "
+        print("\nFAIL: gated performance regressed beyond "
               f"{args.tolerance * 100:.0f}% tolerance:", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)

@@ -23,8 +23,12 @@
 //!   [`query::equals`], the streaming verbs [`query::run_stream`] /
 //!   [`query::contains_stream`] that evaluate any
 //!   [`prelude::StreamAcceptor`] over SAX-style event streams in one pass
-//!   with memory proportional to the nesting depth, and the explanation
-//!   verbs [`query::witness`] / [`query::counterexample`] /
+//!   with memory proportional to the nesting depth, the batched verb
+//!   [`query::run_batch`] that advances many independent streams in
+//!   software-pipelined lockstep over one shared compiled artifact
+//!   ([`prelude::BatchAcceptor`]; the [`nwa_service`] crate builds its
+//!   batched runner and concurrent decision service on it), and the
+//!   explanation verbs [`query::witness`] / [`query::counterexample`] /
 //!   [`query::distinguish`] that turn every negative decision into a
 //!   concrete input ([`prelude::Witness`]).
 //!
@@ -85,6 +89,7 @@ pub use automata_core;
 pub use nested_words;
 pub use nwa;
 pub use nwa_pushdown;
+pub use nwa_service;
 pub use nwa_xml;
 pub use pushdown_automata;
 pub use tree_automata;
@@ -94,8 +99,8 @@ pub use word_automata;
 /// the unified traits.
 pub mod prelude {
     pub use automata_core::{
-        Acceptor, BooleanOps, Builder, Compile, Decide, Emptiness, Minimize, StateId,
-        StreamAcceptor, StreamOutcome, StreamRun, Witness,
+        Acceptor, BatchAcceptor, BooleanOps, Builder, Compile, Decide, Emptiness, Minimize,
+        StateId, StreamAcceptor, StreamOutcome, StreamRun, Witness,
     };
     pub use nested_words::tagged::{display_nested_word, parse_nested_word};
     pub use nested_words::{
@@ -107,6 +112,7 @@ pub mod prelude {
         NnwaStreamingRun, Nwa, NwaBuilder, StreamingRun,
     };
     pub use nwa_pushdown::{Pnwa, PnwaMode};
+    pub use nwa_service::{BatchRun, DecisionService, DynBatchRun, ServiceConfig};
     pub use pushdown_automata::{Cfg, PushdownTreeAutomaton};
     pub use tree_automata::{BottomUpBinaryTA, DetStepwiseTA, StepwiseTA, TopDownBinaryTA};
     pub use word_automata::{CompiledTaggedDfa, Dfa, DfaBuilder, Nfa, Regex, TaggedDfaRun};
@@ -125,6 +131,6 @@ pub mod prelude {
 pub mod query {
     pub use automata_core::query::{
         compile, contains, contains_stream, counterexample, distinguish, equals, is_empty,
-        minimize, run_stream, subset_eq, witness,
+        minimize, run_batch, run_stream, subset_eq, witness,
     };
 }

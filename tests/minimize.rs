@@ -8,7 +8,7 @@
 
 mod common;
 
-use common::{prop_iters, random_det_nwa, random_dfa, random_stepwise};
+use common::{prop_iters, random_det_nwa, random_dfa, random_nnwa, random_stepwise};
 use nested_words_suite::nested_words::generate::{
     random_nested_word, random_tree, NestedWordConfig,
 };
@@ -59,6 +59,39 @@ fn minimize_laws_nwa() {
         }
         let mm = query::minimize(&m);
         assert_eq!(m.num_states(), mm.num_states(), "seed {seed}");
+        assert!(query::equals(&m, &mm), "seed {seed}");
+    }
+}
+
+/// The minimization laws for *nondeterministic* NWAs, which minimize by
+/// determinize-then-reduce (closing the last `Minimize` hole in the
+/// capability matrix): language preservation (by `Decide`-level equivalence
+/// and on random nested words with pending edges) and idempotence. The
+/// non-growth law is deliberately absent — determinization can blow up
+/// beyond the nondeterministic state count, which is the succinctness gap
+/// itself, so only the *minimized* form is required to be stable.
+#[test]
+fn minimize_laws_nnwa() {
+    let ab = Alphabet::ab();
+    let cfg = NestedWordConfig {
+        len: 35,
+        allow_pending: true,
+        ..Default::default()
+    };
+    for seed in 0..prop_iters(10) as u64 {
+        let n = random_nnwa(4, 2, seed);
+        let m = query::minimize(&n);
+        assert!(query::equals(&n, &m), "seed {seed}");
+        for wseed in 0..30u64 {
+            let w = random_nested_word(&ab, cfg, 1000 * seed + wseed);
+            assert_eq!(n.accepts(&w), m.accepts(&w), "seed {seed}/{wseed}");
+        }
+        let mm = query::minimize(&m);
+        assert_eq!(
+            Minimize::num_states(&m),
+            Minimize::num_states(&mm),
+            "seed {seed}"
+        );
         assert!(query::equals(&m, &mm), "seed {seed}");
     }
 }
