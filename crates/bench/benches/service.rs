@@ -214,11 +214,13 @@ fn bench_service(c: &mut Criterion) {
             &corpus,
             |b, corpus| {
                 b.iter(|| {
-                    let handles: Vec<_> =
-                        corpus.iter().map(|s| service.submit(s.clone())).collect();
+                    let handles: Vec<_> = corpus
+                        .iter()
+                        .map(|s| service.submit(s.clone()).unwrap())
+                        .collect();
                     handles
                         .iter()
-                        .map(|h| h.wait().accepted)
+                        .map(|h| h.wait().unwrap().accepted)
                         .filter(|&a| a)
                         .count()
                 })

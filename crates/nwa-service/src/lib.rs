@@ -26,10 +26,15 @@
 //!   built once and shared (`Arc`'d — the artifacts are `Send + Sync`);
 //!   worker threads pull submitted streams from a queue into batch slots
 //!   and answer through completion handles. [`DecisionService::submit_bytes`]
-//!   routes raw XML bytes through the incremental SAX `ByteTokenizer`, so
-//!   the external API is bytes-in → verdict-out. Built-in counters
-//!   ([`ServiceStats`]) report per-worker batches, documents, events and
-//!   lane occupancy, plus queue high-water marks.
+//!   routes raw XML bytes through the incremental SAX `FrozenByteTokenizer`
+//!   (read-only name lookup against the compiled alphabet), so the external
+//!   API is bytes-in → verdict-out; [`DecisionService::submit`] validates
+//!   event symbols against the same alphabet, so nothing out of range ever
+//!   reaches the tables. Every handle is always fulfilled — worker panics
+//!   surface as a typed [`DecisionError`], never a hung
+//!   [`DecisionHandle::wait`]. Built-in counters ([`ServiceStats`]) report
+//!   per-worker batches, documents, events, failures and lane occupancy,
+//!   plus queue high-water marks.
 //!
 //! This outgrows the single-shot WALi-OpenNWA `query::language` shape the
 //! suite's decision layer was modeled on: the unit of work is no longer one
@@ -56,8 +61,10 @@
 //!     ServiceConfig::default(),
 //! );
 //! let a = Symbol(0);
-//! let handle = service.submit(vec![TaggedSymbol::Call(a), TaggedSymbol::Return(a)]);
-//! assert!(handle.wait().accepted);
+//! let handle = service
+//!     .submit(vec![TaggedSymbol::Call(a), TaggedSymbol::Return(a)])
+//!     .unwrap();
+//! assert!(handle.wait().unwrap().accepted);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -67,4 +74,6 @@ pub mod batch;
 pub mod service;
 
 pub use batch::{BatchRun, DynBatchRun};
-pub use service::{DecisionHandle, DecisionService, ServiceConfig, ServiceStats, WorkerStats};
+pub use service::{
+    DecisionError, DecisionHandle, DecisionService, ServiceConfig, ServiceStats, WorkerStats,
+};

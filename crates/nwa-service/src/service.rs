@@ -11,10 +11,17 @@
 //! are `Send + Sync` precisely so that a single table can serve every
 //! worker.
 //!
+//! Every handle handed out is always fulfilled: submissions are validated
+//! against the compiled alphabet before queuing, a worker that panics in
+//! the batch kernel fulfils its batch's handles with a typed
+//! [`DecisionError`] (and survives), and dropping the service drains the
+//! queue before joining the workers.
+//!
 //! Observability is built in rather than bolted on: each worker keeps
-//! monotone counters (batches decided, documents decided, events consumed),
-//! and the service tracks queue pressure (submitted, completed, currently
-//! queued, high-water mark). [`DecisionService::stats`] snapshots all of it
+//! monotone counters (batches decided, documents decided, events consumed,
+//! streams failed), and the service tracks queue pressure (submitted,
+//! completed, currently queued, high-water mark).
+//! [`DecisionService::stats`] snapshots all of it
 //! into a [`ServiceStats`], including the per-worker mean *lane occupancy* —
 //! how full the batch slots actually ran, the number that tells you whether
 //! the service is getting the batching win or degenerating into sequential
@@ -22,13 +29,41 @@
 
 use std::collections::VecDeque;
 use std::io;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use automata_core::{BatchAcceptor, StreamOutcome};
 use nested_words::{Alphabet, NestedWordError, TaggedSymbol};
-use nwa_xml::sax::{ByteTokenizer, SaxError};
+use nwa_xml::sax::{FrozenByteTokenizer, SaxError};
+
+/// Why a submitted stream ended without a verdict.
+///
+/// This is the failure channel of a [`DecisionHandle`]: every handle the
+/// service hands out is always fulfilled — with `Ok(StreamOutcome)` on the
+/// happy path, or with one of these if the decision could not be made — so
+/// [`DecisionHandle::wait`] can never hang on a dead worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionError {
+    /// The worker thread deciding this stream's batch panicked inside the
+    /// artifact's batch kernel. Every stream of that batch gets this error;
+    /// the worker itself survives and keeps serving subsequent batches.
+    WorkerPanicked,
+}
+
+impl std::fmt::Display for DecisionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecisionError::WorkerPanicked => {
+                write!(f, "the worker deciding this stream's batch panicked")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecisionError {}
 
 /// Sizing knobs for a [`DecisionService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,12 +99,12 @@ struct Job {
 /// The completion cell behind a [`DecisionHandle`].
 #[derive(Debug, Default)]
 struct Slot {
-    result: Mutex<Option<StreamOutcome>>,
+    result: Mutex<Option<Result<StreamOutcome, DecisionError>>>,
     done: Condvar,
 }
 
 impl Slot {
-    fn fulfil(&self, outcome: StreamOutcome) {
+    fn fulfil(&self, outcome: Result<StreamOutcome, DecisionError>) {
         let mut result = self.result.lock().expect("decision slot poisoned");
         *result = Some(outcome);
         self.done.notify_all();
@@ -79,15 +114,23 @@ impl Slot {
 /// The caller's side of one submitted decision: a future for a single
 /// [`StreamOutcome`], fulfilled by whichever worker's batch the stream
 /// landed in.
+///
+/// Fulfilment is guaranteed: a worker that panics in the batch kernel
+/// fulfils every handle of its batch with
+/// [`DecisionError::WorkerPanicked`] instead of a verdict, and dropping the
+/// service drains the queue first — so [`wait`](DecisionHandle::wait)
+/// always returns. [`wait_timeout`](DecisionHandle::wait_timeout) bounds
+/// the wait anyway for callers that must not block on a congested queue.
 #[derive(Debug, Clone)]
 pub struct DecisionHandle {
     slot: Arc<Slot>,
 }
 
 impl DecisionHandle {
-    /// Blocks until the verdict is in and returns it. Waiting again returns
-    /// the same outcome.
-    pub fn wait(&self) -> StreamOutcome {
+    /// Blocks until the decision is in and returns it: the verdict, or the
+    /// [`DecisionError`] explaining why there is none. Waiting again
+    /// returns the same result.
+    pub fn wait(&self) -> Result<StreamOutcome, DecisionError> {
         let mut result = self.slot.result.lock().expect("decision slot poisoned");
         loop {
             if let Some(outcome) = *result {
@@ -97,8 +140,29 @@ impl DecisionHandle {
         }
     }
 
-    /// The verdict if it is already in, without blocking.
-    pub fn try_outcome(&self) -> Option<StreamOutcome> {
+    /// Like [`wait`](DecisionHandle::wait), but gives up after `timeout`
+    /// and returns `None` if the decision is still pending.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<StreamOutcome, DecisionError>> {
+        let mut result = self.slot.result.lock().expect("decision slot poisoned");
+        loop {
+            if let Some(outcome) = *result {
+                return Some(outcome);
+            }
+            let (guard, wait) = self
+                .slot
+                .done
+                .wait_timeout(result, timeout)
+                .expect("decision slot poisoned");
+            result = guard;
+            if wait.timed_out() {
+                // A fulfilment racing the timeout still counts.
+                return *result;
+            }
+        }
+    }
+
+    /// The decision if it is already in, without blocking.
+    pub fn try_outcome(&self) -> Option<Result<StreamOutcome, DecisionError>> {
         *self.slot.result.lock().expect("decision slot poisoned")
     }
 }
@@ -110,15 +174,29 @@ struct WorkerCounters {
     batches: AtomicU64,
     documents: AtomicU64,
     events: AtomicU64,
+    failures: AtomicU64,
+}
+
+/// The queue and the shutdown flag, together under one mutex.
+///
+/// The flag lives *inside* the mutex deliberately: shutdown is flipped while
+/// holding the lock, so the store can never interleave between a worker's
+/// empty-queue-and-not-shutdown check and its `Condvar::wait` (both also
+/// under the lock). With the flag outside the mutex, that interleaving is a
+/// classic lost wakeup — the worker sleeps through the final `notify_all`
+/// and `Drop` deadlocks in `join`.
+#[derive(Debug, Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
 }
 
 /// State shared between the service facade and its workers.
 #[derive(Debug)]
 struct Shared<A> {
     artifact: A,
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<QueueState>,
     available: Condvar,
-    shutdown: AtomicBool,
     submitted: AtomicU64,
     completed: AtomicU64,
     max_queue_depth: AtomicUsize,
@@ -134,6 +212,10 @@ pub struct WorkerStats {
     pub documents: u64,
     /// Events this worker has consumed.
     pub events: u64,
+    /// Streams this worker failed to decide because the batch kernel
+    /// panicked (their handles were fulfilled with
+    /// [`DecisionError::WorkerPanicked`]).
+    pub failures: u64,
     /// Mean fraction of the batch slot actually occupied, in `[0, 1]`:
     /// `documents / (batches · lanes)`. Near `1.0` the worker runs full
     /// batches and gets the whole interleaving win; near `1/lanes` the queue
@@ -191,9 +273,8 @@ impl<A: BatchAcceptor + Send + Sync + 'static> DecisionService<A> {
         };
         let shared = Arc::new(Shared {
             artifact,
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(QueueState::default()),
             available: Condvar::new(),
-            shutdown: AtomicBool::new(false),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             max_queue_depth: AtomicUsize::new(0),
@@ -228,7 +309,25 @@ impl<A: BatchAcceptor + Send + Sync + 'static> DecisionService<A> {
 
     /// Submits one stream of tagged events for decision and returns its
     /// completion handle.
-    pub fn submit(&self, events: Vec<TaggedSymbol>) -> DecisionHandle {
+    ///
+    /// Every event's symbol is validated against the service's alphabet
+    /// before anything is queued: a symbol whose index falls outside the
+    /// alphabet the artifact was compiled against comes back as
+    /// [`NestedWordError::UnknownSymbol`] instead of indexing past the
+    /// compiled transition tables inside a worker.
+    pub fn submit(&self, events: Vec<TaggedSymbol>) -> Result<DecisionHandle, NestedWordError> {
+        let sigma = self.alphabet.len();
+        if let Some(event) = events.iter().find(|e| e.symbol().index() >= sigma) {
+            return Err(NestedWordError::UnknownSymbol {
+                name: event.symbol().to_string(),
+            });
+        }
+        Ok(self.enqueue(events))
+    }
+
+    /// Queues one already-validated stream. Callers guarantee every symbol
+    /// indexes inside the compiled tables.
+    fn enqueue(&self, events: Vec<TaggedSymbol>) -> DecisionHandle {
         let slot = Arc::new(Slot::default());
         let job = Job {
             events,
@@ -237,8 +336,8 @@ impl<A: BatchAcceptor + Send + Sync + 'static> DecisionService<A> {
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         let depth = {
             let mut queue = self.shared.queue.lock().expect("service queue poisoned");
-            queue.push_back(job);
-            queue.len()
+            queue.jobs.push_back(job);
+            queue.jobs.len()
         };
         self.shared
             .max_queue_depth
@@ -248,37 +347,25 @@ impl<A: BatchAcceptor + Send + Sync + 'static> DecisionService<A> {
     }
 
     /// Submits a raw XML-ish byte stream: tokenizes it on the calling thread
-    /// through the incremental SAX [`ByteTokenizer`], then queues the tagged
-    /// events. This is the bytes-in → verdict-out external API of §1.
+    /// through the incremental SAX [`FrozenByteTokenizer`], then queues the
+    /// tagged events. This is the bytes-in → verdict-out external API of §1.
     ///
     /// Every tag and text symbol must already be interned in the service's
-    /// alphabet (the one the artifact was compiled against); an unknown name
+    /// alphabet (the one the artifact was compiled against); the frozen
+    /// tokenizer resolves names by read-only lookup, so an unknown name
     /// comes back as [`NestedWordError::UnknownSymbol`] inside
     /// [`SaxError::Syntax`] rather than indexing past the transition tables,
-    /// and the service's alphabet is never mutated, so the guard holds
-    /// across submissions. Malformed UTF-8 and I/O failures surface as the
-    /// corresponding typed [`SaxError`]s before anything is queued.
+    /// the service's alphabet is never cloned or mutated, and the guard
+    /// holds across submissions. Malformed UTF-8 and I/O failures surface as
+    /// the corresponding typed [`SaxError`]s before anything is queued.
     pub fn submit_bytes<R: io::Read>(&self, reader: R) -> Result<DecisionHandle, SaxError> {
-        // Unknown names are interned into a scratch copy only, so the
-        // service's alphabet stays aligned with the compiled artifact.
-        let sigma = self.alphabet.len();
-        let mut scratch = self.alphabet.clone();
         let mut events = Vec::new();
-        let mut unknown = None;
-        for event in ByteTokenizer::new(reader, &mut scratch) {
-            let event = event?;
-            if event.symbol().index() >= sigma {
-                unknown = Some(event.symbol());
-                break;
-            }
-            events.push(event);
+        for event in FrozenByteTokenizer::new(reader, &self.alphabet) {
+            events.push(event?);
         }
-        if let Some(sym) = unknown {
-            return Err(SaxError::Syntax(NestedWordError::UnknownSymbol {
-                name: scratch.name(sym).unwrap_or("?").to_string(),
-            }));
-        }
-        Ok(self.submit(events))
+        // Read-only resolution means every symbol is in the alphabet, so
+        // queue directly — re-validating would find nothing.
+        Ok(self.enqueue(events))
     }
 
     /// Snapshots the service's counters. The snapshot is not atomic across
@@ -290,6 +377,7 @@ impl<A: BatchAcceptor + Send + Sync + 'static> DecisionService<A> {
             .queue
             .lock()
             .expect("service queue poisoned")
+            .jobs
             .len();
         let lanes = self.config.lanes as f64;
         let workers = self
@@ -303,6 +391,7 @@ impl<A: BatchAcceptor + Send + Sync + 'static> DecisionService<A> {
                     batches,
                     documents,
                     events: w.events.load(Ordering::Relaxed),
+                    failures: w.failures.load(Ordering::Relaxed),
                     lane_occupancy: if batches == 0 {
                         0.0
                     } else {
@@ -325,11 +414,23 @@ impl<A: BatchAcceptor + Send + Sync + 'static> Drop for DecisionService<A> {
     /// Graceful shutdown: workers drain everything already queued, then
     /// exit and are joined, so every handle handed out is fulfilled.
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            // The flag must flip while holding the queue lock: a worker
+            // checks it and blocks on the condvar atomically under the same
+            // lock, so an unlocked store + notify could land between the
+            // check and the wait — a lost wakeup that leaves the worker
+            // asleep forever and this join deadlocked. A poisoned lock
+            // (a panicking submitter) must not abort the drop, so take the
+            // guard either way.
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            queue.shutdown = true;
+        }
         self.shared.available.notify_all();
         for thread in self.threads.drain(..) {
-            // A worker that panicked already poisoned the slots it held;
-            // joining propagates nothing further, so ignore the result.
             let _ = thread.join();
         }
     }
@@ -345,11 +446,11 @@ fn worker_loop<A: BatchAcceptor>(shared: &Shared<A>, index: usize, lanes: usize)
         {
             let mut queue = shared.queue.lock().expect("service queue poisoned");
             loop {
-                if let Some(job) = queue.pop_front() {
+                if let Some(job) = queue.jobs.pop_front() {
                     batch.push(job);
                     break;
                 }
-                if shared.shutdown.load(Ordering::Acquire) {
+                if queue.shutdown {
                     return;
                 }
                 queue = shared
@@ -358,7 +459,7 @@ fn worker_loop<A: BatchAcceptor>(shared: &Shared<A>, index: usize, lanes: usize)
                     .expect("service queue poisoned");
             }
             while batch.len() < lanes {
-                match queue.pop_front() {
+                match queue.jobs.pop_front() {
                     Some(job) => batch.push(job),
                     None => break,
                 }
@@ -368,22 +469,46 @@ fn worker_loop<A: BatchAcceptor>(shared: &Shared<A>, index: usize, lanes: usize)
         let streams: Vec<&[TaggedSymbol]> = batch.iter().map(|j| j.events.as_slice()).collect();
         // The trait entry point, so per-model overrides apply (CompiledNwa's
         // register-resident lockstep kernel rather than the generic
-        // stored-lane loop).
-        let outcomes = shared.artifact.run_batch(&streams);
+        // stored-lane loop). Caught unwinding keeps the fulfilment guarantee:
+        // a kernel panic (submission validation makes one unlikely, not
+        // impossible — an artifact bug suffices) must not strand the batch's
+        // handles in forever-blocking waits or kill the worker. `&artifact`
+        // is a shared immutable borrow and the queue lock is not held here,
+        // so no observable state can be left half-updated by the unwind.
+        let outcomes = catch_unwind(AssertUnwindSafe(|| shared.artifact.run_batch(&streams)));
 
+        // All counters land before any handle is fulfilled: a waiter woken
+        // by the last fulfilment must not snapshot stats that are still
+        // missing its own stream.
         let counters = &shared.workers[index];
-        counters.batches.fetch_add(1, Ordering::Relaxed);
-        counters
-            .documents
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
-        counters.events.fetch_add(
-            streams.iter().map(|s| s.len() as u64).sum(),
-            Ordering::Relaxed,
-        );
-
-        for (job, outcome) in batch.into_iter().zip(outcomes) {
-            job.slot.fulfil(outcome);
-            shared.completed.fetch_add(1, Ordering::Relaxed);
+        match outcomes {
+            Ok(outcomes) => {
+                counters.batches.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .documents
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                counters.events.fetch_add(
+                    streams.iter().map(|s| s.len() as u64).sum(),
+                    Ordering::Relaxed,
+                );
+                shared
+                    .completed
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                for (job, outcome) in batch.into_iter().zip(outcomes) {
+                    job.slot.fulfil(Ok(outcome));
+                }
+            }
+            Err(_) => {
+                counters
+                    .failures
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                shared
+                    .completed
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                for job in batch {
+                    job.slot.fulfil(Err(DecisionError::WorkerPanicked));
+                }
+            }
         }
     }
 }
@@ -432,16 +557,16 @@ mod tests {
                         _ => TaggedSymbol::Return(a),
                     })
                     .collect();
-                (service.submit(events), i % 2 == 0)
+                (service.submit(events).unwrap(), i % 2 == 0)
             })
             .collect();
         for (i, (handle, expect)) in handles.iter().enumerate() {
-            let outcome = handle.wait();
+            let outcome = handle.wait().unwrap();
             assert_eq!(outcome.accepted, *expect, "stream {i}");
             assert_eq!(outcome.events, i);
             // Waiting twice returns the same verdict.
-            assert_eq!(handle.wait(), outcome);
-            assert_eq!(handle.try_outcome(), Some(outcome));
+            assert_eq!(handle.wait(), Ok(outcome));
+            assert_eq!(handle.try_outcome(), Some(Ok(outcome)));
         }
         let stats = service.stats();
         assert_eq!(stats.submitted, 17);
@@ -454,6 +579,7 @@ mod tests {
         assert_eq!(total_events, (0..17u64).sum::<u64>());
         for w in &stats.workers {
             assert!(w.lane_occupancy >= 0.0 && w.lane_occupancy <= 1.0);
+            assert_eq!(w.failures, 0);
         }
     }
 
@@ -467,9 +593,9 @@ mod tests {
         let hit = service
             .submit_bytes("<doc><sec>t</sec></doc>".as_bytes())
             .unwrap();
-        assert!(hit.wait().accepted);
+        assert!(hit.wait().unwrap().accepted);
         let miss = service.submit_bytes("<doc>t</doc>".as_bytes()).unwrap();
-        assert!(!miss.wait().accepted);
+        assert!(!miss.wait().unwrap().accepted);
 
         // Unknown names are typed errors before anything is queued, and the
         // service alphabet is untouched, so the guard holds on a retry.
@@ -498,12 +624,16 @@ mod tests {
         );
         let a = Symbol(0);
         let handles: Vec<DecisionHandle> = (0..64)
-            .map(|_| service.submit(vec![TaggedSymbol::Internal(a), TaggedSymbol::Internal(a)]))
+            .map(|_| {
+                service
+                    .submit(vec![TaggedSymbol::Internal(a), TaggedSymbol::Internal(a)])
+                    .unwrap()
+            })
             .collect();
         drop(service);
         for handle in &handles {
             // Every handle handed out before the drop is fulfilled.
-            assert!(handle.wait().accepted);
+            assert!(handle.wait().unwrap().accepted);
         }
     }
 
@@ -533,11 +663,175 @@ mod tests {
                     .collect()
             })
             .collect();
-        let handles: Vec<DecisionHandle> =
-            streams.iter().map(|s| service.submit(s.clone())).collect();
+        let handles: Vec<DecisionHandle> = streams
+            .iter()
+            .map(|s| service.submit(s.clone()).unwrap())
+            .collect();
         for (stream, handle) in streams.iter().zip(&handles) {
             let expected = query::run_stream(&compiled, stream.iter().copied());
-            assert_eq!(handle.wait(), expected);
+            assert_eq!(handle.wait(), Ok(expected));
+        }
+    }
+
+    #[test]
+    fn submit_rejects_out_of_alphabet_symbols() {
+        let m = even_len_nwa();
+        let service = DecisionService::new(
+            m.compile(),
+            Alphabet::from_names(["a"]),
+            ServiceConfig {
+                workers: 1,
+                lanes: 2,
+            },
+        );
+        // Symbol 1 is outside the one-symbol alphabet the artifact was
+        // compiled against; it must be a typed error at submission, not an
+        // out-of-bounds table index inside a worker.
+        let err = service
+            .submit(vec![
+                TaggedSymbol::Internal(Symbol(0)),
+                TaggedSymbol::Call(Symbol(1)),
+            ])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            NestedWordError::UnknownSymbol { ref name } if name == "s1"
+        ));
+        // Nothing was queued, and the service still serves valid streams.
+        assert_eq!(service.stats().submitted, 0);
+        assert!(service.submit(vec![]).unwrap().wait().unwrap().accepted);
+    }
+
+    #[test]
+    fn wait_timeout_observes_fulfilled_and_pending() {
+        let m = even_len_nwa();
+        let service = DecisionService::new(
+            m.compile(),
+            Alphabet::from_names(["a"]),
+            ServiceConfig {
+                workers: 1,
+                lanes: 1,
+            },
+        );
+        let handle = service.submit(vec![]).unwrap();
+        let outcome = handle.wait().unwrap();
+        assert_eq!(
+            handle.wait_timeout(Duration::from_millis(10)),
+            Some(Ok(outcome))
+        );
+        // A handle nothing will ever fulfil times out instead of hanging.
+        let orphan = DecisionHandle {
+            slot: Arc::new(Slot::default()),
+        };
+        assert_eq!(orphan.wait_timeout(Duration::from_millis(10)), None);
+        assert_eq!(orphan.try_outcome(), None);
+    }
+
+    /// An artifact whose batch kernel panics on `Return` events — a
+    /// stand-in for a buggy compiled engine, pinning the fulfilment
+    /// guarantee on worker unwind.
+    #[derive(Debug)]
+    struct Bomb;
+
+    struct BombLane(usize);
+
+    impl automata_core::StreamRun for BombLane {
+        fn step(&mut self, event: TaggedSymbol) {
+            assert!(!matches!(event, TaggedSymbol::Return(_)), "bomb tripped");
+            self.0 += 1;
+        }
+        fn is_accepting(&self) -> bool {
+            true
+        }
+        fn stack_height(&self) -> usize {
+            0
+        }
+        fn peak_memory(&self) -> usize {
+            0
+        }
+        fn steps(&self) -> usize {
+            self.0
+        }
+    }
+
+    impl automata_core::StreamAcceptor for Bomb {
+        type Run<'a> = BombLane;
+        fn start(&self) -> BombLane {
+            BombLane(0)
+        }
+    }
+
+    impl BatchAcceptor for Bomb {
+        type Lane = BombLane;
+        fn lane_start(&self) -> BombLane {
+            BombLane(0)
+        }
+        fn lane_step(&self, lane: &mut BombLane, event: TaggedSymbol) {
+            automata_core::StreamRun::step(lane, event);
+        }
+        fn lane_accepting(&self, _: &BombLane) -> bool {
+            true
+        }
+        fn lane_outcome(&self, lane: &BombLane) -> StreamOutcome {
+            StreamOutcome {
+                accepted: true,
+                events: lane.0,
+                peak_memory: 0,
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_fulfils_handles_and_worker_survives() {
+        let service = DecisionService::new(
+            Bomb,
+            Alphabet::from_names(["a"]),
+            ServiceConfig {
+                workers: 1,
+                lanes: 2,
+            },
+        );
+        let a = Symbol(0);
+        // Passes submission validation (the symbol is in the alphabet) but
+        // trips the kernel — exactly the failure validation cannot catch.
+        let bad = service.submit(vec![TaggedSymbol::Return(a)]).unwrap();
+        assert_eq!(bad.wait(), Err(DecisionError::WorkerPanicked));
+        // The sole worker survived the unwind and still decides streams.
+        let good = service.submit(vec![TaggedSymbol::Internal(a)]).unwrap();
+        let outcome = good.wait().unwrap();
+        assert!(outcome.accepted);
+        assert_eq!(outcome.events, 1);
+        let stats = service.stats();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.workers.iter().map(|w| w.failures).sum::<u64>(), 1);
+        assert_eq!(stats.workers.iter().map(|w| w.documents).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn rapid_create_drop_never_deadlocks() {
+        // Regression for the shutdown lost-wakeup race: the flag must flip
+        // under the queue lock, or a worker caught between its shutdown
+        // check and its condvar wait sleeps through the final notify and
+        // the drop hangs in join. Creating and dropping many pools — with
+        // and without queued work — walks the interleavings.
+        let m = even_len_nwa();
+        let a = Symbol(0);
+        for round in 0..50 {
+            let service = DecisionService::new(
+                m.compile(),
+                Alphabet::from_names(["a"]),
+                ServiceConfig {
+                    workers: 3,
+                    lanes: 2,
+                },
+            );
+            if round % 2 == 0 {
+                let handle = service
+                    .submit(vec![TaggedSymbol::Internal(a), TaggedSymbol::Internal(a)])
+                    .unwrap();
+                drop(service);
+                assert!(handle.wait().unwrap().accepted);
+            }
         }
     }
 }

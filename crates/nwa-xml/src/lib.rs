@@ -10,7 +10,9 @@
 //!
 //! * SAX-style tokenizers from a lightweight XML-ish syntax to nested words
 //!   ([`sax`]): char-level ([`sax::Tokenizer`]) and byte-level over any
-//!   `io::Read` with incremental UTF-8 decoding ([`sax::ByteTokenizer`]),
+//!   `io::Read` with incremental UTF-8 decoding ([`sax::ByteTokenizer`],
+//!   plus [`sax::FrozenByteTokenizer`] for lexing against a read-only
+//!   alphabet pinned by a compiled automaton),
 //! * a synthetic document generator with controllable size and depth
 //!   ([`generate`]),
 //! * document queries (patterns in document order, tag containment, depth

@@ -9,7 +9,7 @@
 //! close tags are allowed — they become pending calls and returns, exactly
 //! the situation §1 highlights as awkward for tree-based models.
 //!
-//! Two incremental front ends share one lexing engine:
+//! Three incremental front ends share one lexing engine:
 //!
 //! * [`Tokenizer`] — an iterator over
 //!   `Result<TaggedSymbol, NestedWordError>` that lexes one SAX event at a
@@ -19,7 +19,13 @@
 //!   sequences split across `read` calls are reassembled, invalid or
 //!   truncated sequences surface as typed [`SaxError`]s) without ever
 //!   materializing an intermediate `String` — the bytes-in → events-out
-//!   pipeline of §1.
+//!   pipeline of §1;
+//! * [`FrozenByteTokenizer`] — the same byte-level source against a
+//!   *read-only* alphabet ([`ResolveName`] chooses between the two
+//!   policies): names are looked up instead of interned, an unknown name is
+//!   a typed [`NestedWordError::UnknownSymbol`], and the alphabet is never
+//!   copied or mutated — the serving-path front end, where the alphabet
+//!   must stay aligned with a compiled artifact.
 //!
 //! Neither front end materializes a [`TaggedWord`] or [`NestedWord`];
 //! feeding one straight into `query::run_stream` evaluates a document query
@@ -218,6 +224,40 @@ impl<R: io::Read> Iterator for Utf8Chars<R> {
 // The shared lexing engine
 // --------------------------------------------------------------------------
 
+/// How the lexing engine maps lexed names (tag names, text tokens) to
+/// [`Symbol`]s.
+///
+/// Two policies exist:
+///
+/// * `&mut Alphabet` — **interning**: a name seen for the first time is
+///   added to the alphabet ([`Alphabet::try_intern`]); this is what the
+///   parsing front ends ([`Tokenizer`], [`ByteTokenizer`]) use, where the
+///   alphabet is being *built* from the document.
+/// * `&Alphabet` — **read-only lookup**: an unknown name is a typed
+///   [`NestedWordError::UnknownSymbol`] and the alphabet is never mutated;
+///   this is what [`FrozenByteTokenizer`] uses on the serving path, where
+///   the alphabet is fixed by an already-compiled automaton and must not
+///   drift (and must not be cloned per document just to protect it).
+pub trait ResolveName {
+    /// Maps one lexed name to a symbol, or fails with a typed error.
+    fn resolve(&mut self, name: &str) -> Result<Symbol, NestedWordError>;
+}
+
+impl ResolveName for &mut Alphabet {
+    fn resolve(&mut self, name: &str) -> Result<Symbol, NestedWordError> {
+        self.try_intern(name)
+    }
+}
+
+impl ResolveName for &Alphabet {
+    fn resolve(&mut self, name: &str) -> Result<Symbol, NestedWordError> {
+        self.lookup(name)
+            .ok_or_else(|| NestedWordError::UnknownSymbol {
+                name: name.to_string(),
+            })
+    }
+}
+
 /// A peekable, offset-tracking adapter over a fallible char source.
 #[derive(Debug)]
 struct Source<S> {
@@ -266,11 +306,11 @@ impl<S: Iterator<Item = Result<char, SaxError>>> Source<S> {
     }
 }
 
-/// The lexing engine shared by [`Tokenizer`] (chars in) and
-/// [`ByteTokenizer`] (bytes in): an iterator over
-/// `Result<TaggedSymbol, SaxError>` that yields one event per open tag,
-/// close tag, or whitespace-separated text token, interning names into the
-/// borrowed alphabet as it goes.
+/// The lexing engine shared by [`Tokenizer`] (chars in), [`ByteTokenizer`]
+/// (bytes in) and [`FrozenByteTokenizer`] (bytes in, read-only alphabet): an
+/// iterator over `Result<TaggedSymbol, SaxError>` that yields one event per
+/// open tag, close tag, or whitespace-separated text token, resolving names
+/// through the [`ResolveName`] policy as it goes.
 ///
 /// * Tag names end at the first whitespace character; anything after it
 ///   (attributes) is ignored, so `<sec a="1">` and `</sec>` produce the
@@ -287,13 +327,13 @@ impl<S: Iterator<Item = Result<char, SaxError>>> Source<S> {
 ///   followed by a return.
 ///
 /// Errors — lexical ([`SaxError::Syntax`]: `unterminated tag`, `empty tag
-/// name`, a full alphabet via [`Alphabet::try_intern`]) or, for byte
-/// sources, I/O and UTF-8 failures — are yielded once, after which the
+/// name`, name-resolution failures from the [`ResolveName`] policy) or, for
+/// byte sources, I/O and UTF-8 failures — are yielded once, after which the
 /// iterator is fused.
 #[derive(Debug)]
-pub struct EventLexer<'a, S: Iterator<Item = Result<char, SaxError>>> {
+pub struct EventLexer<S: Iterator<Item = Result<char, SaxError>>, N: ResolveName> {
     source: Source<S>,
-    alphabet: &'a mut Alphabet,
+    names: N,
     /// Queued events: the return of a self-closing tag, or the text tokens
     /// of a CDATA section.
     queued: VecDeque<TaggedSymbol>,
@@ -301,20 +341,20 @@ pub struct EventLexer<'a, S: Iterator<Item = Result<char, SaxError>>> {
     failed: bool,
 }
 
-impl<'a, S: Iterator<Item = Result<char, SaxError>>> EventLexer<'a, S> {
-    /// Creates a lexer over a fallible character source, interning symbol
-    /// names into `alphabet`.
-    pub fn new(source: S, alphabet: &'a mut Alphabet) -> Self {
+impl<S: Iterator<Item = Result<char, SaxError>>, N: ResolveName> EventLexer<S, N> {
+    /// Creates a lexer over a fallible character source, resolving symbol
+    /// names through `names`.
+    pub fn new(source: S, names: N) -> Self {
         EventLexer {
             source: Source::new(source),
-            alphabet,
+            names,
             queued: VecDeque::new(),
             failed: false,
         }
     }
 
     fn intern(&mut self, name: &str) -> Result<Symbol, SaxError> {
-        Ok(self.alphabet.try_intern(name)?)
+        Ok(self.names.resolve(name)?)
     }
 
     /// Skips or lexes one directive, with the cursor just past `<` and on
@@ -414,11 +454,12 @@ impl<'a, S: Iterator<Item = Result<char, SaxError>>> EventLexer<'a, S> {
                 }
             }
         }
-        // Intern every token before queuing any, so an alphabet-full error
-        // surfaces without half the section already emitted.
+        // Resolve every token before queuing any, so an alphabet-full or
+        // unknown-symbol error surfaces without half the section already
+        // emitted.
         let mut events = Vec::new();
         for token in content.split_whitespace() {
-            events.push(TaggedSymbol::Internal(self.alphabet.try_intern(token)?));
+            events.push(TaggedSymbol::Internal(self.names.resolve(token)?));
         }
         self.queued.extend(events);
         Ok(())
@@ -530,7 +571,7 @@ impl<'a, S: Iterator<Item = Result<char, SaxError>>> EventLexer<'a, S> {
     }
 }
 
-impl<S: Iterator<Item = Result<char, SaxError>>> Iterator for EventLexer<'_, S> {
+impl<S: Iterator<Item = Result<char, SaxError>>, N: ResolveName> Iterator for EventLexer<S, N> {
     type Item = Result<TaggedSymbol, SaxError>;
 
     fn next(&mut self) -> Option<Self::Item> {
@@ -568,7 +609,7 @@ type OkChars<I> = std::iter::Map<I, fn(char) -> Result<char, SaxError>>;
 /// [`NestedWordError`]s.
 #[derive(Debug)]
 pub struct Tokenizer<'a, I: Iterator<Item = char>> {
-    inner: EventLexer<'a, OkChars<I>>,
+    inner: EventLexer<OkChars<I>, &'a mut Alphabet>,
 }
 
 impl<'a, I: Iterator<Item = char>> Tokenizer<'a, I> {
@@ -620,7 +661,7 @@ impl<I: Iterator<Item = char>> Iterator for Tokenizer<'_, I> {
 /// ```
 #[derive(Debug)]
 pub struct ByteTokenizer<'a, R: io::Read> {
-    inner: EventLexer<'a, Utf8Chars<R>>,
+    inner: EventLexer<Utf8Chars<R>, &'a mut Alphabet>,
 }
 
 impl<'a, R: io::Read> ByteTokenizer<'a, R> {
@@ -634,6 +675,59 @@ impl<'a, R: io::Read> ByteTokenizer<'a, R> {
 }
 
 impl<R: io::Read> Iterator for ByteTokenizer<'_, R> {
+    type Item = Result<TaggedSymbol, SaxError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
+}
+
+/// The serving-path byte-level front end: identical lexing to
+/// [`ByteTokenizer`], but against a **read-only** alphabet.
+///
+/// Names are resolved by lookup only — a name that is not already interned
+/// surfaces as [`NestedWordError::UnknownSymbol`] inside
+/// [`SaxError::Syntax`], and the alphabet is never mutated. This is the
+/// right front end when the alphabet is pinned by an already-compiled
+/// automaton (e.g. `nwa-service`'s `submit_bytes`): every yielded symbol is
+/// guaranteed to index inside the compiled tables, per-document cost stays
+/// independent of alphabet size (no defensive clone), and the shared
+/// alphabet cannot drift away from the artifact it was compiled with.
+///
+/// ```
+/// use nested_words::{Alphabet, NestedWordError, TaggedSymbol};
+/// use nwa_xml::sax::{FrozenByteTokenizer, SaxError};
+///
+/// let ab = Alphabet::from_names(["doc", "hi"]);
+/// let events: Result<Vec<_>, _> =
+///     FrozenByteTokenizer::new("<doc>hi</doc>".as_bytes(), &ab).collect();
+/// assert_eq!(events.unwrap().len(), 3);
+///
+/// let err = FrozenByteTokenizer::new("<intruder/>".as_bytes(), &ab)
+///     .next()
+///     .unwrap()
+///     .unwrap_err();
+/// assert!(matches!(
+///     err,
+///     SaxError::Syntax(NestedWordError::UnknownSymbol { ref name }) if name == "intruder"
+/// ));
+/// ```
+#[derive(Debug)]
+pub struct FrozenByteTokenizer<'a, R: io::Read> {
+    inner: EventLexer<Utf8Chars<R>, &'a Alphabet>,
+}
+
+impl<'a, R: io::Read> FrozenByteTokenizer<'a, R> {
+    /// Creates a tokenizer over a byte stream, resolving symbol names by
+    /// read-only lookup in `alphabet`.
+    pub fn new(reader: R, alphabet: &'a Alphabet) -> Self {
+        FrozenByteTokenizer {
+            inner: EventLexer::new(Utf8Chars::new(reader), alphabet),
+        }
+    }
+}
+
+impl<R: io::Read> Iterator for FrozenByteTokenizer<'_, R> {
     type Item = Result<TaggedSymbol, SaxError>;
 
     fn next(&mut self) -> Option<Self::Item> {
@@ -1120,6 +1214,57 @@ mod tests {
                 .unwrap();
             assert_eq!(got, expect, "chunk {chunk}");
         }
+    }
+
+    #[test]
+    fn frozen_tokenizer_matches_interning_on_known_alphabets() {
+        // Build the alphabet once with the interning front end, then lex the
+        // same document (at every read granularity) with the frozen one: the
+        // event streams must be identical and the alphabet untouched.
+        let text = "<doc><sec n=\"1\">héllo wörld</sec><sec/><![CDATA[x > y]]></doc>";
+        let mut ab = Alphabet::new();
+        let interned: Vec<_> = ByteTokenizer::new(text.as_bytes(), &mut ab)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let before = ab.clone();
+        for chunk in 1..=5 {
+            let frozen: Vec<_> =
+                FrozenByteTokenizer::new(SplitReader::new(text.as_bytes(), chunk), &ab)
+                    .collect::<Result<_, _>>()
+                    .unwrap();
+            assert_eq!(frozen, interned, "chunk size {chunk}");
+        }
+        assert_eq!(ab, before);
+    }
+
+    #[test]
+    fn frozen_tokenizer_rejects_unknown_names_everywhere() {
+        let ab = {
+            let mut ab = Alphabet::new();
+            tokenize("<doc>t</doc>", &mut ab).unwrap();
+            ab
+        };
+        // Unknown tag, unknown text token, unknown CDATA token: each is a
+        // typed UnknownSymbol, the iterator fuses, and nothing past the
+        // error is yielded.
+        for (input, unknown) in [
+            ("<doc><bad>t</bad></doc>", "bad"),
+            ("<doc>mystery</doc>", "mystery"),
+            ("<doc><![CDATA[mystery]]></doc>", "mystery"),
+        ] {
+            let mut tok = FrozenByteTokenizer::new(input.as_bytes(), &ab);
+            assert!(tok.next().unwrap().is_ok(), "input {input}: <doc> call");
+            let err = tok.next().unwrap().unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SaxError::Syntax(NestedWordError::UnknownSymbol { ref name }) if name == unknown
+                ),
+                "input {input}: got {err:?}"
+            );
+            assert!(tok.next().is_none(), "input {input}: fused after error");
+        }
+        assert_eq!(ab.len(), 2);
     }
 
     #[test]

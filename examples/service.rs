@@ -79,7 +79,7 @@ fn main() {
 
     let mut accepted = 0usize;
     for (i, handle) in &handles {
-        let outcome = handle.wait();
+        let outcome = handle.wait().expect("worker fulfils every handle");
         accepted += usize::from(outcome.accepted);
         if *i < 4 {
             println!(
@@ -115,7 +115,7 @@ fn main() {
                 .unwrap()
                 .accepted;
         let (_, handle) = handles.iter().find(|(j, _)| *j == i).unwrap();
-        assert_eq!(handle.wait().accepted, reference);
+        assert_eq!(handle.wait().unwrap().accepted, reference);
     }
     println!("verdicts agree with the single-stream streaming pipeline");
 }

@@ -112,7 +112,7 @@ pub mod prelude {
         NnwaStreamingRun, Nwa, NwaBuilder, StreamingRun,
     };
     pub use nwa_pushdown::{Pnwa, PnwaMode};
-    pub use nwa_service::{BatchRun, DecisionService, DynBatchRun, ServiceConfig};
+    pub use nwa_service::{BatchRun, DecisionError, DecisionService, DynBatchRun, ServiceConfig};
     pub use pushdown_automata::{Cfg, PushdownTreeAutomaton};
     pub use tree_automata::{BottomUpBinaryTA, DetStepwiseTA, StepwiseTA, TopDownBinaryTA};
     pub use word_automata::{CompiledTaggedDfa, Dfa, DfaBuilder, Nfa, Regex, TaggedDfaRun};
