@@ -188,9 +188,12 @@ fn service_smoke_many_submitters_one_service() {
             let reference = &reference;
             scope.spawn(move || {
                 let words = random_words(per_submitter, 0x1000 * (t as u64 + 1));
-                let handles: Vec<_> = words.iter().map(|w| service.submit(w.clone())).collect();
+                let handles: Vec<_> = words
+                    .iter()
+                    .map(|w| service.submit(w.clone()).unwrap())
+                    .collect();
                 for (i, (w, handle)) in words.iter().zip(&handles).enumerate() {
-                    let outcome = handle.wait();
+                    let outcome = handle.wait().unwrap();
                     assert_eq!(
                         outcome,
                         query::run_stream(reference, w.iter().copied()),
