@@ -27,6 +27,17 @@
 //!   protocol with cache-friendly flat tables, trading a one-time
 //!   compilation pass (and, for subset engines, memoized row storage) for
 //!   per-event speed;
+//! * [`Persist`] — versioned, endian-explicit byte formats for compiled
+//!   artifacts ([`query::save`], [`query::load`]): an artifact is plain old
+//!   data, so it can be built (and warmed) once offline and shipped to a
+//!   fleet as bytes, with a checked header (magic, format version, alphabet
+//!   fingerprint, payload checksum) turning corruption into a typed
+//!   [`PersistError`] instead of a panic;
+//! * [`Suspend`] — first-class run state ([`query::suspend`],
+//!   [`query::resume`]): a live run or lane exports an owned, serializable
+//!   [`Snapshot`] (state id + `u32` stack + peak/step counters — the
+//!   Theorem 1 memory bound made concrete), and any artifact with the same
+//!   fingerprint resumes it at the exact prefix;
 //! * [`BooleanOps`] — intersection, union, complement;
 //! * [`Emptiness`] — the language-emptiness decision;
 //! * [`Decide`] — inclusion and equivalence, with default implementations
@@ -57,12 +68,16 @@
 pub mod build;
 pub mod compile;
 pub mod ids;
+pub mod persist;
 pub mod query;
 pub mod stream;
+pub mod suspend;
 pub mod traits;
 
 pub use build::Builder;
 pub use compile::Compile;
 pub use ids::StateId;
+pub use persist::{Persist, PersistError};
 pub use stream::{BatchAcceptor, StreamAcceptor, StreamOutcome, StreamRun};
+pub use suspend::{Snapshot, Suspend};
 pub use traits::{Acceptor, BooleanOps, Decide, Emptiness, Minimize, Witness};

@@ -8,7 +8,9 @@
 //! spelling examples and tests use: `query::equals(&a, &b)`.
 
 use crate::compile::Compile;
+use crate::persist::{Persist, PersistError};
 use crate::stream::{BatchAcceptor, StreamAcceptor, StreamOutcome, StreamRun};
+use crate::suspend::{Snapshot, Suspend};
 use crate::traits::{Acceptor, BooleanOps, Decide, Emptiness, Minimize, Witness};
 use nested_words::TaggedSymbol;
 
@@ -207,6 +209,158 @@ pub fn run_batch<A: BatchAcceptor>(a: &A, streams: &[&[TaggedSymbol]]) -> Vec<St
 /// ```
 pub fn compile<A: Compile>(a: &A) -> A::Compiled {
     a.compile()
+}
+
+/// Serializes a compiled artifact into its versioned byte format — the
+/// model-generic entry point to every [`Persist`] implementation. The bytes
+/// are self-describing (magic, format version, alphabet fingerprint,
+/// payload checksum) and [`load`] reconstructs an equal artifact from them,
+/// in this process or any other: compile once offline, ship bytes to a
+/// fleet.
+///
+/// ```
+/// use automata_core::query;
+/// use nested_words::{Symbol, TaggedSymbol};
+/// use nwa::{CompiledNwa, NwaBuilder};
+///
+/// // Deterministic NWA over {a} accepting nested words of even length.
+/// let a = Symbol(0);
+/// let mut builder = NwaBuilder::new(2, 1, 0).accepting(0);
+/// for q in 0..2usize {
+///     builder = builder
+///         .internal(q, a, 1 - q)
+///         .call(q, a, 1 - q, 0)
+///         .ret(q, 0, a, 1 - q)
+///         .ret(q, 1, a, 1 - q);
+/// }
+/// let compiled = query::compile(&builder.build());
+///
+/// let bytes = query::save(&compiled);
+/// let reloaded: CompiledNwa = query::load(&bytes).unwrap();
+/// assert_eq!(reloaded, compiled);
+/// ```
+pub fn save<A: Persist>(a: &A) -> Vec<u8> {
+    a.save()
+}
+
+/// Reconstructs a compiled artifact from bytes written by [`save`] — the
+/// model-generic entry point to every [`Persist`] implementation. Corrupt,
+/// truncated or mismatched bytes yield a typed [`PersistError`], never a
+/// panic; on success the artifact equals the saved one structurally and
+/// behaviorally (property-tested in `tests/persist.rs`).
+///
+/// ```
+/// use automata_core::{query, PersistError};
+/// use nested_words::{Symbol, TaggedSymbol};
+/// use nwa::{CompiledNwa, NwaBuilder};
+///
+/// // Deterministic NWA over {a} accepting nested words of even length.
+/// let a = Symbol(0);
+/// let mut builder = NwaBuilder::new(2, 1, 0).accepting(0);
+/// for q in 0..2usize {
+///     builder = builder
+///         .internal(q, a, 1 - q)
+///         .call(q, a, 1 - q, 0)
+///         .ret(q, 0, a, 1 - q)
+///         .ret(q, 1, a, 1 - q);
+/// }
+/// let compiled = query::compile(&builder.build());
+///
+/// let bytes = query::save(&compiled);
+/// let reloaded: CompiledNwa = query::load(&bytes).unwrap();
+/// let events = [TaggedSymbol::Call(a), TaggedSymbol::Return(a)];
+/// assert_eq!(
+///     query::run_stream(&reloaded, events),
+///     query::run_stream(&compiled, events),
+/// );
+///
+/// // Truncated bytes are a typed error, not a panic.
+/// assert!(matches!(
+///     query::load::<CompiledNwa>(&bytes[..bytes.len() - 1]),
+///     Err(PersistError::Truncated { .. }),
+/// ));
+/// ```
+pub fn load<A: Persist>(bytes: &[u8]) -> Result<A, PersistError> {
+    A::load(bytes)
+}
+
+/// Captures the state of a batch lane as an owned, serializable
+/// [`Snapshot`] — the model-generic entry point to every [`Suspend`]
+/// implementation. The snapshot is the run's entire state (state id +
+/// `u32` stack + peak/step counters, the Theorem 1 bound made concrete);
+/// [`resume`] rebuilds the lane at the exact prefix, on this artifact or on
+/// any artifact with the same fingerprint.
+///
+/// ```
+/// use automata_core::{query, BatchAcceptor};
+/// use nested_words::{Symbol, TaggedSymbol};
+/// use nwa::NwaBuilder;
+///
+/// // Deterministic NWA over {a} accepting nested words of even length.
+/// let a = Symbol(0);
+/// let mut builder = NwaBuilder::new(2, 1, 0).accepting(0);
+/// for q in 0..2usize {
+///     builder = builder
+///         .internal(q, a, 1 - q)
+///         .call(q, a, 1 - q, 0)
+///         .ret(q, 0, a, 1 - q)
+///         .ret(q, 1, a, 1 - q);
+/// }
+/// let compiled = query::compile(&builder.build());
+///
+/// // Park a lane mid-document, inside an open call.
+/// let mut lane = compiled.lane_start();
+/// compiled.lane_step(&mut lane, TaggedSymbol::Call(a));
+/// let parked = query::suspend(&compiled, &lane);
+/// assert_eq!(parked.steps, 1);
+///
+/// // Resume and finish; the verdict matches the uninterrupted run.
+/// let mut lane = query::resume(&compiled, &parked).unwrap();
+/// compiled.lane_step(&mut lane, TaggedSymbol::Return(a));
+/// let full = [TaggedSymbol::Call(a), TaggedSymbol::Return(a)];
+/// assert_eq!(compiled.lane_outcome(&lane), query::run_stream(&compiled, full));
+/// ```
+pub fn suspend<A: Suspend>(a: &A, lane: &A::Lane) -> Snapshot {
+    a.suspend_lane(lane)
+}
+
+/// Rebuilds a batch lane from a [`Snapshot`] taken by [`suspend`] — the
+/// model-generic entry point to every [`Suspend`] implementation. The
+/// artifact fingerprint and the snapshot's structure are validated first: a
+/// snapshot from a different artifact fails with
+/// [`PersistError::FingerprintMismatch`], garbage fails with a typed error,
+/// and a resumed lane can never index outside the artifact's tables.
+///
+/// ```
+/// use automata_core::{query, BatchAcceptor, PersistError};
+/// use nested_words::{Symbol, TaggedSymbol};
+/// use nwa::NwaBuilder;
+///
+/// // Deterministic NWA over {a} accepting nested words of even length.
+/// let a = Symbol(0);
+/// let mut builder = NwaBuilder::new(2, 1, 0).accepting(0);
+/// for q in 0..2usize {
+///     builder = builder
+///         .internal(q, a, 1 - q)
+///         .call(q, a, 1 - q, 0)
+///         .ret(q, 0, a, 1 - q)
+///         .ret(q, 1, a, 1 - q);
+/// }
+/// let compiled = query::compile(&builder.build());
+///
+/// let lane = compiled.lane_start();
+/// let mut parked = query::suspend(&compiled, &lane);
+/// assert!(query::resume(&compiled, &parked).is_ok());
+///
+/// // A snapshot stamped by some other artifact is rejected, typed.
+/// parked.fingerprint ^= 1;
+/// assert!(matches!(
+///     query::resume(&compiled, &parked),
+///     Err(PersistError::FingerprintMismatch { .. }),
+/// ));
+/// ```
+pub fn resume<A: Suspend>(a: &A, snapshot: &Snapshot) -> Result<A::Lane, PersistError> {
+    a.resume_lane(snapshot)
 }
 
 /// Returns `true` if automaton `a` accepts no input at all

@@ -34,7 +34,14 @@
 //!   surface as a typed [`DecisionError`], never a hung
 //!   [`DecisionHandle::wait`]. Built-in counters ([`ServiceStats`]) report
 //!   per-worker batches, documents, events, failures and lane occupancy,
-//!   plus queue high-water marks.
+//!   plus queue high-water marks. A service can also boot straight from
+//!   saved artifact bytes ([`DecisionService::from_artifact_bytes`], fully
+//!   validated before any thread spawns) and park/unpark in-flight
+//!   documents between bursts of input
+//!   ([`DecisionService::open_document`] / [`DecisionService::advance`] /
+//!   [`DecisionService::finish`]): a parked job is its
+//!   `automata_core::Snapshot` ([`ParkedDoc`]), serializable next to the
+//!   artifact bytes and fingerprint-checked on every resubmission.
 //!
 //! This outgrows the single-shot WALi-OpenNWA `query::language` shape the
 //! suite's decision layer was modeled on: the unit of work is no longer one
@@ -75,5 +82,6 @@ pub mod service;
 
 pub use batch::{BatchRun, DynBatchRun};
 pub use service::{
-    DecisionError, DecisionHandle, DecisionService, ServiceConfig, ServiceStats, WorkerStats,
+    DecisionError, DecisionHandle, DecisionService, ParkError, ParkedDoc, ParkedHandle,
+    ServiceConfig, ServiceStats, WorkerStats,
 };

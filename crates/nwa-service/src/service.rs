@@ -26,6 +26,19 @@
 //! how full the batch slots actually ran, the number that tells you whether
 //! the service is getting the batching win or degenerating into sequential
 //! decisions (occupancy → 1/lanes means the queue never has a backlog).
+//!
+//! Two persistence-adjacent capabilities round the service out. A service
+//! can boot straight from saved artifact bytes
+//! ([`DecisionService::from_artifact_bytes`]): the bytes are fully
+//! validated — format, checksums, alphabet fingerprint — before any thread
+//! spawns. And in-flight documents can be *parked* between bursts of input:
+//! a parked job is its `automata_core::Snapshot` ([`ParkedDoc`]), opened by
+//! [`DecisionService::open_document`], advanced across the worker pool by
+//! [`DecisionService::advance`] and closed by [`DecisionService::finish`].
+//! Every resubmission re-validates the snapshot against the artifact
+//! fingerprint, so state parked by one artifact can only ever resume on
+//! that artifact (or a byte-identical reload of it), with a typed
+//! [`ParkError`] otherwise.
 
 use std::collections::VecDeque;
 use std::io;
@@ -35,7 +48,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use automata_core::{BatchAcceptor, StreamOutcome};
+use automata_core::persist::expect_alphabet;
+use automata_core::{BatchAcceptor, Persist, PersistError, Snapshot, StreamOutcome, Suspend};
 use nested_words::{Alphabet, NestedWordError, TaggedSymbol};
 use nwa_xml::sax::{FrozenByteTokenizer, SaxError};
 
@@ -47,9 +61,10 @@ use nwa_xml::sax::{FrozenByteTokenizer, SaxError};
 /// [`DecisionHandle::wait`] can never hang on a dead worker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DecisionError {
-    /// The worker thread deciding this stream's batch panicked inside the
-    /// artifact's batch kernel. Every stream of that batch gets this error;
-    /// the worker itself survives and keeps serving subsequent batches.
+    /// The worker thread running this unit of work panicked — inside the
+    /// artifact's batch kernel (every stream of that batch gets this error)
+    /// or while advancing this parked document. The worker itself survives
+    /// and keeps serving subsequent batches.
     WorkerPanicked,
 }
 
@@ -64,6 +79,49 @@ impl std::fmt::Display for DecisionError {
 }
 
 impl std::error::Error for DecisionError {}
+
+/// Why a parked-document operation was refused *at submission*, before
+/// anything was queued.
+///
+/// [`DecisionService::advance`] front-loads every check that can fail:
+/// events are validated against the service's alphabet (same guard as
+/// [`DecisionService::submit`]) and the snapshot is resumed against the
+/// service's artifact on the calling thread — so what a worker eventually
+/// runs can no longer fail validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParkError {
+    /// An event's symbol falls outside the alphabet the artifact was
+    /// compiled against.
+    Input(NestedWordError),
+    /// The parked snapshot does not fit this service's artifact: a
+    /// fingerprint from a different artifact
+    /// ([`PersistError::FingerprintMismatch`]) or structurally impossible
+    /// run state — the typed [`PersistError`] says which.
+    Artifact(PersistError),
+}
+
+impl std::fmt::Display for ParkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParkError::Input(e) => write!(f, "invalid events for a parked document: {e}"),
+            ParkError::Artifact(e) => {
+                write!(
+                    f,
+                    "parked snapshot does not fit this service's artifact: {e}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParkError::Input(e) => Some(e),
+            ParkError::Artifact(e) => Some(e),
+        }
+    }
+}
 
 /// Sizing knobs for a [`DecisionService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,22 +147,77 @@ impl Default for ServiceConfig {
     }
 }
 
-/// A submitted stream waiting to be decided.
+/// An advance-burst closure: owns the already-resumed lane and the burst
+/// of events, runs on a worker against the shared artifact, and yields the
+/// re-parked snapshot.
+type AdvanceTask<A> = Box<dyn FnOnce(&A) -> Fulfilment + Send>;
+
+/// What a worker does with one queued job.
+enum Payload<A> {
+    /// Decide one whole stream through the batched kernel.
+    Decide(Vec<TaggedSymbol>),
+    /// Advance one parked document by an [`AdvanceTask`] burst.
+    Advance { task: AdvanceTask<A>, events: usize },
+}
+
+impl<A> std::fmt::Debug for Payload<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Payload::Decide(events) => f.debug_tuple("Decide").field(&events.len()).finish(),
+            Payload::Advance { events, .. } => {
+                f.debug_struct("Advance").field("events", events).finish()
+            }
+        }
+    }
+}
+
+/// A submitted unit of work waiting for a worker.
 #[derive(Debug)]
-struct Job {
-    events: Vec<TaggedSymbol>,
+struct Job<A> {
+    payload: Payload<A>,
     slot: Arc<Slot>,
 }
 
-/// The completion cell behind a [`DecisionHandle`].
+/// The happy-path value a worker fulfils a slot with: a full-stream verdict
+/// (behind a [`DecisionHandle`]) or a re-parked document (behind a
+/// [`ParkedHandle`]). Which variant a slot gets is fixed by the payload
+/// that created it, so each handle type unwraps its own variant.
+#[derive(Debug, Clone)]
+enum Fulfilment {
+    Decided(StreamOutcome),
+    Parked(ParkedDoc),
+}
+
+/// Maps a slot fulfilment to the verdict a [`DecisionHandle`] promises.
+/// Decide jobs are only ever fulfilled with [`Fulfilment::Decided`], so the
+/// parked arm is unreachable by construction.
+fn decided(outcome: &Result<Fulfilment, DecisionError>) -> Result<StreamOutcome, DecisionError> {
+    match outcome {
+        Ok(Fulfilment::Decided(outcome)) => Ok(*outcome),
+        Ok(Fulfilment::Parked(_)) => unreachable!("decide job fulfilled with a parked document"),
+        Err(error) => Err(*error),
+    }
+}
+
+/// Maps a slot fulfilment to the re-parked document a [`ParkedHandle`]
+/// promises; the decided arm is unreachable by construction.
+fn parked(outcome: &Result<Fulfilment, DecisionError>) -> Result<ParkedDoc, DecisionError> {
+    match outcome {
+        Ok(Fulfilment::Parked(doc)) => Ok(doc.clone()),
+        Ok(Fulfilment::Decided(_)) => unreachable!("advance job fulfilled with a verdict"),
+        Err(error) => Err(*error),
+    }
+}
+
+/// The completion cell behind a [`DecisionHandle`] or [`ParkedHandle`].
 #[derive(Debug, Default)]
 struct Slot {
-    result: Mutex<Option<Result<StreamOutcome, DecisionError>>>,
+    result: Mutex<Option<Result<Fulfilment, DecisionError>>>,
     done: Condvar,
 }
 
 impl Slot {
-    fn fulfil(&self, outcome: Result<StreamOutcome, DecisionError>) {
+    fn fulfil(&self, outcome: Result<Fulfilment, DecisionError>) {
         let mut result = self.result.lock().expect("decision slot poisoned");
         *result = Some(outcome);
         self.done.notify_all();
@@ -133,8 +246,8 @@ impl DecisionHandle {
     pub fn wait(&self) -> Result<StreamOutcome, DecisionError> {
         let mut result = self.slot.result.lock().expect("decision slot poisoned");
         loop {
-            if let Some(outcome) = *result {
-                return outcome;
+            if let Some(outcome) = result.as_ref() {
+                return decided(outcome);
             }
             result = self.slot.done.wait(result).expect("decision slot poisoned");
         }
@@ -145,8 +258,8 @@ impl DecisionHandle {
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<StreamOutcome, DecisionError>> {
         let mut result = self.slot.result.lock().expect("decision slot poisoned");
         loop {
-            if let Some(outcome) = *result {
-                return Some(outcome);
+            if let Some(outcome) = result.as_ref() {
+                return Some(decided(outcome));
             }
             let (guard, wait) = self
                 .slot
@@ -156,14 +269,127 @@ impl DecisionHandle {
             result = guard;
             if wait.timed_out() {
                 // A fulfilment racing the timeout still counts.
-                return *result;
+                return result.as_ref().map(decided);
             }
         }
     }
 
     /// The decision if it is already in, without blocking.
     pub fn try_outcome(&self) -> Option<Result<StreamOutcome, DecisionError>> {
-        *self.slot.result.lock().expect("decision slot poisoned")
+        self.slot
+            .result
+            .lock()
+            .expect("decision slot poisoned")
+            .as_ref()
+            .map(decided)
+    }
+}
+
+/// One parked in-flight document: an owned, serializable unit of run state
+/// that any service holding the same artifact — or a byte-identical reload
+/// of it, even in another process — can pick back up.
+///
+/// A parked job *is* its [`Snapshot`]: [`DecisionService::open_document`]
+/// parks a run at the empty prefix, [`DecisionService::advance`] feeds a
+/// parked document its next burst of events on the worker pool (yielding a
+/// new `ParkedDoc` through a [`ParkedHandle`]), and
+/// [`DecisionService::finish`] closes it into a [`StreamOutcome`].
+/// [`to_bytes`](ParkedDoc::to_bytes) / [`from_bytes`](ParkedDoc::from_bytes)
+/// ship it across processes next to the artifact bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParkedDoc {
+    snapshot: Snapshot,
+}
+
+impl ParkedDoc {
+    /// The run state itself: artifact fingerprint, state, stack and
+    /// peak/step counters, in the artifact's own encoding.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// Events this document has consumed across all its bursts so far.
+    pub fn events(&self) -> u64 {
+        self.snapshot.steps
+    }
+
+    /// Serializes the parked document in the snapshot's versioned byte
+    /// format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.snapshot.to_bytes()
+    }
+
+    /// Decodes a parked document from [`to_bytes`](ParkedDoc::to_bytes)
+    /// bytes. Corruption is a typed error, never a panic; whether the
+    /// snapshot fits a given service's artifact is checked again at
+    /// [`advance`](DecisionService::advance) /
+    /// [`finish`](DecisionService::finish) time.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ParkedDoc, PersistError> {
+        Ok(ParkedDoc {
+            snapshot: Snapshot::from_bytes(bytes)?,
+        })
+    }
+}
+
+impl From<Snapshot> for ParkedDoc {
+    /// Wraps a snapshot taken outside the service (e.g. by
+    /// `query::suspend` on a standalone run), so existing run state can be
+    /// handed to the pool.
+    fn from(snapshot: Snapshot) -> Self {
+        ParkedDoc { snapshot }
+    }
+}
+
+/// The caller's side of one in-flight [`DecisionService::advance`]: a
+/// future for the re-parked document, fulfilled by whichever worker ran the
+/// burst. Fulfilment is guaranteed exactly as for [`DecisionHandle`].
+#[derive(Debug, Clone)]
+pub struct ParkedHandle {
+    slot: Arc<Slot>,
+}
+
+impl ParkedHandle {
+    /// Blocks until the burst has been applied and returns the re-parked
+    /// document, or the [`DecisionError`] explaining why there is none.
+    /// Waiting again returns the same result.
+    pub fn wait(&self) -> Result<ParkedDoc, DecisionError> {
+        let mut result = self.slot.result.lock().expect("decision slot poisoned");
+        loop {
+            if let Some(outcome) = result.as_ref() {
+                return parked(outcome);
+            }
+            result = self.slot.done.wait(result).expect("decision slot poisoned");
+        }
+    }
+
+    /// Like [`wait`](ParkedHandle::wait), but gives up after `timeout` and
+    /// returns `None` if the burst is still pending.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<ParkedDoc, DecisionError>> {
+        let mut result = self.slot.result.lock().expect("decision slot poisoned");
+        loop {
+            if let Some(outcome) = result.as_ref() {
+                return Some(parked(outcome));
+            }
+            let (guard, wait) = self
+                .slot
+                .done
+                .wait_timeout(result, timeout)
+                .expect("decision slot poisoned");
+            result = guard;
+            if wait.timed_out() {
+                return result.as_ref().map(parked);
+            }
+        }
+    }
+
+    /// The re-parked document if it is already in, without blocking.
+    pub fn try_parked(&self) -> Option<Result<ParkedDoc, DecisionError>> {
+        self.slot
+            .result
+            .lock()
+            .expect("decision slot poisoned")
+            .as_ref()
+            .map(parked)
     }
 }
 
@@ -185,17 +411,26 @@ struct WorkerCounters {
 /// under the lock). With the flag outside the mutex, that interleaving is a
 /// classic lost wakeup — the worker sleeps through the final `notify_all`
 /// and `Drop` deadlocks in `join`.
-#[derive(Debug, Default)]
-struct QueueState {
-    jobs: VecDeque<Job>,
+#[derive(Debug)]
+struct QueueState<A> {
+    jobs: VecDeque<Job<A>>,
     shutdown: bool,
+}
+
+impl<A> Default for QueueState<A> {
+    fn default() -> Self {
+        QueueState {
+            jobs: VecDeque::new(),
+            shutdown: false,
+        }
+    }
 }
 
 /// State shared between the service facade and its workers.
 #[derive(Debug)]
 struct Shared<A> {
     artifact: A,
-    queue: Mutex<QueueState>,
+    queue: Mutex<QueueState<A>>,
     available: Condvar,
     submitted: AtomicU64,
     completed: AtomicU64,
@@ -208,12 +443,16 @@ struct Shared<A> {
 pub struct WorkerStats {
     /// Batches this worker has decided.
     pub batches: u64,
-    /// Streams this worker has decided (across all its batches).
+    /// Full streams this worker has decided (across all its batches).
+    /// Parked-document bursts do not count here — they contribute to
+    /// `events` and, on panic, to `failures`.
     pub documents: u64,
-    /// Events this worker has consumed.
+    /// Events this worker has consumed, across full streams and
+    /// parked-document bursts.
     pub events: u64,
-    /// Streams this worker failed to decide because the batch kernel
-    /// panicked (their handles were fulfilled with
+    /// Units of work this worker failed — streams whose batch kernel
+    /// panicked, or parked-document bursts that panicked individually
+    /// (their handles were fulfilled with
     /// [`DecisionError::WorkerPanicked`]).
     pub failures: u64,
     /// Mean fraction of the batch slot actually occupied, in `[0, 1]`:
@@ -227,11 +466,12 @@ pub struct WorkerStats {
 /// [`DecisionService::stats`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceStats {
-    /// Streams submitted so far.
+    /// Units of work submitted so far (full streams and parked-document
+    /// bursts).
     pub submitted: u64,
-    /// Streams decided so far.
+    /// Units of work fulfilled so far.
     pub completed: u64,
-    /// Streams currently waiting in the queue.
+    /// Units of work currently waiting in the queue.
     pub queued: usize,
     /// The deepest the queue has ever been — the backlog high-water mark.
     pub max_queue_depth: usize,
@@ -322,15 +562,18 @@ impl<A: BatchAcceptor + Send + Sync + 'static> DecisionService<A> {
                 name: event.symbol().to_string(),
             });
         }
-        Ok(self.enqueue(events))
+        Ok(DecisionHandle {
+            slot: self.enqueue(Payload::Decide(events)),
+        })
     }
 
-    /// Queues one already-validated stream. Callers guarantee every symbol
-    /// indexes inside the compiled tables.
-    fn enqueue(&self, events: Vec<TaggedSymbol>) -> DecisionHandle {
+    /// Queues one already-validated unit of work. Callers guarantee nothing
+    /// the worker runs can fail validation (symbols index inside the
+    /// compiled tables; parked lanes were resumed at submission).
+    fn enqueue(&self, payload: Payload<A>) -> Arc<Slot> {
         let slot = Arc::new(Slot::default());
         let job = Job {
-            events,
+            payload,
             slot: Arc::clone(&slot),
         };
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
@@ -343,7 +586,7 @@ impl<A: BatchAcceptor + Send + Sync + 'static> DecisionService<A> {
             .max_queue_depth
             .fetch_max(depth, Ordering::Relaxed);
         self.shared.available.notify_one();
-        DecisionHandle { slot }
+        slot
     }
 
     /// Submits a raw XML-ish byte stream: tokenizes it on the calling thread
@@ -365,7 +608,9 @@ impl<A: BatchAcceptor + Send + Sync + 'static> DecisionService<A> {
         }
         // Read-only resolution means every symbol is in the alphabet, so
         // queue directly — re-validating would find nothing.
-        Ok(self.enqueue(events))
+        Ok(DecisionHandle {
+            slot: self.enqueue(Payload::Decide(events)),
+        })
     }
 
     /// Snapshots the service's counters. The snapshot is not atomic across
@@ -410,6 +655,93 @@ impl<A: BatchAcceptor + Send + Sync + 'static> DecisionService<A> {
     }
 }
 
+impl<A: BatchAcceptor + Persist + Send + Sync + 'static> DecisionService<A> {
+    /// Builds a service straight from saved artifact bytes
+    /// ([`Persist::save`] / `query::save`): the cold-start path of a worker
+    /// process that ships artifact bytes instead of recompiling the query.
+    ///
+    /// The bytes are fully validated before any thread spawns — corrupt or
+    /// truncated input is a typed [`PersistError`], and an artifact saved
+    /// against a different alphabet size is a
+    /// [`PersistError::AlphabetMismatch`] rather than out-of-range table
+    /// indexing inside a worker later.
+    pub fn from_artifact_bytes(
+        bytes: &[u8],
+        alphabet: Alphabet,
+        config: ServiceConfig,
+    ) -> Result<Self, PersistError> {
+        let artifact = A::load(bytes)?;
+        expect_alphabet(artifact.alphabet_fingerprint(), alphabet.len())?;
+        Ok(DecisionService::new(artifact, alphabet, config))
+    }
+}
+
+impl<A: Suspend + Send + Sync + 'static> DecisionService<A> {
+    /// Parks a fresh document: a run at the empty prefix, ready for its
+    /// first [`advance`](DecisionService::advance).
+    pub fn open_document(&self) -> ParkedDoc {
+        let lane = self.shared.artifact.lane_start();
+        ParkedDoc {
+            snapshot: self.shared.artifact.suspend_lane(&lane),
+        }
+    }
+
+    /// Feeds one burst of events to a parked document on the worker pool
+    /// and returns a future for the re-parked document.
+    ///
+    /// Everything that can be refused is refused here, typed, before
+    /// anything is queued: out-of-alphabet symbols come back as
+    /// [`ParkError::Input`], and a snapshot that does not fit this
+    /// service's artifact — a fingerprint from a different artifact
+    /// (resubmission validates the artifact fingerprint on every burst) or
+    /// structurally impossible state — comes back as
+    /// [`ParkError::Artifact`]. The *resumed lane*, not the snapshot, is
+    /// what crosses into the worker, so a queued advance can no longer
+    /// fail validation.
+    pub fn advance(
+        &self,
+        parked: &ParkedDoc,
+        events: Vec<TaggedSymbol>,
+    ) -> Result<ParkedHandle, ParkError> {
+        let sigma = self.alphabet.len();
+        if let Some(event) = events.iter().find(|e| e.symbol().index() >= sigma) {
+            return Err(ParkError::Input(NestedWordError::UnknownSymbol {
+                name: event.symbol().to_string(),
+            }));
+        }
+        let lane = self
+            .shared
+            .artifact
+            .resume_lane(&parked.snapshot)
+            .map_err(ParkError::Artifact)?;
+        let count = events.len();
+        let task: AdvanceTask<A> = Box::new(move |artifact: &A| {
+            let mut lane = lane;
+            for event in events {
+                artifact.lane_step(&mut lane, event);
+            }
+            Fulfilment::Parked(ParkedDoc {
+                snapshot: artifact.suspend_lane(&lane),
+            })
+        });
+        Ok(ParkedHandle {
+            slot: self.enqueue(Payload::Advance {
+                task,
+                events: count,
+            }),
+        })
+    }
+
+    /// Closes a parked document: resumes it one last time and returns its
+    /// verdict — inline on the calling thread, since no events remain to
+    /// batch. The snapshot is validated exactly as in
+    /// [`advance`](DecisionService::advance).
+    pub fn finish(&self, parked: &ParkedDoc) -> Result<StreamOutcome, PersistError> {
+        let lane = self.shared.artifact.resume_lane(&parked.snapshot)?;
+        Ok(self.shared.artifact.lane_outcome(&lane))
+    }
+}
+
 impl<A: BatchAcceptor + Send + Sync + 'static> Drop for DecisionService<A> {
     /// Graceful shutdown: workers drain everything already queued, then
     /// exit and are joined, so every handle handed out is fulfilled.
@@ -437,12 +769,14 @@ impl<A: BatchAcceptor + Send + Sync + 'static> Drop for DecisionService<A> {
 }
 
 /// One worker: block for a first job, opportunistically top the batch up to
-/// `lanes` jobs without blocking, decide the slot with the batched runner,
-/// fulfil the handles. Exits only when shutdown is flagged *and* the queue
-/// is empty, so pending submissions are always drained.
+/// `lanes` jobs without blocking, run the slot, fulfil the handles. Whole
+/// streams go through the batched runner in lockstep; parked-document
+/// bursts run one at a time on their already-resumed lanes. Exits only when
+/// shutdown is flagged *and* the queue is empty, so pending submissions are
+/// always drained.
 fn worker_loop<A: BatchAcceptor>(shared: &Shared<A>, index: usize, lanes: usize) {
     loop {
-        let mut batch: Vec<Job> = Vec::with_capacity(lanes);
+        let mut batch: Vec<Job<A>> = Vec::with_capacity(lanes);
         {
             let mut queue = shared.queue.lock().expect("service queue poisoned");
             loop {
@@ -466,47 +800,82 @@ fn worker_loop<A: BatchAcceptor>(shared: &Shared<A>, index: usize, lanes: usize)
             }
         }
 
-        let streams: Vec<&[TaggedSymbol]> = batch.iter().map(|j| j.events.as_slice()).collect();
-        // The trait entry point, so per-model overrides apply (CompiledNwa's
-        // register-resident lockstep kernel rather than the generic
-        // stored-lane loop). Caught unwinding keeps the fulfilment guarantee:
-        // a kernel panic (submission validation makes one unlikely, not
-        // impossible — an artifact bug suffices) must not strand the batch's
-        // handles in forever-blocking waits or kill the worker. `&artifact`
-        // is a shared immutable borrow and the queue lock is not held here,
-        // so no observable state can be left half-updated by the unwind.
-        let outcomes = catch_unwind(AssertUnwindSafe(|| shared.artifact.run_batch(&streams)));
+        let mut decisions: Vec<(Vec<TaggedSymbol>, Arc<Slot>)> = Vec::new();
+        let mut advances: Vec<(AdvanceTask<A>, usize, Arc<Slot>)> = Vec::new();
+        for job in batch {
+            match job.payload {
+                Payload::Decide(events) => decisions.push((events, job.slot)),
+                Payload::Advance { task, events } => advances.push((task, events, job.slot)),
+            }
+        }
 
         // All counters land before any handle is fulfilled: a waiter woken
         // by the last fulfilment must not snapshot stats that are still
-        // missing its own stream.
+        // missing its own unit of work.
         let counters = &shared.workers[index];
-        match outcomes {
-            Ok(outcomes) => {
-                counters.batches.fetch_add(1, Ordering::Relaxed);
-                counters
-                    .documents
-                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
-                counters.events.fetch_add(
-                    streams.iter().map(|s| s.len() as u64).sum(),
-                    Ordering::Relaxed,
-                );
-                shared
-                    .completed
-                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
-                for (job, outcome) in batch.into_iter().zip(outcomes) {
-                    job.slot.fulfil(Ok(outcome));
+
+        if !decisions.is_empty() {
+            let streams: Vec<&[TaggedSymbol]> = decisions
+                .iter()
+                .map(|(events, _)| events.as_slice())
+                .collect();
+            // The trait entry point, so per-model overrides apply
+            // (CompiledNwa's register-resident lockstep kernel rather than
+            // the generic stored-lane loop). Caught unwinding keeps the
+            // fulfilment guarantee: a kernel panic (submission validation
+            // makes one unlikely, not impossible — an artifact bug
+            // suffices) must not strand the batch's handles in
+            // forever-blocking waits or kill the worker. `&artifact` is a
+            // shared immutable borrow and the queue lock is not held here,
+            // so no observable state can be left half-updated by the
+            // unwind.
+            let outcomes = catch_unwind(AssertUnwindSafe(|| shared.artifact.run_batch(&streams)));
+
+            match outcomes {
+                Ok(outcomes) => {
+                    counters.batches.fetch_add(1, Ordering::Relaxed);
+                    counters
+                        .documents
+                        .fetch_add(decisions.len() as u64, Ordering::Relaxed);
+                    counters.events.fetch_add(
+                        streams.iter().map(|s| s.len() as u64).sum(),
+                        Ordering::Relaxed,
+                    );
+                    shared
+                        .completed
+                        .fetch_add(decisions.len() as u64, Ordering::Relaxed);
+                    for ((_, slot), outcome) in decisions.into_iter().zip(outcomes) {
+                        slot.fulfil(Ok(Fulfilment::Decided(outcome)));
+                    }
+                }
+                Err(_) => {
+                    counters
+                        .failures
+                        .fetch_add(decisions.len() as u64, Ordering::Relaxed);
+                    shared
+                        .completed
+                        .fetch_add(decisions.len() as u64, Ordering::Relaxed);
+                    for (_, slot) in decisions {
+                        slot.fulfil(Err(DecisionError::WorkerPanicked));
+                    }
                 }
             }
-            Err(_) => {
-                counters
-                    .failures
-                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
-                shared
-                    .completed
-                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
-                for job in batch {
-                    job.slot.fulfil(Err(DecisionError::WorkerPanicked));
+        }
+
+        for (task, events, slot) in advances {
+            // Each advance owns its already-resumed lane, so one panicking
+            // burst cannot contaminate its batch-mates — catch it
+            // individually and keep the fulfilment guarantee per handle.
+            match catch_unwind(AssertUnwindSafe(|| task(&shared.artifact))) {
+                Ok(fulfilment) => {
+                    counters.events.fetch_add(events as u64, Ordering::Relaxed);
+                    shared.completed.fetch_add(1, Ordering::Relaxed);
+                    slot.fulfil(Ok(fulfilment));
+                }
+                Err(_) => {
+                    counters.failures.fetch_add(1, Ordering::Relaxed);
+                    shared.completed.fetch_add(1, Ordering::Relaxed);
+                    slot.fulfil(Err(DecisionError::WorkerPanicked));
                 }
             }
         }
@@ -805,6 +1174,153 @@ mod tests {
         assert_eq!(stats.completed, 2);
         assert_eq!(stats.workers.iter().map(|w| w.failures).sum::<u64>(), 1);
         assert_eq!(stats.workers.iter().map(|w| w.documents).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn parked_documents_advance_across_the_pool_and_finish() {
+        let m = even_len_nwa();
+        let compiled = m.compile();
+        let service = DecisionService::new(
+            m.compile(),
+            Alphabet::from_names(["a"]),
+            ServiceConfig {
+                workers: 3,
+                lanes: 2,
+            },
+        );
+        let a = Symbol(0);
+        let full: Vec<TaggedSymbol> = (0..13)
+            .map(|j| match j % 3 {
+                0 => TaggedSymbol::Call(a),
+                1 => TaggedSymbol::Internal(a),
+                _ => TaggedSymbol::Return(a),
+            })
+            .collect();
+        // Feed the document in bursts; each advance may land on a
+        // different worker, carrying only the snapshot between them.
+        let mut doc = service.open_document();
+        assert_eq!(doc.events(), 0);
+        for burst in full.chunks(5) {
+            doc = service
+                .advance(&doc, burst.to_vec())
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        assert_eq!(doc.events(), full.len() as u64);
+        let outcome = service.finish(&doc).unwrap();
+        assert_eq!(outcome, query::run_stream(&compiled, full.iter().copied()));
+        // A parked document serializes and ships next to the artifact
+        // bytes; the reload closes to the same verdict.
+        let reloaded = ParkedDoc::from_bytes(&doc.to_bytes()).unwrap();
+        assert_eq!(reloaded, doc);
+        assert_eq!(service.finish(&reloaded).unwrap(), outcome);
+        // Bursts count as units of work in the service counters.
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.completed, 3);
+        let total_events: u64 = stats.workers.iter().map(|w| w.events).sum();
+        assert_eq!(total_events, full.len() as u64);
+        assert_eq!(stats.workers.iter().map(|w| w.documents).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn advance_validates_alphabet_and_fingerprint_at_submission() {
+        let m = even_len_nwa();
+        let service = DecisionService::new(
+            m.compile(),
+            Alphabet::from_names(["a"]),
+            ServiceConfig {
+                workers: 1,
+                lanes: 2,
+            },
+        );
+        let doc = service.open_document();
+        // Out-of-alphabet events are refused before anything is queued.
+        let err = service
+            .advance(&doc, vec![TaggedSymbol::Call(Symbol(7))])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ParkError::Input(NestedWordError::UnknownSymbol { ref name }) if name == "s7"
+        ));
+        // A snapshot parked by a *different* artifact is refused, typed, at
+        // resubmission: the fingerprint check — even with an empty burst.
+        let mut other = even_len_nwa();
+        other.set_accepting(1, true);
+        let foreign_service = DecisionService::new(
+            other.compile(),
+            Alphabet::from_names(["a"]),
+            ServiceConfig {
+                workers: 1,
+                lanes: 1,
+            },
+        );
+        let foreign = foreign_service.open_document();
+        let err = service.advance(&foreign, vec![]).unwrap_err();
+        assert!(matches!(
+            err,
+            ParkError::Artifact(PersistError::FingerprintMismatch { .. })
+        ));
+        assert!(matches!(
+            service.finish(&foreign),
+            Err(PersistError::FingerprintMismatch { .. })
+        ));
+        // Nothing was queued by any of the refusals.
+        assert_eq!(service.stats().submitted, 0);
+    }
+
+    #[test]
+    fn services_boot_from_artifact_bytes() {
+        let m = even_len_nwa();
+        let bytes = query::save(&m.compile());
+        let service: DecisionService<nwa::CompiledNwa> = DecisionService::from_artifact_bytes(
+            &bytes,
+            Alphabet::from_names(["a"]),
+            ServiceConfig {
+                workers: 2,
+                lanes: 2,
+            },
+        )
+        .unwrap();
+        let a = Symbol(0);
+        let handle = service
+            .submit(vec![TaggedSymbol::Internal(a), TaggedSymbol::Internal(a)])
+            .unwrap();
+        assert!(handle.wait().unwrap().accepted);
+        // A document parked by the original artifact resumes on the
+        // reloaded one: same fingerprint, byte-identical tables.
+        let original = DecisionService::new(
+            m.compile(),
+            Alphabet::from_names(["a"]),
+            ServiceConfig {
+                workers: 1,
+                lanes: 1,
+            },
+        );
+        let doc = original
+            .advance(&original.open_document(), vec![TaggedSymbol::Internal(a)])
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(!service.finish(&doc).unwrap().accepted);
+
+        // An artifact saved against a different alphabet size is a typed
+        // error before any thread spawns.
+        let err = DecisionService::<nwa::CompiledNwa>::from_artifact_bytes(
+            &bytes,
+            Alphabet::from_names(["a", "b"]),
+            ServiceConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PersistError::AlphabetMismatch { .. }));
+        // Corrupt bytes are a typed error, never a panic.
+        assert!(DecisionService::<nwa::CompiledNwa>::from_artifact_bytes(
+            &bytes[..bytes.len() - 1],
+            Alphabet::from_names(["a"]),
+            ServiceConfig::default(),
+        )
+        .is_err());
     }
 
     #[test]

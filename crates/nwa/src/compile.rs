@@ -73,24 +73,27 @@ use std::sync::RwLock;
 /// through [`StreamAcceptor`], or hand a whole slice to
 /// [`CompiledNwa::run_tagged`]; it accepts exactly the streams the source
 /// [`Nwa`] accepts.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompiledNwa {
     /// Row stride of linear states: `max(3σ, 1)`.
-    stride: u32,
+    pub(crate) stride: u32,
     /// σ itself (`stride / 3`, kept separately for the band offsets).
-    sigma: u32,
-    num_states: usize,
+    pub(crate) sigma: u32,
+    pub(crate) num_states: usize,
     /// The fused table: linear block then return block.
-    table: Vec<u32>,
+    pub(crate) table: Vec<u32>,
     /// `push[q·3σ + a]` = absolute base of `δc^h(q, a)`'s block of return
     /// rows, so a return resolves as `T[pop() + state + 2σ + a]`.
-    push: Vec<u32>,
+    pub(crate) push: Vec<u32>,
     /// The pushed value for the initial state — what a pending return pops.
-    pending_row: u32,
+    pub(crate) pending_row: u32,
     /// Initial linear state, as a row offset.
-    initial: u32,
+    pub(crate) initial: u32,
     /// Acceptance by plain state index (`q`, not the row offset).
-    accepting: Vec<bool>,
+    pub(crate) accepting: Vec<bool>,
+    /// Content hash over the tables (see `persist`), stamped into
+    /// snapshots and validated on resume.
+    pub(crate) fingerprint: u64,
 }
 
 impl CompiledNwa {
@@ -130,7 +133,7 @@ impl CompiledNwa {
                 }
             }
         }
-        CompiledNwa {
+        let mut compiled = CompiledNwa {
             stride: stride as u32,
             sigma: sigma as u32,
             num_states: n,
@@ -139,7 +142,10 @@ impl CompiledNwa {
             pending_row: ret_base(nwa.initial()),
             initial: (nwa.initial() * stride) as u32,
             accepting: (0..n).map(|q| nwa.is_accepting(q)).collect(),
-        }
+            fingerprint: 0,
+        };
+        compiled.fingerprint = compiled.compute_fingerprint();
+        compiled
     }
 
     /// Number of states of the source automaton.
@@ -265,11 +271,11 @@ impl CompiledNwa {
 /// handling is branch-free).
 #[derive(Debug, Clone)]
 pub struct CompiledNwaRun<'a> {
-    tables: &'a CompiledNwa,
-    state: u32,
-    stack: Vec<u32>,
-    max_stack: usize,
-    steps: usize,
+    pub(crate) tables: &'a CompiledNwa,
+    pub(crate) state: u32,
+    pub(crate) stack: Vec<u32>,
+    pub(crate) max_stack: usize,
+    pub(crate) steps: usize,
 }
 
 impl CompiledNwaRun<'_> {
@@ -342,18 +348,20 @@ impl StreamAcceptor for CompiledNwa {
 #[derive(Debug, Clone)]
 pub struct CompiledNwaLane {
     /// Current linear state as a premultiplied row offset.
-    state: u32,
+    pub(crate) state: u32,
     /// Cached top of the stack (a return-row base).
-    top: u32,
+    pub(crate) top: u32,
     /// Stack pointer into `spilled`; the live height is `sp - 1` because
     /// `spilled[0]` is the pending-return sentinel.
-    sp: u32,
+    pub(crate) sp: u32,
     /// Peak `sp` observed.
-    max_sp: u32,
+    pub(crate) max_sp: u32,
     /// Events consumed.
-    steps: usize,
-    /// The spilled stack; `spilled[sp - 1]` mirrors `top` after each step.
-    spilled: Vec<u32>,
+    pub(crate) steps: usize,
+    /// The spilled stack; `spilled[sp - 1]` mirrors `top` after each
+    /// internal or return step (after a call the register `top` is
+    /// authoritative and the slot is dead).
+    pub(crate) spilled: Vec<u32>,
 }
 
 impl BatchAcceptor for CompiledNwa {
@@ -439,33 +447,33 @@ impl Compile for Nwa {
 
 /// A summary interned by the memoized subset engine: the set itself (needed
 /// to derive yet-unseen transitions) plus its memoized acceptance bit.
-#[derive(Debug, Clone)]
-struct InternedSummary {
-    summary: Summary,
-    accepting: bool,
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct InternedSummary {
+    pub(crate) summary: Summary,
+    pub(crate) accepting: bool,
 }
 
 /// The memoization state of a [`CompiledSummary`] engine: interned
 /// summaries and one transition cache per step relation.
-#[derive(Debug, Clone, Default)]
-struct SummaryCache {
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct SummaryCache {
     /// Interned summaries by id.
-    summaries: Vec<InternedSummary>,
+    pub(crate) summaries: Vec<InternedSummary>,
     /// Summary → id, keyed by the packed sorted pair list.
-    index: HashMap<Vec<u64>, u32>,
+    pub(crate) index: HashMap<Vec<u64>, u32>,
     /// `(summary, a)` → summary for internal positions.
-    internal: HashMap<(u32, u16), u32>,
+    pub(crate) internal: HashMap<(u32, u16), u32>,
     /// `(summary, a)` → linear-successor summary for call positions.
-    call: HashMap<(u32, u16), u32>,
+    pub(crate) call: HashMap<(u32, u16), u32>,
     /// `(outer, call symbol, inner, a)` → summary for matched returns.
-    matched: HashMap<(u32, u16, u32, u16), u32>,
+    pub(crate) matched: HashMap<(u32, u16, u32, u16), u32>,
     /// `(summary, a)` → summary for pending returns.
-    pending: HashMap<(u32, u16), u32>,
+    pub(crate) pending: HashMap<(u32, u16), u32>,
 }
 
 /// Packs a summary into its canonical hash key (pairs are already sorted in
 /// the `BTreeSet`).
-fn summary_key(s: &Summary) -> Vec<u64> {
+pub(crate) fn summary_key(s: &Summary) -> Vec<u64> {
     s.iter()
         .map(|&(anchor, cur)| {
             debug_assert!(anchor <= u32::MAX as usize && cur <= u32::MAX as usize);
@@ -509,10 +517,23 @@ impl SummaryCache {
 /// summaries visited, not with the stream length.
 #[derive(Debug)]
 pub struct CompiledSummary<A: SummarySemantics> {
-    automaton: A,
-    initial: u32,
-    cache: RwLock<SummaryCache>,
+    pub(crate) automaton: A,
+    pub(crate) initial: u32,
+    pub(crate) cache: RwLock<SummaryCache>,
 }
+
+impl<A: SummarySemantics + PartialEq> PartialEq for CompiledSummary<A> {
+    /// Structural equality over the automaton, the initial id *and* the
+    /// memoization cache — `load(save(a)) == a` asserts that the warmed
+    /// rows shipped with the artifact, not just the relations.
+    fn eq(&self, other: &Self) -> bool {
+        self.automaton == other.automaton
+            && self.initial == other.initial
+            && *self.lock_read() == *other.lock_read()
+    }
+}
+
+impl<A: SummarySemantics + Eq> Eq for CompiledSummary<A> {}
 
 impl<A: SummarySemantics + Clone> Clone for CompiledSummary<A> {
     fn clone(&self) -> Self {
@@ -633,11 +654,11 @@ impl<A: SummarySemantics> CompiledSummary<A> {
 /// cache lookup (or, once per distinct transition, a derivation).
 #[derive(Debug)]
 pub struct CompiledSummaryRun<'a, A: SummarySemantics> {
-    engine: &'a CompiledSummary<A>,
-    current: u32,
-    stack: Vec<(u32, Symbol)>,
-    max_stack: usize,
-    steps: usize,
+    pub(crate) engine: &'a CompiledSummary<A>,
+    pub(crate) current: u32,
+    pub(crate) stack: Vec<(u32, Symbol)>,
+    pub(crate) max_stack: usize,
+    pub(crate) steps: usize,
 }
 
 impl<A: SummarySemantics> StreamRun for CompiledSummaryRun<'_, A> {
@@ -707,10 +728,10 @@ impl<A: SummarySemantics> StreamAcceptor for CompiledSummary<A> {
 /// engine (and its memoized rows) from any number of threads.
 #[derive(Debug, Clone)]
 pub struct CompiledSummaryLane {
-    current: u32,
-    stack: Vec<(u32, Symbol)>,
-    max_stack: usize,
-    steps: usize,
+    pub(crate) current: u32,
+    pub(crate) stack: Vec<(u32, Symbol)>,
+    pub(crate) max_stack: usize,
+    pub(crate) steps: usize,
 }
 
 impl<A: SummarySemantics> BatchAcceptor for CompiledSummary<A> {

@@ -22,7 +22,7 @@ use nested_words::{NestedWord, PositionKind, Symbol};
 use std::collections::{BTreeSet, HashMap};
 
 /// A nondeterministic joinless nested word automaton.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct JoinlessNwa {
     num_states: usize,
     sigma: usize,
@@ -108,6 +108,27 @@ impl JoinlessNwa {
     /// Adds a return transition.
     pub fn add_return(&mut self, q: usize, a: Symbol, target: usize) {
         self.returns.push((q, a, target));
+    }
+
+    /// Iterates over the initial states.
+    pub fn initial_states(&self) -> impl Iterator<Item = usize> + '_ {
+        self.initial.iter().copied()
+    }
+
+    /// The call transitions `(q, a, q_linear_successor, q_hierarchical)`.
+    pub fn calls(&self) -> &[(usize, Symbol, usize, usize)] {
+        &self.calls
+    }
+
+    /// The internal transitions `(q, a, q')`.
+    pub fn internals(&self) -> &[(usize, Symbol, usize)] {
+        &self.internals
+    }
+
+    /// The return transitions `(q, a, q')` (mode-split; see the field
+    /// documentation).
+    pub fn returns(&self) -> &[(usize, Symbol, usize)] {
+        &self.returns
     }
 
     /// Returns `true` if all states are hierarchical — the automaton is a

@@ -59,6 +59,7 @@ pub mod flat;
 pub mod joinless;
 pub mod minimize;
 pub mod nondet;
+pub mod persist;
 pub mod summary;
 pub mod weak;
 pub mod witness;

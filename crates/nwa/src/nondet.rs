@@ -12,7 +12,7 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 /// Transitions are stored as explicit relations; states and symbols are dense
 /// indices. Nondeterministic NWAs accept exactly the regular languages of
 /// nested words and determinize with at most `2^{s²}·(|Σ|+1)` states.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Nnwa {
     num_states: usize,
     sigma: usize,

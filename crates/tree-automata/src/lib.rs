@@ -17,15 +17,24 @@
 //! nondeterministic variant exists) and, for deterministic stepwise
 //! automata, congruence-based minimization — the quantity the succinctness
 //! experiments (E5, E8, E14) report.
+//!
+//! Deterministic stepwise automata additionally lower into a flat streaming
+//! engine over `t_w` tree events ([`compile`], via Lemma 1's
+//! return-ignores-its-symbol identification), with byte-format persistence
+//! and suspendable runs behind the `automata-core`
+//! [`Persist`](automata_core::Persist) / [`Suspend`](automata_core::Suspend)
+//! capabilities.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;
 pub mod bottom_up;
+pub mod compile;
 pub mod stepwise;
 pub mod top_down;
 
 pub use bottom_up::BottomUpBinaryTA;
+pub use compile::CompiledStepwiseTA;
 pub use stepwise::{DetStepwiseTA, StepwiseTA};
 pub use top_down::TopDownBinaryTA;

@@ -3,7 +3,13 @@
 //! `automata-core` [`Compile`] capability.
 
 use crate::dfa::Dfa;
-use automata_core::{BatchAcceptor, Compile, StreamAcceptor, StreamOutcome, StreamRun};
+use automata_core::persist::{
+    expect_alphabet, fingerprint_alphabet, fnv1a_words, kind, Reader, Writer,
+};
+use automata_core::{
+    BatchAcceptor, Compile, Persist, PersistError, Snapshot, StreamAcceptor, StreamOutcome,
+    StreamRun, Suspend,
+};
 use nested_words::TaggedSymbol;
 
 /// A DFA over the tagged alphabet Σ̂ lowered into a single flat `u32`
@@ -17,7 +23,7 @@ use nested_words::TaggedSymbol;
 /// must have `3·|Σ|` symbols (calls `0..σ`, internals `σ..2σ`, returns
 /// `2σ..3σ`). It is stack-free: flat automata cannot see the matching
 /// relation (Theorem 2 / §3.3).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompiledTaggedDfa {
     /// Σ (not Σ̂): `tagged_index` needs the untagged alphabet size.
     sigma: usize,
@@ -29,6 +35,9 @@ pub struct CompiledTaggedDfa {
     initial: u32,
     /// Acceptance by plain state index.
     accepting: Vec<bool>,
+    /// Content hash over the table (see [`Persist`]), stamped into
+    /// snapshots and validated on resume.
+    fingerprint: u64,
 }
 
 impl CompiledTaggedDfa {
@@ -54,13 +63,61 @@ impl CompiledTaggedDfa {
                 next[q * stride + t] = (dfa.next(q, t) * stride) as u32;
             }
         }
-        CompiledTaggedDfa {
+        let mut compiled = CompiledTaggedDfa {
             sigma: stride / 3,
             stride: stride as u32,
             next,
             initial: (dfa.initial() * stride) as u32,
             accepting: (0..n).map(|q| dfa.is_accepting(q)).collect(),
+            fingerprint: 0,
+        };
+        compiled.fingerprint = compiled.compute_fingerprint();
+        compiled
+    }
+
+    /// Content hash over the scalars and the next-state array — computed
+    /// once at compile/load time and stamped into every snapshot.
+    fn compute_fingerprint(&self) -> u64 {
+        let header = [
+            u64::from(kind::COMPILED_TAGGED_DFA),
+            self.accepting.len() as u64,
+            self.sigma as u64,
+            u64::from(self.initial),
+        ];
+        fnv1a_words(
+            header
+                .into_iter()
+                .chain(self.next.iter().map(|&v| u64::from(v)))
+                .chain(self.accepting.iter().map(|&b| u64::from(b))),
+        )
+    }
+
+    /// A valid state row offset: `q·stride` for some `q < n`.
+    fn is_row(&self, v: u32) -> bool {
+        (v as usize) < self.next.len() && v.is_multiple_of(self.stride)
+    }
+
+    /// Shared validation for [`Suspend::resume_run`] /
+    /// [`Suspend::resume_lane`]: flat snapshots are a bare state — any
+    /// stack, peak or integrity word is structurally impossible.
+    fn check_snapshot(&self, s: &Snapshot) -> Result<(), PersistError> {
+        if s.fingerprint != self.fingerprint {
+            return Err(PersistError::FingerprintMismatch {
+                expected: self.fingerprint,
+                found: s.fingerprint,
+            });
         }
+        if !self.is_row(s.state) {
+            return Err(PersistError::Malformed {
+                context: "snapshot state is not a row offset of this artifact",
+            });
+        }
+        if !s.stack.is_empty() || s.peak != 0 || s.check != 0 {
+            return Err(PersistError::Malformed {
+                context: "flat-automaton snapshots carry no stack",
+            });
+        }
+        Ok(())
     }
 
     /// Runs a whole pre-materialized event slice through the array and
@@ -244,6 +301,138 @@ impl Compile for Dfa {
     fn compile(&self) -> CompiledTaggedDfa {
         CompiledTaggedDfa::new(self)
     }
+}
+
+impl Persist for CompiledTaggedDfa {
+    const KIND: u16 = kind::COMPILED_TAGGED_DFA;
+
+    fn save(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.accepting.len() as u64);
+        w.put_u32(self.sigma as u32);
+        w.put_u32(self.initial);
+        w.put_u32_slice(&self.next);
+        w.put_bools(&self.accepting);
+        w.seal(Self::KIND, self.alphabet_fingerprint())
+    }
+
+    fn load(bytes: &[u8]) -> Result<Self, PersistError> {
+        let (alphabet, mut r) = Reader::open(bytes, Self::KIND)?;
+        let n = usize::try_from(r.get_u64()?).map_err(|_| PersistError::Malformed {
+            context: "state count overflows",
+        })?;
+        let sigma = r.get_u32()? as usize;
+        let initial = r.get_u32()?;
+        let next = r.get_u32_vec()?;
+        let accepting = r.get_bool_vec()?;
+        r.finish()?;
+        expect_alphabet(alphabet, sigma)?;
+        if n == 0 || sigma == 0 {
+            return Err(PersistError::Malformed {
+                context: "flat artifact needs at least one state and one symbol",
+            });
+        }
+        let stride = 3u64 * sigma as u64;
+        let table_len = (n as u64)
+            .checked_mul(stride)
+            .ok_or(PersistError::Malformed {
+                context: "table size overflows",
+            })?;
+        if u32::try_from(table_len).is_err() {
+            return Err(PersistError::Malformed {
+                context: "table size exceeds the u32 offset space",
+            });
+        }
+        if next.len() as u64 != table_len {
+            return Err(PersistError::Malformed {
+                context: "next-state array length disagrees with the state count",
+            });
+        }
+        if accepting.len() != n {
+            return Err(PersistError::Malformed {
+                context: "acceptance table length disagrees with the state count",
+            });
+        }
+        let mut artifact = CompiledTaggedDfa {
+            sigma,
+            stride: stride as u32,
+            next,
+            initial,
+            accepting,
+            fingerprint: 0,
+        };
+        if !artifact.is_row(artifact.initial) {
+            return Err(PersistError::Malformed {
+                context: "initial state is not a row offset",
+            });
+        }
+        if !artifact.next.iter().all(|&v| artifact.is_row(v)) {
+            return Err(PersistError::Malformed {
+                context: "table entry is not a row offset",
+            });
+        }
+        artifact.fingerprint = artifact.compute_fingerprint();
+        Ok(artifact)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    fn alphabet_fingerprint(&self) -> u64 {
+        fingerprint_alphabet(self.sigma)
+    }
+}
+
+impl Suspend for CompiledTaggedDfa {
+    fn suspend_lane(&self, lane: &CompiledTaggedDfaLane) -> Snapshot {
+        Snapshot {
+            fingerprint: self.fingerprint,
+            state: lane.state,
+            stack: Vec::new(),
+            peak: 0,
+            steps: lane.steps as u64,
+            check: 0,
+        }
+    }
+
+    fn resume_lane(&self, snapshot: &Snapshot) -> Result<CompiledTaggedDfaLane, PersistError> {
+        self.check_snapshot(snapshot)?;
+        Ok(CompiledTaggedDfaLane {
+            state: snapshot.state,
+            steps: decode_steps(snapshot.steps)?,
+        })
+    }
+
+    fn suspend_run(&self, run: &CompiledTaggedDfaRun<'_>) -> Snapshot {
+        Snapshot {
+            fingerprint: self.fingerprint,
+            state: run.state,
+            stack: Vec::new(),
+            peak: 0,
+            steps: run.steps as u64,
+            check: 0,
+        }
+    }
+
+    fn resume_run<'a>(
+        &'a self,
+        snapshot: &Snapshot,
+    ) -> Result<CompiledTaggedDfaRun<'a>, PersistError> {
+        self.check_snapshot(snapshot)?;
+        Ok(CompiledTaggedDfaRun {
+            tables: self,
+            state: snapshot.state,
+            steps: decode_steps(snapshot.steps)?,
+        })
+    }
+}
+
+/// Step counters are `u64` on the wire and `usize` in run state.
+fn decode_steps(steps: u64) -> Result<usize, PersistError> {
+    usize::try_from(steps).map_err(|_| PersistError::Malformed {
+        context: "snapshot step count overflows",
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,126 @@
+//! Persistent artifacts and suspendable runs, end to end: compile once,
+//! ship bytes, resume anywhere.
+//!
+//! One process compiles a query into a dense-table engine and `save`s it
+//! as a versioned, checksummed byte image; a "worker process" (simulated
+//! here) `load`s those bytes — no recompilation — and serves them through
+//! a `DecisionService` booted straight from the artifact bytes. In-flight
+//! documents are *parked* between bursts of input: a parked document is
+//! its serializable snapshot, fingerprint-checked on every resubmission,
+//! so state can migrate across workers — or across processes, next to the
+//! artifact bytes.
+//!
+//! The artifact image is written to `target/artifacts/` so the bytes also
+//! exist on disk, like a real deployment would ship them.
+//!
+//! Run with `cargo run --release --example persist`.
+
+use nested_words_suite::nwa::CompiledNwa;
+use nested_words_suite::nwa_service::{DecisionService, ServiceConfig};
+use nested_words_suite::nwa_xml::queries::contains_tag_nwa;
+use nested_words_suite::nwa_xml::sax::tokenize;
+use nested_words_suite::prelude::*;
+use nested_words_suite::query;
+
+fn main() {
+    // ── Build side: compile the query and save the artifact ─────────────
+    let mut alphabet = Alphabet::new();
+    let streams: Vec<Vec<TaggedSymbol>> = [
+        "<doc><head>t</head><sec><sec>t</sec></sec></doc>",
+        "<doc><head>t</head></doc>",
+        "<doc><sec>t</sec><head><sec/></head></doc>",
+    ]
+    .iter()
+    .map(|xml| tokenize(xml, &mut alphabet).unwrap())
+    .collect();
+
+    let query_nwa = contains_tag_nwa(alphabet.lookup("sec").unwrap(), alphabet.len());
+    let compiled = query::compile(&query_nwa);
+    let bytes = query::save(&compiled);
+    println!(
+        "compiled <sec>-query: {} states over sigma={} -> {} artifact bytes",
+        query_nwa.num_states(),
+        alphabet.len(),
+        bytes.len()
+    );
+
+    let dir = std::path::Path::new("target/artifacts");
+    std::fs::create_dir_all(dir).expect("create target/artifacts");
+    let path = dir.join("contains_sec.nwsa");
+    std::fs::write(&path, &bytes).expect("write artifact bytes");
+    println!("artifact written to {}", path.display());
+
+    // ── Worker side: reload the bytes and verify structural equality ────
+    let shipped = std::fs::read(&path).expect("read artifact bytes");
+    let reloaded: CompiledNwa = query::load(&shipped).expect("artifact bytes validate");
+    assert_eq!(reloaded, compiled, "load(save(a)) is a, structurally");
+    println!("reloaded artifact is structurally equal to the compiled one");
+
+    // Corruption is a typed error, never a panic or a silent misread.
+    let mut corrupt = shipped.clone();
+    corrupt[8] ^= 0xff;
+    println!(
+        "a corrupted image is refused: {}",
+        query::load::<CompiledNwa>(&corrupt).unwrap_err()
+    );
+
+    // ── Serve the reloaded bytes: a service booted from the image ───────
+    let service: DecisionService<CompiledNwa> = DecisionService::from_artifact_bytes(
+        &shipped,
+        alphabet.clone(),
+        ServiceConfig {
+            workers: 2,
+            lanes: 4,
+        },
+    )
+    .expect("service boots from artifact bytes");
+
+    for (i, events) in streams.iter().enumerate() {
+        let verdict = service.submit(events.clone()).unwrap().wait().unwrap();
+        println!(
+            "document {i}: {} events -> {}",
+            verdict.events,
+            if verdict.accepted {
+                "contains <sec>"
+            } else {
+                "no <sec>"
+            }
+        );
+    }
+
+    // ── Park and resume: a long-lived document fed in bursts ────────────
+    // The document trickles in; between bursts the run is parked — the
+    // parked job is its snapshot, serializable next to the artifact bytes.
+    let full = &streams[0];
+    let mut doc = service.open_document();
+    for (burst_no, burst) in full.chunks(4).enumerate() {
+        doc = service
+            .advance(&doc, burst.to_vec())
+            .unwrap()
+            .wait()
+            .unwrap();
+        println!(
+            "burst {burst_no}: document parked at {} events ({} snapshot bytes)",
+            doc.events(),
+            doc.to_bytes().len()
+        );
+    }
+    let outcome = service.finish(&doc).unwrap();
+    assert!(outcome.accepted);
+    println!(
+        "parked document finished: {} events, peak stack {}, accepted",
+        outcome.events, outcome.peak_memory
+    );
+
+    // Resubmission validates the artifact fingerprint: a snapshot parked
+    // by a *different* artifact is refused with a typed error.
+    let other = query::compile(&contains_tag_nwa(
+        alphabet.lookup("head").unwrap(),
+        alphabet.len(),
+    ));
+    let foreign = DecisionService::new(other, alphabet, ServiceConfig::default()).open_document();
+    println!(
+        "foreign snapshot is refused: {}",
+        service.advance(&foreign, vec![]).unwrap_err()
+    );
+}

@@ -4,6 +4,7 @@
 Usage:
     check_bench.py NEW.json BASELINE.json [--tolerance 0.20]
                    [--filter compiled] [--sibling compiled=interpreted]
+                   [--min-speedup 5]
 
 CI runners and developer machines differ wildly in absolute speed, so the
 gated quantity is hardware-normalized: for every baseline result whose id
@@ -16,10 +17,18 @@ the tolerance below the baseline speedup fails, as does a gated benchmark
 disappearing. Gated rows without a sibling fall back to the absolute
 per_sec comparison.
 
+--min-speedup adds an *absolute* floor on top of the baseline-relative
+check: every gated row's fresh within-run speedup must reach at least the
+given multiple, regardless of what the baseline recorded. This is how a
+paper-level acceptance bar ("at least Nx") is enforced rather than merely
+not regressed.
+
 Absolute throughputs are printed for context either way; the E15c
-acceptance bar (compiled NWA >= 2x interpreted at 1M events) and the E17a
+acceptance bar (compiled NWA >= 2x interpreted at 1M events), the E17a
 bar (batched DFA >= 1.5x sequential at 1M events, checked with
-`--filter batched_dfa --sibling batched=sequential`) are visible in the
+`--filter batched_dfa --sibling batched=sequential`) and the E18a bar
+(artifact load >= 5x compile-and-warm, checked with `--filter
+load_summary --sibling load=compile --min-speedup 5`) are visible in the
 speedup column of the fresh run.
 """
 
@@ -59,6 +68,9 @@ def main():
                     help="NAME=SIBLING id-substring pair defining the "
                          "within-run speedup denominator "
                          "(default compiled=interpreted)")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="absolute floor: every gated row's fresh "
+                         "within-run speedup must reach this multiple")
     args = ap.parse_args()
 
     pair = args.sibling.split("=", 1)
@@ -91,6 +103,13 @@ def main():
                 f"{(1.0 - ratio) * 100:.0f}% below the baseline {base_v:.3g}"
             )
             flag = "  << REGRESSION"
+        if (args.min_speedup is not None and metric == "speedup"
+                and new_v < args.min_speedup):
+            failures.append(
+                f"{bench_id}: speedup {new_v:.3g} is below the absolute "
+                f"floor {args.min_speedup:g}"
+            )
+            flag = "  << BELOW FLOOR"
         print(f"{bench_id:<52} {metric:>8} {base_v:>12.3g} {new_v:>12.3g} "
               f"{ratio:>6.2f}x{flag}")
 

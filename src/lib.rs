@@ -27,10 +27,15 @@
 //!   [`query::run_batch`] that advances many independent streams in
 //!   software-pipelined lockstep over one shared compiled artifact
 //!   ([`prelude::BatchAcceptor`]; the [`nwa_service`] crate builds its
-//!   batched runner and concurrent decision service on it), and the
+//!   batched runner and concurrent decision service on it), the
 //!   explanation verbs [`query::witness`] / [`query::counterexample`] /
 //!   [`query::distinguish`] that turn every negative decision into a
-//!   concrete input ([`prelude::Witness`]).
+//!   concrete input ([`prelude::Witness`]), and the persistence verbs
+//!   [`query::save`] / [`query::load`] (compiled artifacts as versioned,
+//!   checksummed bytes — [`prelude::Persist`]) and [`query::suspend`] /
+//!   [`query::resume`] (run state as an owned [`prelude::Snapshot`] that
+//!   any artifact with the same fingerprint resumes at the exact prefix —
+//!   [`prelude::Suspend`]).
 //!
 //! ```
 //! use nested_words_suite::prelude::*;
@@ -100,7 +105,8 @@ pub use word_automata;
 pub mod prelude {
     pub use automata_core::{
         Acceptor, BatchAcceptor, BooleanOps, Builder, Compile, Decide, Emptiness, Minimize,
-        StateId, StreamAcceptor, StreamOutcome, StreamRun, Witness,
+        Persist, PersistError, Snapshot, StateId, StreamAcceptor, StreamOutcome, StreamRun,
+        Suspend, Witness,
     };
     pub use nested_words::tagged::{display_nested_word, parse_nested_word};
     pub use nested_words::{
@@ -112,9 +118,14 @@ pub mod prelude {
         NnwaStreamingRun, Nwa, NwaBuilder, StreamingRun,
     };
     pub use nwa_pushdown::{Pnwa, PnwaMode};
-    pub use nwa_service::{BatchRun, DecisionError, DecisionService, DynBatchRun, ServiceConfig};
+    pub use nwa_service::{
+        BatchRun, DecisionError, DecisionService, DynBatchRun, ParkError, ParkedDoc, ParkedHandle,
+        ServiceConfig,
+    };
     pub use pushdown_automata::{Cfg, PushdownTreeAutomaton};
-    pub use tree_automata::{BottomUpBinaryTA, DetStepwiseTA, StepwiseTA, TopDownBinaryTA};
+    pub use tree_automata::{
+        BottomUpBinaryTA, CompiledStepwiseTA, DetStepwiseTA, StepwiseTA, TopDownBinaryTA,
+    };
     pub use word_automata::{CompiledTaggedDfa, Dfa, DfaBuilder, Nfa, Regex, TaggedDfaRun};
 }
 
@@ -123,14 +134,17 @@ pub mod prelude {
 /// [`query::equals`]), plus the streaming verbs over tagged-symbol event
 /// streams ([`query::run_stream`], [`query::contains_stream`]),
 /// compilation into dense-table execution artifacts ([`query::compile`]),
-/// model-generic state minimization ([`query::minimize`]) and the
+/// model-generic state minimization ([`query::minimize`]), the
 /// explanation verbs ([`query::witness`], [`query::counterexample`],
 /// [`query::distinguish`]) that produce a concrete accepted input — or the
 /// separator behind a failed inclusion/equivalence — instead of a bare
-/// boolean.
+/// boolean, and the persistence verbs: [`query::save`] / [`query::load`]
+/// round-trip compiled artifacts through a versioned, checksummed byte
+/// format, and [`query::suspend`] / [`query::resume`] park and continue a
+/// live run at the exact prefix.
 pub mod query {
     pub use automata_core::query::{
-        compile, contains, contains_stream, counterexample, distinguish, equals, is_empty,
-        minimize, run_batch, run_stream, subset_eq, witness,
+        compile, contains, contains_stream, counterexample, distinguish, equals, is_empty, load,
+        minimize, resume, run_batch, run_stream, save, subset_eq, suspend, witness,
     };
 }
