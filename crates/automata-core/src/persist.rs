@@ -231,6 +231,19 @@ pub fn fingerprint_alphabet(len: usize) -> u64 {
     fnv1a_words([0x616c_7068_6162_6574, len as u64])
 }
 
+/// The content fingerprint of an artifact whose identity *is* its payload:
+/// the kind code mixed with the payload checksum.
+///
+/// This is the one-pass idiom every `Persist` impl uses: at save/compile
+/// time the checksum falls out of serializing the payload, and at load time
+/// [`Reader::open`] has already hashed the payload to verify it — exposed as
+/// [`Reader::payload_checksum`] — so deriving the fingerprint from it costs
+/// nothing. No second walk over the tables, and save/load fingerprints agree
+/// by construction because both hash the same payload bytes.
+pub fn fingerprint_payload(kind: u16, payload_checksum: u64) -> u64 {
+    fnv1a_words([u64::from(kind), payload_checksum])
+}
+
 /// Checks a header's alphabet fingerprint against an alphabet size, as
 /// every loader does once it has decoded σ from its payload.
 pub fn expect_alphabet(found: u64, alphabet_len: usize) -> Result<(), PersistError> {
@@ -310,6 +323,10 @@ impl Writer {
 pub struct Reader<'a> {
     payload: &'a [u8],
     pos: usize,
+    /// The verified payload checksum — computed once in [`Reader::open`],
+    /// kept so loaders can derive content fingerprints without a second
+    /// pass over the payload (see [`fingerprint_payload`]).
+    checksum: u64,
 }
 
 impl<'a> Reader<'a> {
@@ -366,7 +383,20 @@ impl<'a> Reader<'a> {
                 found,
             });
         }
-        Ok((alphabet_fingerprint, Reader { payload, pos: 0 }))
+        Ok((
+            alphabet_fingerprint,
+            Reader {
+                payload,
+                pos: 0,
+                checksum,
+            },
+        ))
+    }
+
+    /// The payload checksum verified by [`Reader::open`] — the single
+    /// integrity walk's result, reusable for content fingerprints.
+    pub fn payload_checksum(&self) -> u64 {
+        self.checksum
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {

@@ -39,6 +39,20 @@ pub trait StreamRun {
     /// Consumes one tagged-symbol event.
     fn step(&mut self, event: TaggedSymbol);
 
+    /// Consumes a slice of events in one call.
+    ///
+    /// Observably identical to stepping each event in order; the default
+    /// does exactly that. Compiled engines override it to hoist the run
+    /// state into registers for the whole slice, which is what the
+    /// bytes-in → verdict-out pipeline
+    /// (`nwa_xml::queries::run_streaming_reader`) feeds with buffered
+    /// event runs from the bulk scanner.
+    fn step_slice(&mut self, events: &[TaggedSymbol]) {
+        for &event in events {
+            self.step(event);
+        }
+    }
+
     /// Returns `true` if ending the stream now would accept the prefix read
     /// so far.
     fn is_accepting(&self) -> bool;

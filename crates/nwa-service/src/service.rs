@@ -590,8 +590,11 @@ impl<A: BatchAcceptor + Send + Sync + 'static> DecisionService<A> {
     }
 
     /// Submits a raw XML-ish byte stream: tokenizes it on the calling thread
-    /// through the incremental SAX [`FrozenByteTokenizer`], then queues the
-    /// tagged events. This is the bytes-in → verdict-out external API of §1.
+    /// through the SAX [`FrozenByteTokenizer`] — which sweeps the reader in
+    /// [`nwa_xml::scan::SCAN_CHUNK`]-sized chunks with the bulk structural
+    /// scanner, validating UTF-8 per chunk instead of per char — then queues
+    /// the tagged events. This is the bytes-in → verdict-out external API of
+    /// §1.
     ///
     /// Every tag and text symbol must already be interned in the service's
     /// alphabet (the one the artifact was compiled against); the frozen

@@ -10,16 +10,19 @@
 //!
 //! * SAX-style tokenizers from a lightweight XML-ish syntax to nested words
 //!   ([`sax`]): char-level ([`sax::Tokenizer`]) and byte-level over any
-//!   `io::Read` with incremental UTF-8 decoding ([`sax::ByteTokenizer`],
-//!   plus [`sax::FrozenByteTokenizer`] for lexing against a read-only
-//!   alphabet pinned by a compiled automaton),
+//!   `io::Read` ([`sax::ByteTokenizer`], plus [`sax::FrozenByteTokenizer`]
+//!   for lexing against a read-only alphabet pinned by a compiled
+//!   automaton), the byte level running on the bulk structural scanner of
+//!   [`scan`] (chunked reads, per-chunk UTF-8 validation, whole-run
+//!   classification),
 //! * a synthetic document generator with controllable size and depth
 //!   ([`generate`]),
 //! * document queries (patterns in document order, tag containment, depth
 //!   bounds) compiled to deterministic nested word automata and evaluated in
 //!   a streaming fashion with memory proportional to the document depth
 //!   ([`queries`]), including the bytes-in → verdict-out pipeline
-//!   ([`queries::run_streaming_reader`]).
+//!   ([`queries::run_streaming_reader`]), which buffers scanned events into
+//!   slices and feeds the compiled engines' bulk entry points.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,3 +30,4 @@
 pub mod generate;
 pub mod queries;
 pub mod sax;
+pub mod scan;

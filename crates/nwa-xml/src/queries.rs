@@ -11,7 +11,7 @@
 //!   ≤ d" / "the document nests deeper than d", which genuinely use the
 //!   hierarchical structure.
 
-use crate::sax::{ByteTokenizer, SaxError};
+use crate::sax::{FrozenByteTokenizer, SaxError};
 use automata_core::{query, StreamAcceptor, StreamRun};
 use nested_words::{Alphabet, NestedWord, NestedWordError, Symbol, TaggedSymbol};
 use nwa::automaton::Nwa;
@@ -165,12 +165,23 @@ pub fn run_streaming(nwa: &Nwa, document: &NestedWord) -> StreamingOutcome {
     )
 }
 
+/// Number of tokenized events buffered between the scanner and the
+/// automaton per [`StreamRun::step_slice`] call in
+/// [`run_streaming_reader`]. Large enough to amortize the per-slice
+/// bookkeeping of the compiled engines' register-resident loops, small
+/// enough that the buffer (8 bytes per event) stays cache-resident; paired
+/// with the reader-side chunk size [`crate::scan::SCAN_CHUNK`].
+pub const EVENT_SLICE: usize = 4 * 1024;
+
 /// Runs a streaming acceptor directly over the SAX events of an XML-ish
 /// byte stream — any [`io::Read`]: a file, a socket, a decompressor —
 /// without ever materializing a string, a tagged word or a nested word:
-/// the bytes-in → verdict-out single-pass pipeline of §1. UTF-8 is decoded
-/// incrementally ([`ByteTokenizer`]); memory is the reader's buffer, the
-/// tokenizer's current token, and a stack proportional to the nesting
+/// the bytes-in → verdict-out single-pass pipeline of §1. The bytes are
+/// swept in [`crate::scan::SCAN_CHUNK`]-sized chunks by the bulk
+/// structural scanner ([`FrozenByteTokenizer`]), and the resulting events
+/// are buffered into [`EVENT_SLICE`]-long runs handed to the acceptor's
+/// [`StreamRun::step_slice`] bulk entry; memory is the scanner's chunk
+/// window, the event buffer, and a stack proportional to the nesting
 /// depth.
 ///
 /// Every tag and text symbol of the stream must already be interned in
@@ -188,25 +199,16 @@ pub fn run_streaming_reader<A: StreamAcceptor, R: io::Read>(
     reader: R,
     alphabet: &Alphabet,
 ) -> Result<StreamingOutcome, SaxError> {
-    // Unknown names are interned into a scratch copy only, so they land at
-    // indices >= sigma exactly once per call and the caller's alphabet stays
-    // aligned with the automaton.
-    let sigma = alphabet.len();
-    let mut scratch = alphabet.clone();
     let mut run = a.start();
-    let mut unknown = None;
-    for event in ByteTokenizer::new(reader, &mut scratch) {
-        let event = event?;
-        if event.symbol().index() >= sigma {
-            unknown = Some(event.symbol());
+    let mut tokenizer = FrozenByteTokenizer::new(reader, alphabet);
+    let mut buffer: Vec<TaggedSymbol> = Vec::with_capacity(EVENT_SLICE);
+    loop {
+        tokenizer.fill(&mut buffer, EVENT_SLICE)?;
+        if buffer.is_empty() {
             break;
         }
-        run.step(event);
-    }
-    if let Some(sym) = unknown {
-        return Err(SaxError::Syntax(NestedWordError::UnknownSymbol {
-            name: scratch.name(sym).unwrap_or("?").to_string(),
-        }));
+        run.step_slice(&buffer);
+        buffer.clear();
     }
     Ok(StreamingOutcome {
         accepted: run.is_accepting(),

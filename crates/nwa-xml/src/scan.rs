@@ -1,0 +1,1064 @@
+//! Bulk structural scanning of raw XML-ish bytes — the simdjson-style fast
+//! path behind [`ByteTokenizer`](crate::sax::ByteTokenizer) and
+//! [`FrozenByteTokenizer`](crate::sax::FrozenByteTokenizer).
+//!
+//! The char-at-a-time [`EventLexer`](crate::sax::EventLexer) pulls one
+//! decoded scalar per step through a peekable adapter — five or six calls
+//! and a `String::push` per input byte. That wall dominates the measured
+//! bytes-in → verdict-out pipeline: the compiled engines decide hundreds of
+//! millions of events per second while the lexer feeds them tens of
+//! megabytes. This module moves every per-byte decision to a per-*run*
+//! decision, the way continuous-readout pipelines move validation from
+//! per-sample to per-chunk:
+//!
+//! * bytes are pulled through a `ChunkWindow` — a reusable buffer of
+//!   [`SCAN_CHUNK`] bytes refilled from the reader and **UTF-8-validated a
+//!   chunk at a time** (an 8-byte-word ASCII fast path, the WHATWG table
+//!   only on non-ASCII runs), with a multi-byte sequence split across a
+//!   refill seam carried over and re-validated when its tail arrives;
+//! * the `StructuralScanner` methods of the internal `BulkLexer` then sweep whole
+//!   *runs* of the validated window with unrolled byte loops keyed on the
+//!   structural set — `<`, `>`, `&` quotes inside tags, the `-->` / `?>` /
+//!   `]]>` terminators — classifying text, tag bodies, CDATA sections,
+//!   comments, processing instructions and DOCTYPE internal subsets as
+//!   slices, not as characters;
+//! * names are resolved straight from window slices through the shared
+//!   [`ResolveName`] policy and the event-building
+//!   `LexerCore` that the char-level lexer also uses, so the two paths are
+//!   token-for-token and error-for-error equivalent (property-tested in
+//!   `tests/sax_scan.rs` under adversarial read granularities).
+//!
+//! Invalid or truncated UTF-8 found by the chunk validator is *deferred*:
+//! the window simply ends at the last valid scalar, and the typed
+//! [`SaxError`] surfaces exactly when lexing reaches that offset — the same
+//! observable order as the incremental decoder, where a token in progress
+//! when the bad byte arrives is discarded in favor of the error.
+
+use crate::sax::{LexerCore, ResolveName, SaxError};
+use nested_words::{NestedWordError, TaggedSymbol};
+use std::io;
+
+/// Default size, in bytes, of the bulk scanning window: the unit reads are
+/// requested in, UTF-8 validation runs over, and structural runs are swept
+/// from. Shared by [`ByteTokenizer`](crate::sax::ByteTokenizer) /
+/// [`FrozenByteTokenizer`](crate::sax::FrozenByteTokenizer) (hence by
+/// `queries::run_streaming_reader` and `nwa-service`'s `submit_bytes`,
+/// which ride them). 64 KiB: comfortably past the point where per-chunk
+/// costs (one `read` call, one validation sweep, one compaction memmove)
+/// amortize to noise, while staying L2-resident on every current core.
+pub const SCAN_CHUNK: usize = 64 * 1024;
+
+/// What ended a chunk validation sweep.
+enum Utf8Stop {
+    /// The run ends on a scalar boundary.
+    Clean,
+    /// The run ends inside a multi-byte sequence whose bytes so far are
+    /// consistent — a refill seam, not (yet) an error.
+    Incomplete,
+    /// The sequence starting at the reported prefix length is invalid.
+    Invalid,
+}
+
+/// Validates one byte run, returning the length of its longest prefix made
+/// of whole valid scalars and what stopped the sweep there.
+///
+/// ASCII is skipped eight bytes per test (`word & 0x8080…` — the memchr
+/// idiom for "any high bit set"); only non-ASCII runs consult the WHATWG
+/// second-byte table, which rejects overlong forms (C0/C1, E0 80–9F,
+/// F0 80–8F), surrogates (ED A0–BF) and scalars past U+10FFFF (F4 90–BF,
+/// F5–FF) — byte-for-byte the same acceptance set as the incremental
+/// [`Utf8Chars`](crate::sax::Utf8Chars) decoder.
+fn validate_utf8(bytes: &[u8]) -> (usize, Utf8Stop) {
+    const HIGH_BITS: u64 = 0x8080_8080_8080_8080;
+    let n = bytes.len();
+    let mut i = 0;
+    while i < n {
+        let b = bytes[i];
+        if b < 0x80 {
+            if i + 8 <= n {
+                let word = u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8-byte run"));
+                if word & HIGH_BITS == 0 {
+                    i += 8;
+                    continue;
+                }
+            }
+            i += 1;
+            continue;
+        }
+        let (len, min1, max1) = match b {
+            0xC2..=0xDF => (2, 0x80, 0xBF),
+            0xE0 => (3, 0xA0, 0xBF),
+            0xE1..=0xEC | 0xEE..=0xEF => (3, 0x80, 0xBF),
+            0xED => (3, 0x80, 0x9F),
+            0xF0 => (4, 0x90, 0xBF),
+            0xF1..=0xF3 => (4, 0x80, 0xBF),
+            0xF4 => (4, 0x80, 0x8F),
+            _ => return (i, Utf8Stop::Invalid),
+        };
+        let avail = (n - i).min(len);
+        for j in 1..avail {
+            let c = bytes[i + j];
+            let (lo, hi) = if j == 1 { (min1, max1) } else { (0x80, 0xBF) };
+            if c < lo || c > hi {
+                return (i, Utf8Stop::Invalid);
+            }
+        }
+        if avail < len {
+            return (i, Utf8Stop::Incomplete);
+        }
+        i += len;
+    }
+    (n, Utf8Stop::Clean)
+}
+
+/// Decodes the (already validated) scalar starting at `bytes[0]`, returning
+/// it with its encoded length. Only reached for non-ASCII bytes on the
+/// whitespace/terminator checks, so the common path never runs it.
+fn decode_scalar(bytes: &[u8]) -> (char, usize) {
+    let b0 = bytes[0];
+    debug_assert!(b0 >= 0x80, "ASCII is handled inline by the scan loops");
+    let len: usize = match b0 {
+        0xC2..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    };
+    let mut cp = u32::from(b0) & (0x7F >> len);
+    for &b in &bytes[1..len] {
+        cp = (cp << 6) | (u32::from(b) & 0x3F);
+    }
+    (
+        char::from_u32(cp).expect("the window holds validated UTF-8"),
+        len,
+    )
+}
+
+/// Is this byte one of the six ASCII characters `char::is_whitespace`
+/// accepts (TAB, LF, VT, FF, CR, space)? Non-ASCII whitespace (NBSP, the
+/// Unicode space block, line/paragraph separators) is caught by decoding,
+/// which only triggers on high bytes.
+#[inline(always)]
+fn is_ascii_ws(b: u8) -> bool {
+    b == b' ' || (0x09..=0x0D).contains(&b)
+}
+
+// --------------------------------------------------------------------------
+// SWAR word sweeps (the memchr idiom, multi-needle)
+// --------------------------------------------------------------------------
+
+const ONES: u64 = 0x0101_0101_0101_0101;
+const HIGHS: u64 = 0x8080_8080_8080_8080;
+
+/// Lanes equal to `b`, marked in their high bit (the memchr zero-detect
+/// trick on `word ^ splat(b)`). Borrow propagation can set spurious marks,
+/// but only in lanes *above* a truly matching lane — so the lowest set
+/// mark, which is all the sweeps below consume, is always exact.
+#[inline(always)]
+fn match_byte(word: u64, b: u8) -> u64 {
+    let x = word ^ ONES.wrapping_mul(u64::from(b));
+    x.wrapping_sub(ONES) & !x & HIGHS
+}
+
+/// ASCII lanes strictly below `n` (`n ≤ 0x80`), marked in their high bit.
+/// Same exactness caveat-and-guarantee as [`match_byte`]; lanes with the
+/// high bit already set (non-ASCII) are never marked — callers OR in
+/// `word & HIGHS` when those matter.
+#[inline(always)]
+fn match_lt(word: u64, n: u8) -> u64 {
+    word.wrapping_sub(ONES.wrapping_mul(u64::from(n))) & !word & HIGHS
+}
+
+/// Byte index of the lowest marked lane.
+#[inline(always)]
+fn first_mark(mask: u64) -> usize {
+    (mask.trailing_zeros() >> 3) as usize
+}
+
+#[inline(always)]
+fn load_word(data: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(data[i..i + 8].try_into().expect("8-byte load"))
+}
+
+/// Index of the `>` closing the tag whose name (or attribute list) starts
+/// at `start` (just past `<`, or past `</`), honoring quoted attribute
+/// values; `None` if the window ends first. The `bool` is the *simple tag*
+/// verdict: `true` means every byte in `start..gt` is plain ASCII name
+/// material — no whitespace or control byte, no `"` `'` `/`, no non-ASCII —
+/// so that slice **is** the tag's name, verbatim: no trim, no token split,
+/// no self-closing mark. Callers hand non-simple tags to the full
+/// classifier; simple ones (the overwhelmingly common `<name>` / `</name>`)
+/// go straight to name resolution.
+#[inline(always)]
+fn find_tag_close(data: &[u8], start: usize) -> Option<(usize, bool)> {
+    let n = data.len();
+    let mut j = start;
+    loop {
+        if j + 8 <= n {
+            let w = load_word(data, j);
+            let m = match_byte(w, b'>')
+                | match_lt(w, 0x21)
+                | match_byte(w, b'"')
+                | match_byte(w, b'\'')
+                | match_byte(w, b'/')
+                | (w & HIGHS);
+            if m == 0 {
+                j += 8;
+                continue;
+            }
+            let k = j + first_mark(m);
+            if data[k] == b'>' {
+                return Some((k, true));
+            }
+            return find_tag_close_general(data, k).map(|gt| (gt, false));
+        }
+        while j < n {
+            let b = data[j];
+            if b == b'>' {
+                return Some((j, true));
+            }
+            if !(0x21..0x80).contains(&b) || matches!(b, b'"' | b'\'' | b'/') {
+                return find_tag_close_general(data, j).map(|gt| (gt, false));
+            }
+            j += 1;
+        }
+        return None;
+    }
+}
+
+/// The general arm of [`find_tag_close`]: quote-aware sweep for the closing
+/// `>` from `start`, which the caller guarantees is outside any quoted
+/// attribute value. Sweeps 8 bytes per step for the structural set
+/// `>` `"` `'`, and for the matching close quote inside attribute values.
+fn find_tag_close_general(data: &[u8], start: usize) -> Option<usize> {
+    let n = data.len();
+    let mut j = start;
+    loop {
+        // First of `>`, `"`, `'` at or after j.
+        let hit = loop {
+            if j + 8 <= n {
+                let w = load_word(data, j);
+                let m = match_byte(w, b'>') | match_byte(w, b'"') | match_byte(w, b'\'');
+                if m == 0 {
+                    j += 8;
+                    continue;
+                }
+                break j + first_mark(m);
+            }
+            while j < n && !matches!(data[j], b'>' | b'"' | b'\'') {
+                j += 1;
+            }
+            if j == n {
+                return None;
+            }
+            break j;
+        };
+        let quote = data[hit];
+        if quote == b'>' {
+            return Some(hit);
+        }
+        // Quoted attribute value: skip to the matching quote.
+        j = hit + 1;
+        loop {
+            if j + 8 <= n {
+                let w = load_word(data, j);
+                let m = match_byte(w, quote);
+                if m == 0 {
+                    j += 8;
+                    continue;
+                }
+                j += first_mark(m);
+                break;
+            }
+            while j < n && data[j] != quote {
+                j += 1;
+            }
+            if j == n {
+                return None;
+            }
+            break;
+        }
+        j += 1;
+    }
+}
+
+/// Exclusive end of the text token starting at `start`: the index of the
+/// first byte that terminates it (`<` or whitespace, ASCII or Unicode);
+/// `None` if the token may continue past the window. Sweeps 8 bytes per
+/// step; candidate lanes are `<`, anything below 0x21 (a superset of ASCII
+/// whitespace that also catches control characters, re-judged precisely)
+/// and any non-ASCII byte (decoded to ask `char::is_whitespace`).
+#[inline(always)]
+fn find_text_end(data: &[u8], start: usize) -> Option<usize> {
+    let n = data.len();
+    let mut j = start;
+    loop {
+        let k = loop {
+            if j + 8 <= n {
+                let w = load_word(data, j);
+                let m = match_lt(w, 0x21) | match_byte(w, b'<') | (w & HIGHS);
+                if m == 0 {
+                    j += 8;
+                    continue;
+                }
+                break j + first_mark(m);
+            }
+            while j < n {
+                let b = data[j];
+                if !(0x21..0x80).contains(&b) || b == b'<' {
+                    break;
+                }
+                j += 1;
+            }
+            if j == n {
+                return None;
+            }
+            break j;
+        };
+        let b = data[k];
+        if b < 0x80 {
+            if b == b'<' || is_ascii_ws(b) {
+                return Some(k);
+            }
+            // A control character: part of the token.
+            j = k + 1;
+        } else {
+            let (c, len) = decode_scalar(&data[k..]);
+            if c.is_whitespace() {
+                return Some(k);
+            }
+            j = k + len;
+        }
+    }
+}
+
+/// A reusable window of reader bytes, validated chunk-at-a-time.
+///
+/// Layout: `buf[start..end]` is unread *validated* data, `buf[end..raw_end]`
+/// is a carried multi-byte tail split by the last refill seam (re-validated
+/// once its continuation arrives), and `offset_base` is the absolute stream
+/// offset of `buf[0]`. A validation failure is *deferred* into `pending`:
+/// the window behaves as if the stream ended at the last valid scalar, and
+/// the typed error is handed out when the lexer actually reaches it.
+#[derive(Debug)]
+struct ChunkWindow<R> {
+    reader: R,
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+    raw_end: usize,
+    offset_base: usize,
+    eof: bool,
+    pending: Option<SaxError>,
+}
+
+impl<R: io::Read> ChunkWindow<R> {
+    fn new(reader: R) -> Self {
+        ChunkWindow {
+            reader,
+            buf: vec![0; SCAN_CHUNK],
+            start: 0,
+            end: 0,
+            raw_end: 0,
+            offset_base: 0,
+            eof: false,
+            pending: None,
+        }
+    }
+
+    /// The unread validated bytes.
+    #[inline(always)]
+    fn data(&self) -> &[u8] {
+        &self.buf[self.start..self.end]
+    }
+
+    /// Absolute stream offset of `data()[0]`.
+    #[inline(always)]
+    fn abs_offset(&self) -> usize {
+        self.offset_base + self.start
+    }
+
+    /// Marks `n` leading bytes of `data()` as consumed.
+    #[inline(always)]
+    fn consume(&mut self, n: usize) {
+        debug_assert!(self.start + n <= self.end);
+        self.start += n;
+    }
+
+    /// Extends the validated window past its current end: compacts the
+    /// consumed prefix, pulls one `read`, validates the new bytes (plus any
+    /// carried seam tail) and loops until at least one new whole scalar is
+    /// available. `Ok(false)` is clean EOF; a deferred UTF-8 error whose
+    /// offset the caller has scanned up to, or an I/O failure, is `Err`.
+    ///
+    /// Because compaction moves only the *unconsumed* suffix to the front,
+    /// positions relative to `data()` survive the refill — a token spanning
+    /// any number of seams stays addressable as one contiguous slice, at
+    /// the cost of growing the buffer only when a single token outgrows it
+    /// (memory proportional to the longest token, as for the char path's
+    /// per-token `String`).
+    fn grow(&mut self) -> Result<bool, SaxError> {
+        loop {
+            if let Some(e) = self.pending.take() {
+                return Err(e);
+            }
+            if self.eof {
+                return Ok(false);
+            }
+            if self.start > 0 {
+                self.buf.copy_within(self.start..self.raw_end, 0);
+                self.offset_base += self.start;
+                self.end -= self.start;
+                self.raw_end -= self.start;
+                self.start = 0;
+            }
+            if self.raw_end == self.buf.len() {
+                self.buf.resize(self.buf.len() * 2, 0);
+            }
+            match self.reader.read(&mut self.buf[self.raw_end..]) {
+                Ok(0) => {
+                    self.eof = true;
+                    if self.raw_end > self.end {
+                        // The stream ends inside a multi-byte sequence.
+                        self.pending = Some(SaxError::TruncatedUtf8 {
+                            offset: self.offset_base + self.end,
+                        });
+                    }
+                }
+                Ok(n) => {
+                    self.raw_end += n;
+                    let (valid, stop) = validate_utf8(&self.buf[self.end..self.raw_end]);
+                    let grew = valid > 0;
+                    self.end += valid;
+                    if matches!(stop, Utf8Stop::Invalid) {
+                        self.pending = Some(SaxError::InvalidUtf8 {
+                            offset: self.offset_base + self.end,
+                        });
+                        // Nothing past the error is ever examined: the
+                        // lexer fuses once the error surfaces.
+                        self.eof = true;
+                    }
+                    if grew {
+                        return Ok(true);
+                    }
+                    // No whole scalar completed (a tiny read inside a
+                    // multi-byte sequence, or an error right at the seam):
+                    // loop to read again or surface the deferral.
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(SaxError::Io(e)),
+            }
+        }
+    }
+}
+
+/// The bulk lexer: a [`StructuralScanner`] over a [`ChunkWindow`], feeding
+/// run classifications through the shared `LexerCore` event builder. This
+/// is the engine inside [`ByteTokenizer`](crate::sax::ByteTokenizer) and
+/// [`FrozenByteTokenizer`](crate::sax::FrozenByteTokenizer); it yields the
+/// token-for-token identical `Result<TaggedSymbol, SaxError>` stream to
+/// [`EventLexer`](crate::sax::EventLexer) over the same bytes.
+#[derive(Debug)]
+pub(crate) struct BulkLexer<R: io::Read, N: ResolveName> {
+    window: ChunkWindow<R>,
+    core: LexerCore<N>,
+    /// Events lexed ahead by [`Self::fill`] for the per-event [`Iterator`]
+    /// view, drained from `ready_pos`.
+    ready: Vec<TaggedSymbol>,
+    ready_pos: usize,
+    /// An error met while lexing ahead: surfaced after `ready` drains, i.e.
+    /// in exactly the position the per-event path would have yielded it.
+    pending_err: Option<SaxError>,
+}
+
+/// How many events the per-event [`Iterator`] view lexes ahead per
+/// [`BulkLexer::fill`] call: large enough to amortize the refill, small
+/// enough (4 bytes per event) to stay cache-resident.
+const ITER_BATCH: usize = 1024;
+
+/// The structural sweep methods of [`BulkLexer`] — named for what they
+/// classify. Each method owns one run kind and consumes (or measures) it
+/// with a dedicated unrolled byte loop over the validated window.
+///
+/// This is a marker trait tying the module's public story to the
+/// implementation: the lexer's per-run methods are the scanner.
+pub(crate) trait StructuralScanner {
+    /// Scans past inter-token whitespace; `false` means clean EOF.
+    fn skip_whitespace(&mut self) -> Result<bool, SaxError>;
+}
+
+impl<R: io::Read, N: ResolveName> BulkLexer<R, N> {
+    pub(crate) fn new(reader: R, names: N) -> Self {
+        BulkLexer {
+            window: ChunkWindow::new(reader),
+            core: LexerCore::new(names),
+            ready: Vec::new(),
+            ready_pos: 0,
+            pending_err: None,
+        }
+    }
+
+    /// Ensures at least `pos + 1` unread validated bytes are windowed;
+    /// `false` means the stream ends first.
+    fn ensure(&mut self, pos: usize) -> Result<bool, SaxError> {
+        while self.window.data().len() <= pos {
+            if !self.window.grow()? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn peek_byte(&mut self) -> Result<Option<u8>, SaxError> {
+        if self.ensure(0)? {
+            Ok(Some(self.window.data()[0]))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Lexes events in bulk into `out` until roughly `max` are buffered or
+    /// the stream ends — the slice-producing entry behind
+    /// `queries::run_streaming_reader` and the per-event iterators.
+    ///
+    /// The hot loop sweeps the *current* window with a local cursor: no
+    /// per-event `Result` plumbing, no window bookkeeping, no method
+    /// dispatch — one `consume` per window, not per token. Anything that
+    /// cannot be finished inside the window (a token cut by the chunk seam,
+    /// a directive, EOF, a deferred UTF-8 error) falls back to the general
+    /// per-event path ([`Self::next_event`]), which grows the window and
+    /// agrees with the fast loop token-for-token by sharing `LexerCore`.
+    ///
+    /// Events already pushed to `out` stay there when an error is returned
+    /// — callers either discard them (the error is the outcome) or, like
+    /// the draining iterator, hand them out before surfacing the error,
+    /// which is exactly the per-event emission order.
+    pub(crate) fn fill(&mut self, out: &mut Vec<TaggedSymbol>, max: usize) -> Result<(), SaxError> {
+        // Events the iterator view lexed ahead (and a deferred error) come
+        // first, so interleaving `next()` and `fill` stays in order.
+        while self.ready_pos < self.ready.len() {
+            out.push(self.ready[self.ready_pos]);
+            self.ready_pos += 1;
+            if out.len() >= max {
+                return Ok(());
+            }
+        }
+        if let Some(e) = self.pending_err.take() {
+            self.core.failed = true;
+            return Err(e);
+        }
+        if self.core.failed {
+            return Ok(());
+        }
+        loop {
+            while let Some(t) = self.core.queued.pop_front() {
+                out.push(t);
+                if out.len() >= max {
+                    return Ok(());
+                }
+            }
+            if out.len() >= max {
+                return Ok(());
+            }
+            if self.fill_window(out, max)? {
+                return Ok(());
+            }
+            // The window could not decide the next token: grow-and-lex it
+            // on the general path, then resume sweeping.
+            match self.next_event()? {
+                Some(t) => out.push(t),
+                None => return Ok(()),
+            }
+        }
+    }
+
+    /// The register-resident sweep of [`Self::fill`] over the bytes already
+    /// windowed: emits every event that completes inside the window,
+    /// consumes exactly the bytes of the events emitted, and returns
+    /// `Ok(true)` when `out` reached `max` (`Ok(false)` hands the seam to
+    /// the caller's slow path). Tag bodies and text tokens are located with
+    /// the word-at-a-time sweeps of [`find_tag_close`] / [`find_text_end`]
+    /// and classified byte-level
+    /// ([`LexerCore::tag_event_bytes`](crate::sax::LexerCore),
+    /// `resolve_bytes`), so the common path touches each input byte once in
+    /// an 8-byte word and never re-walks a token as chars.
+    fn fill_window(&mut self, out: &mut Vec<TaggedSymbol>, max: usize) -> Result<bool, SaxError> {
+        let base = self.window.abs_offset();
+        let data: &[u8] = &self.window.buf[self.window.start..self.window.end];
+        let n = data.len();
+        let mut pos = 0usize;
+        // Counted down instead of re-reading `out.len()` every event.
+        let mut budget = max.saturating_sub(out.len());
+        let full = loop {
+            if budget == 0 {
+                break true;
+            }
+            // Inter-token whitespace — usually none or one byte (ASCII
+            // inline, rare non-ASCII decoded).
+            while pos < n {
+                let b = data[pos];
+                if b < 0x80 {
+                    if !is_ascii_ws(b) {
+                        break;
+                    }
+                    pos += 1;
+                } else {
+                    let (c, len) = decode_scalar(&data[pos..]);
+                    if !c.is_whitespace() {
+                        break;
+                    }
+                    pos += len;
+                }
+            }
+            if pos == n {
+                break false;
+            }
+            if data[pos] == b'<' {
+                if pos + 1 == n {
+                    break false;
+                }
+                let lead = data[pos + 1];
+                if lead == b'!' || lead == b'?' {
+                    // Directives are rare and stateful: slow path.
+                    break false;
+                }
+                // `</name>` and `<name>` with nothing but name material
+                // between the brackets skip the classifier entirely: the
+                // sweep's simple verdict certifies the slice is the name.
+                let body_at = if lead == b'/' { pos + 2 } else { pos + 1 };
+                let Some((gt, simple)) = find_tag_close(data, body_at) else {
+                    break false;
+                };
+                if simple && gt > body_at {
+                    match self.core.resolve_bytes(&data[body_at..gt]) {
+                        Ok(sym) => out.push(if lead == b'/' {
+                            TaggedSymbol::Return(sym)
+                        } else {
+                            TaggedSymbol::Call(sym)
+                        }),
+                        Err(e) => {
+                            self.window.consume(pos);
+                            return Err(e);
+                        }
+                    }
+                    budget -= 1;
+                } else {
+                    let body = if lead == b'/' { pos + 1 } else { body_at };
+                    match self.core.tag_event_bytes(&data[body..gt], base + pos) {
+                        Ok(event) => out.push(event),
+                        Err(e) => {
+                            self.window.consume(pos);
+                            return Err(e);
+                        }
+                    }
+                    budget -= 1;
+                    // A self-closing tag queued its return; emit it in place.
+                    if let Some(t) = self.core.queued.pop_front() {
+                        out.push(t);
+                        budget = budget.saturating_sub(1);
+                    }
+                }
+                pos = gt + 1;
+            } else {
+                let Some(end) = find_text_end(data, pos) else {
+                    // The token may continue past the window: slow path.
+                    break false;
+                };
+                match self.core.resolve_bytes(&data[pos..end]) {
+                    Ok(sym) => out.push(TaggedSymbol::Internal(sym)),
+                    Err(e) => {
+                        self.window.consume(pos);
+                        return Err(e);
+                    }
+                }
+                budget -= 1;
+                pos = end;
+            }
+        };
+        self.window.consume(pos);
+        Ok(full)
+    }
+
+    fn next_event(&mut self) -> Result<Option<TaggedSymbol>, SaxError> {
+        loop {
+            // Drained inside the loop: a CDATA section queues text tokens
+            // that must come out before the next run is scanned.
+            if let Some(t) = self.core.queued.pop_front() {
+                return Ok(Some(t));
+            }
+            if !self.skip_whitespace()? {
+                return Ok(None);
+            }
+            if self.window.data()[0] == b'<' {
+                if let Some(t) = self.lex_tag()? {
+                    return Ok(Some(t));
+                }
+                // directive skipped
+            } else {
+                return self.lex_text().map(Some);
+            }
+        }
+    }
+
+    /// Lexes one whitespace-delimited text token, with the window cursor on
+    /// its first byte: one sweep to the next `<` or whitespace, then a
+    /// single name resolution over the whole slice.
+    fn lex_text(&mut self) -> Result<TaggedSymbol, SaxError> {
+        let mut pos = 0usize;
+        loop {
+            let data = self.window.data();
+            let n = data.len();
+            let mut stop = false;
+            while pos < n {
+                let b = data[pos];
+                if b < 0x80 {
+                    if b == b'<' || is_ascii_ws(b) {
+                        stop = true;
+                        break;
+                    }
+                    pos += 1;
+                    continue;
+                }
+                let (c, len) = decode_scalar(&data[pos..]);
+                if c.is_whitespace() {
+                    stop = true;
+                    break;
+                }
+                pos += len;
+            }
+            if stop {
+                break;
+            }
+            if !self.window.grow()? {
+                break; // EOF ends the token
+            }
+        }
+        let token = std::str::from_utf8(&self.window.data()[..pos])
+            .expect("the window holds validated UTF-8");
+        let sym = self.core.resolve(token)?;
+        self.window.consume(pos);
+        Ok(TaggedSymbol::Internal(sym))
+    }
+
+    /// Lexes one `<…>` construct, with the window cursor on `<`. Returns
+    /// `None` for skipped directives. The closing `>` is found by a
+    /// quote-aware byte sweep (a `>` inside a quoted attribute value does
+    /// not terminate the tag); the body between the brackets is then handed
+    /// whole to the shared tag classifier.
+    fn lex_tag(&mut self) -> Result<Option<TaggedSymbol>, SaxError> {
+        let tag_start = self.window.abs_offset();
+        if self.ensure(1)? {
+            let b = self.window.data()[1];
+            if b == b'!' || b == b'?' {
+                // <!DOCTYPE …>, <!-- … -->, <?xml … ?>: no SAX event.
+                self.window.consume(2); // the '<' and the lead byte
+                self.lex_directive(tag_start, b)?;
+                return Ok(None);
+            }
+        }
+        let mut pos = 1usize;
+        let mut quote = 0u8;
+        'scan: loop {
+            let data = self.window.data();
+            let n = data.len();
+            while pos < n {
+                let b = data[pos];
+                pos += 1;
+                if quote != 0 {
+                    if b == quote {
+                        quote = 0;
+                    }
+                } else if b == b'>' {
+                    break 'scan;
+                } else if b == b'"' || b == b'\'' {
+                    quote = b;
+                }
+            }
+            if !self.window.grow()? {
+                return Err(SaxError::Syntax(NestedWordError::Parse {
+                    offset: tag_start,
+                    message: "unterminated tag".into(),
+                }));
+            }
+        }
+        let body = std::str::from_utf8(&self.window.data()[1..pos - 1])
+            .expect("the window holds validated UTF-8");
+        let event = self.core.tag_event(body, tag_start)?;
+        self.window.consume(pos);
+        Ok(Some(event))
+    }
+
+    /// Skips or lexes one directive, with the window cursor just past the
+    /// consumed `<!` or `<?` (`lead` is the second byte). Mirrors
+    /// [`EventLexer::lex_directive`](crate::sax::EventLexer) exactly,
+    /// including the quirky corners: `<!-` with no second dash falls
+    /// through to the bracket scan, and a partial `CDATA[` marker leaves
+    /// the consumed `[` as one open bracket level.
+    fn lex_directive(&mut self, tag_start: usize, lead: u8) -> Result<(), SaxError> {
+        if lead == b'!' && self.peek_byte()? == Some(b'-') {
+            self.window.consume(1);
+            if self.peek_byte()? == Some(b'-') {
+                self.window.consume(1);
+                return self.scan_comment(tag_start);
+            }
+            // "<!-…" without a second dash: fall through to the '>' scan
+        }
+        if lead == b'?' {
+            return self.scan_pi(tag_start);
+        }
+        let mut depth = 0usize;
+        if lead == b'!' && self.peek_byte()? == Some(b'[') {
+            self.window.consume(1);
+            // `<![`: a CDATA section if the marker `CDATA[` follows.
+            const MARKER: &[u8; 6] = b"CDATA[";
+            let mut matched = 0usize;
+            while matched < MARKER.len() && self.peek_byte()? == Some(MARKER[matched]) {
+                self.window.consume(1);
+                matched += 1;
+            }
+            if matched == MARKER.len() {
+                return self.lex_cdata(tag_start);
+            }
+            // Not CDATA (e.g. a DTD conditional section): the consumed `[`
+            // opened one bracket level; fall through to the scan.
+            depth = 1;
+        }
+        self.scan_doctype(tag_start, depth)
+    }
+
+    fn unterminated_directive(tag_start: usize) -> SaxError {
+        SaxError::Syntax(NestedWordError::Parse {
+            offset: tag_start,
+            message: "unterminated directive".into(),
+        })
+    }
+
+    /// Sweeps a comment body to its `-->` terminator, consuming as it goes
+    /// — only a trailing-dash count crosses chunk seams, so a comment of
+    /// any length never grows the window.
+    fn scan_comment(&mut self, tag_start: usize) -> Result<(), SaxError> {
+        let mut dashes = 0usize;
+        loop {
+            let data = self.window.data();
+            let n = data.len();
+            let mut i = 0;
+            while i < n {
+                let b = data[i];
+                i += 1;
+                match b {
+                    b'-' => dashes += 1,
+                    b'>' if dashes >= 2 => {
+                        self.window.consume(i);
+                        return Ok(());
+                    }
+                    _ => dashes = 0,
+                }
+            }
+            self.window.consume(i);
+            if !self.window.grow()? {
+                return Err(Self::unterminated_directive(tag_start));
+            }
+        }
+    }
+
+    /// Sweeps a processing instruction to its `?>` terminator; only the
+    /// previous-byte-was-`?` flag crosses seams.
+    fn scan_pi(&mut self, tag_start: usize) -> Result<(), SaxError> {
+        let mut prev_question = false;
+        loop {
+            let data = self.window.data();
+            let n = data.len();
+            let mut i = 0;
+            while i < n {
+                let b = data[i];
+                i += 1;
+                if b == b'>' && prev_question {
+                    self.window.consume(i);
+                    return Ok(());
+                }
+                prev_question = b == b'?';
+            }
+            self.window.consume(i);
+            if !self.window.grow()? {
+                return Err(Self::unterminated_directive(tag_start));
+            }
+        }
+    }
+
+    /// Sweeps a declaration to the first `>` outside a `[ … ]` internal
+    /// subset (DOCTYPEs with entity declarations inside); only the bracket
+    /// depth crosses seams.
+    fn scan_doctype(&mut self, tag_start: usize, mut depth: usize) -> Result<(), SaxError> {
+        loop {
+            let data = self.window.data();
+            let n = data.len();
+            let mut i = 0;
+            while i < n {
+                let b = data[i];
+                i += 1;
+                match b {
+                    b'[' => depth += 1,
+                    b']' => depth = depth.saturating_sub(1),
+                    b'>' if depth == 0 => {
+                        self.window.consume(i);
+                        return Ok(());
+                    }
+                    _ => {}
+                }
+            }
+            self.window.consume(i);
+            if !self.window.grow()? {
+                return Err(Self::unterminated_directive(tag_start));
+            }
+        }
+    }
+
+    /// Lexes a CDATA section, with the cursor just past `<![CDATA[`: one
+    /// sweep to the `]]>` terminator, then the whole content slice goes to
+    /// the shared token splitter. Unlike the other directives the content
+    /// is needed whole — its text tokens are all resolved before any is
+    /// queued, so a resolution failure surfaces with nothing half-emitted —
+    /// so the sweep grows the window instead of consuming.
+    fn lex_cdata(&mut self, tag_start: usize) -> Result<(), SaxError> {
+        let mut pos = 0usize;
+        let end = 'scan: loop {
+            let data = self.window.data();
+            let n = data.len();
+            while pos < n {
+                if data[pos] == b'>' && pos >= 2 && data[pos - 1] == b']' && data[pos - 2] == b']' {
+                    break 'scan pos - 2;
+                }
+                pos += 1;
+            }
+            if !self.window.grow()? {
+                return Err(SaxError::Syntax(NestedWordError::Parse {
+                    offset: tag_start,
+                    message: "unterminated CDATA section".into(),
+                }));
+            }
+        };
+        let content = std::str::from_utf8(&self.window.data()[..end])
+            .expect("the window holds validated UTF-8");
+        self.core.cdata_tokens(content)?;
+        self.window.consume(end + 3);
+        Ok(())
+    }
+}
+
+impl<R: io::Read, N: ResolveName> StructuralScanner for BulkLexer<R, N> {
+    fn skip_whitespace(&mut self) -> Result<bool, SaxError> {
+        loop {
+            let data = self.window.data();
+            let n = data.len();
+            let mut i = 0;
+            let mut stop = false;
+            while i < n {
+                let b = data[i];
+                if b < 0x80 {
+                    if is_ascii_ws(b) {
+                        i += 1;
+                        continue;
+                    }
+                    stop = true;
+                    break;
+                }
+                let (c, len) = decode_scalar(&data[i..]);
+                if c.is_whitespace() {
+                    i += len;
+                    continue;
+                }
+                stop = true;
+                break;
+            }
+            self.window.consume(i);
+            if stop {
+                return Ok(true);
+            }
+            if !self.window.grow()? {
+                return Ok(false);
+            }
+        }
+    }
+}
+
+impl<R: io::Read, N: ResolveName> Iterator for BulkLexer<R, N> {
+    type Item = Result<TaggedSymbol, SaxError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.ready_pos < self.ready.len() {
+                let t = self.ready[self.ready_pos];
+                self.ready_pos += 1;
+                return Some(Ok(t));
+            }
+            if let Some(e) = self.pending_err.take() {
+                self.core.failed = true;
+                return Some(Err(e));
+            }
+            if self.core.failed {
+                return None;
+            }
+            // Lex the next batch ahead; events met before an error drain
+            // first, preserving the per-event emission order.
+            self.ready.clear();
+            self.ready_pos = 0;
+            let mut batch = std::mem::take(&mut self.ready);
+            let outcome = self.fill(&mut batch, ITER_BATCH);
+            self.ready = batch;
+            match outcome {
+                Ok(()) if self.ready.is_empty() => return None,
+                Ok(()) => {}
+                Err(e) => self.pending_err = Some(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validator_matches_std_on_valid_prefixes() {
+        let text = "A£ह𐍈\u{10FFFF}\u{D7FF}\u{E000}ß\u{7F}\u{80} plain ascii run!";
+        let bytes = text.as_bytes();
+        // Every prefix of valid UTF-8 validates to its longest whole-scalar
+        // prefix, never flagging an error.
+        for cut in 0..=bytes.len() {
+            let (valid, stop) = validate_utf8(&bytes[..cut]);
+            assert!(std::str::from_utf8(&bytes[..valid]).is_ok(), "cut {cut}");
+            match stop {
+                Utf8Stop::Invalid => panic!("valid prefix flagged invalid at cut {cut}"),
+                Utf8Stop::Clean => assert_eq!(valid, cut),
+                Utf8Stop::Incomplete => assert!(valid < cut),
+            }
+        }
+    }
+
+    #[test]
+    fn validator_rejects_what_the_whatwg_table_rejects() {
+        let cases: &[&[u8]] = &[
+            b"\x80",             // bare continuation byte
+            b"\xFF",             // invalid leading byte
+            b"\xC3\x28",         // bad continuation
+            b"\xC0\xAF",         // overlong '/'
+            b"\xE0\x80\xAF",     // overlong 3-byte
+            b"\xED\xA0\x80",     // surrogate half
+            b"\xF4\x90\x80\x80", // scalar above U+10FFFF
+        ];
+        for &bad in cases {
+            let mut input = b"ok ".to_vec();
+            input.extend_from_slice(bad);
+            let (valid, stop) = validate_utf8(&input);
+            assert_eq!(valid, 3, "input {input:?}");
+            assert!(matches!(stop, Utf8Stop::Invalid), "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn validator_ascii_fast_path_spans_word_boundaries() {
+        // 8-byte-aligned and unaligned ASCII runs around a multi-byte char.
+        let text = "0123456789abcdef€0123456789abcdef";
+        let (valid, stop) = validate_utf8(text.as_bytes());
+        assert_eq!(valid, text.len());
+        assert!(matches!(stop, Utf8Stop::Clean));
+    }
+}

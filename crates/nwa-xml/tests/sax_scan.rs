@@ -1,0 +1,434 @@
+//! Differential property suite for the bulk structural scanner.
+//!
+//! The contract under test: [`ByteTokenizer`] (the chunk-windowed bulk
+//! scanner in `nwa_xml::scan`) is token-for-token and error-for-error
+//! identical to the char-at-a-time [`EventLexer`] over the same bytes —
+//! under adversarial read sizes (1..=7-byte chunks so every multi-byte
+//! UTF-8 scalar gets split across a `read` seam), across the internal
+//! scan-window seam, for CDATA / comment / PI / DOCTYPE edge cases, and
+//! for inputs truncated at every byte offset.
+
+use std::io;
+
+use nested_words::rng::Prng;
+use nested_words::{Alphabet, NestedWordError, TaggedSymbol};
+use nwa_xml::sax::{ByteTokenizer, EventLexer, FrozenByteTokenizer, SaxError, Utf8Chars};
+
+// --------------------------------------------------------------------------
+// Harness
+// --------------------------------------------------------------------------
+
+/// A reader that hands out at most `chunk` bytes per `read` call, forcing
+/// every buffer-refill seam the bulk scanner has.
+struct SplitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    chunk: usize,
+}
+
+impl<'a> SplitReader<'a> {
+    fn new(data: &'a [u8], chunk: usize) -> Self {
+        SplitReader {
+            data,
+            pos: 0,
+            chunk: chunk.max(1),
+        }
+    }
+}
+
+impl io::Read for SplitReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Events up to the first error, plus the error (as its `Debug` rendering,
+/// since `SaxError` carries non-`PartialEq` payloads). Errors must match
+/// *exactly* — variant, offset, and message.
+type Outcome = (Vec<TaggedSymbol>, Option<String>);
+
+fn drain<I: Iterator<Item = Result<TaggedSymbol, SaxError>>>(it: I) -> Outcome {
+    let mut events = Vec::new();
+    for item in it {
+        match item {
+            Ok(t) => events.push(t),
+            Err(e) => return (events, Some(format!("{e:?}"))),
+        }
+    }
+    (events, None)
+}
+
+/// Reference outcome: the char-at-a-time `EventLexer` fed by the
+/// incremental `Utf8Chars` decoder, over an identically-chunked reader so
+/// byte offsets in errors line up with the subject's.
+fn reference(data: &[u8], chunk: usize) -> Outcome {
+    let mut ab = Alphabet::new();
+    let lexer = EventLexer::new(Utf8Chars::new(SplitReader::new(data, chunk)), &mut ab);
+    drain(lexer)
+}
+
+/// Subject outcome via the `Iterator` entry point.
+fn bulk_iter(data: &[u8], chunk: usize) -> Outcome {
+    let mut ab = Alphabet::new();
+    let tok = ByteTokenizer::new(SplitReader::new(data, chunk), &mut ab);
+    drain(tok)
+}
+
+/// Subject outcome via the slice-producing `fill` entry point, pulling in
+/// deliberately awkward batch sizes so batching never hides a seam bug.
+fn bulk_fill(data: &[u8], chunk: usize, batch: usize) -> Outcome {
+    let mut ab = Alphabet::new();
+    let mut tok = ByteTokenizer::new(SplitReader::new(data, chunk), &mut ab);
+    let mut events = Vec::new();
+    loop {
+        let before = events.len();
+        match tok.fill(&mut events, before + batch.max(1)) {
+            Ok(()) => {
+                if events.len() == before {
+                    return (events, None);
+                }
+            }
+            Err(e) => return (events, Some(format!("{e:?}"))),
+        }
+    }
+}
+
+/// Asserts the bulk scanner matches the char-at-a-time reference on `data`
+/// for every adversarial chunk size, through both entry points.
+fn assert_equivalent(data: &[u8], label: &str) {
+    let expected = reference(data, data.len().max(1));
+    for chunk in [1, 2, 3, 4, 5, 6, 7, data.len().max(1)] {
+        // The reference decoder is also incremental; feeding it the same
+        // chunking checks that neither side's seam handling shifts offsets.
+        let ref_chunked = reference(data, chunk);
+        assert_eq!(
+            ref_chunked, expected,
+            "{label}: reference unstable at chunk={chunk}"
+        );
+        let got = bulk_iter(data, chunk);
+        assert_eq!(
+            got, expected,
+            "{label}: iterator path diverged at chunk={chunk}"
+        );
+        for batch in [1, 3, 1024] {
+            let got = bulk_fill(data, chunk, batch);
+            assert_eq!(
+                got, expected,
+                "{label}: fill path diverged at chunk={chunk} batch={batch}"
+            );
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Random document generator
+// --------------------------------------------------------------------------
+
+const NAMES: &[&str] = &[
+    "a",
+    "bb",
+    "item",
+    "ns-long.element_name",
+    "x1",
+    "é",
+    "日本語",
+    "𝄞note",
+];
+
+const WORDS: &[&str] = &[
+    "w",
+    "word",
+    "héllo",
+    "汉字文本",
+    "𝄞𝄢",
+    "mixed-é-ascii",
+    "1234567890abcdef",
+];
+
+/// Whitespace separators, including multi-byte Unicode whitespace (NBSP,
+/// em-space, ideographic space) that the ≥0x80 slow path must classify.
+const WS: &[&str] = &[
+    " ", "\n", "\t", "\r\n", "\u{a0}", "\u{2003}", "\u{3000}", "  \n ",
+];
+
+fn pick<'a>(rng: &mut Prng, set: &[&'a str]) -> &'a str {
+    set[rng.below(set.len())]
+}
+
+fn push_text(rng: &mut Prng, out: &mut String) {
+    let words = 1 + rng.below(4);
+    for _ in 0..words {
+        out.push_str(pick(rng, WS));
+        out.push_str(pick(rng, WORDS));
+    }
+    out.push_str(pick(rng, WS));
+}
+
+fn push_attrs(rng: &mut Prng, out: &mut String) {
+    for i in 0..rng.below(3) {
+        // Attribute values deliberately contain `>`, `<`, `/` and the
+        // opposite quote — the characters that force the scanner off its
+        // simple-tag fast path and into quote-aware classification.
+        let val = pick(rng, &["v", "a>b", "x<y", "end/", "it's", "q\"q", "né"]);
+        if val.contains('"') {
+            out.push_str(&format!(" k{i}='{val}'"));
+        } else if rng.bool(0.5) {
+            out.push_str(&format!(" k{i}=\"{val}\""));
+        } else if !val.contains('\'') {
+            out.push_str(&format!(" k{i}='{val}'"));
+        } else {
+            out.push_str(&format!(" k{i}=\"{val}\""));
+        }
+    }
+}
+
+fn push_directive(rng: &mut Prng, out: &mut String) {
+    match rng.below(4) {
+        0 => out.push_str(pick(
+            rng,
+            &[
+                "<!-- plain -->",
+                "<!---->",
+                "<!-- a - b -- c --->",
+                "<!-- <not><a>tag</a> '\" -->",
+            ],
+        )),
+        1 => out.push_str(pick(
+            rng,
+            &["<?pi?>", "<?php echo '>' ?>", "<?x ]]> \"q\" ?>"],
+        )),
+        2 => {
+            // CDATA content is character data: tags, `>`, near-miss `]]`
+            // runs and Unicode whitespace inside must lex as text tokens.
+            out.push_str(pick(
+                rng,
+                &[
+                    "<![CDATA[raw <b>txt</b> & more]]>",
+                    "<![CDATA[]]>",
+                    "<![CDATA[ ]] ]>]]]>",
+                    "<![CDATA[é\u{a0}𝄞 two\u{3000}tokens]]>",
+                ],
+            ));
+        }
+        _ => out.push_str(pick(
+            rng,
+            &[
+                "<!DOCTYPE d>",
+                "<!DOCTYPE doc [ <!ENTITY gt \">\"> <!ELEMENT a (b)> ]>",
+                "<!DOCTYPE d SYSTEM 'f>.dtd'>",
+            ],
+        )),
+    }
+}
+
+fn push_element(rng: &mut Prng, out: &mut String, depth: usize) {
+    let name = pick(rng, NAMES);
+    if depth > 0 && rng.bool(0.15) {
+        out.push('<');
+        out.push_str(name);
+        push_attrs(rng, out);
+        out.push_str(if rng.bool(0.5) { "/>" } else { " />" });
+        return;
+    }
+    out.push('<');
+    out.push_str(name);
+    push_attrs(rng, out);
+    if rng.bool(0.2) {
+        out.push(' ');
+    }
+    out.push('>');
+    if depth < 4 {
+        let kids = if depth == 0 {
+            8 + rng.below(8)
+        } else {
+            rng.below(4)
+        };
+        for _ in 0..kids {
+            match rng.below(5) {
+                0 | 1 => push_text(rng, out),
+                2 => push_element(rng, out, depth + 1),
+                3 => push_directive(rng, out),
+                // The lexer does not check tag matching — a stray close
+                // tag is a legal Return event for it.
+                _ => out.push_str(pick(rng, &["</stray>", "</日本語>", "</ spaced>"])),
+            }
+        }
+    }
+    out.push_str("</");
+    out.push_str(name);
+    if rng.bool(0.1) {
+        out.push_str(" \t");
+    }
+    out.push('>');
+}
+
+fn generate(seed: u64) -> String {
+    let mut rng = Prng::new(seed);
+    let mut out = String::new();
+    if rng.bool(0.3) {
+        out.push_str("<?xml version=\"1.0\"?>");
+    }
+    if rng.bool(0.3) {
+        push_directive(&mut rng, &mut out);
+    }
+    push_element(&mut rng, &mut out, 0);
+    if rng.bool(0.2) {
+        push_text(&mut rng, &mut out);
+    }
+    out
+}
+
+// --------------------------------------------------------------------------
+// Properties
+// --------------------------------------------------------------------------
+
+#[test]
+fn random_documents_match_char_lexer() {
+    let mut total_events = 0usize;
+    for seed in 0..48 {
+        let doc = generate(seed);
+        total_events += reference(doc.as_bytes(), doc.len().max(1)).0.len();
+        assert_equivalent(doc.as_bytes(), &format!("seed {seed}"));
+    }
+    // Guard against the generator degenerating into trivial documents.
+    assert!(
+        total_events > 1_000,
+        "generator too weak: {total_events} events"
+    );
+}
+
+#[test]
+fn edge_documents_match_char_lexer() {
+    let cases: &[&[u8]] = &[
+        b"",
+        b" \t\n ",
+        "\u{a0}\u{2003}".as_bytes(),
+        b"word",
+        b"<a></a>",
+        b"<a/>",
+        b"< a ></ a >",
+        b"<a b=\"c\">t</a>",
+        // lexical errors: empty names, unterminated constructs
+        b"<>",
+        b"</>",
+        b"< >",
+        b"<a><",
+        b"<a>text",
+        b"<a",
+        b"</a",
+        b"<a b=\"unclosed>",
+        b"<!-- never closed",
+        b"<!-- -- >still open",
+        b"<![CDATA[no end]]",
+        b"<?pi no end?",
+        b"<!DOCTYPE d [ <!ENTITY e \">\"> ",
+        b"<!DOCTYPE d [ unclosed subset >",
+        // quote/bracket interplay
+        b"<a x='>'>i</a>",
+        b"<a x=\"'\" y='\"'>.</a>",
+        b"<a x='a/>'></a>",
+        // self-closing variants
+        b"<a / >",
+        b"<a  />",
+        // directives adjacent to everything
+        b"<!--c--><a><?p?><![CDATA[x]]></a><!--t-->",
+        b"<![CDATA[]]]><a/>",
+        b"<![CDATA[]] >]]>",
+        // control characters inside text are token characters
+        b"<a>\x01\x02</a>",
+        // non-ASCII everywhere: names, text, attribute values, whitespace
+        "<é \u{a0}>\u{a0}𝄞\u{3000}汉</é>".as_bytes(),
+        "<𝄞note>x</𝄞note>".as_bytes(),
+        // invalid UTF-8: lone continuation, overlong, bad leading byte,
+        // truncated scalar mid-stream and at EOF — typed errors with the
+        // exact byte offset must agree with the incremental decoder.
+        b"<a>\x80</a>",
+        b"<a>\xc0\xaf</a>",
+        b"<a>\xff</a>",
+        b"<a>\xe2\x82</a>",
+        b"<a>\xe2\x82",
+        b"<a>\xf0\x9d\x84",
+        b"ok \xf0\x9d\x84\x9e bad \xed\xa0\x80 tail",
+        b"<t\xc3>",
+        b"<t a='\xf4\x90\x80\x80'>",
+    ];
+    for (i, case) in cases.iter().enumerate() {
+        assert_equivalent(case, &format!("edge case {i}"));
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_offset() {
+    let doc = "<?xml v?><!DOCTYPE d [<!E \">\">]><a k=\"q>'\">é\u{a0}𝄞 w</a>\
+               <!--c--><b><![CDATA[x ]] y]]></b><c/>";
+    let bytes = doc.as_bytes();
+    for cut in 0..=bytes.len() {
+        let prefix = &bytes[..cut];
+        let expected = reference(prefix, prefix.len().max(1));
+        for chunk in [3, prefix.len().max(1)] {
+            let got = bulk_iter(prefix, chunk);
+            assert_eq!(got, expected, "truncation at {cut}, chunk={chunk}");
+        }
+    }
+}
+
+/// A multi-byte scalar straddling the bulk scanner's *internal* window
+/// seam (`SCAN_CHUNK`), not just a `read` seam: the carried-over partial
+/// sequence must complete — or fail — exactly like the incremental decoder.
+#[test]
+fn multibyte_scalar_across_scan_window_seam() {
+    for shift in 0..8usize {
+        let mut doc = String::from("<pad>");
+        let fill = nwa_xml::scan::SCAN_CHUNK - doc.len() - shift;
+        doc.push_str(&"a".repeat(fill));
+        doc.push_str(" \u{1d11e}\u{a0}é tail</pad>");
+        assert_eq!(
+            bulk_iter(doc.as_bytes(), doc.len()),
+            reference(doc.as_bytes(), doc.len()),
+            "window seam shift {shift}"
+        );
+    }
+    // Same straddle, but the document ends mid-scalar: truncated-UTF-8
+    // error at the same offset the incremental decoder reports.
+    let mut doc = Vec::from(&b"<pad>"[..]);
+    doc.resize(nwa_xml::scan::SCAN_CHUNK - 2, b'a');
+    doc.extend_from_slice(&[0xf0, 0x9d, 0x84]);
+    assert_eq!(bulk_iter(&doc, doc.len()), reference(&doc, doc.len()));
+}
+
+/// The frozen (read-only alphabet) front end yields the identical stream
+/// once the alphabet is pre-populated, and a typed `UnknownSymbol` against
+/// an alphabet that lacks a name.
+#[test]
+fn frozen_tokenizer_matches_mutable() {
+    for seed in 0..16 {
+        let doc = generate(seed);
+        let mut ab = Alphabet::new();
+        let expected = drain(ByteTokenizer::new(doc.as_bytes(), &mut ab));
+        for chunk in [1, 4, doc.len().max(1)] {
+            let got = drain(FrozenByteTokenizer::new(
+                SplitReader::new(doc.as_bytes(), chunk),
+                &ab,
+            ));
+            assert_eq!(got, expected, "frozen diverged: seed {seed}, chunk={chunk}");
+        }
+    }
+
+    let ab = Alphabet::from_names(["doc"]);
+    let err = drain(FrozenByteTokenizer::new(
+        &b"<doc><intruder/></doc>"[..],
+        &ab,
+    ));
+    assert_eq!(err.0.len(), 1, "call on <doc> precedes the failure");
+    let msg = err.1.expect("unknown name must fail");
+    let expected_err = format!(
+        "{:?}",
+        SaxError::Syntax(NestedWordError::UnknownSymbol {
+            name: "intruder".into()
+        })
+    );
+    assert_eq!(msg, expected_err);
+}

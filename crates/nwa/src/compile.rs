@@ -309,6 +309,44 @@ impl StreamRun for CompiledNwaRun<'_> {
         self.step_event(event);
     }
 
+    /// Bulk entry: hoists the run into the branch-free register-resident
+    /// loop of [`CompiledNwa::run_tagged`] for the whole slice, then folds
+    /// the locals back into the stored run. The suspended stack becomes
+    /// `spilled[1..sp]` above the pending-return sentinel with its top
+    /// cached in a register, exactly the lane layout `step_local` expects,
+    /// so a run interleaving `step` and `step_slice` observes the same
+    /// states as one stepped event-by-event.
+    fn step_slice(&mut self, events: &[TaggedSymbol]) {
+        let t = self.tables;
+        let mut state = self.state;
+        let mut spilled: Vec<u32> = Vec::with_capacity(self.stack.len() + 65);
+        spilled.push(t.pending_row);
+        spilled.extend_from_slice(&self.stack);
+        let sp0 = spilled.len();
+        spilled.resize(sp0 + 64, 0);
+        let mut sp = sp0;
+        let mut top = spilled[sp - 1];
+        let mut max_sp = (self.max_stack + 1).max(sp);
+        for &event in events {
+            t.step_local(
+                &mut state,
+                &mut top,
+                &mut sp,
+                &mut max_sp,
+                &mut spilled,
+                event,
+            );
+        }
+        self.state = state;
+        self.stack.clear();
+        self.stack.extend_from_slice(&spilled[1..sp]);
+        if let Some(last) = self.stack.last_mut() {
+            *last = top;
+        }
+        self.max_stack = max_sp - 1;
+        self.steps += events.len();
+    }
+
     fn is_accepting(&self) -> bool {
         self.tables.accepting[(self.state / self.tables.stride) as usize]
     }

@@ -31,7 +31,8 @@ use crate::joinless::JoinlessNwa;
 use crate::nondet::Nnwa;
 use crate::summary::{Summary, SummarySemantics};
 use automata_core::persist::{
-    checksum_bytes, expect_alphabet, fingerprint_alphabet, fnv1a_words, kind, Reader, Writer,
+    checksum_bytes, expect_alphabet, fingerprint_alphabet, fingerprint_payload, fnv1a_words, kind,
+    Reader, Writer,
 };
 use automata_core::{Persist, PersistError, Snapshot, Suspend};
 use nested_words::Symbol;
@@ -42,23 +43,28 @@ use std::sync::RwLock;
 // --------------------------------------------------------------------------
 
 impl CompiledNwa {
-    /// Content hash over the scalars and tables — computed once at
-    /// compile/load time and stamped into every snapshot.
+    /// Serializes the scalars and tables — the payload [`Persist::save`]
+    /// seals, and the bytes the content fingerprint hashes. One definition
+    /// for both, so the fingerprint computed at compile time equals the one
+    /// a loader derives from [`Reader::payload_checksum`].
+    fn write_payload(&self, w: &mut Writer) {
+        w.put_u64(self.num_states as u64);
+        w.put_u32(self.sigma);
+        w.put_u32(self.initial);
+        w.put_u32(self.pending_row);
+        w.put_u32_slice(&self.table);
+        w.put_u32_slice(&self.push);
+        w.put_bools(&self.accepting);
+    }
+
+    /// Content hash over the serialized payload — computed once at compile
+    /// time and stamped into every snapshot. Loaders do *not* call this:
+    /// they fold the fingerprint out of the checksum pass [`Reader::open`]
+    /// already made (one integrity walk, not two).
     pub(crate) fn compute_fingerprint(&self) -> u64 {
-        let header = [
-            u64::from(kind::COMPILED_NWA),
-            self.num_states as u64,
-            u64::from(self.sigma),
-            u64::from(self.initial),
-            u64::from(self.pending_row),
-        ];
-        fnv1a_words(
-            header
-                .into_iter()
-                .chain(self.table.iter().map(|&v| u64::from(v)))
-                .chain(self.push.iter().map(|&v| u64::from(v)))
-                .chain(self.accepting.iter().map(|&b| u64::from(b))),
-        )
+        let mut w = Writer::new();
+        self.write_payload(&mut w);
+        fingerprint_payload(kind::COMPILED_NWA, checksum_bytes(w.payload()))
     }
 
     /// Length of the linear block — one past the largest valid row offset.
@@ -120,18 +126,15 @@ impl Persist for CompiledNwa {
 
     fn save(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        w.put_u64(self.num_states as u64);
-        w.put_u32(self.sigma);
-        w.put_u32(self.initial);
-        w.put_u32(self.pending_row);
-        w.put_u32_slice(&self.table);
-        w.put_u32_slice(&self.push);
-        w.put_bools(&self.accepting);
+        self.write_payload(&mut w);
         w.seal(Self::KIND, self.alphabet_fingerprint())
     }
 
     fn load(bytes: &[u8]) -> Result<Self, PersistError> {
         let (alphabet, mut r) = Reader::open(bytes, Self::KIND)?;
+        // `open` just hashed the whole payload; the content fingerprint
+        // derives from that same walk instead of re-hashing the tables.
+        let fingerprint = fingerprint_payload(Self::KIND, r.payload_checksum());
         let n = usize::try_from(r.get_u64()?).map_err(|_| PersistError::Malformed {
             context: "state count overflows",
         })?;
@@ -181,7 +184,7 @@ impl Persist for CompiledNwa {
                 context: "acceptance table length disagrees with the state count",
             });
         }
-        let mut artifact = CompiledNwa {
+        let artifact = CompiledNwa {
             stride: stride as u32,
             sigma,
             num_states: n,
@@ -190,7 +193,7 @@ impl Persist for CompiledNwa {
             pending_row,
             initial,
             accepting,
-            fingerprint: 0,
+            fingerprint,
         };
         if !artifact.is_row(artifact.initial) {
             return Err(PersistError::Malformed {
@@ -240,7 +243,6 @@ impl Persist for CompiledNwa {
                 context: "table entry is not a row offset",
             });
         }
-        artifact.fingerprint = artifact.compute_fingerprint();
         Ok(artifact)
     }
 
@@ -895,7 +897,7 @@ impl<A: PersistableSemantics> Persist for CompiledSummary<A> {
         let mut w = Writer::new();
         self.automaton.encode(&mut w);
         w.put_u32(self.initial);
-        fnv1a_words([u64::from(A::KIND), checksum_bytes(w.payload())])
+        fingerprint_payload(A::KIND, checksum_bytes(w.payload()))
     }
 
     fn alphabet_fingerprint(&self) -> u64 {

@@ -28,7 +28,8 @@
 
 use crate::stepwise::DetStepwiseTA;
 use automata_core::persist::{
-    expect_alphabet, fingerprint_alphabet, fnv1a_words, kind, Reader, Writer,
+    checksum_bytes, expect_alphabet, fingerprint_alphabet, fingerprint_payload, kind, Reader,
+    Writer,
 };
 use automata_core::{
     BatchAcceptor, Compile, Persist, PersistError, Snapshot, StreamAcceptor, StreamOutcome,
@@ -172,21 +173,26 @@ impl CompiledStepwiseTA {
         self.accepting_ext = acc;
     }
 
-    /// Content hash over the *source* tables (the extended tables are
-    /// derived) — computed once at compile/load time.
+    /// Serializes the *source* tables (the extended tables are derived) —
+    /// the payload [`Persist::save`] seals, and the bytes the content
+    /// fingerprint hashes. One definition for both, so the fingerprint
+    /// computed at compile time equals the one a loader derives from
+    /// [`Reader::payload_checksum`].
+    fn write_payload(&self, w: &mut Writer) {
+        w.put_u64(self.num_states as u64);
+        w.put_u32(self.sigma);
+        w.put_u32_slice(&self.init);
+        w.put_u32_slice(&self.combine);
+        w.put_bools(&self.accepting);
+    }
+
+    /// Content hash over the serialized payload — computed once at compile
+    /// time. Loaders fold the fingerprint out of the checksum pass
+    /// [`Reader::open`] already made instead.
     fn compute_fingerprint(&self) -> u64 {
-        let header = [
-            u64::from(kind::COMPILED_STEPWISE_TA),
-            self.num_states as u64,
-            u64::from(self.sigma),
-        ];
-        fnv1a_words(
-            header
-                .into_iter()
-                .chain(self.init.iter().map(|&v| u64::from(v)))
-                .chain(self.combine.iter().map(|&v| u64::from(v)))
-                .chain(self.accepting.iter().map(|&b| u64::from(b))),
-        )
+        let mut w = Writer::new();
+        self.write_payload(&mut w);
+        fingerprint_payload(kind::COMPILED_STEPWISE_TA, checksum_bytes(w.payload()))
     }
 
     #[inline]
@@ -362,16 +368,15 @@ impl Persist for CompiledStepwiseTA {
         // Only the source tables go on the wire; the extended tables are
         // re-derived on load (they are a pure function of the source).
         let mut w = Writer::new();
-        w.put_u64(self.num_states as u64);
-        w.put_u32(self.sigma);
-        w.put_u32_slice(&self.init);
-        w.put_u32_slice(&self.combine);
-        w.put_bools(&self.accepting);
+        self.write_payload(&mut w);
         w.seal(Self::KIND, self.alphabet_fingerprint())
     }
 
     fn load(bytes: &[u8]) -> Result<Self, PersistError> {
         let (alphabet, mut r) = Reader::open(bytes, Self::KIND)?;
+        // `open` just hashed the whole payload; the content fingerprint
+        // derives from that same walk instead of re-hashing the tables.
+        let fingerprint = fingerprint_payload(Self::KIND, r.payload_checksum());
         let n = usize::try_from(r.get_u64()?).map_err(|_| PersistError::Malformed {
             context: "state count overflows",
         })?;
@@ -421,10 +426,9 @@ impl Persist for CompiledStepwiseTA {
             accepting,
             combine_ext: Vec::new(),
             accepting_ext: Vec::new(),
-            fingerprint: 0,
+            fingerprint,
         };
         artifact.derive_extended();
-        artifact.fingerprint = artifact.compute_fingerprint();
         Ok(artifact)
     }
 

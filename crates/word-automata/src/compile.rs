@@ -4,7 +4,8 @@
 
 use crate::dfa::Dfa;
 use automata_core::persist::{
-    expect_alphabet, fingerprint_alphabet, fnv1a_words, kind, Reader, Writer,
+    checksum_bytes, expect_alphabet, fingerprint_alphabet, fingerprint_payload, kind, Reader,
+    Writer,
 };
 use automata_core::{
     BatchAcceptor, Compile, Persist, PersistError, Snapshot, StreamAcceptor, StreamOutcome,
@@ -75,21 +76,26 @@ impl CompiledTaggedDfa {
         compiled
     }
 
-    /// Content hash over the scalars and the next-state array — computed
-    /// once at compile/load time and stamped into every snapshot.
+    /// Serializes the scalars and the next-state array — the payload
+    /// [`Persist::save`] seals, and the bytes the content fingerprint
+    /// hashes. One definition for both, so the fingerprint computed at
+    /// compile time equals the one a loader derives from
+    /// [`Reader::payload_checksum`].
+    fn write_payload(&self, w: &mut Writer) {
+        w.put_u64(self.accepting.len() as u64);
+        w.put_u32(self.sigma as u32);
+        w.put_u32(self.initial);
+        w.put_u32_slice(&self.next);
+        w.put_bools(&self.accepting);
+    }
+
+    /// Content hash over the serialized payload — computed once at compile
+    /// time and stamped into every snapshot. Loaders fold the fingerprint
+    /// out of the checksum pass [`Reader::open`] already made instead.
     fn compute_fingerprint(&self) -> u64 {
-        let header = [
-            u64::from(kind::COMPILED_TAGGED_DFA),
-            self.accepting.len() as u64,
-            self.sigma as u64,
-            u64::from(self.initial),
-        ];
-        fnv1a_words(
-            header
-                .into_iter()
-                .chain(self.next.iter().map(|&v| u64::from(v)))
-                .chain(self.accepting.iter().map(|&b| u64::from(b))),
-        )
+        let mut w = Writer::new();
+        self.write_payload(&mut w);
+        fingerprint_payload(kind::COMPILED_TAGGED_DFA, checksum_bytes(w.payload()))
     }
 
     /// A valid state row offset: `q·stride` for some `q < n`.
@@ -201,6 +207,25 @@ impl StreamRun for CompiledTaggedDfaRun<'_> {
         self.state = self.tables.next[(self.state + t) as usize];
     }
 
+    /// Bulk entry: keeps the state in a register across the slice and
+    /// decodes the event kind with flag-style arithmetic (setcc, no
+    /// data-dependent branch), the flat Σ̂ analogue of the compiled NWA's
+    /// `run_tagged` loop.
+    fn step_slice(&mut self, events: &[TaggedSymbol]) {
+        let next = &self.tables.next;
+        let sigma = self.tables.sigma as u32;
+        let mut state = self.state;
+        for &event in events {
+            let a = event.symbol().index() as u32;
+            let is_int = u32::from(matches!(event, TaggedSymbol::Internal(_)));
+            let is_ret = u32::from(matches!(event, TaggedSymbol::Return(_)));
+            let kind = is_int + 2 * is_ret;
+            state = next[(state + kind * sigma + a) as usize];
+        }
+        self.state = state;
+        self.steps += events.len();
+    }
+
     fn is_accepting(&self) -> bool {
         self.tables.accepting[(self.state / self.tables.stride) as usize]
     }
@@ -308,16 +333,15 @@ impl Persist for CompiledTaggedDfa {
 
     fn save(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        w.put_u64(self.accepting.len() as u64);
-        w.put_u32(self.sigma as u32);
-        w.put_u32(self.initial);
-        w.put_u32_slice(&self.next);
-        w.put_bools(&self.accepting);
+        self.write_payload(&mut w);
         w.seal(Self::KIND, self.alphabet_fingerprint())
     }
 
     fn load(bytes: &[u8]) -> Result<Self, PersistError> {
         let (alphabet, mut r) = Reader::open(bytes, Self::KIND)?;
+        // `open` just hashed the whole payload; the content fingerprint
+        // derives from that same walk instead of re-hashing the tables.
+        let fingerprint = fingerprint_payload(Self::KIND, r.payload_checksum());
         let n = usize::try_from(r.get_u64()?).map_err(|_| PersistError::Malformed {
             context: "state count overflows",
         })?;
@@ -353,13 +377,13 @@ impl Persist for CompiledTaggedDfa {
                 context: "acceptance table length disagrees with the state count",
             });
         }
-        let mut artifact = CompiledTaggedDfa {
+        let artifact = CompiledTaggedDfa {
             sigma,
             stride: stride as u32,
             next,
             initial,
             accepting,
-            fingerprint: 0,
+            fingerprint,
         };
         if !artifact.is_row(artifact.initial) {
             return Err(PersistError::Malformed {
@@ -371,7 +395,6 @@ impl Persist for CompiledTaggedDfa {
                 context: "table entry is not a row offset",
             });
         }
-        artifact.fingerprint = artifact.compute_fingerprint();
         Ok(artifact)
     }
 

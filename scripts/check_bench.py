@@ -4,7 +4,7 @@
 Usage:
     check_bench.py NEW.json BASELINE.json [--tolerance 0.20]
                    [--filter compiled] [--sibling compiled=interpreted]
-                   [--min-speedup 5]
+                   [--min-speedup 5] [--min-throughput 1e8]
 
 CI runners and developer machines differ wildly in absolute speed, so the
 gated quantity is hardware-normalized: for every baseline result whose id
@@ -22,6 +22,15 @@ check: every gated row's fresh within-run speedup must reach at least the
 given multiple, regardless of what the baseline recorded. This is how a
 paper-level acceptance bar ("at least Nx") is enforced rather than merely
 not regressed.
+
+--min-throughput adds an absolute floor on the gated rows' fresh
+*per_sec* itself (units are whatever the bench recorded — bytes/sec for
+the byte-throughput groups). Unlike the speedup metrics this does NOT
+cancel out runner hardware, so set it well below what the slowest
+expected runner sustains: it exists to catch order-of-magnitude cliffs
+(e.g. the bytes->verdict pipeline silently falling off its bulk-scan
+path back to per-character lexing), not percent-level drift — the
+sibling-normalized tolerance check handles that.
 
 Absolute throughputs are printed for context either way; the E15c
 acceptance bar (compiled NWA >= 2x interpreted at 1M events), the E17a
@@ -71,6 +80,10 @@ def main():
     ap.add_argument("--min-speedup", type=float, default=None,
                     help="absolute floor: every gated row's fresh "
                          "within-run speedup must reach this multiple")
+    ap.add_argument("--min-throughput", type=float, default=None,
+                    help="absolute floor on every gated row's fresh "
+                         "per_sec (not hardware-normalized; set it low "
+                         "enough for the slowest expected runner)")
     args = ap.parse_args()
 
     pair = args.sibling.split("=", 1)
@@ -108,6 +121,13 @@ def main():
             failures.append(
                 f"{bench_id}: speedup {new_v:.3g} is below the absolute "
                 f"floor {args.min_speedup:g}"
+            )
+            flag = "  << BELOW FLOOR"
+        if (args.min_throughput is not None
+                and new[bench_id] < args.min_throughput):
+            failures.append(
+                f"{bench_id}: per_sec {new[bench_id]:.3g} is below the "
+                f"absolute floor {args.min_throughput:g}"
             )
             flag = "  << BELOW FLOOR"
         print(f"{bench_id:<52} {metric:>8} {base_v:>12.3g} {new_v:>12.3g} "

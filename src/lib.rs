@@ -23,7 +23,11 @@
 //!   [`query::equals`], the streaming verbs [`query::run_stream`] /
 //!   [`query::contains_stream`] that evaluate any
 //!   [`prelude::StreamAcceptor`] over SAX-style event streams in one pass
-//!   with memory proportional to the nesting depth, the batched verb
+//!   with memory proportional to the nesting depth, the bytes-in →
+//!   verdict-out pipeline [`query::run_streaming_reader`] /
+//!   [`query::run_streaming_text`] that drives any stream acceptor
+//!   straight from an [`std::io::Read`] through the bulk structural
+//!   scanner ([`nwa_xml::scan`]), the batched verb
 //!   [`query::run_batch`] that advances many independent streams in
 //!   software-pipelined lockstep over one shared compiled artifact
 //!   ([`prelude::BatchAcceptor`]; the [`nwa_service`] crate builds its
@@ -132,7 +136,10 @@ pub mod prelude {
 /// The WALi-style decision verbs, uniform over every automaton model
 /// ([`query::contains`], [`query::is_empty`], [`query::subset_eq`],
 /// [`query::equals`]), plus the streaming verbs over tagged-symbol event
-/// streams ([`query::run_stream`], [`query::contains_stream`]),
+/// streams ([`query::run_stream`], [`query::contains_stream`]) and the
+/// bytes-in → verdict-out pipeline ([`query::run_streaming_reader`],
+/// [`query::run_streaming_text`]) that feeds any stream acceptor from raw
+/// bytes through the bulk structural scanner,
 /// compilation into dense-table execution artifacts ([`query::compile`]),
 /// model-generic state minimization ([`query::minimize`]), the
 /// explanation verbs ([`query::witness`], [`query::counterexample`],
@@ -147,4 +154,5 @@ pub mod query {
         compile, contains, contains_stream, counterexample, distinguish, equals, is_empty, load,
         minimize, resume, run_batch, run_stream, save, subset_eq, suspend, witness,
     };
+    pub use nwa_xml::queries::{run_streaming_reader, run_streaming_text};
 }
