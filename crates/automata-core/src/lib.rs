@@ -22,6 +22,11 @@
 //!   software-pipelined lockstep over one shared automaton, each stream's
 //!   state an owned `Send`able lane — the capability the `nwa-service`
 //!   batched runner and concurrent decision service drive;
+//! * [`MultiCompile`] / [`MultiAcceptor`] / [`QuerySetRun`] — multi-query
+//!   execution ([`query::compile_set`], [`query::run_multi`]): M queries
+//!   compiled into one artifact stepped once per event, yielding a
+//!   per-query verdict bitmask — one tokenization pass answers the whole
+//!   query set;
 //! * [`Compile`] — lowering into a dense-table execution artifact
 //!   ([`query::compile`]): the compiled form runs the same [`StreamAcceptor`]
 //!   protocol with cache-friendly flat tables, trading a one-time
@@ -68,6 +73,7 @@
 pub mod build;
 pub mod compile;
 pub mod ids;
+pub mod multi;
 pub mod persist;
 pub mod query;
 pub mod stream;
@@ -77,6 +83,7 @@ pub mod traits;
 pub use build::Builder;
 pub use compile::Compile;
 pub use ids::StateId;
+pub use multi::{MultiAcceptor, MultiCompile, QuerySetRun};
 pub use persist::{Persist, PersistError};
 pub use stream::{BatchAcceptor, StreamAcceptor, StreamOutcome, StreamRun};
 pub use suspend::{Snapshot, Suspend};

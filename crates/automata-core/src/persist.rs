@@ -69,6 +69,9 @@ pub mod kind {
     pub const COMPILED_STEPWISE_TA: u16 = 5;
     /// `automata_core::Snapshot` — suspended run state (not an automaton).
     pub const SNAPSHOT: u16 = 6;
+    /// `nwa::QuerySet` — compiled multi-query artifact (product table with
+    /// accept masks, or lockstep member engines).
+    pub const QUERY_SET: u16 = 7;
 }
 
 /// Why a byte buffer could not be decoded into an artifact (or a snapshot
@@ -300,6 +303,15 @@ impl Writer {
         self.payload.extend(vs.iter().map(|&b| u8::from(b)));
     }
 
+    /// Appends a length-prefixed opaque byte blob (length as `u64`, then the
+    /// bytes verbatim). The framing lets composite artifacts nest complete
+    /// member images — header, checksum and all — so the member loader
+    /// revalidates them on decode.
+    pub fn put_bytes(&mut self, vs: &[u8]) {
+        self.put_u64(vs.len() as u64);
+        self.payload.extend_from_slice(vs);
+    }
+
     /// Prepends the header (magic, version, `kind`, alphabet fingerprint,
     /// payload length, payload checksum) and returns the finished buffer.
     pub fn seal(self, kind: u16, alphabet_fingerprint: u64) -> Vec<u8> {
@@ -457,6 +469,14 @@ impl<'a> Reader<'a> {
             .collect()
     }
 
+    /// Reads a length-prefixed opaque byte blob written by
+    /// [`Writer::put_bytes`]. The declared length is bounded by the
+    /// remaining payload before anything is allocated.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, PersistError> {
+        let len = self.get_len()?;
+        Ok(self.take(len)?.to_vec())
+    }
+
     fn get_len(&mut self) -> Result<usize, PersistError> {
         let len = self.get_u64()?;
         usize::try_from(len).map_err(|_| PersistError::Malformed {
@@ -593,6 +613,27 @@ mod tests {
         let bytes = w.seal(kind::SNAPSHOT, 0);
         let (_, mut r) = Reader::open(&bytes, kind::SNAPSHOT).unwrap();
         assert!(r.get_u32_vec().is_err());
+    }
+
+    #[test]
+    fn byte_blobs_round_trip_and_bound_their_length() {
+        let mut w = Writer::new();
+        w.put_bytes(b"inner artifact image");
+        w.put_bytes(b"");
+        w.put_u32(9);
+        let bytes = w.seal(kind::QUERY_SET, 0);
+        let (_, mut r) = Reader::open(&bytes, kind::QUERY_SET).unwrap();
+        assert_eq!(r.get_bytes().unwrap(), b"inner artifact image");
+        assert_eq!(r.get_bytes().unwrap(), Vec::<u8>::new());
+        assert_eq!(r.get_u32().unwrap(), 9);
+        r.finish().unwrap();
+
+        // A hostile blob length is a typed truncation, not an allocation.
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.seal(kind::QUERY_SET, 0);
+        let (_, mut r) = Reader::open(&bytes, kind::QUERY_SET).unwrap();
+        assert!(matches!(r.get_bytes(), Err(PersistError::Truncated { .. })));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! spelling examples and tests use: `query::equals(&a, &b)`.
 
 use crate::compile::Compile;
+use crate::multi::{MultiAcceptor, MultiCompile, QuerySetRun};
 use crate::persist::{Persist, PersistError};
 use crate::stream::{BatchAcceptor, StreamAcceptor, StreamOutcome, StreamRun};
 use crate::suspend::{Snapshot, Suspend};
@@ -175,6 +176,93 @@ where
 /// ```
 pub fn run_batch<A: BatchAcceptor>(a: &A, streams: &[&[TaggedSymbol]]) -> Vec<StreamOutcome> {
     a.run_batch(streams)
+}
+
+/// Compiles a set of M queries into **one** artifact that decides all of
+/// them per event — the model-generic entry point to every [`MultiCompile`]
+/// implementation. Drive the result with [`run_multi`] (or the bytes-in →
+/// verdicts-out pipeline `nwa_xml::queries::run_multi_streaming_reader`):
+/// one stream pass, M verdicts, the tokenization amortized across the set.
+///
+/// ```
+/// use automata_core::query;
+/// use nested_words::{Symbol, TaggedSymbol};
+/// use nwa::NwaBuilder;
+///
+/// // Two queries over {a}: "even length" and "contains a call".
+/// let a = Symbol(0);
+/// let mut even = NwaBuilder::new(2, 1, 0).accepting(0);
+/// let mut some_call = NwaBuilder::new(2, 1, 0).accepting(1);
+/// for q in 0..2usize {
+///     even = even
+///         .internal(q, a, 1 - q)
+///         .call(q, a, 1 - q, 0)
+///         .ret(q, 0, a, 1 - q)
+///         .ret(q, 1, a, 1 - q);
+///     some_call = some_call
+///         .internal(q, a, q)
+///         .call(q, a, 1, 0)
+///         .ret(q, 0, a, q)
+///         .ret(q, 1, a, q);
+/// }
+///
+/// let set = query::compile_set(&[even.build(), some_call.build()]);
+/// let outcomes = query::run_multi(&set, [TaggedSymbol::Internal(a)]);
+/// assert!(!outcomes[0].accepted); // odd length
+/// assert!(!outcomes[1].accepted); // no call
+/// ```
+pub fn compile_set<Q: MultiCompile>(queries: &[Q]) -> Q::CompiledSet {
+    Q::compile_set(queries)
+}
+
+/// Runs a compiled query set over one stream of tagged-symbol events and
+/// returns the per-query [`StreamOutcome`]s in query order — the
+/// model-generic entry point to every [`MultiAcceptor`] implementation.
+///
+/// Per query, the outcome equals [`run_stream`] of that query alone over
+/// the same events (property-tested in `tests/multiquery.rs`); the point of
+/// the set is that the stream is consumed **once** for all M answers.
+///
+/// ```
+/// use automata_core::query;
+/// use nested_words::{Symbol, TaggedSymbol};
+/// use nwa::NwaBuilder;
+///
+/// // Two queries over {a}: "even length" and "contains a call".
+/// let a = Symbol(0);
+/// let mut even_b = NwaBuilder::new(2, 1, 0).accepting(0);
+/// let mut some_call_b = NwaBuilder::new(2, 1, 0).accepting(1);
+/// for q in 0..2usize {
+///     even_b = even_b
+///         .internal(q, a, 1 - q)
+///         .call(q, a, 1 - q, 0)
+///         .ret(q, 0, a, 1 - q)
+///         .ret(q, 1, a, 1 - q);
+///     some_call_b = some_call_b
+///         .internal(q, a, q)
+///         .call(q, a, 1, 0)
+///         .ret(q, 0, a, q)
+///         .ret(q, 1, a, q);
+/// }
+/// let (even, some_call) = (even_b.build(), some_call_b.build());
+///
+/// let set = query::compile_set(&[even.clone(), some_call.clone()]);
+/// let events = [TaggedSymbol::Call(a), TaggedSymbol::Return(a)];
+/// let outcomes = query::run_multi(&set, events);
+/// assert_eq!(outcomes[0], query::run_stream(&even, events));
+/// assert_eq!(outcomes[1], query::run_stream(&some_call, events));
+/// assert!(outcomes[0].accepted && outcomes[1].accepted);
+/// ```
+pub fn run_multi<S, E>(set: &S, events: E) -> Vec<StreamOutcome>
+where
+    S: MultiAcceptor,
+    E: IntoIterator<Item = TaggedSymbol>,
+{
+    let mut run = set.start_set();
+    for event in events {
+        run.step(event);
+    }
+    run.outcomes()
 }
 
 /// Lowers automaton `a` into its dense-table execution artifact — the

@@ -41,7 +41,12 @@
 //!   ([`DecisionService::open_document`] / [`DecisionService::advance`] /
 //!   [`DecisionService::finish`]): a parked job is its
 //!   `automata_core::Snapshot` ([`ParkedDoc`]), serializable next to the
-//!   artifact bytes and fingerprint-checked on every resubmission.
+//!   artifact bytes and fingerprint-checked on every resubmission. When the
+//!   artifact is a multi-query set (`automata_core::MultiAcceptor`, e.g. an
+//!   `nwa::QuerySet`), [`DecisionService::submit_multi`] decides one stream
+//!   against every member query in one pass and answers through a
+//!   [`MultiHandle`] carrying all M verdicts, with each member's alphabet
+//!   fingerprint validated up front ([`MultiSubmitError`]).
 //!
 //! This outgrows the single-shot WALi-OpenNWA `query::language` shape the
 //! suite's decision layer was modeled on: the unit of work is no longer one
@@ -82,6 +87,6 @@ pub mod service;
 
 pub use batch::{BatchRun, DynBatchRun};
 pub use service::{
-    DecisionError, DecisionHandle, DecisionService, ParkError, ParkedDoc, ParkedHandle,
-    ServiceConfig, ServiceStats, WorkerStats,
+    DecisionError, DecisionHandle, DecisionService, MultiHandle, MultiSubmitError, ParkError,
+    ParkedDoc, ParkedHandle, ServiceConfig, ServiceStats, WorkerStats,
 };

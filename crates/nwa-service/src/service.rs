@@ -39,6 +39,15 @@
 //! fingerprint, so state parked by one artifact can only ever resume on
 //! that artifact (or a byte-identical reload of it), with a typed
 //! [`ParkError`] otherwise.
+//!
+//! Multi-query artifacts (`automata_core::MultiAcceptor`, e.g. an
+//! `nwa::QuerySet`) plug in through [`DecisionService::submit_multi`]: one
+//! submission decides a stream against every member query in one pass and
+//! returns a [`MultiHandle`] for all M verdicts — one queue slot and one
+//! worker dispatch instead of M. Each member's alphabet fingerprint is
+//! validated against the service's alphabet before anything is queued, so a
+//! query compiled over the wrong alphabet is one typed
+//! [`MultiSubmitError`] up front.
 
 use std::collections::VecDeque;
 use std::io;
@@ -48,8 +57,11 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use automata_core::persist::expect_alphabet;
-use automata_core::{BatchAcceptor, Persist, PersistError, Snapshot, StreamOutcome, Suspend};
+use automata_core::persist::{expect_alphabet, fingerprint_alphabet};
+use automata_core::{
+    BatchAcceptor, MultiAcceptor, Persist, PersistError, QuerySetRun, Snapshot, StreamOutcome,
+    StreamRun, Suspend,
+};
 use nested_words::{Alphabet, NestedWordError, TaggedSymbol};
 use nwa_xml::sax::{FrozenByteTokenizer, SaxError};
 
@@ -149,7 +161,10 @@ impl Default for ServiceConfig {
 
 /// An advance-burst closure: owns the already-resumed lane and the burst
 /// of events, runs on a worker against the shared artifact, and yields the
-/// re-parked snapshot.
+/// re-parked snapshot. Multi-query submissions reuse the same shape — the
+/// closure owns the validated stream and runs the artifact's query-set
+/// entry points, so the worker loop stays free of the [`MultiAcceptor`]
+/// bound.
 type AdvanceTask<A> = Box<dyn FnOnce(&A) -> Fulfilment + Send>;
 
 /// What a worker does with one queued job.
@@ -158,6 +173,9 @@ enum Payload<A> {
     Decide(Vec<TaggedSymbol>),
     /// Advance one parked document by an [`AdvanceTask`] burst.
     Advance { task: AdvanceTask<A>, events: usize },
+    /// Decide one whole stream against every member query of a multi-query
+    /// artifact in one pass.
+    Multi { task: AdvanceTask<A>, events: usize },
 }
 
 impl<A> std::fmt::Debug for Payload<A> {
@@ -166,6 +184,9 @@ impl<A> std::fmt::Debug for Payload<A> {
             Payload::Decide(events) => f.debug_tuple("Decide").field(&events.len()).finish(),
             Payload::Advance { events, .. } => {
                 f.debug_struct("Advance").field("events", events).finish()
+            }
+            Payload::Multi { events, .. } => {
+                f.debug_struct("Multi").field("events", events).finish()
             }
         }
     }
@@ -186,25 +207,44 @@ struct Job<A> {
 enum Fulfilment {
     Decided(StreamOutcome),
     Parked(ParkedDoc),
+    MultiDecided(Vec<StreamOutcome>),
 }
 
 /// Maps a slot fulfilment to the verdict a [`DecisionHandle`] promises.
 /// Decide jobs are only ever fulfilled with [`Fulfilment::Decided`], so the
-/// parked arm is unreachable by construction.
+/// other arms are unreachable by construction.
 fn decided(outcome: &Result<Fulfilment, DecisionError>) -> Result<StreamOutcome, DecisionError> {
     match outcome {
         Ok(Fulfilment::Decided(outcome)) => Ok(*outcome),
-        Ok(Fulfilment::Parked(_)) => unreachable!("decide job fulfilled with a parked document"),
+        Ok(Fulfilment::Parked(_) | Fulfilment::MultiDecided(_)) => {
+            unreachable!("decide job fulfilled with the wrong variant")
+        }
         Err(error) => Err(*error),
     }
 }
 
 /// Maps a slot fulfilment to the re-parked document a [`ParkedHandle`]
-/// promises; the decided arm is unreachable by construction.
+/// promises; the other arms are unreachable by construction.
 fn parked(outcome: &Result<Fulfilment, DecisionError>) -> Result<ParkedDoc, DecisionError> {
     match outcome {
         Ok(Fulfilment::Parked(doc)) => Ok(doc.clone()),
-        Ok(Fulfilment::Decided(_)) => unreachable!("advance job fulfilled with a verdict"),
+        Ok(Fulfilment::Decided(_) | Fulfilment::MultiDecided(_)) => {
+            unreachable!("advance job fulfilled with the wrong variant")
+        }
+        Err(error) => Err(*error),
+    }
+}
+
+/// Maps a slot fulfilment to the per-query verdicts a [`MultiHandle`]
+/// promises; the single-verdict arms are unreachable by construction.
+fn multi_decided(
+    outcome: &Result<Fulfilment, DecisionError>,
+) -> Result<Vec<StreamOutcome>, DecisionError> {
+    match outcome {
+        Ok(Fulfilment::MultiDecided(outcomes)) => Ok(outcomes.clone()),
+        Ok(Fulfilment::Decided(_) | Fulfilment::Parked(_)) => {
+            unreachable!("multi-query job fulfilled with a single verdict")
+        }
         Err(error) => Err(*error),
     }
 }
@@ -393,6 +433,116 @@ impl ParkedHandle {
     }
 }
 
+/// The caller's side of one [`DecisionService::submit_multi`]: a future for
+/// all M per-query verdicts of one stream against a multi-query artifact,
+/// in query order. Fulfilment is guaranteed exactly as for
+/// [`DecisionHandle`].
+#[derive(Debug, Clone)]
+pub struct MultiHandle {
+    slot: Arc<Slot>,
+}
+
+impl MultiHandle {
+    /// Blocks until the stream has been decided and returns one
+    /// [`StreamOutcome`] per member query, or the [`DecisionError`]
+    /// explaining why there are none. Waiting again returns the same
+    /// result.
+    pub fn wait(&self) -> Result<Vec<StreamOutcome>, DecisionError> {
+        let mut result = self.slot.result.lock().expect("decision slot poisoned");
+        loop {
+            if let Some(outcome) = result.as_ref() {
+                return multi_decided(outcome);
+            }
+            result = self.slot.done.wait(result).expect("decision slot poisoned");
+        }
+    }
+
+    /// Like [`wait`](MultiHandle::wait), but gives up after `timeout` and
+    /// returns `None` if the verdicts are still pending.
+    pub fn wait_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Option<Result<Vec<StreamOutcome>, DecisionError>> {
+        let mut result = self.slot.result.lock().expect("decision slot poisoned");
+        loop {
+            if let Some(outcome) = result.as_ref() {
+                return Some(multi_decided(outcome));
+            }
+            let (guard, wait) = self
+                .slot
+                .done
+                .wait_timeout(result, timeout)
+                .expect("decision slot poisoned");
+            result = guard;
+            if wait.timed_out() {
+                return result.as_ref().map(multi_decided);
+            }
+        }
+    }
+
+    /// The per-query verdicts if they are already in, without blocking.
+    pub fn try_outcomes(&self) -> Option<Result<Vec<StreamOutcome>, DecisionError>> {
+        self.slot
+            .result
+            .lock()
+            .expect("decision slot poisoned")
+            .as_ref()
+            .map(multi_decided)
+    }
+}
+
+/// Why a [`DecisionService::submit_multi`] was refused *at submission*,
+/// before anything was queued.
+///
+/// Like every other submission path, all checks are front-loaded onto the
+/// calling thread — so what a worker eventually runs can no longer fail
+/// validation, and a misconfigured query set is one typed error up front
+/// rather than out-of-range table indexing mid-batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiSubmitError {
+    /// An event's symbol falls outside the alphabet the service holds —
+    /// the same guard as [`DecisionService::submit`].
+    Input(NestedWordError),
+    /// Member query `query` of the artifact was compiled against a
+    /// different alphabet than the service's: its fingerprint `found` does
+    /// not match the `expected` fingerprint of the service alphabet. The
+    /// first offending query is reported.
+    QueryAlphabetMismatch {
+        /// Index of the first member query whose alphabet disagrees.
+        query: usize,
+        /// Fingerprint of the service's alphabet.
+        expected: u64,
+        /// Fingerprint the member query was compiled against.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for MultiSubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MultiSubmitError::Input(e) => write!(f, "invalid events for a multi-query run: {e}"),
+            MultiSubmitError::QueryAlphabetMismatch {
+                query,
+                expected,
+                found,
+            } => write!(
+                f,
+                "member query {query} was compiled against a different alphabet \
+                 (fingerprint {found:#018x}, service alphabet {expected:#018x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MultiSubmitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MultiSubmitError::Input(e) => Some(e),
+            MultiSubmitError::QueryAlphabetMismatch { .. } => None,
+        }
+    }
+}
+
 /// Per-worker monotone counters, updated with relaxed atomics on the worker's
 /// hot path.
 #[derive(Debug, Default)]
@@ -444,11 +594,11 @@ pub struct WorkerStats {
     /// Batches this worker has decided.
     pub batches: u64,
     /// Full streams this worker has decided (across all its batches).
-    /// Parked-document bursts do not count here — they contribute to
-    /// `events` and, on panic, to `failures`.
+    /// Parked-document bursts and multi-query submissions do not count
+    /// here — they contribute to `events` and, on panic, to `failures`.
     pub documents: u64,
-    /// Events this worker has consumed, across full streams and
-    /// parked-document bursts.
+    /// Events this worker has consumed, across full streams, multi-query
+    /// submissions and parked-document bursts.
     pub events: u64,
     /// Units of work this worker failed — streams whose batch kernel
     /// panicked, or parked-document bursts that panicked individually
@@ -658,6 +808,64 @@ impl<A: BatchAcceptor + Send + Sync + 'static> DecisionService<A> {
     }
 }
 
+impl<A: BatchAcceptor + MultiAcceptor + Send + Sync + 'static> DecisionService<A> {
+    /// Submits one stream for decision against **every member query** of a
+    /// multi-query artifact (e.g. an `nwa::QuerySet`) and returns a handle
+    /// for all M verdicts: the serving-side spelling of one-pass
+    /// multi-query execution — M verdicts for one queue slot, one worker
+    /// dispatch and one pass over the events.
+    ///
+    /// Everything that can be refused is refused here, typed, before
+    /// anything is queued. First every member query's alphabet fingerprint
+    /// is validated against the service's alphabet
+    /// ([`MultiAcceptor::member_alphabet_fingerprints`]) — a query compiled
+    /// over the wrong alphabet is a
+    /// [`MultiSubmitError::QueryAlphabetMismatch`] naming the first
+    /// offending index, not out-of-range table indexing inside a worker.
+    /// Then every event symbol is checked against the alphabet exactly as
+    /// in [`submit`](DecisionService::submit), with unknown symbols
+    /// reported as [`MultiSubmitError::Input`].
+    pub fn submit_multi(&self, events: Vec<TaggedSymbol>) -> Result<MultiHandle, MultiSubmitError> {
+        let expected = fingerprint_alphabet(self.alphabet.len());
+        for (query, found) in self
+            .shared
+            .artifact
+            .member_alphabet_fingerprints()
+            .into_iter()
+            .enumerate()
+        {
+            if found != expected {
+                return Err(MultiSubmitError::QueryAlphabetMismatch {
+                    query,
+                    expected,
+                    found,
+                });
+            }
+        }
+        let sigma = self.alphabet.len();
+        if let Some(event) = events.iter().find(|e| e.symbol().index() >= sigma) {
+            return Err(MultiSubmitError::Input(NestedWordError::UnknownSymbol {
+                name: event.symbol().to_string(),
+            }));
+        }
+        let count = events.len();
+        // The closure owns the validated stream and carries the
+        // `MultiAcceptor` entry points with it, keeping the worker loop on
+        // the plain `BatchAcceptor` bound.
+        let task: AdvanceTask<A> = Box::new(move |artifact: &A| {
+            let mut run = artifact.start_set();
+            run.step_slice(&events);
+            Fulfilment::MultiDecided(run.outcomes())
+        });
+        Ok(MultiHandle {
+            slot: self.enqueue(Payload::Multi {
+                task,
+                events: count,
+            }),
+        })
+    }
+}
+
 impl<A: BatchAcceptor + Persist + Send + Sync + 'static> DecisionService<A> {
     /// Builds a service straight from saved artifact bytes
     /// ([`Persist::save`] / `query::save`): the cold-start path of a worker
@@ -808,7 +1016,11 @@ fn worker_loop<A: BatchAcceptor>(shared: &Shared<A>, index: usize, lanes: usize)
         for job in batch {
             match job.payload {
                 Payload::Decide(events) => decisions.push((events, job.slot)),
-                Payload::Advance { task, events } => advances.push((task, events, job.slot)),
+                // Advance bursts and multi-query runs share the boxed-task
+                // shape and the individually-caught execution path below.
+                Payload::Advance { task, events } | Payload::Multi { task, events } => {
+                    advances.push((task, events, job.slot))
+                }
             }
         }
 
@@ -1324,6 +1536,133 @@ mod tests {
             ServiceConfig::default(),
         )
         .is_err());
+    }
+
+    #[test]
+    fn submit_multi_returns_every_member_verdict() {
+        use nwa::{QuerySet, QuerySetBackend};
+
+        let a = Symbol(0);
+        let even = even_len_nwa();
+        let mut some_call = Nwa::new(2, 1, 0);
+        some_call.set_accepting(1, true);
+        for q in 0..2usize {
+            some_call.set_internal(q, a, q);
+            some_call.set_call(q, a, 1, 0);
+            for h in 0..2 {
+                some_call.set_return(q, h, a, q);
+            }
+        }
+        let queries = [even.clone(), some_call.clone()];
+        let streams: Vec<Vec<TaggedSymbol>> = (0..10usize)
+            .map(|i| {
+                (0..i)
+                    .map(|j| match j % 3 {
+                        0 => TaggedSymbol::Internal(a),
+                        1 => TaggedSymbol::Call(a),
+                        _ => TaggedSymbol::Return(a),
+                    })
+                    .collect()
+            })
+            .collect();
+        for backend in [QuerySetBackend::Product, QuerySetBackend::Lockstep] {
+            let service = DecisionService::new(
+                QuerySet::with_backend(&queries, backend),
+                Alphabet::from_names(["a"]),
+                ServiceConfig {
+                    workers: 2,
+                    lanes: 3,
+                },
+            );
+            let handles: Vec<MultiHandle> = streams
+                .iter()
+                .map(|s| service.submit_multi(s.clone()).unwrap())
+                .collect();
+            for (stream, handle) in streams.iter().zip(&handles) {
+                let outcomes = handle.wait().unwrap();
+                assert_eq!(outcomes.len(), 2);
+                for (query, outcome) in queries.iter().zip(&outcomes) {
+                    let expected = query::run_stream(query, stream.iter().copied());
+                    assert_eq!(*outcome, expected, "{backend:?}");
+                }
+                // Waiting twice returns the same verdicts.
+                assert_eq!(handle.wait().unwrap(), outcomes);
+                assert_eq!(handle.try_outcomes(), Some(Ok(outcomes.clone())));
+                assert_eq!(
+                    handle.wait_timeout(Duration::from_millis(10)),
+                    Some(Ok(outcomes))
+                );
+            }
+            // Multi submissions share the queue with single-verdict ones.
+            let single = service.submit(streams[4].clone()).unwrap();
+            assert_eq!(
+                single.wait().unwrap(),
+                query::run_stream(
+                    &QuerySet::with_backend(&queries, backend),
+                    streams[4].iter().copied()
+                )
+            );
+            let stats = service.stats();
+            assert_eq!(stats.submitted, 11);
+            assert_eq!(stats.completed, 11);
+        }
+    }
+
+    #[test]
+    fn submit_multi_validates_every_query_alphabet_up_front() {
+        use nwa::QuerySet;
+
+        // The set's members were compiled over a 3-symbol alphabet, but the
+        // service holds a 2-name alphabet: every submission is refused with
+        // a typed error naming the first offending query, and nothing is
+        // ever queued.
+        let mut wide = Nwa::new(1, 3, 0);
+        wide.set_accepting(0, true);
+        for s in 0..3 {
+            let s = Symbol(s as u16);
+            wide.set_internal(0, s, 0);
+            wide.set_call(0, s, 0, 0);
+            wide.set_return(0, 0usize, s, 0);
+        }
+        let service = DecisionService::new(
+            QuerySet::compile(&[wide.clone(), wide]),
+            Alphabet::from_names(["a", "b"]),
+            ServiceConfig {
+                workers: 1,
+                lanes: 2,
+            },
+        );
+        let err = service
+            .submit_multi(vec![TaggedSymbol::Internal(Symbol(0))])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MultiSubmitError::QueryAlphabetMismatch { query: 0, .. }
+        ));
+        assert_eq!(service.stats().submitted, 0);
+
+        // With a matching artifact, out-of-alphabet events are still typed
+        // errors before anything is queued — the same guard as submit().
+        let service = DecisionService::new(
+            QuerySet::compile(&[even_len_nwa()]),
+            Alphabet::from_names(["a"]),
+            ServiceConfig {
+                workers: 1,
+                lanes: 2,
+            },
+        );
+        let err = service
+            .submit_multi(vec![TaggedSymbol::Call(Symbol(9))])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MultiSubmitError::Input(NestedWordError::UnknownSymbol { ref name }) if name == "s9"
+        ));
+        assert_eq!(service.stats().submitted, 0);
+        // And a valid submission still goes through afterwards.
+        let outcomes = service.submit_multi(vec![]).unwrap().wait().unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].accepted);
     }
 
     #[test]

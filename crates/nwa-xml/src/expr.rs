@@ -1,0 +1,179 @@
+//! A small query-combinator layer over the document-query zoo: compose
+//! [`queries`] primitives with boolean connectives and
+//! lower the result to one deterministic NWA.
+//!
+//! A [`Query`] is a syntax tree — leaves are the zoo constructors
+//! ([`Query::contains`], [`Query::in_order`], [`Query::depth_le`],
+//! [`Query::open_depth_le`], [`Query::within`]), inner nodes are
+//! [`and`](Query::and) / [`or`](Query::or) / [`not`](Query::not) — and
+//! [`Query::lower`] compiles it against a concrete alphabet size by lowering
+//! each leaf and folding the connectives through the `automata-core`
+//! [`BooleanOps`] product and complement constructions. Determinism is
+//! preserved at every node (products of deterministic NWAs are
+//! deterministic; complement just flips acceptance), so the result feeds
+//! straight into [`Compile`](automata_core::Compile) or a
+//! `query::compile_set` multi-query set.
+//!
+//! The law pinned by `tests/multiquery.rs`: lowering a composed query is
+//! language-equivalent to composing the lowered parts — `lower(a ∧ b) ≡
+//! lower(a) ∩ lower(b)` and likewise for `∨` and `¬` — so callers may
+//! compose at whichever layer is convenient.
+
+use automata_core::BooleanOps;
+use nested_words::Symbol;
+use nwa::automaton::Nwa;
+
+use crate::queries;
+
+/// A composable document query: zoo primitives under boolean connectives,
+/// lowered to one deterministic NWA by [`Query::lower`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// Some element with this tag occurs (as a call position) —
+    /// [`queries::contains_tag_nwa`].
+    Contains(Symbol),
+    /// These labels occur in document order — a flat
+    /// [`queries::patterns_in_order_nwa`] query over the linear structure.
+    InOrder(Vec<Symbol>),
+    /// The matched nesting depth is at most this bound —
+    /// [`queries::depth_at_most_nwa`].
+    DepthLe(usize),
+    /// Never more than this many simultaneously open elements —
+    /// [`queries::open_depth_at_most_nwa`].
+    OpenDepthLe(usize),
+    /// An `inner` event occurs strictly inside an open `outer` element —
+    /// [`queries::within_nwa`].
+    Within {
+        /// The enclosing element's tag.
+        outer: Symbol,
+        /// The enclosed call or text label.
+        inner: Symbol,
+    },
+    /// Both operands hold.
+    And(Box<Query>, Box<Query>),
+    /// At least one operand holds.
+    Or(Box<Query>, Box<Query>),
+    /// The operand does not hold.
+    Not(Box<Query>),
+}
+
+impl Query {
+    /// Leaf: some element with tag `tag` occurs.
+    pub fn contains(tag: Symbol) -> Query {
+        Query::Contains(tag)
+    }
+
+    /// Leaf: `labels` occur in document order.
+    pub fn in_order(labels: impl Into<Vec<Symbol>>) -> Query {
+        Query::InOrder(labels.into())
+    }
+
+    /// Leaf: matched nesting depth at most `d`.
+    pub fn depth_le(d: usize) -> Query {
+        Query::DepthLe(d)
+    }
+
+    /// Leaf: at most `d` simultaneously open elements.
+    pub fn open_depth_le(d: usize) -> Query {
+        Query::OpenDepthLe(d)
+    }
+
+    /// Leaf: an `inner` event strictly inside an open `outer` element.
+    pub fn within(outer: Symbol, inner: Symbol) -> Query {
+        Query::Within { outer, inner }
+    }
+
+    /// Conjunction: both `self` and `other` hold.
+    pub fn and(self, other: Query) -> Query {
+        Query::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction: `self` or `other` holds.
+    pub fn or(self, other: Query) -> Query {
+        Query::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation: `self` does not hold.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Query {
+        Query::Not(Box::new(self))
+    }
+
+    /// Lowers the query tree to one deterministic NWA over a `sigma`-symbol
+    /// alphabet: zoo constructors at the leaves, [`BooleanOps`] product /
+    /// complement at the connectives.
+    ///
+    /// State counts multiply through [`And`](Query::And) /
+    /// [`Or`](Query::Or) nodes (the product construction), so deeply
+    /// composed queries are best compiled once and reused — or handed as
+    /// *separate* members to a `query::compile_set` multi-query set, whose
+    /// backend heuristic keeps oversized products off the hot path.
+    pub fn lower(&self, sigma: usize) -> Nwa {
+        match self {
+            Query::Contains(tag) => queries::contains_tag_nwa(*tag, sigma),
+            Query::InOrder(labels) => queries::patterns_in_order_nwa(labels, sigma),
+            Query::DepthLe(d) => queries::depth_at_most_nwa(*d, sigma),
+            Query::OpenDepthLe(d) => queries::open_depth_at_most_nwa(*d, sigma),
+            Query::Within { outer, inner } => queries::within_nwa(*outer, *inner, sigma),
+            Query::And(a, b) => a.lower(sigma).intersect(&b.lower(sigma)),
+            Query::Or(a, b) => a.lower(sigma).union(&b.lower(sigma)),
+            Query::Not(a) => a.lower(sigma).complement(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sax::parse_document;
+    use nested_words::Alphabet;
+
+    #[test]
+    fn composed_queries_lower_and_decide() {
+        let mut ab = Alphabet::new();
+        let doc = parse_document("<doc><sec><fig>t</fig></sec></doc>", &mut ab).unwrap();
+        let sec = ab.lookup("sec").unwrap();
+        let fig = ab.lookup("fig").unwrap();
+        let t = ab.lookup("t").unwrap();
+        let sigma = ab.len();
+
+        // "a fig inside a sec, and the document is not deeper than 3"
+        let q = Query::within(sec, fig).and(Query::depth_le(3));
+        assert!(q.lower(sigma).accepts(&doc));
+        assert!(!q.clone().not().lower(sigma).accepts(&doc));
+        // "a fig inside a sec, but nothing nests deeper than 2" fails: the
+        // chain doc > sec > fig > t has three matched edges
+        assert!(!Query::within(sec, fig)
+            .and(Query::depth_le(2))
+            .lower(sigma)
+            .accepts(&doc));
+        // or-composition with an unsatisfied branch still accepts
+        assert!(Query::contains(t) // t is text, never a tag
+            .or(Query::in_order([sec, fig]))
+            .lower(sigma)
+            .accepts(&doc));
+    }
+
+    #[test]
+    fn lowering_commutes_with_boolean_composition() {
+        let mut ab = Alphabet::new();
+        let docs = [
+            parse_document("<doc><sec>t</sec></doc>", &mut ab).unwrap(),
+            parse_document("<doc><fig>t</fig><sec/></doc>", &mut ab).unwrap(),
+            parse_document("<sec><sec><sec>t</sec></sec></sec>", &mut ab).unwrap(),
+        ];
+        let sec = ab.lookup("sec").unwrap();
+        let fig = ab.lookup("fig").unwrap();
+        let sigma = ab.len();
+        let a = Query::contains(sec);
+        let b = Query::within(sec, fig).or(Query::depth_le(1));
+        let composed = a.clone().and(b.clone()).or(b.clone().not()).lower(sigma);
+        let by_hand = a
+            .lower(sigma)
+            .intersect(&b.lower(sigma))
+            .union(&b.lower(sigma).complement());
+        for (i, doc) in docs.iter().enumerate() {
+            assert_eq!(composed.accepts(doc), by_hand.accepts(doc), "doc {i}");
+        }
+    }
+}

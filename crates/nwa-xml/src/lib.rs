@@ -22,11 +22,17 @@
 //!   a streaming fashion with memory proportional to the document depth
 //!   ([`queries`]), including the bytes-in → verdict-out pipeline
 //!   ([`queries::run_streaming_reader`]), which buffers scanned events into
-//!   slices and feeds the compiled engines' bulk entry points.
+//!   slices and feeds the compiled engines' bulk entry points, and its
+//!   multi-query counterpart ([`queries::run_multi_streaming_reader`]): one
+//!   tokenization pass deciding a whole compiled query set,
+//! * a query-combinator layer ([`expr`]): zoo primitives composed with
+//!   `and`/`or`/`not` and lowered to one deterministic NWA through the
+//!   `automata-core` boolean constructions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod expr;
 pub mod generate;
 pub mod queries;
 pub mod sax;

@@ -12,7 +12,7 @@
 //!   hierarchical structure.
 
 use crate::sax::{FrozenByteTokenizer, SaxError};
-use automata_core::{query, StreamAcceptor, StreamRun};
+use automata_core::{query, MultiAcceptor, QuerySetRun, StreamAcceptor, StreamRun};
 use nested_words::{Alphabet, NestedWord, NestedWordError, Symbol, TaggedSymbol};
 use nwa::automaton::Nwa;
 use nwa::flat::from_tagged_dfa;
@@ -149,6 +149,46 @@ pub fn contains_tag_nwa(tag: Symbol, sigma: usize) -> Nwa {
     m
 }
 
+/// Builds a deterministic NWA accepting documents with an `inner`-labelled
+/// element or text event strictly inside an open `outer` element — the
+/// XPath-ish `//outer//inner` containment query, and the query family that
+/// genuinely needs the hierarchical structure (a word automaton over the
+/// linear order cannot tell "inside" from "after").
+///
+/// "Inside an open `outer`" is tracked through the matching relation: the
+/// context (outer open or not) is pushed on every call's hierarchical edge
+/// and restored by the matching return. A *pending* return matches no call,
+/// so it joins the initial state's base (§3.1) and resets the tracker to top
+/// level, exactly like the other structural queries in this zoo. `inner`
+/// occurrences counted are calls and internals; a return labelled `inner`
+/// closes an element rather than introducing one and does not hit.
+pub fn within_nwa(outer: Symbol, inner: Symbol, sigma: usize) -> Nwa {
+    // states: 0 = no outer open (initial), 1 = inside an open outer,
+    // 2 = hit (accepting sink)
+    let mut m = Nwa::new(3, sigma, 0);
+    m.set_accepting(2, true);
+    for a in 0..sigma {
+        let a_sym = Symbol(a as u16);
+        // 0: only an outer call moves inside; inner events here do not count
+        m.set_internal(0, a_sym, 0);
+        m.set_call(0, a_sym, usize::from(a_sym == outer), 0);
+        // 1: any inner-labelled call or internal is a hit; otherwise stay
+        // inside (nested outers included), saving the context on the edge
+        m.set_internal(1, a_sym, if a_sym == inner { 2 } else { 1 });
+        m.set_call(1, a_sym, if a_sym == inner { 2 } else { 1 }, 1);
+        m.set_internal(2, a_sym, 2);
+        m.set_call(2, a_sym, 2, 2);
+        for h in 0..3 {
+            // closing an element restores the context recorded at its call;
+            // a hit is permanent whatever closes
+            m.set_return(0, h, a_sym, h);
+            m.set_return(1, h, a_sym, h);
+            m.set_return(2, h, a_sym, 2);
+        }
+    }
+    m
+}
+
 /// Result of a streaming evaluation (re-exported from
 /// `automata_core::stream`, where the generic streaming verbs live).
 pub type StreamingOutcome = automata_core::StreamOutcome;
@@ -215,6 +255,38 @@ pub fn run_streaming_reader<A: StreamAcceptor, R: io::Read>(
         events: run.steps(),
         peak_memory: run.peak_memory(),
     })
+}
+
+/// The multi-query spelling of [`run_streaming_reader`]: one tokenization
+/// pass over the byte stream decides **all** member queries of a compiled
+/// set ([`MultiAcceptor`], e.g. `nwa::QuerySet`), returning one
+/// [`StreamingOutcome`] per query in query order.
+///
+/// This is the point of the multi-query subsystem: tokenization dominates
+/// the bytes-to-verdict pipeline, so M queries answered off one scan cost
+/// barely more than one — where M sequential [`run_streaming_reader`] calls
+/// would re-scan (and re-validate) the same bytes M times. Alphabet
+/// discipline is identical to the single-query path: every name must already
+/// be interned in `alphabet`, unknown names surface as
+/// [`NestedWordError::UnknownSymbol`] without mutating `alphabet`, and the
+/// set must be compiled with `sigma = alphabet.len()`.
+pub fn run_multi_streaming_reader<S: MultiAcceptor, R: io::Read>(
+    set: &S,
+    reader: R,
+    alphabet: &Alphabet,
+) -> Result<Vec<StreamingOutcome>, SaxError> {
+    let mut run = set.start_set();
+    let mut tokenizer = FrozenByteTokenizer::new(reader, alphabet);
+    let mut buffer: Vec<TaggedSymbol> = Vec::with_capacity(EVENT_SLICE);
+    loop {
+        tokenizer.fill(&mut buffer, EVENT_SLICE)?;
+        if buffer.is_empty() {
+            break;
+        }
+        run.step_slice(&buffer);
+        buffer.clear();
+    }
+    Ok(run.outcomes())
 }
 
 /// [`run_streaming_reader`] over an in-memory text: the same byte-level
@@ -340,6 +412,67 @@ mod tests {
                 "d = {d}"
             );
         }
+    }
+
+    #[test]
+    fn within_query_needs_the_hierarchy() {
+        let mut ab = Alphabet::new();
+        let inside = parse_document("<o><x><i>t</i></x></o>", &mut ab).unwrap();
+        let after = parse_document("<o></o><i>t</i>", &mut ab).unwrap();
+        let elsewhere = parse_document("<x><i>t</i></x>", &mut ab).unwrap();
+        let o = ab.lookup("o").unwrap();
+        let i = ab.lookup("i").unwrap();
+        let t = ab.lookup("t").unwrap();
+        let sigma = ab.len();
+        let q = within_nwa(o, i, sigma);
+        assert!(q.accepts(&inside));
+        // linearly "o ... i" but the o element is already closed
+        assert!(!q.accepts(&after));
+        assert!(!q.accepts(&elsewhere));
+        // text events count as inner occurrences too
+        assert!(within_nwa(o, t, sigma).accepts(&inside));
+        // a pending return closing nothing resets to top level
+        let pending = parse_document("<o></x><i>t</i>", &mut ab).unwrap();
+        assert!(!within_nwa(o, i, ab.len()).accepts(&pending));
+    }
+
+    #[test]
+    fn multi_streaming_reader_matches_per_query_runs() {
+        use nwa::QuerySet;
+
+        let text = r#"<doc><sec n="1">hello</sec><sec n="2">world</sec></doc>"#;
+        let mut ab = Alphabet::new();
+        crate::sax::tokenize(text, &mut ab).unwrap();
+        let sec = ab.lookup("sec").unwrap();
+        let doc_tag = ab.lookup("doc").unwrap();
+        let hello = ab.lookup("hello").unwrap();
+        let sigma = ab.len();
+        let queries = [
+            contains_tag_nwa(sec, sigma),
+            contains_tag_nwa(hello, sigma), // text only, never a tag: rejects
+            within_nwa(doc_tag, hello, sigma),
+            depth_at_most_nwa(1, sigma),
+        ];
+        let set = QuerySet::compile(&queries);
+        let outcomes = run_multi_streaming_reader(&set, text.as_bytes(), &ab).unwrap();
+        assert_eq!(outcomes.len(), queries.len());
+        for (q, outcome) in queries.iter().zip(&outcomes) {
+            let solo = run_streaming_text(q, text, &ab).unwrap();
+            assert_eq!(*outcome, solo);
+        }
+        assert_eq!(
+            outcomes.iter().map(|o| o.accepted).collect::<Vec<_>>(),
+            [true, false, true, false]
+        );
+
+        // Unknown names are rejected up front without touching the alphabet.
+        let err =
+            run_multi_streaming_reader(&set, "<doc><intruder/></doc>".as_bytes(), &ab).unwrap_err();
+        assert!(matches!(
+            err,
+            SaxError::Syntax(NestedWordError::UnknownSymbol { ref name }) if name == "intruder"
+        ));
+        assert_eq!(ab.len(), sigma);
     }
 
     #[test]

@@ -15,7 +15,8 @@ per_sec / sibling per_sec, both measured on the same machine in the same
 run) is compared between baseline and fresh run. A fresh speedup more than
 the tolerance below the baseline speedup fails, as does a gated benchmark
 disappearing. Gated rows without a sibling fall back to the absolute
-per_sec comparison.
+per_sec comparison. A --filter that matches no baseline id at all is a
+hard failure: a gate that checks zero rows is broken, not green.
 
 --min-speedup adds an *absolute* floor on top of the baseline-relative
 check: every gated row's fresh within-run speedup must reach at least the
@@ -94,10 +95,12 @@ def main():
     base = load(args.baseline)
 
     failures = []
+    gated_rows = 0
     print(f"{'benchmark':<52} {'metric':>8} {'baseline':>12} {'current':>12} {'ratio':>7}")
     for bench_id, base_per_sec in sorted(base.items()):
         if args.filter not in bench_id:
             continue
+        gated_rows += 1
         if bench_id not in new:
             failures.append(f"{bench_id}: missing from the fresh run")
             continue
@@ -132,6 +135,15 @@ def main():
             flag = "  << BELOW FLOOR"
         print(f"{bench_id:<52} {metric:>8} {base_v:>12.3g} {new_v:>12.3g} "
               f"{ratio:>6.2f}x{flag}")
+
+    # A filter that matches nothing gates nothing: that is a broken gate
+    # (typo'd --filter, renamed bench ids), not a green one, so it is a
+    # hard failure rather than a vacuous pass.
+    if gated_rows == 0:
+        failures.append(
+            f"--filter {args.filter!r} matched no baseline benchmark id; "
+            "the gate checked nothing"
+        )
 
     # Context: all sibling-normalized speedups in the fresh run.
     rows = [(b, s) for b in sorted(new)

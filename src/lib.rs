@@ -32,6 +32,13 @@
 //!   software-pipelined lockstep over one shared compiled artifact
 //!   ([`prelude::BatchAcceptor`]; the [`nwa_service`] crate builds its
 //!   batched runner and concurrent decision service on it), the
+//!   multi-query verbs [`query::compile_set`] / [`query::run_multi`] /
+//!   [`query::run_multi_streaming_reader`] that compile M queries into one
+//!   artifact ([`prelude::MultiCompile`], e.g. an [`prelude::QuerySet`])
+//!   stepped once per event for a per-query verdict bitmask — one
+//!   tokenization pass answering the whole query set, with the
+//!   combinator layer [`query::expr`] composing the document-query zoo
+//!   under `and`/`or`/`not` before compilation — the
 //!   explanation verbs [`query::witness`] / [`query::counterexample`] /
 //!   [`query::distinguish`] that turn every negative decision into a
 //!   concrete input ([`prelude::Witness`]), and the persistence verbs
@@ -109,8 +116,8 @@ pub use word_automata;
 pub mod prelude {
     pub use automata_core::{
         Acceptor, BatchAcceptor, BooleanOps, Builder, Compile, Decide, Emptiness, Minimize,
-        Persist, PersistError, Snapshot, StateId, StreamAcceptor, StreamOutcome, StreamRun,
-        Suspend, Witness,
+        MultiAcceptor, MultiCompile, Persist, PersistError, QuerySetRun, Snapshot, StateId,
+        StreamAcceptor, StreamOutcome, StreamRun, Suspend, Witness,
     };
     pub use nested_words::tagged::{display_nested_word, parse_nested_word};
     pub use nested_words::{
@@ -119,12 +126,12 @@ pub mod prelude {
     };
     pub use nwa::{
         CompiledNwa, CompiledSummary, JoinlessNwa, JoinlessStreamingRun, Nnwa, NnwaBuilder,
-        NnwaStreamingRun, Nwa, NwaBuilder, StreamingRun,
+        NnwaStreamingRun, Nwa, NwaBuilder, QuerySet, QuerySetBackend, StreamingRun,
     };
     pub use nwa_pushdown::{Pnwa, PnwaMode};
     pub use nwa_service::{
-        BatchRun, DecisionError, DecisionService, DynBatchRun, ParkError, ParkedDoc, ParkedHandle,
-        ServiceConfig,
+        BatchRun, DecisionError, DecisionService, DynBatchRun, MultiHandle, MultiSubmitError,
+        ParkError, ParkedDoc, ParkedHandle, ServiceConfig,
     };
     pub use pushdown_automata::{Cfg, PushdownTreeAutomaton};
     pub use tree_automata::{
@@ -148,11 +155,19 @@ pub mod prelude {
 /// boolean, and the persistence verbs: [`query::save`] / [`query::load`]
 /// round-trip compiled artifacts through a versioned, checksummed byte
 /// format, and [`query::suspend`] / [`query::resume`] park and continue a
-/// live run at the exact prefix.
+/// live run at the exact prefix. Multi-query execution gets its own verbs:
+/// [`query::compile_set`] compiles M queries into one artifact,
+/// [`query::run_multi`] / [`query::run_multi_streaming_reader`] step it
+/// once per event for all M verdicts, and [`query::expr`] composes the
+/// document-query zoo under boolean connectives before compilation.
 pub mod query {
     pub use automata_core::query::{
-        compile, contains, contains_stream, counterexample, distinguish, equals, is_empty, load,
-        minimize, resume, run_batch, run_stream, save, subset_eq, suspend, witness,
+        compile, compile_set, contains, contains_stream, counterexample, distinguish, equals,
+        is_empty, load, minimize, resume, run_batch, run_multi, run_stream, save, subset_eq,
+        suspend, witness,
     };
-    pub use nwa_xml::queries::{run_streaming_reader, run_streaming_text};
+    pub use nwa_xml::expr;
+    pub use nwa_xml::queries::{
+        run_multi_streaming_reader, run_streaming_reader, run_streaming_text,
+    };
 }
