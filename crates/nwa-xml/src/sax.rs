@@ -422,6 +422,52 @@ impl<N: ResolveName> LexerCore<N> {
         Ok(self.names.resolve(name)?)
     }
 
+    /// The SIMD fill path's spelling of [`Self::resolve_bytes`] for short
+    /// names: the caller already holds the exact cache key — the same
+    /// `(w0, w1)` value [`pack_name`] would produce, built from two masked
+    /// word loads of its in-bounds window — so a hit costs only the probe.
+    /// Misses take the identical policy path and fill the same slot, so
+    /// the answer (and the cache state left behind) matches
+    /// `resolve_bytes` exactly.
+    #[cfg(feature = "simd")]
+    #[inline]
+    pub(crate) fn resolve_prepacked(
+        &mut self,
+        w0: u64,
+        w1: u64,
+        name: &[u8],
+    ) -> Result<Symbol, SaxError> {
+        debug_assert!((1..=16).contains(&name.len()));
+        debug_assert_eq!(pack_name(name), (w0, w1));
+        let len = name.len() as u32;
+        let mix = (w0 ^ w1.rotate_left(29) ^ u64::from(len)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let slot = (mix >> 56) as usize & (NAME_CACHE_SLOTS - 1);
+        let e = self.cache[slot];
+        if e.w0 == w0 && e.w1 == w1 && e.len == len {
+            return Ok(e.sym);
+        }
+        self.resolve_prepacked_miss(w0, w1, slot, name)
+    }
+
+    /// The policy-consulting tail of [`Self::resolve_prepacked`], kept out
+    /// of the inlined probe: per distinct name it runs once, while the
+    /// probe runs per event.
+    #[cfg(feature = "simd")]
+    #[cold]
+    fn resolve_prepacked_miss(
+        &mut self,
+        w0: u64,
+        w1: u64,
+        slot: usize,
+        name: &[u8],
+    ) -> Result<Symbol, SaxError> {
+        let len = name.len() as u32;
+        let name = std::str::from_utf8(name).expect("resolve_prepacked takes valid UTF-8");
+        let sym = self.names.resolve(name)?;
+        self.cache[slot] = NameCacheEntry { w0, w1, len, sym };
+        Ok(sym)
+    }
+
     /// Classifies one tag body (the characters between `<` and `>`) into
     /// its SAX event, queueing the return of a self-closing tag:
     ///

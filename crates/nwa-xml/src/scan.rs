@@ -73,6 +73,15 @@ fn validate_utf8(bytes: &[u8]) -> (usize, Utf8Stop) {
     let n = bytes.len();
     let mut i = 0;
     while i < n {
+        // On the wide backend, swallow whole-vector ASCII runs first; the
+        // word loop below keeps the tail and stays the only path on SWAR.
+        #[cfg(feature = "simd")]
+        {
+            i += simd::ascii_run(&bytes[i..]);
+            if i >= n {
+                break;
+            }
+        }
         let b = bytes[i];
         if b < 0x80 {
             if i + 8 <= n {
@@ -176,6 +185,441 @@ fn first_mark(mask: u64) -> usize {
 #[inline(always)]
 fn load_word(data: &[u8], i: usize) -> u64 {
     u64::from_le_bytes(data[i..i + 8].try_into().expect("8-byte load"))
+}
+
+// --------------------------------------------------------------------------
+// Sweep backend selection (SWAR default, wide kernels behind `simd`)
+// --------------------------------------------------------------------------
+
+/// Which sweep kernel the bulk scanner uses to classify window bytes. The
+/// backends are observationally identical — `tests/sax_scan.rs` holds them
+/// to token-for-token, error-for-error equivalence — and differ only in
+/// throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanBackend {
+    /// Portable 8-byte SWAR word sweeps: the default, and the only backend
+    /// compiled without the `simd` cargo feature.
+    Swar,
+    /// 64-byte AVX2 block classification (`x86_64`, runtime-detected).
+    Avx2,
+    /// 64-byte NEON block classification (`aarch64`, baseline ISA).
+    Neon,
+}
+
+/// The backend the next window fill will use. Without the `simd` feature
+/// this is always [`ScanBackend::Swar`]; with it, the CPU is probed once
+/// (AVX2 on `x86_64` via `is_x86_feature_detected!`, NEON unconditionally
+/// on `aarch64` where it is baseline) and the answer cached. Benches and
+/// docs use this to report which path actually ran.
+pub fn scan_backend() -> ScanBackend {
+    backend::current()
+}
+
+/// Forces the sweep backend process-wide — how the benches and the
+/// differential tests run SWAR and SIMD side by side in one process.
+/// Returns `false` (changing nothing) if the requested backend is not
+/// compiled in or not supported by this CPU; [`auto_scan_backend`] returns
+/// to runtime detection. Safe at any moment: a lexer mid-stream simply
+/// fills its next window with the new backend.
+pub fn force_scan_backend(backend: ScanBackend) -> bool {
+    backend::force(backend)
+}
+
+/// Clears a [`force_scan_backend`] override, back to runtime detection.
+pub fn auto_scan_backend() {
+    backend::reset()
+}
+
+#[cfg(feature = "simd")]
+mod backend {
+    use super::ScanBackend;
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    /// 0 = undecided (probe on first use), else the backend's code below.
+    /// Detection is idempotent, so a startup race costs a duplicate probe,
+    /// never a wrong answer.
+    static STATE: AtomicU8 = AtomicU8::new(0);
+
+    fn code(b: ScanBackend) -> u8 {
+        match b {
+            ScanBackend::Swar => 1,
+            ScanBackend::Avx2 => 2,
+            ScanBackend::Neon => 3,
+        }
+    }
+
+    fn available(b: ScanBackend) -> bool {
+        match b {
+            ScanBackend::Swar => true,
+            #[cfg(target_arch = "x86_64")]
+            ScanBackend::Avx2 => is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "aarch64")]
+            ScanBackend::Neon => true,
+            #[allow(unreachable_patterns)]
+            _ => false,
+        }
+    }
+
+    fn detect() -> ScanBackend {
+        #[cfg(target_arch = "x86_64")]
+        if is_x86_feature_detected!("avx2") {
+            return ScanBackend::Avx2;
+        }
+        #[cfg(target_arch = "aarch64")]
+        return ScanBackend::Neon;
+        #[allow(unreachable_code)]
+        ScanBackend::Swar
+    }
+
+    pub(super) fn current() -> ScanBackend {
+        match STATE.load(Ordering::Relaxed) {
+            1 => ScanBackend::Swar,
+            2 => ScanBackend::Avx2,
+            3 => ScanBackend::Neon,
+            _ => {
+                let b = detect();
+                STATE.store(code(b), Ordering::Relaxed);
+                b
+            }
+        }
+    }
+
+    pub(super) fn force(b: ScanBackend) -> bool {
+        if !available(b) {
+            return false;
+        }
+        STATE.store(code(b), Ordering::Relaxed);
+        true
+    }
+
+    pub(super) fn reset() {
+        STATE.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(not(feature = "simd"))]
+mod backend {
+    use super::ScanBackend;
+
+    pub(super) fn current() -> ScanBackend {
+        ScanBackend::Swar
+    }
+
+    pub(super) fn force(b: ScanBackend) -> bool {
+        b == ScanBackend::Swar
+    }
+
+    pub(super) fn reset() {}
+}
+
+/// Wide structural classification — the simdjson stage-1 idea scoped to
+/// this scanner. One vector pass over a 64-byte block produces five
+/// bitmasks (ASCII whitespace, `<`, `>`, "breaks a simple tag body",
+/// non-ASCII) that the block fill loop then consumes with register bit
+/// tests — no per-byte loads, no per-token sweep setup. Only
+/// *classification* is vectorized: every tokenization decision, and every
+/// case the masks flag as complex (directives, attributes, non-ASCII,
+/// block/window seams), goes through the same scalar [`step_token`] the
+/// SWAR backend uses, which is how the backends stay equivalent by
+/// construction.
+#[cfg(feature = "simd")]
+#[allow(unsafe_code)]
+mod simd {
+    /// Bytes classified per [`BlockClassifier::classify`] call.
+    pub(super) const BLOCK: usize = 64;
+
+    /// One bit per block byte, bit 0 = lowest address.
+    #[derive(Clone, Copy, Default)]
+    pub(super) struct BlockMasks {
+        /// ASCII whitespace (TAB, LF, VT, FF, CR, space) — exactly
+        /// [`is_ascii_ws`](super::is_ascii_ws).
+        pub ws: u64,
+        /// `<`
+        pub lt: u64,
+        /// `>`
+        pub gt: u64,
+        /// Bytes that end the *simple tag* fast path: below 0x21, `"`,
+        /// `'`, `/`, or non-ASCII — exactly the interest set of
+        /// [`find_tag_close`](super::find_tag_close) minus `>`.
+        pub bad: u64,
+        /// Non-ASCII (bit 7 set).
+        pub high: u64,
+    }
+
+    /// A vector kernel producing [`BlockMasks`]. Implementations are
+    /// zero-sized proofs: a value exists only after the ISA was verified
+    /// present (or is baseline), which is what makes their intrinsic use
+    /// sound.
+    pub(super) trait BlockClassifier: Copy {
+        /// Classifies `data[at..at + BLOCK]`; panics if out of bounds.
+        fn classify(self, data: &[u8], at: usize) -> BlockMasks;
+    }
+
+    /// An append cursor over a `Vec`'s spare capacity: the block fill
+    /// loop's spelling of `Vec::push` with the length held in a register
+    /// instead of written back per event. Construction reserves room for
+    /// `extra` pushes up front, so the per-event step is one store and an
+    /// increment — no capacity branch, no length store. Dropping the sink
+    /// (normally, on an error return, or on a `break` out of the loop)
+    /// publishes the final length, so events pushed before an error stay
+    /// visible, exactly like plain `push`.
+    pub(super) struct EventSink<'a, T: Copy> {
+        vec: &'a mut Vec<T>,
+        len: usize,
+    }
+
+    impl<'a, T: Copy> EventSink<'a, T> {
+        /// `extra` is the hard cap on pushes through this sink (the fill
+        /// budget); exceeding it is a debug-checked contract violation.
+        pub(super) fn new(vec: &'a mut Vec<T>, extra: usize) -> Self {
+            vec.reserve(extra);
+            let len = vec.len();
+            EventSink { vec, len }
+        }
+
+        #[inline(always)]
+        pub(super) fn push(&mut self, t: T) {
+            debug_assert!(self.len < self.vec.capacity());
+            // SAFETY: `new` reserved capacity for every permitted push,
+            // the write stays below that capacity (debug-asserted), and
+            // `T: Copy` means no drop obligations for `set_len` on Drop.
+            unsafe {
+                self.vec.as_mut_ptr().add(self.len).write(t);
+            }
+            self.len += 1;
+        }
+    }
+
+    impl<T: Copy> Drop for EventSink<'_, T> {
+        fn drop(&mut self) {
+            // SAFETY: `self.len` only grows past the pushes written above,
+            // each below the reserved capacity.
+            unsafe {
+                self.vec.set_len(self.len);
+            }
+        }
+    }
+
+    /// Length of the longest all-ASCII prefix the wide backend can certify
+    /// in whole vectors — the UTF-8 validator's fast-forward. Returns 0 on
+    /// the SWAR backend (or within a vector of the first non-ASCII byte),
+    /// leaving the word-at-a-time loop to do exactly what it always did.
+    pub(super) fn ascii_run(bytes: &[u8]) -> usize {
+        #[cfg(target_arch = "x86_64")]
+        if let Some(k) = Avx2::active() {
+            return k.ascii_run(bytes);
+        }
+        #[cfg(target_arch = "aarch64")]
+        if let Some(k) = Neon::active() {
+            return k.ascii_run(bytes);
+        }
+        let _ = bytes;
+        0
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    pub(super) use x86::Avx2;
+
+    #[cfg(target_arch = "x86_64")]
+    mod x86 {
+        use super::{BlockClassifier, BlockMasks, BLOCK};
+        use core::arch::x86_64::*;
+
+        /// Proof-of-AVX2 token (see [`BlockClassifier`]).
+        #[derive(Clone, Copy)]
+        pub(in crate::scan) struct Avx2(());
+
+        impl Avx2 {
+            /// `Some` iff the selected backend is AVX2 — which
+            /// [`force_scan_backend`](crate::scan::force_scan_backend)
+            /// only permits on CPUs that have it.
+            #[inline]
+            pub(in crate::scan) fn active() -> Option<Self> {
+                (crate::scan::scan_backend() == crate::scan::ScanBackend::Avx2).then_some(Avx2(()))
+            }
+
+            /// See [`super::ascii_run`].
+            #[inline]
+            pub(in crate::scan) fn ascii_run(self, bytes: &[u8]) -> usize {
+                // SAFETY: `self` proves AVX2 is present; all loads stay
+                // inside `bytes` by the loop bound.
+                unsafe { ascii_run_avx2(bytes) }
+            }
+        }
+
+        /// 32 bytes per test: the prefix ends inside the first vector with
+        /// a set high bit, located by the movemask's trailing zeros.
+        #[target_feature(enable = "avx2")]
+        unsafe fn ascii_run_avx2(bytes: &[u8]) -> usize {
+            let n = bytes.len();
+            let mut i = 0;
+            while i + 32 <= n {
+                let v = _mm256_loadu_si256(bytes.as_ptr().add(i) as *const __m256i);
+                let mask = _mm256_movemask_epi8(v) as u32;
+                if mask != 0 {
+                    return i + mask.trailing_zeros() as usize;
+                }
+                i += 32;
+            }
+            i
+        }
+
+        impl BlockClassifier for Avx2 {
+            #[inline(always)]
+            fn classify(self, data: &[u8], at: usize) -> BlockMasks {
+                assert!(at + BLOCK <= data.len());
+                // SAFETY: the bounds are asserted above, and `self` exists
+                // only when AVX2 was detected on this CPU.
+                unsafe { classify64(data, at) }
+            }
+        }
+
+        /// Two 32-byte lanes; each class is one byte-compare (or the
+        /// signed-compare union trick) plus a movemask.
+        #[target_feature(enable = "avx2")]
+        unsafe fn classify64(data: &[u8], at: usize) -> BlockMasks {
+            let mut m = BlockMasks::default();
+            for half in 0..2usize {
+                let v = _mm256_loadu_si256(data.as_ptr().add(at + 32 * half) as *const __m256i);
+                // ws: `v == ' '` OR `v - 9 <= 4` (TAB..CR as an unsigned
+                // range check via saturating subtract).
+                let t = _mm256_sub_epi8(v, _mm256_set1_epi8(9));
+                let ctl = _mm256_cmpeq_epi8(
+                    _mm256_subs_epu8(t, _mm256_set1_epi8(4)),
+                    _mm256_setzero_si256(),
+                );
+                let ws = _mm256_or_si256(_mm256_cmpeq_epi8(v, _mm256_set1_epi8(b' ' as i8)), ctl);
+                // Signed `v < 0x21` marks (unsigned < 0x21) ∪ (>= 0x80) in
+                // one compare — the same union the SWAR sweeps build from
+                // `match_lt(w, 0x21) | (w & HIGHS)`.
+                let sub21 = _mm256_cmpgt_epi8(_mm256_set1_epi8(0x21), v);
+                let high = _mm256_cmpgt_epi8(_mm256_setzero_si256(), v);
+                let bad = _mm256_or_si256(
+                    sub21,
+                    _mm256_or_si256(
+                        _mm256_or_si256(
+                            _mm256_cmpeq_epi8(v, _mm256_set1_epi8(b'"' as i8)),
+                            _mm256_cmpeq_epi8(v, _mm256_set1_epi8(b'\'' as i8)),
+                        ),
+                        _mm256_cmpeq_epi8(v, _mm256_set1_epi8(b'/' as i8)),
+                    ),
+                );
+                let lt = _mm256_cmpeq_epi8(v, _mm256_set1_epi8(b'<' as i8));
+                let gt = _mm256_cmpeq_epi8(v, _mm256_set1_epi8(b'>' as i8));
+                let shift = 32 * half;
+                m.ws |= (_mm256_movemask_epi8(ws) as u32 as u64) << shift;
+                m.lt |= (_mm256_movemask_epi8(lt) as u32 as u64) << shift;
+                m.gt |= (_mm256_movemask_epi8(gt) as u32 as u64) << shift;
+                m.bad |= (_mm256_movemask_epi8(bad) as u32 as u64) << shift;
+                m.high |= (_mm256_movemask_epi8(high) as u32 as u64) << shift;
+            }
+            m
+        }
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    pub(super) use arm::Neon;
+
+    #[cfg(target_arch = "aarch64")]
+    mod arm {
+        use super::{BlockClassifier, BlockMasks, BLOCK};
+        use core::arch::aarch64::*;
+
+        /// Proof-of-NEON token — NEON (ASIMD) is part of the aarch64
+        /// baseline, so this is constructible whenever the backend is
+        /// selected.
+        #[derive(Clone, Copy)]
+        pub(in crate::scan) struct Neon(());
+
+        impl Neon {
+            #[inline]
+            pub(in crate::scan) fn active() -> Option<Self> {
+                (crate::scan::scan_backend() == crate::scan::ScanBackend::Neon).then_some(Neon(()))
+            }
+
+            /// See [`super::ascii_run`]; 16 bytes per `vmaxvq_u8` test,
+            /// stopping short of the vector holding the first high byte
+            /// (the word loop finishes it).
+            #[inline]
+            pub(in crate::scan) fn ascii_run(self, bytes: &[u8]) -> usize {
+                let n = bytes.len();
+                let mut i = 0;
+                // SAFETY: NEON is baseline aarch64; loads stay inside
+                // `bytes` by the loop bound.
+                unsafe {
+                    while i + 16 <= n {
+                        let v = vld1q_u8(bytes.as_ptr().add(i));
+                        if vmaxvq_u8(v) >= 0x80 {
+                            break;
+                        }
+                        i += 16;
+                    }
+                }
+                i
+            }
+        }
+
+        impl BlockClassifier for Neon {
+            #[inline(always)]
+            fn classify(self, data: &[u8], at: usize) -> BlockMasks {
+                assert!(at + BLOCK <= data.len());
+                // SAFETY: bounds asserted above; NEON is baseline aarch64.
+                unsafe { classify64(data, at) }
+            }
+        }
+
+        /// Builds one 64-bit mask from four 16-lane compare results: AND
+        /// each lane with its bit weight, then three pairwise adds fold 64
+        /// single-bit bytes into 8 mask bytes (the simdjson-on-arm idiom —
+        /// NEON has no movemask).
+        #[inline(always)]
+        unsafe fn movemask4(m0: uint8x16_t, m1: uint8x16_t, m2: uint8x16_t, m3: uint8x16_t) -> u64 {
+            const BITS: [u8; 16] = [1, 2, 4, 8, 16, 32, 64, 128, 1, 2, 4, 8, 16, 32, 64, 128];
+            let bit = vld1q_u8(BITS.as_ptr());
+            let t0 = vpaddq_u8(vandq_u8(m0, bit), vandq_u8(m1, bit));
+            let t1 = vpaddq_u8(vandq_u8(m2, bit), vandq_u8(m3, bit));
+            let t2 = vpaddq_u8(t0, t1);
+            vgetq_lane_u64::<0>(vreinterpretq_u64_u8(vpaddq_u8(t2, t2)))
+        }
+
+        /// Four 16-byte lanes per block; same classes as the AVX2 kernel,
+        /// with the signed-compare union trick spelled `vcltq_s8`.
+        unsafe fn classify64(data: &[u8], at: usize) -> BlockMasks {
+            let mut ws = [vdupq_n_u8(0); 4];
+            let mut lt = [vdupq_n_u8(0); 4];
+            let mut gt = [vdupq_n_u8(0); 4];
+            let mut bad = [vdupq_n_u8(0); 4];
+            let mut high = [vdupq_n_u8(0); 4];
+            for lane in 0..4usize {
+                let v = vld1q_u8(data.as_ptr().add(at + 16 * lane));
+                let sp = vceqq_u8(v, vdupq_n_u8(b' '));
+                let ctl = vcleq_u8(vsubq_u8(v, vdupq_n_u8(9)), vdupq_n_u8(4));
+                ws[lane] = vorrq_u8(sp, ctl);
+                lt[lane] = vceqq_u8(v, vdupq_n_u8(b'<'));
+                gt[lane] = vceqq_u8(v, vdupq_n_u8(b'>'));
+                let s = vreinterpretq_s8_u8(v);
+                let sub21 = vcltq_s8(s, vdupq_n_s8(0x21));
+                high[lane] = vcltq_s8(s, vdupq_n_s8(0));
+                bad[lane] = vorrq_u8(
+                    sub21,
+                    vorrq_u8(
+                        vorrq_u8(
+                            vceqq_u8(v, vdupq_n_u8(b'"')),
+                            vceqq_u8(v, vdupq_n_u8(b'\'')),
+                        ),
+                        vceqq_u8(v, vdupq_n_u8(b'/')),
+                    ),
+                );
+            }
+            BlockMasks {
+                ws: movemask4(ws[0], ws[1], ws[2], ws[3]),
+                lt: movemask4(lt[0], lt[1], lt[2], lt[3]),
+                gt: movemask4(gt[0], gt[1], gt[2], gt[3]),
+                bad: movemask4(bad[0], bad[1], bad[2], bad[3]),
+                high: movemask4(high[0], high[1], high[2], high[3]),
+            }
+        }
+    }
 }
 
 /// Index of the `>` closing the tag whose name (or attribute list) starts
@@ -485,6 +929,132 @@ pub(crate) trait StructuralScanner {
     fn skip_whitespace(&mut self) -> Result<bool, SaxError>;
 }
 
+/// What one [`step_token`] call did with the window.
+enum StepOutcome {
+    /// One event (plus possibly a queued self-closing twin) was emitted;
+    /// the cursor is now at the contained position.
+    Emitted(usize),
+    /// The next token cannot be decided inside the window (it may span the
+    /// seam, or is a stateful directive): consume up to the contained
+    /// position and hand over to the growing slow path.
+    Window(usize),
+    /// Name resolution failed at the token starting at the contained
+    /// position (consume up to there, then surface the error).
+    Fail(SaxError, usize),
+}
+
+/// One scalar token step of the window fill: skip inter-token whitespace
+/// from `pos` (ASCII inline, non-ASCII decoded), then classify and emit the
+/// next token if it completes inside `data`, charging `budget` per event.
+///
+/// This is the *shared* per-token arm of both fill backends:
+/// [`BulkLexer::fill_window_swar`] is nothing but a loop of these, and the
+/// block-classified fill delegates every case its masks flag as complex to
+/// exactly one of these — so the backends agree with each other (and, via
+/// `LexerCore`, with the char-level lexer) by construction rather than by
+/// parallel maintenance.
+#[inline(always)]
+fn step_token<N: ResolveName>(
+    core: &mut LexerCore<N>,
+    data: &[u8],
+    base: usize,
+    mut pos: usize,
+    out: &mut Vec<TaggedSymbol>,
+    budget: &mut usize,
+) -> StepOutcome {
+    let n = data.len();
+    // Inter-token whitespace — usually none or one byte.
+    while pos < n {
+        let b = data[pos];
+        if b < 0x80 {
+            if !is_ascii_ws(b) {
+                break;
+            }
+            pos += 1;
+        } else {
+            let (c, len) = decode_scalar(&data[pos..]);
+            if !c.is_whitespace() {
+                break;
+            }
+            pos += len;
+        }
+    }
+    if pos == n {
+        return StepOutcome::Window(n);
+    }
+    if data[pos] == b'<' {
+        if pos + 1 == n {
+            return StepOutcome::Window(pos);
+        }
+        let lead = data[pos + 1];
+        if lead == b'!' || lead == b'?' {
+            // Directives are rare and stateful: slow path.
+            return StepOutcome::Window(pos);
+        }
+        // `</name>` and `<name>` with nothing but name material between
+        // the brackets skip the classifier entirely: the sweep's simple
+        // verdict certifies the slice is the name.
+        let body_at = if lead == b'/' { pos + 2 } else { pos + 1 };
+        let Some((gt, simple)) = find_tag_close(data, body_at) else {
+            return StepOutcome::Window(pos);
+        };
+        if simple && gt > body_at {
+            match core.resolve_bytes(&data[body_at..gt]) {
+                Ok(sym) => out.push(if lead == b'/' {
+                    TaggedSymbol::Return(sym)
+                } else {
+                    TaggedSymbol::Call(sym)
+                }),
+                Err(e) => return StepOutcome::Fail(e, pos),
+            }
+            *budget -= 1;
+        } else {
+            let body = if lead == b'/' { pos + 1 } else { body_at };
+            match core.tag_event_bytes(&data[body..gt], base + pos) {
+                Ok(event) => out.push(event),
+                Err(e) => return StepOutcome::Fail(e, pos),
+            }
+            *budget -= 1;
+            // A self-closing tag queued its return; emit it in place.
+            if let Some(t) = core.queued.pop_front() {
+                out.push(t);
+                *budget = budget.saturating_sub(1);
+            }
+        }
+        StepOutcome::Emitted(gt + 1)
+    } else {
+        let Some(end) = find_text_end(data, pos) else {
+            // The token may continue past the window: slow path.
+            return StepOutcome::Window(pos);
+        };
+        match core.resolve_bytes(&data[pos..end]) {
+            Ok(sym) => out.push(TaggedSymbol::Internal(sym)),
+            Err(e) => return StepOutcome::Fail(e, pos),
+        }
+        *budget -= 1;
+        StepOutcome::Emitted(end)
+    }
+}
+
+/// Packs a 1..=16-byte name starting at `from` into its exact cache key —
+/// the same `(w0, w1)` value `LexerCore`'s byte-loop packer produces, built
+/// from two raw word loads and a mask instead. Callers guarantee
+/// `from + 16 <= data.len()` (the block fill's fast region does by
+/// construction), so the overread-free loads stay in bounds.
+#[cfg(feature = "simd")]
+#[inline(always)]
+fn pack_short(data: &[u8], from: usize, len: usize) -> (u64, u64) {
+    debug_assert!((1..=16).contains(&len) && from + 16 <= data.len());
+    let w0 = load_word(data, from);
+    if len <= 8 {
+        // `!0 >> (64 - 8·len)` keeps the low `len` lanes; len = 8 is the
+        // identity shift, so no branch for it.
+        return (w0 & (!0u64 >> (64 - 8 * len)), 0);
+    }
+    let w1 = load_word(data, from + 8);
+    (w0, w1 & (!0u64 >> (128 - 8 * len)))
+}
+
 impl<R: io::Read, N: ResolveName> BulkLexer<R, N> {
     pub(crate) fn new(reader: R, names: N) -> Self {
         BulkLexer {
@@ -576,14 +1146,32 @@ impl<R: io::Read, N: ResolveName> BulkLexer<R, N> {
     /// `Ok(true)` when `out` reached `max` (`Ok(false)` hands the seam to
     /// the caller's slow path). Tag bodies and text tokens are located with
     /// the word-at-a-time sweeps of [`find_tag_close`] / [`find_text_end`]
-    /// and classified byte-level
+    /// (or, on the [`scan_backend`]-selected wide backend, with 64-byte
+    /// block masks) and classified byte-level
     /// ([`LexerCore::tag_event_bytes`](crate::sax::LexerCore),
     /// `resolve_bytes`), so the common path touches each input byte once in
-    /// an 8-byte word and never re-walks a token as chars.
+    /// a word or vector and never re-walks a token as chars.
     fn fill_window(&mut self, out: &mut Vec<TaggedSymbol>, max: usize) -> Result<bool, SaxError> {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if let Some(kernel) = simd::Avx2::active() {
+            return self.fill_window_blocks(kernel, out, max);
+        }
+        #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+        if let Some(kernel) = simd::Neon::active() {
+            return self.fill_window_blocks(kernel, out, max);
+        }
+        self.fill_window_swar(out, max)
+    }
+
+    /// The portable backend of [`Self::fill_window`]: a straight loop of
+    /// [`step_token`] word-sweep steps over the window.
+    fn fill_window_swar(
+        &mut self,
+        out: &mut Vec<TaggedSymbol>,
+        max: usize,
+    ) -> Result<bool, SaxError> {
         let base = self.window.abs_offset();
         let data: &[u8] = &self.window.buf[self.window.start..self.window.end];
-        let n = data.len();
         let mut pos = 0usize;
         // Counted down instead of re-reading `out.len()` every event.
         let mut budget = max.saturating_sub(out.len());
@@ -591,86 +1179,198 @@ impl<R: io::Read, N: ResolveName> BulkLexer<R, N> {
             if budget == 0 {
                 break true;
             }
-            // Inter-token whitespace — usually none or one byte (ASCII
-            // inline, rare non-ASCII decoded).
-            while pos < n {
-                let b = data[pos];
-                if b < 0x80 {
-                    if !is_ascii_ws(b) {
-                        break;
-                    }
-                    pos += 1;
-                } else {
-                    let (c, len) = decode_scalar(&data[pos..]);
-                    if !c.is_whitespace() {
-                        break;
-                    }
-                    pos += len;
+            match step_token(&mut self.core, data, base, pos, out, &mut budget) {
+                StepOutcome::Emitted(next) => pos = next,
+                StepOutcome::Window(consumed) => {
+                    pos = consumed;
+                    break false;
+                }
+                StepOutcome::Fail(e, at) => {
+                    self.window.consume(at);
+                    return Err(e);
                 }
             }
-            if pos == n {
-                break false;
+        };
+        self.window.consume(pos);
+        Ok(full)
+    }
+
+    /// The wide backend of [`Self::fill_window`]: classifies the window in
+    /// 64-byte blocks ([`simd::BlockClassifier`]) and consumes the common
+    /// tokens — ASCII whitespace, simple tags, plain text runs — with
+    /// register bit tests over the block masks, several tokens per
+    /// classification. Anything else (directives, attribute-laden tags,
+    /// non-ASCII bytes, tokens leaving the fast region, the window tail)
+    /// falls through to exactly one scalar [`step_token`] and the loop
+    /// resumes — so every observable decision is either "trivially the
+    /// same token the SWAR sweeps find" (simple-body certification comes
+    /// from the `bad` mask, the very interest set of [`find_tag_close`])
+    /// or literally the same code.
+    #[cfg(feature = "simd")]
+    fn fill_window_blocks<C: simd::BlockClassifier>(
+        &mut self,
+        cls: C,
+        out: &mut Vec<TaggedSymbol>,
+        max: usize,
+    ) -> Result<bool, SaxError> {
+        use simd::BLOCK;
+        let base = self.window.abs_offset();
+        let data: &[u8] = &self.window.buf[self.window.start..self.window.end];
+        let n = data.len();
+        let mut pos = 0usize;
+        let mut budget = max.saturating_sub(out.len());
+        // The fast region keeps one whole block *and* the 16-byte
+        // packed-name loads in bounds; the short window tail (and any
+        // window shorter than a block) runs scalar.
+        let fast_end = n.saturating_sub(BLOCK + 32);
+        // One-sided spelling of `wide && pos <= fast_end`: a window too
+        // short for the fast region gets a limit of 0, one comparison per
+        // token instead of two.
+        let fast_limit = if n >= BLOCK + 32 { fast_end + 1 } else { 0 };
+        // Current block base. The sentinel keeps `pos.wrapping_sub(bb)` at
+        // `pos + BLOCK + 1 >= BLOCK` for every reachable `pos`, so the first
+        // fast-loop iteration always classifies a real block.
+        let mut bb = usize::MAX - BLOCK;
+        let mut m = simd::BlockMasks::default();
+        let full = 'outer: loop {
+            if budget == 0 {
+                break true;
             }
-            if data[pos] == b'<' {
-                if pos + 1 == n {
-                    break false;
-                }
-                let lead = data[pos + 1];
-                if lead == b'!' || lead == b'?' {
-                    // Directives are rare and stateful: slow path.
-                    break false;
-                }
-                // `</name>` and `<name>` with nothing but name material
-                // between the brackets skip the classifier entirely: the
-                // sweep's simple verdict certifies the slice is the name.
-                let body_at = if lead == b'/' { pos + 2 } else { pos + 1 };
-                let Some((gt, simple)) = find_tag_close(data, body_at) else {
-                    break false;
-                };
-                if simple && gt > body_at {
-                    match self.core.resolve_bytes(&data[body_at..gt]) {
-                        Ok(sym) => out.push(if lead == b'/' {
-                            TaggedSymbol::Return(sym)
+            // The sink scopes the fast loop: its drop publishes the final
+            // length (on every exit, including error returns and the
+            // budget break) before the scalar arm touches `out` directly.
+            {
+                let mut sink = simd::EventSink::new(out, budget);
+                while pos < fast_limit {
+                    if pos.wrapping_sub(bb) >= BLOCK {
+                        bb = pos;
+                        m = cls.classify(data, bb);
+                    }
+                    // Inter-token whitespace, straight off the ws mask.
+                    let non_ws = !m.ws & ((!0u64) << (pos - bb));
+                    if non_ws == 0 {
+                        pos = bb + BLOCK;
+                        continue;
+                    }
+                    let s = bb + non_ws.trailing_zeros() as usize;
+                    let rs = s - bb;
+                    // The isolated lowest bit doubles as the `s` bit test —
+                    // cheaper than a variable shift per class.
+                    let sbit = non_ws & non_ws.wrapping_neg();
+                    if m.high & sbit != 0 {
+                        // Unicode whitespace or a multi-byte token: scalar.
+                        pos = s;
+                        break;
+                    }
+                    if m.lt & sbit != 0 {
+                        // A tag. (`s + 1 < n` because `s <= fast_end`.)
+                        let lead = data[s + 1];
+                        if lead == b'!' || lead == b'?' {
+                            pos = s;
+                            break; // directive: stateful slow path
+                        }
+                        let from = if lead == b'/' { s + 2 } else { s + 1 };
+                        if from >= bb + BLOCK {
+                            bb = s;
+                            m = cls.classify(data, bb);
+                        }
+                        let mut stop = (m.gt | m.bad) & ((!0u64) << (from - bb));
+                        if stop == 0 {
+                            // The body crosses the block: re-anchor on the name.
+                            if from > fast_end {
+                                pos = s;
+                                break;
+                            }
+                            bb = from;
+                            m = cls.classify(data, bb);
+                            stop = m.gt | m.bad;
+                            if stop == 0 {
+                                pos = s;
+                                break; // a > 64-byte body: the word sweeps own it
+                            }
+                        }
+                        let close = bb + stop.trailing_zeros() as usize;
+                        let cbit = stop & stop.wrapping_neg();
+                        if m.bad & cbit != 0 || close == from {
+                            pos = s;
+                            break; // attributes/quotes/self-closing/`<>`: scalar
+                        }
+                        let name = &data[from..close];
+                        let resolved = if name.len() <= 16 {
+                            let (w0, w1) = pack_short(data, from, name.len());
+                            self.core.resolve_prepacked(w0, w1, name)
                         } else {
-                            TaggedSymbol::Call(sym)
-                        }),
+                            self.core.resolve_bytes(name)
+                        };
+                        match resolved {
+                            Ok(sym) => sink.push(if lead == b'/' {
+                                TaggedSymbol::Return(sym)
+                            } else {
+                                TaggedSymbol::Call(sym)
+                            }),
+                            Err(e) => {
+                                self.window.consume(s);
+                                return Err(e);
+                            }
+                        }
+                        budget -= 1;
+                        pos = close + 1;
+                        if budget == 0 {
+                            break 'outer true;
+                        }
+                        continue;
+                    }
+                    let mut cand = (m.ws | m.lt | m.high) & ((!1u64) << rs);
+                    loop {
+                        if cand != 0 {
+                            break;
+                        }
+                        let next = bb + BLOCK;
+                        if next > fast_end {
+                            break; // may outrun the fast region
+                        }
+                        bb = next;
+                        m = cls.classify(data, bb);
+                        cand = m.ws | m.lt | m.high;
+                    }
+                    let cbit = cand & cand.wrapping_neg();
+                    if cand == 0 || m.high & cbit != 0 {
+                        pos = s;
+                        break;
+                    }
+                    let close = bb + cand.trailing_zeros() as usize;
+                    let text = &data[s..close];
+                    let resolved = if text.len() <= 16 {
+                        let (w0, w1) = pack_short(data, s, text.len());
+                        self.core.resolve_prepacked(w0, w1, text)
+                    } else {
+                        self.core.resolve_bytes(text)
+                    };
+                    match resolved {
+                        Ok(sym) => sink.push(TaggedSymbol::Internal(sym)),
                         Err(e) => {
-                            self.window.consume(pos);
+                            self.window.consume(s);
                             return Err(e);
                         }
                     }
                     budget -= 1;
-                } else {
-                    let body = if lead == b'/' { pos + 1 } else { body_at };
-                    match self.core.tag_event_bytes(&data[body..gt], base + pos) {
-                        Ok(event) => out.push(event),
-                        Err(e) => {
-                            self.window.consume(pos);
-                            return Err(e);
-                        }
-                    }
-                    budget -= 1;
-                    // A self-closing tag queued its return; emit it in place.
-                    if let Some(t) = self.core.queued.pop_front() {
-                        out.push(t);
-                        budget = budget.saturating_sub(1);
+                    pos = close;
+                    if budget == 0 {
+                        break 'outer true;
                     }
                 }
-                pos = gt + 1;
-            } else {
-                let Some(end) = find_text_end(data, pos) else {
-                    // The token may continue past the window: slow path.
+            }
+            // Scalar arm: the window tail, plus whatever the masks flagged.
+            match step_token(&mut self.core, data, base, pos, out, &mut budget) {
+                StepOutcome::Emitted(next) => pos = next,
+                StepOutcome::Window(consumed) => {
+                    pos = consumed;
                     break false;
-                };
-                match self.core.resolve_bytes(&data[pos..end]) {
-                    Ok(sym) => out.push(TaggedSymbol::Internal(sym)),
-                    Err(e) => {
-                        self.window.consume(pos);
-                        return Err(e);
-                    }
                 }
-                budget -= 1;
-                pos = end;
+                StepOutcome::Fail(e, at) => {
+                    self.window.consume(at);
+                    return Err(e);
+                }
             }
         };
         self.window.consume(pos);

@@ -7,6 +7,13 @@
 //! UTF-8 scalar gets split across a `read` seam), across the internal
 //! scan-window seam, for CDATA / comment / PI / DOCTYPE edge cases, and
 //! for inputs truncated at every byte offset.
+//!
+//! With the `simd` feature on, the whole suite implicitly runs against the
+//! auto-detected wide backend (the backend is probed on first use), and an
+//! additional property pins the two sweeps against each other directly:
+//! SWAR and the wide kernel must be token-for-token identical on documents
+//! shifted across the kernels' 32/64-byte block seams and the 64 KiB scan
+//! window seam.
 
 use std::io;
 
@@ -431,4 +438,98 @@ fn frozen_tokenizer_matches_mutable() {
         })
     );
     assert_eq!(msg, expected_err);
+}
+
+// --------------------------------------------------------------------------
+// SIMD backend vs SWAR (feature `simd`)
+// --------------------------------------------------------------------------
+
+/// Iteration budget scaled by `NWA_PROP_ITERS`, mirroring the workspace
+/// property suites: the weekly deep CI job sets it to 10 to sweep ten
+/// times as many seeds through the same property.
+#[cfg(feature = "simd")]
+fn prop_iters(base: usize) -> usize {
+    std::env::var("NWA_PROP_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&m| m > 0)
+        .map_or(base, |m| base * m)
+}
+
+/// Tokenizes `doc` under both the forced SWAR backend and the forced wide
+/// backend, through both entry points, and asserts the outcomes (events
+/// *and* errors) are identical. Restores auto-detection before returning.
+#[cfg(feature = "simd")]
+fn assert_backends_agree(doc: &[u8], wide: nwa_xml::scan::ScanBackend, label: &str) {
+    use nwa_xml::scan::{auto_scan_backend, force_scan_backend, ScanBackend};
+
+    assert!(force_scan_backend(ScanBackend::Swar));
+    let swar_iter = bulk_iter(doc, doc.len().max(1));
+    let swar_fill = bulk_fill(doc, 7, 3);
+    assert!(force_scan_backend(wide), "wide backend vanished mid-test");
+    let wide_iter = bulk_iter(doc, doc.len().max(1));
+    let wide_fill = bulk_fill(doc, 7, 3);
+    auto_scan_backend();
+    assert_eq!(wide_iter, swar_iter, "{label}: iterator path diverged");
+    assert_eq!(wide_fill, swar_fill, "{label}: fill path diverged");
+}
+
+/// With `simd` compiled in, the wide backend must be token-for-token and
+/// error-for-error identical to the SWAR sweeps on the same bytes. The
+/// adversarial inputs are Prng documents whose token boundaries straddle
+/// the kernels' seams: leading whitespace of every length in `0..64`
+/// slides each document across the 64-byte classification blocks (and the
+/// 32-byte halves the AVX2 kernel loads and the 16-byte NEON lanes), and a
+/// text pad pushes a document across the 64 KiB scan-window seam at
+/// byte-granular shifts.
+///
+/// Forcing a backend is process-global, which is safe here: every other
+/// test in this binary checks scanner-vs-reference equivalence, a property
+/// that holds under either backend.
+#[cfg(feature = "simd")]
+#[test]
+fn simd_matches_swar_token_for_token() {
+    use nwa_xml::scan::{auto_scan_backend, scan_backend, ScanBackend, SCAN_CHUNK};
+
+    auto_scan_backend();
+    let wide = scan_backend();
+    if wide == ScanBackend::Swar {
+        // Feature compiled in but the host CPU has no wide backend (e.g. an
+        // x86 machine without AVX2): nothing to differentiate against. The
+        // suite still ran SWAR through every property above.
+        eprintln!("skipping: no wide scan backend on this host");
+        return;
+    }
+
+    // Block seams: every alignment in 0..64 of every document.
+    for seed in 0..prop_iters(6) as u64 {
+        let doc = generate(5000 + seed);
+        for shift in 0..64usize {
+            let padded = format!("{}{}", " ".repeat(shift), doc);
+            assert_backends_agree(
+                padded.as_bytes(),
+                wide,
+                &format!("seed {seed} shift {shift}"),
+            );
+        }
+    }
+
+    // Window seam: the document body begins just before the 64 KiB scan
+    // window boundary, so its tokens cross the seam at shifting offsets
+    // (the pad is a single long text token plus alignment whitespace).
+    for seed in 0..prop_iters(2) as u64 {
+        let doc = generate(9000 + seed);
+        for shift in 0..8usize {
+            let mut padded = String::from("<pad>");
+            padded.push_str(&"a".repeat(SCAN_CHUNK - padded.len() - 40 - shift));
+            padded.push(' ');
+            padded.push_str(&doc);
+            padded.push_str("</pad>");
+            assert_backends_agree(
+                padded.as_bytes(),
+                wide,
+                &format!("window seed {seed} shift {shift}"),
+            );
+        }
+    }
 }

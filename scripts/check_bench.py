@@ -66,7 +66,12 @@ def speedup(results, bench_id, pair):
     return None
 
 
-def main():
+def main(argv=None):
+    """Run the gate; returns a process exit code (0 pass, 1 fail, 2 usage).
+
+    `argv` defaults to `sys.argv[1:]`; the unit tests in
+    `test_check_bench.py` pass explicit argument lists instead.
+    """
     ap = argparse.ArgumentParser()
     ap.add_argument("new")
     ap.add_argument("baseline")
@@ -85,7 +90,7 @@ def main():
                     help="absolute floor on every gated row's fresh "
                          "per_sec (not hardware-normalized; set it low "
                          "enough for the slowest expected runner)")
-    args = ap.parse_args()
+    args = ap.parse_args(argv)
 
     pair = args.sibling.split("=", 1)
     if len(pair) != 2 or not pair[0] or not pair[1]:
